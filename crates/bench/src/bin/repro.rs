@@ -1,0 +1,95 @@
+//! Regenerates the paper's evaluation tables/figures.
+//!
+//! ```text
+//! repro all                 # every experiment
+//! repro e5 e8               # selected experiments
+//! repro list                # available ids
+//! repro all --json out/     # also dump each table as JSON
+//! ```
+//!
+//! All runs are deterministic; the numbers printed here are the ones
+//! recorded in EXPERIMENTS.md.
+
+use std::io::Write;
+use std::time::Instant;
+
+use popcorn_bench::experiments::all_experiments;
+use popcorn_bench::Table;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let experiments = all_experiments();
+
+    let mut json_dir: Option<String> = None;
+    let mut selected: Vec<String> = Vec::new();
+    let mut it = args.into_iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--json" => {
+                json_dir = Some(it.next().unwrap_or_else(|| {
+                    eprintln!("--json requires a directory");
+                    std::process::exit(2);
+                }));
+            }
+            "list" => {
+                for (id, _) in &experiments {
+                    println!("{id}");
+                }
+                println!("check");
+                return;
+            }
+            "check" => {
+                let results = popcorn_bench::check::run_all_checks();
+                let mut failed = false;
+                for r in &results {
+                    let mark = if r.passed { "PASS" } else { "FAIL" };
+                    println!("[{mark}] {} — {}", r.name, r.detail);
+                    failed |= !r.passed;
+                }
+                if failed {
+                    eprintln!("shape regressions detected");
+                    std::process::exit(1);
+                }
+                return;
+            }
+            "all" => selected.extend(experiments.iter().map(|(id, _)| id.to_string())),
+            other => selected.push(other.to_string()),
+        }
+    }
+    if selected.is_empty() {
+        eprintln!("usage: repro [all | list | check | <ids...>] [--json DIR]");
+        eprintln!(
+            "ids: {}",
+            experiments
+                .iter()
+                .map(|(i, _)| *i)
+                .collect::<Vec<_>>()
+                .join(" ")
+        );
+        std::process::exit(2);
+    }
+    selected.dedup();
+
+    if let Some(dir) = &json_dir {
+        std::fs::create_dir_all(dir).expect("create json dir");
+    }
+
+    for id in &selected {
+        let Some((_, f)) = experiments.iter().find(|(i, _)| i == id) else {
+            eprintln!("unknown experiment '{id}' (try `repro list`)");
+            std::process::exit(2);
+        };
+        let started = Instant::now();
+        let table: Table = f();
+        let host_secs = started.elapsed().as_secs_f64();
+        println!("{}", table.render());
+        println!("(regenerated in {host_secs:.1}s host time)\n");
+        if let Some(dir) = &json_dir {
+            let path = format!("{dir}/{id}.json");
+            let mut file = std::fs::File::create(&path).expect("create json file");
+            let body = serde_json::to_string_pretty(&table).expect("serialize table");
+            file.write_all(body.as_bytes()).expect("write json");
+            println!("wrote {path}\n");
+        }
+    }
+}

@@ -1,0 +1,876 @@
+//! The evaluation suite: one function per reconstructed table/figure
+//! (E1–E11) plus the ablations and extensions DESIGN.md calls out.
+//!
+//! Every function is deterministic and returns a [`Table`]; the `repro`
+//! binary prints them and EXPERIMENTS.md records representative output.
+
+use popcorn_core::PopcornParams;
+use popcorn_hw::{CoreId, HwParams, Machine, Topology};
+use popcorn_kernel::osmodel::OsModel;
+use popcorn_kernel::program::{Op, Placement, Program, ProgEnv, Resume, SyscallReq};
+use popcorn_kernel::types::VAddr;
+use popcorn_msg::{Fabric, KernelId, MsgParams, Wire};
+use popcorn_sim::SimTime;
+use popcorn_workloads::micro;
+use popcorn_workloads::npb::{self, NpbConfig};
+use popcorn_workloads::team::{Team, TeamConfig};
+
+use crate::rig::{OsKind, Rig};
+use crate::table::{ratio, us, Table};
+
+/// Thread counts swept by the scaling experiments on the 64-core machine.
+pub const THREAD_SWEEP: [usize; 7] = [1, 2, 4, 8, 16, 32, 63];
+
+struct Blob(usize);
+impl Wire for Blob {
+    fn wire_size(&self) -> usize {
+        self.0
+    }
+}
+
+/// E1 — message-layer latency and throughput (the messaging table).
+pub fn e1_messaging() -> Table {
+    let machine = Machine::new(Topology::paper_default(), HwParams::default());
+    // Eight kernels on four sockets: kernels 0,1 share socket 0.
+    let parts = machine.topology().partition(8);
+    let locations: Vec<CoreId> = parts.iter().map(|p| p[0]).collect();
+    let mut t = Table::new(
+        "E1",
+        "inter-kernel message layer: one-way latency and streaming throughput",
+        ["payload_B", "scope", "latency_us", "msgs_per_s", "MB_per_s"],
+    );
+    for &(scope, from, to) in &[
+        ("same-socket", KernelId(0), KernelId(1)),
+        ("cross-socket", KernelId(0), KernelId(2)),
+    ] {
+        for &size in &[0usize, 64, 256, 1024, 4096] {
+            let mut fabric = Fabric::new(&machine, locations.clone(), MsgParams::default());
+            let one = fabric.send(SimTime::ZERO, from, to, Blob(size));
+            // Streaming: 10k back-to-back messages on one channel.
+            let n = 10_000u64;
+            let mut last = SimTime::ZERO;
+            let mut fabric2 = Fabric::new(&machine, locations.clone(), MsgParams::default());
+            for _ in 0..n {
+                last = fabric2.send(SimTime::ZERO, from, to, Blob(size)).deliver_at;
+            }
+            let secs = last.as_secs_f64();
+            let mps = n as f64 / secs;
+            let mbps = mps * (size as f64 + 64.0) / 1e6;
+            t.row([
+                size.to_string(),
+                scope.to_string(),
+                us(one.deliver_at.as_nanos() as f64),
+                format!("{mps:.0}"),
+                format!("{mbps:.0}"),
+            ]);
+        }
+    }
+    t.note("expected: small messages land in the low microseconds; cross-socket adds the interconnect hop; throughput bounded by per-message software cost");
+    t
+}
+
+/// E2 — thread migration latency: first visit vs back-migration, idle vs
+/// loaded machine (the migration cost table).
+pub fn e2_migration() -> Table {
+    let mut t = Table::new(
+        "E2",
+        "thread migration latency (syscall to resume on the target kernel)",
+        ["scenario", "first_visit_us", "back_migration_us", "hops"],
+    );
+    for &(scenario, background) in &[("idle", 0usize), ("loaded", 32)] {
+        let rig = Rig::paper();
+        let mut os = popcorn_core::PopcornOs::builder()
+            .topology(rig.topology)
+            .kernels(rig.kernels)
+            .build();
+        if background > 0 {
+            os.load(Team::boxed(
+                TeamConfig::new(background, 0),
+                Box::new(|_, _| micro::compute_worker(120_000_000)),
+            ));
+        }
+        os.load(Box::new(micro::MigrationPingPong::new(40)));
+        let r = os.run();
+        assert!(r.is_clean(), "E2 {scenario} unclean");
+        t.row([
+            scenario.to_string(),
+            us(os.stats().migration_first_lat.mean()),
+            us(os.stats().migration_back_lat.mean()),
+            "40".to_string(),
+        ]);
+    }
+    t.note("expected: back-migration (shadow revival) markedly cheaper than first visit; load adds queueing, not protocol cost");
+    t
+}
+
+/// E3 — distributed thread group creation: time to spawn-and-join N
+/// threads (the clone figure).
+pub fn e3_thread_group() -> Table {
+    let mut t = Table::new(
+        "E3",
+        "thread-group creation: spawn N threads and join them (total ms)",
+        [
+            "threads",
+            "popcorn_ms",
+            "smp_ms",
+            "multikernel_ms",
+            "popcorn_remote_clone_us",
+        ],
+    );
+    let rig = Rig::paper();
+    for &n in &THREAD_SWEEP {
+        let results = rig.run_all(|| micro::spawn_join_storm(n, Placement::Auto));
+        let find = |k: OsKind| {
+            results
+                .iter()
+                .find(|(x, _)| *x == k)
+                .map(|(_, r)| r)
+                .expect("ran")
+        };
+        t.row([
+            n.to_string(),
+            format!("{:.3}", find(OsKind::Popcorn).finished_at.as_millis_f64()),
+            format!("{:.3}", find(OsKind::Smp).finished_at.as_millis_f64()),
+            format!(
+                "{:.3}",
+                find(OsKind::Multikernel).finished_at.as_millis_f64()
+            ),
+            format!("{:.1}", find(OsKind::Popcorn).metric("clone_remote_us_mean")),
+        ]);
+    }
+    t.note("expected: remote creation costs a message round-trip per thread; all three grow roughly linearly with N");
+    t
+}
+
+/// Touches `pages` pages (read or write) then exits; used by E4.
+#[derive(Debug)]
+struct Toucher {
+    base: VAddr,
+    pages: u64,
+    page: u64,
+    write: bool,
+}
+
+impl Program for Toucher {
+    fn step(&mut self, _r: Resume, _e: &ProgEnv) -> Op {
+        if self.page == self.pages {
+            return Op::Exit(0);
+        }
+        let addr = self.base.add(self.page * VAddr::PAGE_SIZE);
+        self.page += 1;
+        if self.write {
+            Op::Store(addr, 1)
+        } else {
+            Op::Load(addr)
+        }
+    }
+}
+
+/// E4 driver: leader maps a region, touches it (becoming owner), then
+/// spawns touchers on other kernels in sequence; finally (optionally)
+/// writes again from a late kernel to measure invalidation of the full
+/// copyset.
+#[derive(Debug)]
+struct E4Orchestrator {
+    pages: u64,
+    readers: u16, // kernels 1..=readers read the region
+    writer_last: bool,
+    state: u8,
+    base: VAddr,
+    page: u64,
+    next_reader: u16,
+}
+
+impl Program for E4Orchestrator {
+    fn step(&mut self, r: Resume, _e: &ProgEnv) -> Op {
+        loop {
+            match self.state {
+                0 => {
+                    self.state = 1;
+                    return Op::Syscall(SyscallReq::Mmap {
+                        len: self.pages * VAddr::PAGE_SIZE,
+                    });
+                }
+                1 => {
+                    let Resume::Sys(res) = r else { panic!("mmap") };
+                    self.base = VAddr(res.expect_val("mmap"));
+                    self.state = 2;
+                    continue;
+                }
+                2 => {
+                    // Own the pages (local faults at home).
+                    if self.page == self.pages {
+                        self.state = 3;
+                        continue;
+                    }
+                    let a = self.base.add(self.page * VAddr::PAGE_SIZE);
+                    self.page += 1;
+                    return Op::Store(a, 7);
+                }
+                3 => {
+                    // Sequentially place a toucher on each reader kernel and
+                    // wait for it (sequential ⇒ clean latency attribution).
+                    if self.next_reader > self.readers {
+                        self.state = if self.writer_last { 4 } else { 6 };
+                        continue;
+                    }
+                    let k = self.next_reader;
+                    self.next_reader += 1;
+                    self.state = 5;
+                    return Op::Syscall(SyscallReq::Clone {
+                        child: Box::new(Toucher {
+                            base: self.base,
+                            pages: self.pages,
+                            page: 0,
+                            write: false,
+                        }),
+                        placement: Placement::Core(CoreId(k * 16)), // kernel k
+                    });
+                }
+                5 => {
+                    // Let the reader run; a sleep gives it time to finish
+                    // before the next one starts (sequential phases).
+                    self.state = 7;
+                    return Op::Syscall(SyscallReq::Nanosleep { ns: 3_000_000 });
+                }
+                7 => {
+                    self.state = 3;
+                    continue;
+                }
+                4 => {
+                    // Final writer on the last kernel: invalidates the
+                    // whole copyset per page.
+                    self.state = 8;
+                    return Op::Syscall(SyscallReq::Clone {
+                        child: Box::new(Toucher {
+                            base: self.base,
+                            pages: self.pages,
+                            page: 0,
+                            write: true,
+                        }),
+                        placement: Placement::Core(CoreId((self.readers) * 16)),
+                    });
+                }
+                8 => {
+                    self.state = 9;
+                    return Op::Syscall(SyscallReq::Nanosleep { ns: 3_000_000 });
+                }
+                9 | 6 => return Op::Exit(0),
+                _ => unreachable!(),
+            }
+        }
+    }
+}
+
+/// E4 — address-space consistency costs: local faults, remote read
+/// retrieval, remote write (ownership transfer), and invalidation cost
+/// versus copyset size (the page-protocol figure).
+pub fn e4_page_protocol() -> Table {
+    let mut t = Table::new(
+        "E4",
+        "page-consistency costs (mean fault-to-resume latency)",
+        ["case", "copyset", "local_us", "remote_read_us", "remote_write_us"],
+    );
+    // Base case: one reader kernel, then a writer: copyset 2.
+    for readers in [1u16, 2, 3] {
+        let mut os = popcorn_core::PopcornOs::builder()
+            .topology(Topology::paper_default())
+            .kernels(4)
+            .build();
+        os.load(Box::new(E4Orchestrator {
+            pages: 16,
+            readers,
+            writer_last: true,
+            state: 0,
+            base: VAddr(0),
+            page: 0,
+            next_reader: 1,
+        }));
+        let r = os.run();
+        assert!(r.is_clean(), "E4 unclean: {:?}", r.stuck_tasks);
+        t.row([
+            "read-share-then-write".to_string(),
+            format!("{}", readers + 1),
+            us(os.stats().fault_local_lat.mean()),
+            us(os.stats().fault_remote_read_lat.mean()),
+            us(os.stats().fault_remote_write_lat.mean()),
+        ]);
+    }
+    t.note("expected: local ≪ remote read < remote write; invalidations to multiple holders proceed in parallel, so write cost grows from copyset 2 to 3 and then saturates");
+    t
+}
+
+/// Runs `procs` processes (each a team built by `make`) on one OS
+/// instance; returns total virtual ms.
+fn multiproc_ms(
+    rig: &Rig,
+    kind: OsKind,
+    procs: usize,
+    make: impl Fn(usize) -> Box<dyn Program>,
+) -> f64 {
+    let mut os = rig.build(kind);
+    for p in 0..procs {
+        os.load(make(p));
+    }
+    let r = os.run_with(rig.horizon, rig.event_budget);
+    assert!(
+        r.is_clean(),
+        "{} multi-process run unclean: {:?}",
+        kind.name(),
+        r.stuck_tasks
+    );
+    r.finished_at.as_millis_f64()
+}
+
+/// Builds an mmap-storm team with explicit placement.
+fn mmap_storm_placed(
+    threads: usize,
+    iters: u32,
+    bytes: u64,
+    placement: Placement,
+) -> Box<dyn Program> {
+    let mut cfg = TeamConfig::new(threads, 0);
+    cfg.placement = placement;
+    Team::boxed(
+        cfg,
+        Box::new(move |_, _| Box::new(micro::MmapWorker::new(iters, bytes))),
+    )
+}
+
+/// E5 — address-space operation scalability (the `mmap_sem`/zone-lock
+/// contention figure): four processes, each a team of kernel-local
+/// threads doing map/touch/unmap rounds; fixed total work.
+pub fn e5_mmap_storm() -> Table {
+    let mut t = Table::new(
+        "E5",
+        "mmap/munmap scalability, 4 processes x T/4 local threads (total ms, fixed total work)",
+        ["total_threads", "popcorn_ms", "smp_ms", "multikernel_ms", "smp_over_popcorn"],
+    );
+    let total_iters = 2880u32;
+    let rig = Rig::paper();
+    let procs = 4usize;
+    for &total in &[4usize, 8, 16, 32, 60] {
+        let per_proc = total / procs;
+        let iters = total_iters / total as u32;
+        let mut cells: Vec<(OsKind, f64)> = Vec::new();
+        crossbeam::thread::scope(|s| {
+            let hs: Vec<_> = OsKind::ALL
+                .iter()
+                .map(|&k| {
+                    let rig = &rig;
+                    s.spawn(move |_| {
+                        (
+                            k,
+                            multiproc_ms(rig, k, procs, |_| {
+                                mmap_storm_placed(per_proc, iters, 4 * 4096, Placement::Local)
+                            }),
+                        )
+                    })
+                })
+                .collect();
+            for h in hs {
+                cells.push(h.join().expect("thread"));
+            }
+        })
+        .expect("scope");
+        let get = |k: OsKind| cells.iter().find(|(x, _)| *x == k).expect("ran").1;
+        let (p, s, m) = (get(OsKind::Popcorn), get(OsKind::Smp), get(OsKind::Multikernel));
+        t.row([
+            total.to_string(),
+            format!("{p:.3}"),
+            format!("{s:.3}"),
+            format!("{m:.3}"),
+            ratio(s / p),
+        ]);
+    }
+    t.note("expected: SMP stops improving (global zone lock + machine-wide shootdowns shared by all processes); popcorn and the multikernel keep scaling on per-kernel structures");
+    t
+}
+
+/// E5b — the same storm as one process *spanning* kernels: the distributed
+/// address-space consistency overhead the paper quantifies (Popcorn pays a
+/// home round-trip per operation; SMP does not).
+pub fn e5b_mmap_span() -> Table {
+    let mut t = Table::new(
+        "E5b",
+        "mmap/munmap, ONE process x T machine-spread threads (total ms, fixed total work)",
+        ["threads", "popcorn_ms", "smp_ms", "popcorn_over_smp"],
+    );
+    let total_iters = 1260u32;
+    let rig = Rig::paper();
+    for &n in &[1usize, 4, 16, 63] {
+        let iters = total_iters / n as u32;
+        let p = rig
+            .run(
+                OsKind::Popcorn,
+                mmap_storm_placed(n, iters, 4 * 4096, Placement::Auto),
+            )
+            .finished_at
+            .as_millis_f64();
+        let s = rig
+            .run(
+                OsKind::Smp,
+                mmap_storm_placed(n, iters, 4 * 4096, Placement::Auto),
+            )
+            .finished_at
+            .as_millis_f64();
+        t.row([
+            n.to_string(),
+            format!("{p:.3}"),
+            format!("{s:.3}"),
+            ratio(p / s),
+        ]);
+    }
+    t.note("expected: popcorn LOSES here — every map/unmap serializes at the home kernel over messages. This is the paper's honest trade-off: a single-system-image address space spanning kernels costs messaging");
+    t
+}
+
+/// Builds a mutex-contention team with explicit placement.
+fn futex_contention_placed(
+    threads: usize,
+    iters: u32,
+    critical: u64,
+    placement: Placement,
+) -> Box<dyn Program> {
+    let mut cfg = TeamConfig::new(threads, 0);
+    cfg.placement = placement;
+    Team::boxed(
+        cfg,
+        Box::new(move |_, shared| {
+            Box::new(micro::MutexWorker::new(shared.sync_slot(1), iters, critical))
+        }),
+    )
+}
+
+/// E6 — futex contention: T threads hammering one mutex, kernel-local
+/// (the paper's local futex case) versus machine-spread (the distributed
+/// futex cost).
+pub fn e6_futex() -> Table {
+    let mut t = Table::new(
+        "E6",
+        "futex contention: T threads x lock/unlock rounds on one mutex (total ms)",
+        [
+            "threads",
+            "popcorn_local_ms",
+            "popcorn_spread_ms",
+            "smp_ms",
+            "multikernel_spread_ms",
+        ],
+    );
+    let total_rounds = 1260u32;
+    let rig = Rig::paper();
+    for &n in &[1usize, 2, 4, 8, 16] {
+        let iters = total_rounds / n as u32;
+        let p_local = rig
+            .run(OsKind::Popcorn, futex_contention_placed(n, iters, 4_000, Placement::Local))
+            .finished_at
+            .as_millis_f64();
+        let p_spread = rig
+            .run(OsKind::Popcorn, futex_contention_placed(n, iters, 4_000, Placement::Auto))
+            .finished_at
+            .as_millis_f64();
+        let smp = rig
+            .run(OsKind::Smp, futex_contention_placed(n, iters, 4_000, Placement::Auto))
+            .finished_at
+            .as_millis_f64();
+        let mk = rig
+            .run(
+                OsKind::Multikernel,
+                futex_contention_placed(n, iters, 4_000, Placement::Auto),
+            )
+            .finished_at
+            .as_millis_f64();
+        t.row([
+            n.to_string(),
+            format!("{p_local:.3}"),
+            format!("{p_spread:.3}"),
+            format!("{smp:.3}"),
+            format!("{mk:.3}"),
+        ]);
+    }
+    t.note("expected: kernel-local popcorn tracks SMP (futex fast path); spreading the mutex across kernels pays a message round-trip per contended operation — the distributed-futex cost the paper quantifies");
+    t
+}
+
+/// E7 — null-syscall scaling: getpid loops on every thread (parity check:
+/// uncontended syscalls cost the same everywhere). Steady-state cost is
+/// estimated from the slope between two loop lengths, cancelling team
+/// setup costs.
+pub fn e7_syscall_scaling() -> Table {
+    let mut t = Table::new(
+        "E7",
+        "null syscall (getpid): steady-state ns per call at T threads",
+        ["threads", "popcorn_ns", "smp_ns", "multikernel_ns"],
+    );
+    let rig = Rig::paper();
+    let (short, long) = (2_000u32, 4_000u32);
+    for &n in &[1usize, 8, 32, 63] {
+        let per_call = |k: OsKind| {
+            let t_short = rig
+                .run(k, micro::null_syscall_storm(n, short))
+                .finished_at
+                .as_nanos() as f64;
+            let t_long = rig
+                .run(k, micro::null_syscall_storm(n, long))
+                .finished_at
+                .as_nanos() as f64;
+            (t_long - t_short) / (long - short) as f64
+        };
+        t.row([
+            n.to_string(),
+            format!("{:.0}", per_call(OsKind::Popcorn)),
+            format!("{:.0}", per_call(OsKind::Smp)),
+            format!("{:.0}", per_call(OsKind::Multikernel)),
+        ]);
+    }
+    t.note("expected: flat and identical across OSes — local syscalls touch no shared state in any of the three designs");
+    t
+}
+
+/// Builds an NPB config with *fixed total work* divided over T threads.
+fn strong_scaling(threads: usize, total_cycles_per_iter: u64, iterations: u32, pages: u64) -> NpbConfig {
+    NpbConfig {
+        threads,
+        iterations,
+        pages_per_thread: pages,
+        compute_cycles: total_cycles_per_iter / threads as u64,
+        barrier_groups: 0,
+    }
+}
+
+/// Shared driver for E8/E9/E10.
+fn npb_experiment(
+    id: &str,
+    title: &str,
+    make: impl Fn(NpbConfig) -> Box<dyn Program> + Sync,
+    total_cycles_per_iter: u64,
+    iterations: u32,
+    pages: u64,
+    note: &str,
+) -> Table {
+    let mut t = Table::new(
+        id,
+        title,
+        [
+            "threads",
+            "popcorn_ms",
+            "smp_ms",
+            "multikernel_ms",
+            "popcorn_speedup",
+            "smp_speedup",
+            "smp_over_popcorn",
+        ],
+    );
+    let rig = Rig::paper();
+    let mut base: Option<(f64, f64)> = None; // (popcorn@1, smp@1)
+    for &n in &THREAD_SWEEP {
+        let cfg = strong_scaling(n, total_cycles_per_iter, iterations, pages);
+        let results = rig.run_all(|| make(cfg));
+        let get = |k: OsKind| {
+            results
+                .iter()
+                .find(|(x, _)| *x == k)
+                .map(|(_, r)| r.finished_at.as_millis_f64())
+                .expect("ran")
+        };
+        let (p, s, m) = (get(OsKind::Popcorn), get(OsKind::Smp), get(OsKind::Multikernel));
+        if base.is_none() {
+            base = Some((p, s));
+        }
+        let (p1, s1) = base.expect("set above");
+        t.row([
+            n.to_string(),
+            format!("{p:.2}"),
+            format!("{s:.2}"),
+            format!("{m:.2}"),
+            ratio(p1 / p),
+            ratio(s1 / s),
+            ratio(s / p),
+        ]);
+    }
+    t.note(note);
+    t
+}
+
+/// E8 — IS-class (allocation-heavy) scalability: the paper's
+/// "up to 40% faster than SMP" case. Multi-process: four IS processes
+/// (one per kernel on popcorn), threads split among them.
+pub fn e8_npb_is() -> Table {
+    let mut t = Table::new(
+        "E8",
+        "IS-class, 4 processes x T/4 threads each (allocation-heavy; total ms, fixed total work)",
+        [
+            "total_threads",
+            "popcorn_ms",
+            "smp_ms",
+            "multikernel_ms",
+            "smp_over_popcorn",
+        ],
+    );
+    let rig = Rig::paper();
+    for &total in &[4usize, 8, 16, 32, 64] {
+        let per_proc = total / 4;
+        let total_cycles_per_iter = 84_000_000u64; // ~35ms single-thread per iteration
+        let run = |kind: OsKind| {
+            let mut os = rig.build(kind);
+            for _ in 0..4 {
+                let cfg = NpbConfig {
+                    threads: per_proc,
+                    iterations: 10,
+                    pages_per_thread: 12,
+                    compute_cycles: total_cycles_per_iter / total as u64,
+                    barrier_groups: 0,
+                };
+                // Keep each process on its home kernel (the pinning the
+                // paper's runs use); SMP spreads over its one kernel.
+                os.load(npb::is_benchmark_placed(cfg, Placement::Local));
+            }
+            let r = os.run_with(rig.horizon, rig.event_budget);
+            assert!(r.is_clean(), "E8 {} unclean: {:?}", kind.name(), r.stuck_tasks);
+            r.finished_at.as_millis_f64()
+        };
+        let mut cells: Vec<(OsKind, f64)> = Vec::new();
+        crossbeam::thread::scope(|s| {
+            let hs: Vec<_> = OsKind::ALL
+                .iter()
+                .map(|&k| s.spawn(move |_| (k, run(k))))
+                .collect();
+            for h in hs {
+                cells.push(h.join().expect("thread"));
+            }
+        })
+        .expect("scope");
+        let get = |k: OsKind| cells.iter().find(|(x, _)| *x == k).expect("ran").1;
+        let (p, s, m) = (get(OsKind::Popcorn), get(OsKind::Smp), get(OsKind::Multikernel));
+        t.row([
+            total.to_string(),
+            format!("{p:.2}"),
+            format!("{s:.2}"),
+            format!("{m:.2}"),
+            ratio(s / p),
+        ]);
+    }
+    t.note("expected: at high core counts SMP's shared structures (zone lock, shootdowns) make it lose to popcorn by tens of percent (paper: up to 40%); the multikernel tracks popcorn");
+    t
+}
+
+/// E9 — CG-class (compute-bound) scalability: everyone scales; popcorn
+/// within a few percent of SMP (the "competitive" claim).
+pub fn e9_npb_cg() -> Table {
+    npb_experiment(
+        "E9",
+        "CG-class, one process x T threads (compute-bound; total ms, fixed total work)",
+        npb::cg_benchmark,
+        240_000_000, // 100ms single-thread per iteration
+        6,
+        4,
+        "expected: near-linear speedup on all three; popcorn within a few percent of SMP (cross-kernel barriers are its only extra cost)",
+    )
+}
+
+/// E10 — FT-class (all-to-all) scalability: popcorn pays page-ownership
+/// migration on the transpose; competitive but behind SMP at high counts.
+pub fn e10_npb_ft() -> Table {
+    npb_experiment(
+        "E10",
+        "FT-class, one process x T threads (all-to-all transpose; total ms, fixed total work)",
+        npb::ft_benchmark,
+        240_000_000,
+        6,
+        4,
+        "expected: the transpose bounces page ownership between kernels, so popcorn trails SMP as threads span more kernels — the cost of distributed shared memory the paper quantifies",
+    )
+}
+
+/// E11 — MG-class scalability (extension benchmark): halo exchange with
+/// per-level barriers at decreasing working-set sizes — the
+/// communication-bound regime where all three OSes flatten early.
+pub fn e11_npb_mg() -> Table {
+    npb_experiment(
+        "E11",
+        "MG-class, one process x T threads (halo exchange; total ms, fixed total work)",
+        npb::mg_benchmark,
+        240_000_000,
+        6,
+        4,
+        "expected: speedup saturates earlier than CG for everyone (per-level barriers); popcorn pays halo page sharing on top",
+    )
+}
+
+/// Ablation — shadow-task reuse on back-migration.
+pub fn ablate_shadow() -> Table {
+    let mut t = Table::new(
+        "A1",
+        "ablation: shadow-task reuse on back-migration",
+        ["shadow_reuse", "back_migration_us", "first_visit_us"],
+    );
+    for reuse in [true, false] {
+        let params = PopcornParams {
+            shadow_task_reuse: reuse,
+            ..PopcornParams::default()
+        };
+        let mut os = popcorn_core::PopcornOs::builder()
+            .topology(Topology::paper_default())
+            .kernels(4)
+            .popcorn_params(params)
+            .build();
+        os.load(Box::new(micro::MigrationPingPong::new(40)));
+        let r = os.run();
+        assert!(r.is_clean());
+        t.row([
+            reuse.to_string(),
+            us(os.stats().migration_back_lat.mean()),
+            us(os.stats().migration_first_lat.mean()),
+        ]);
+    }
+    t.note("expected: disabling reuse makes every back-migration pay full task creation");
+    t
+}
+
+/// Ablation — on-demand vs eager VMA replication at migration time.
+pub fn ablate_vma() -> Table {
+    let mut t = Table::new(
+        "A2",
+        "ablation: on-demand vs eager VMA replication",
+        ["mode", "total_ms", "vma_fetches", "migration_msg_overhead"],
+    );
+    for eager in [false, true] {
+        let params = PopcornParams {
+            eager_vma_replication: eager,
+            ..PopcornParams::default()
+        };
+        let rig = Rig {
+            popcorn: params,
+            ..Rig::paper()
+        };
+        let mut cfg = TeamConfig::new(16, 32 * 4096);
+        cfg.placement = Placement::Auto;
+        let r = rig.run(
+            OsKind::Popcorn,
+            Team::boxed(
+                cfg,
+                Box::new(|i, shared| {
+                    Box::new(micro::PageBounceWorker::new(shared.data, 32, 20, i as u64 * 3))
+                }),
+            ),
+        );
+        t.row([
+            if eager { "eager" } else { "on-demand" }.to_string(),
+            format!("{:.3}", r.finished_at.as_millis_f64()),
+            format!("{:.0}", r.metric("vma_fetches")),
+            format!("{:.0}", r.metric("messages")),
+        ]);
+    }
+    t.note("expected: eager replication eliminates VMA-fetch round trips at the cost of larger migration/clone state; on-demand is the paper's design");
+    t
+}
+
+/// Ablation — distributed-futex local fast path.
+pub fn ablate_futex() -> Table {
+    let mut t = Table::new(
+        "A3",
+        "ablation: futex/sync local fast path at the home kernel",
+        ["fastpath", "total_ms", "rmw_local", "rmw_remote"],
+    );
+    for fast in [true, false] {
+        let params = PopcornParams {
+            futex_local_fastpath: fast,
+            ..PopcornParams::default()
+        };
+        let rig = Rig {
+            popcorn: params,
+            topology: Topology::paper_default(),
+            kernels: 4,
+            ..Rig::paper()
+        };
+        let mut cfg = TeamConfig::new(16, 0);
+        cfg.placement = Placement::Local; // all on the home kernel
+        let r = rig.run(
+            OsKind::Popcorn,
+            Team::boxed(
+                cfg,
+                Box::new(|_, shared| {
+                    Box::new(micro::MutexWorker::new(shared.sync_slot(1), 40, 2_000))
+                }),
+            ),
+        );
+        t.row([
+            fast.to_string(),
+            format!("{:.3}", r.finished_at.as_millis_f64()),
+            format!("{:.0}", r.metric("rmw_local")),
+            format!("{:.0}", r.metric("rmw_remote")),
+        ]);
+    }
+    t.note("expected: without the fast path even home-local threads pay the RPC-shaped cost, inflating synchronization-heavy runs");
+    t
+}
+
+/// An experiment entry: id plus the function regenerating its table.
+pub type Experiment = (&'static str, fn() -> Table);
+
+/// Ablation/extension — flat vs hierarchical barriers, with and without
+/// first-touch sync-word homing (the paper's futex server lives at the
+/// group's origin kernel; the extension homes each word where it is first
+/// used, making group-local barriers kernel-local).
+pub fn ablate_hier() -> Table {
+    let mut t = Table::new(
+        "A4",
+        "extension: hierarchical barriers + first-touch sync-word homing (CG-class, 32 threads, 4 kernels)",
+        ["barrier", "word_homing", "total_ms", "rmw_local", "rmw_remote"],
+    );
+    let cases = [
+        ("flat", false, 0u64),
+        ("hier", false, 4u64),
+        ("flat", true, 0u64),
+        ("hier", true, 4u64),
+    ];
+    for (barrier, first_touch, groups) in cases {
+        let params = PopcornParams {
+            sync_first_touch_homing: first_touch,
+            ..PopcornParams::default()
+        };
+        let rig = Rig {
+            popcorn: params,
+            ..Rig::paper()
+        };
+        let cfg = NpbConfig {
+            threads: 32,
+            iterations: 40,
+            pages_per_thread: 1,
+            compute_cycles: 30_000,
+            barrier_groups: groups,
+        };
+        let r = rig.run(OsKind::Popcorn, npb::cg_benchmark(cfg));
+        t.row([
+            barrier.to_string(),
+            if first_touch { "first-touch" } else { "origin" }.to_string(),
+            format!("{:.3}", r.finished_at.as_millis_f64()),
+            format!("{:.0}", r.metric("rmw_local")),
+            format!("{:.0}", r.metric("rmw_remote")),
+        ]);
+    }
+    t.note("expected: hierarchy alone HURTS (an extra level, still served remotely at the origin); combined with first-touch homing ~90% of sync ops become kernel-local and the barrier-bound run speeds up ~20%");
+    t
+}
+
+/// All experiment ids and functions, for the `repro` binary.
+pub fn all_experiments() -> Vec<Experiment> {
+    vec![
+        ("e1", e1_messaging as fn() -> Table),
+        ("e2", e2_migration),
+        ("e3", e3_thread_group),
+        ("e4", e4_page_protocol),
+        ("e5", e5_mmap_storm),
+        ("e5b", e5b_mmap_span),
+        ("e6", e6_futex),
+        ("e7", e7_syscall_scaling),
+        ("e8", e8_npb_is),
+        ("e9", e9_npb_cg),
+        ("e10", e10_npb_ft),
+        ("e11", e11_npb_mg),
+        ("ablate-shadow", ablate_shadow),
+        ("ablate-vma", ablate_vma),
+        ("ablate-futex", ablate_futex),
+        ("ablate-hier", ablate_hier),
+    ]
+}

@@ -1,0 +1,26 @@
+#![warn(missing_docs)]
+//! Experiment harness for the replicated-kernel OS reproduction.
+//!
+//! - [`table`] — result tables (text + JSON rendering);
+//! - [`rig`] — uniform construction/execution of the three OS models;
+//! - [`experiments`] — E1–E10 and the ablations, one function per
+//!   reconstructed table/figure of the paper's evaluation.
+//!
+//! The `repro` binary drives everything:
+//!
+//! ```text
+//! cargo run --release -p popcorn-bench --bin repro -- all
+//! cargo run --release -p popcorn-bench --bin repro -- e5 e8 --json out/
+//! cargo run --release -p popcorn-bench --bin repro -- check
+//! ```
+//!
+//! `repro check` ([`check`]) asserts the claimed result *shapes*
+//! programmatically — a regression suite for the reproduction itself.
+
+pub mod check;
+pub mod experiments;
+pub mod rig;
+pub mod table;
+
+pub use rig::{OsKind, Rig};
+pub use table::Table;

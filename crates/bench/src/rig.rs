@@ -1,0 +1,191 @@
+//! Experiment rigs: uniform construction and execution of the three OS
+//! models.
+
+use popcorn_baselines::{MultikernelOs, SmpOs};
+use popcorn_core::{PopcornOs, PopcornParams};
+use popcorn_hw::Topology;
+use popcorn_kernel::osmodel::{OsModel, RunReport};
+use popcorn_kernel::program::Program;
+use popcorn_sim::SimTime;
+
+/// Which OS model to run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OsKind {
+    /// The replicated-kernel OS (the paper's system).
+    Popcorn,
+    /// SMP Linux-like baseline.
+    Smp,
+    /// Barrelfish-like multikernel baseline.
+    Multikernel,
+}
+
+impl OsKind {
+    /// All three, in the comparison order used by the tables.
+    pub const ALL: [OsKind; 3] = [OsKind::Popcorn, OsKind::Smp, OsKind::Multikernel];
+
+    /// Short name for table columns.
+    pub fn name(self) -> &'static str {
+        match self {
+            OsKind::Popcorn => "popcorn",
+            OsKind::Smp => "smp",
+            OsKind::Multikernel => "multikernel",
+        }
+    }
+}
+
+/// Machine/OS configuration of one experiment cell.
+#[derive(Debug, Clone)]
+pub struct Rig {
+    /// Machine layout.
+    pub topology: Topology,
+    /// Kernel instances for the partitioned models (SMP ignores this).
+    pub kernels: u16,
+    /// Popcorn protocol parameters (for ablations).
+    pub popcorn: PopcornParams,
+    /// Virtual-time horizon (safety stop).
+    pub horizon: SimTime,
+    /// Event budget (livelock guard).
+    pub event_budget: u64,
+}
+
+impl Default for Rig {
+    fn default() -> Self {
+        Rig {
+            topology: Topology::paper_default(),
+            kernels: 4,
+            popcorn: PopcornParams::default(),
+            horizon: SimTime::from_secs(300),
+            event_budget: 200_000_000,
+        }
+    }
+}
+
+impl Rig {
+    /// A rig on the default 64-core machine with 4 kernels.
+    pub fn paper() -> Self {
+        Rig::default()
+    }
+
+    /// A small rig for quick runs.
+    pub fn small() -> Self {
+        Rig {
+            topology: Topology::new(2, 4),
+            kernels: 2,
+            ..Rig::default()
+        }
+    }
+
+    /// Builds one OS model instance.
+    pub fn build(&self, kind: OsKind) -> Box<dyn OsModel> {
+        match kind {
+            OsKind::Popcorn => Box::new(
+                PopcornOs::builder()
+                    .topology(self.topology)
+                    .kernels(self.kernels)
+                    .popcorn_params(self.popcorn.clone())
+                    .build(),
+            ),
+            OsKind::Smp => Box::new(SmpOs::builder().topology(self.topology).build()),
+            OsKind::Multikernel => Box::new(
+                MultikernelOs::builder()
+                    .topology(self.topology)
+                    .kernels(self.kernels)
+                    .build(),
+            ),
+        }
+    }
+
+    /// Builds, loads and runs one workload; panics on an unclean run so
+    /// experiments cannot silently report numbers from deadlocked runs.
+    pub fn run(&self, kind: OsKind, program: Box<dyn Program>) -> RunReport {
+        let mut os = self.build(kind);
+        os.load(program);
+        let report = os.run_with(self.horizon, self.event_budget);
+        assert!(
+            report.is_clean(),
+            "{} run was not clean (stop={:?}, stuck={:?})",
+            kind.name(),
+            report.stop,
+            report.stuck_tasks
+        );
+        report
+    }
+
+    /// Like [`Rig::run`] but returns the (possibly unclean) report.
+    pub fn run_lenient(&self, kind: OsKind, program: Box<dyn Program>) -> RunReport {
+        let mut os = self.build(kind);
+        os.load(program);
+        os.run_with(self.horizon, self.event_budget)
+    }
+
+    /// Runs one workload per OS kind in parallel host threads (each
+    /// simulation itself is single-threaded and deterministic).
+    pub fn run_all<F>(&self, make: F) -> Vec<(OsKind, RunReport)>
+    where
+        F: Fn() -> Box<dyn Program> + Sync,
+    {
+        let mut out: Vec<(OsKind, RunReport)> = Vec::new();
+        crossbeam::thread::scope(|s| {
+            let handles: Vec<_> = OsKind::ALL
+                .iter()
+                .map(|&kind| {
+                    let make = &make;
+                    let rig = self.clone();
+                    s.spawn(move |_| (kind, rig.run(kind, make())))
+                })
+                .collect();
+            for h in handles {
+                out.push(h.join().expect("experiment thread panicked"));
+            }
+        })
+        .expect("scope");
+        out.sort_by_key(|(k, _)| OsKind::ALL.iter().position(|x| x == k));
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use popcorn_workloads::micro;
+
+    #[test]
+    fn all_three_models_run_the_same_workload() {
+        let rig = Rig::small();
+        let results = rig.run_all(|| micro::null_syscall_storm(4, 20));
+        assert_eq!(results.len(), 3);
+        for (kind, r) in &results {
+            assert!(r.is_clean(), "{} not clean", kind.name());
+            assert_eq!(r.exited_tasks, 5, "{}", kind.name());
+        }
+        // Deterministic: re-running popcorn gives identical virtual time.
+        let again = rig.run(OsKind::Popcorn, micro::null_syscall_storm(4, 20));
+        let first = &results
+            .iter()
+            .find(|(k, _)| *k == OsKind::Popcorn)
+            .expect("popcorn ran")
+            .1;
+        assert_eq!(again.finished_at, first.finished_at);
+    }
+
+    #[test]
+    #[should_panic(expected = "not clean")]
+    fn unclean_runs_panic_loudly() {
+        #[derive(Debug)]
+        struct Forever;
+        impl popcorn_kernel::program::Program for Forever {
+            fn step(
+                &mut self,
+                _r: popcorn_kernel::program::Resume,
+                _e: &popcorn_kernel::program::ProgEnv,
+            ) -> popcorn_kernel::program::Op {
+                popcorn_kernel::program::Op::Compute(1_000_000)
+            }
+        }
+        let rig = Rig {
+            horizon: SimTime::from_millis(1),
+            ..Rig::small()
+        };
+        rig.run(OsKind::Smp, Box::new(Forever));
+    }
+}

@@ -1,0 +1,133 @@
+//! Result tables: the unit of output of every experiment.
+
+use serde::Serialize;
+
+/// One experiment's table/figure data.
+#[derive(Debug, Clone, Serialize)]
+pub struct Table {
+    /// Experiment id ("E5", "E8", ...).
+    pub id: String,
+    /// Human title.
+    pub title: String,
+    /// Column headers.
+    pub columns: Vec<String>,
+    /// Row cells, pre-formatted.
+    pub rows: Vec<Vec<String>>,
+    /// Free-form notes (expected shape, caveats).
+    pub notes: Vec<String>,
+}
+
+impl Table {
+    /// Creates an empty table.
+    pub fn new(
+        id: impl Into<String>,
+        title: impl Into<String>,
+        columns: impl IntoIterator<Item = impl Into<String>>,
+    ) -> Self {
+        Table {
+            id: id.into(),
+            title: title.into(),
+            columns: columns.into_iter().map(Into::into).collect(),
+            rows: Vec::new(),
+            notes: Vec::new(),
+        }
+    }
+
+    /// Appends a row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the cell count does not match the columns.
+    pub fn row(&mut self, cells: impl IntoIterator<Item = impl Into<String>>) {
+        let cells: Vec<String> = cells.into_iter().map(Into::into).collect();
+        assert_eq!(
+            cells.len(),
+            self.columns.len(),
+            "row width mismatch in table {}",
+            self.id
+        );
+        self.rows.push(cells);
+    }
+
+    /// Appends a note.
+    pub fn note(&mut self, text: impl Into<String>) {
+        self.notes.push(text.into());
+    }
+
+    /// Renders as an aligned text table.
+    pub fn render(&self) -> String {
+        let mut widths: Vec<usize> = self.columns.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        out.push_str(&format!("== {}: {} ==\n", self.id, self.title));
+        let header: Vec<String> = self
+            .columns
+            .iter()
+            .enumerate()
+            .map(|(i, c)| format!("{:>w$}", c, w = widths[i]))
+            .collect();
+        out.push_str(&header.join("  "));
+        out.push('\n');
+        out.push_str(&"-".repeat(header.join("  ").len()));
+        out.push('\n');
+        for row in &self.rows {
+            let line: Vec<String> = row
+                .iter()
+                .enumerate()
+                .map(|(i, c)| format!("{:>w$}", c, w = widths[i]))
+                .collect();
+            out.push_str(&line.join("  "));
+            out.push('\n');
+        }
+        for n in &self.notes {
+            out.push_str(&format!("note: {n}\n"));
+        }
+        out
+    }
+}
+
+/// Formats a nanosecond quantity as microseconds with two decimals.
+pub fn us(ns: f64) -> String {
+    format!("{:.2}", ns / 1_000.0)
+}
+
+/// Formats a ratio with two decimals and an `x` suffix.
+pub fn ratio(r: f64) -> String {
+    format!("{r:.2}x")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn render_aligns_columns() {
+        let mut t = Table::new("E0", "demo", ["threads", "time"]);
+        t.row(["1", "10.0"]);
+        t.row(["64", "123.4"]);
+        t.note("shape check");
+        let s = t.render();
+        assert!(s.contains("E0: demo"));
+        assert!(s.contains("threads"));
+        assert!(s.contains("note: shape check"));
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines[2].len(), lines[3].len(), "rows aligned");
+    }
+
+    #[test]
+    #[should_panic(expected = "row width mismatch")]
+    fn row_width_checked() {
+        let mut t = Table::new("E0", "demo", ["a", "b"]);
+        t.row(["only one"]);
+    }
+
+    #[test]
+    fn formatters() {
+        assert_eq!(us(12_345.0), "12.35");
+        assert_eq!(ratio(1.399), "1.40x");
+    }
+}

@@ -1,0 +1,543 @@
+//! The home-kernel page directory: the heart of address-space consistency.
+//!
+//! Each distributed thread group's home kernel tracks, per page, which
+//! kernels hold copies (`copyset`), which one is the designated data
+//! provider (`owner` — the last writer or first toucher), and a version
+//! number. All faults are serialized through the directory; transfers in
+//! flight mark the page *busy* and later requests queue behind them, which
+//! makes the single-writer invariant hold by construction.
+//!
+//! The directory is a pure state machine: [`Directory::request`] returns a
+//! [`DirStep`] describing what the machine layer must do (grant locally,
+//! fetch from the owner, invalidate holders); the layer feeds collection
+//! results back via [`Directory::fetched`] / [`Directory::inval_acked`] and
+//! completion via [`Directory::done`]. Keeping it pure lets the property
+//! tests drive millions of protocol interleavings without a simulator.
+
+use std::collections::{BTreeSet, HashMap, VecDeque};
+
+use popcorn_kernel::mm::{PageContents, PageState};
+use popcorn_kernel::types::PageNo;
+use popcorn_msg::{KernelId, RpcId};
+
+/// One queued or in-service page request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PageRequest {
+    /// Correlation id at the faulting kernel.
+    pub rpc: RpcId,
+    /// The faulting kernel.
+    pub origin: KernelId,
+    /// Write access required.
+    pub write: bool,
+}
+
+/// What the machine layer must do for a request.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DirStep {
+    /// Grant immediately (no third party involved).
+    Grant(Grant),
+    /// Ask the owner for a copy (read fault); it will downgrade itself.
+    Fetch {
+        /// Current owner to fetch from.
+        owner: KernelId,
+    },
+    /// Invalidate holders (write fault); the owner's ack carries the data.
+    Invalidate {
+        /// Kernels to invalidate (never includes the requester).
+        holders: Vec<KernelId>,
+    },
+    /// A transfer is in flight for this page; the request is queued and
+    /// will be emitted by [`Directory::done`].
+    Queued,
+}
+
+/// A completed grant decision.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Grant {
+    /// The request being satisfied.
+    pub req: PageRequest,
+    /// The page.
+    pub page: PageNo,
+    /// State granted to the requester.
+    pub state: PageState,
+    /// Version the requester must record.
+    pub version: u64,
+    /// Data to ship (`None` = zero-fill first touch, or an in-place
+    /// upgrade where the requester already holds the bytes).
+    pub contents: Option<PageContents>,
+}
+
+/// In-flight collection bookkeeping for one page.
+#[derive(Debug)]
+struct Collection {
+    req: PageRequest,
+    awaiting_fetch: bool,
+    awaiting_acks: BTreeSet<KernelId>,
+    data: Option<PageContents>,
+    /// Whether the grant should carry data once collection completes.
+    needs_data: bool,
+}
+
+/// Directory entry for one page.
+#[derive(Debug)]
+struct DirEntry {
+    owner: KernelId,
+    copyset: BTreeSet<KernelId>,
+    version: u64,
+    busy: bool,
+    collecting: Option<Collection>,
+    waiting: VecDeque<PageRequest>,
+}
+
+/// Snapshot of a page's directory state (for tests and invariant checks).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DirView {
+    /// Designated data provider.
+    pub owner: KernelId,
+    /// All kernels holding a copy (includes the owner).
+    pub copyset: Vec<KernelId>,
+    /// Current version.
+    pub version: u64,
+    /// Whether a transfer is in flight.
+    pub busy: bool,
+    /// Queued request count.
+    pub queued: usize,
+}
+
+/// The per-group page directory kept at the home kernel.
+#[derive(Debug, Default)]
+pub struct Directory {
+    entries: HashMap<PageNo, DirEntry>,
+}
+
+impl Directory {
+    /// Creates an empty directory.
+    pub fn new() -> Self {
+        Directory::default()
+    }
+
+    /// Handles a fault request for `page`.
+    ///
+    /// State transitions happen *optimistically* here (the entry reflects
+    /// the post-transfer world) while `busy` serializes overlapping
+    /// traffic; the machine layer must deliver the returned step.
+    pub fn request(&mut self, page: PageNo, req: PageRequest) -> DirStep {
+        match self.entries.get_mut(&page) {
+            None => {
+                // First touch anywhere: zero-fill exclusive grant.
+                let mut copyset = BTreeSet::new();
+                copyset.insert(req.origin);
+                self.entries.insert(
+                    page,
+                    DirEntry {
+                        owner: req.origin,
+                        copyset,
+                        version: 0,
+                        busy: true,
+                        collecting: None,
+                        waiting: VecDeque::new(),
+                    },
+                );
+                DirStep::Grant(Grant {
+                    req,
+                    page,
+                    state: PageState::Exclusive,
+                    version: 0,
+                    contents: None,
+                })
+            }
+            Some(e) if e.busy => {
+                e.waiting.push_back(req);
+                DirStep::Queued
+            }
+            Some(e) => {
+                e.busy = true;
+                if req.write {
+                    let holders: Vec<KernelId> = e
+                        .copyset
+                        .iter()
+                        .copied()
+                        .filter(|&k| k != req.origin)
+                        .collect();
+                    let upgrading = e.copyset.contains(&req.origin);
+                    e.version += 1;
+                    let version = e.version;
+                    e.owner = req.origin;
+                    e.copyset.clear();
+                    e.copyset.insert(req.origin);
+                    if holders.is_empty() {
+                        // Sole holder upgrading in place.
+                        debug_assert!(upgrading, "write fault with empty copyset");
+                        DirStep::Grant(Grant {
+                            req,
+                            page,
+                            state: PageState::Exclusive,
+                            version,
+                            contents: None,
+                        })
+                    } else {
+                        e.collecting = Some(Collection {
+                            req,
+                            awaiting_fetch: false,
+                            awaiting_acks: holders.iter().copied().collect(),
+                            data: None,
+                            needs_data: !upgrading,
+                        });
+                        DirStep::Invalidate { holders }
+                    }
+                } else {
+                    if e.copyset.contains(&req.origin) {
+                        // The requester already holds a copy: this was a
+                        // queued request satisfied by an earlier transfer
+                        // to the same kernel. Refresh-grant without data.
+                        let version = e.version;
+                        return DirStep::Grant(Grant {
+                            req,
+                            page,
+                            state: PageState::ReadShared,
+                            version,
+                            contents: None,
+                        });
+                    }
+                    // Read fault: fetch a copy from the owner (who
+                    // downgrades to read-shared).
+                    let owner = e.owner;
+                    e.copyset.insert(req.origin);
+                    e.collecting = Some(Collection {
+                        req,
+                        awaiting_fetch: true,
+                        awaiting_acks: BTreeSet::new(),
+                        data: None,
+                        needs_data: true,
+                    });
+                    DirStep::Fetch { owner }
+                }
+            }
+        }
+    }
+
+    /// Feeds back the owner's copy for a read fetch; returns the grant.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no fetch is outstanding for `page`.
+    pub fn fetched(&mut self, page: PageNo, contents: PageContents) -> Grant {
+        let e = self.entries.get_mut(&page).expect("fetch for unknown page");
+        let c = e.collecting.as_mut().expect("no collection in flight");
+        assert!(c.awaiting_fetch, "unexpected fetch completion");
+        c.awaiting_fetch = false;
+        c.data = Some(contents);
+        let c = e.collecting.take().expect("just present");
+        Grant {
+            req: c.req,
+            page,
+            state: PageState::ReadShared,
+            version: e.version,
+            contents: c.data,
+        }
+    }
+
+    /// Feeds back one invalidation acknowledgement (the previous owner's
+    /// carries the data). Returns the grant once all acks are in.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `from` was not expected to ack `page`.
+    pub fn inval_acked(
+        &mut self,
+        page: PageNo,
+        from: KernelId,
+        contents: Option<PageContents>,
+    ) -> Option<Grant> {
+        let e = self.entries.get_mut(&page).expect("ack for unknown page");
+        let c = e.collecting.as_mut().expect("no collection in flight");
+        assert!(
+            c.awaiting_acks.remove(&from),
+            "unexpected inval ack from {from} for {page}"
+        );
+        // Every holder's copy is identical at the current version, so any
+        // ack may carry the data; keep the first.
+        if c.data.is_none() {
+            c.data = contents;
+        }
+        if !c.awaiting_acks.is_empty() {
+            return None;
+        }
+        let c = e.collecting.take().expect("just present");
+        debug_assert!(
+            !c.needs_data || c.data.is_some(),
+            "collection finished without owner data"
+        );
+        Some(Grant {
+            req: c.req,
+            page,
+            state: PageState::Exclusive,
+            version: e.version,
+            contents: if c.needs_data { c.data } else { None },
+        })
+    }
+
+    /// Marks a transfer complete (the requester installed the page) and
+    /// dequeues the next waiting request, if any, returning its step.
+    pub fn done(&mut self, page: PageNo) -> Option<(PageRequest, DirStep)> {
+        let e = self.entries.get_mut(&page)?;
+        debug_assert!(e.busy, "done on a non-busy page");
+        e.busy = false;
+        let next = e.waiting.pop_front()?;
+        Some((next, self.request(page, next)))
+    }
+
+    /// Drops directory entries for unmapped pages, returning for each the
+    /// holders that must be invalidated (fire-and-forget; the VMA update
+    /// ack protocol provides the synchronization).
+    pub fn drop_pages(&mut self, pages: impl Iterator<Item = PageNo>) -> Vec<(PageNo, Vec<KernelId>)> {
+        let mut out = Vec::new();
+        for p in pages {
+            if let Some(e) = self.entries.remove(&p) {
+                out.push((p, e.copyset.into_iter().collect()));
+            }
+        }
+        out
+    }
+
+    /// Directory view of one page (None = never touched).
+    pub fn view(&self, page: PageNo) -> Option<DirView> {
+        self.entries.get(&page).map(|e| DirView {
+            owner: e.owner,
+            copyset: e.copyset.iter().copied().collect(),
+            version: e.version,
+            busy: e.busy,
+            queued: e.waiting.len(),
+        })
+    }
+
+    /// Number of tracked pages.
+    pub fn tracked_pages(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// All holders across all pages of this directory (for group kill
+    /// bookkeeping).
+    pub fn all_holders(&self) -> BTreeSet<KernelId> {
+        self.entries
+            .values()
+            .flat_map(|e| e.copyset.iter().copied())
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const P: PageNo = PageNo(0x7f000);
+    const K0: KernelId = KernelId(0);
+    const K1: KernelId = KernelId(1);
+    const K2: KernelId = KernelId(2);
+
+    fn req(n: u64, origin: KernelId, write: bool) -> PageRequest {
+        PageRequest {
+            rpc: RpcId(n),
+            origin,
+            write,
+        }
+    }
+
+    fn data() -> PageContents {
+        PageContents {
+            version: 0,
+            words: vec![(P.base().0, 7)],
+        }
+    }
+
+    #[test]
+    fn first_touch_grants_zero_fill_exclusive() {
+        let mut d = Directory::new();
+        match d.request(P, req(1, K1, true)) {
+            DirStep::Grant(g) => {
+                assert_eq!(g.state, PageState::Exclusive);
+                assert_eq!(g.version, 0);
+                assert!(g.contents.is_none());
+            }
+            other => panic!("expected grant, got {other:?}"),
+        }
+        let v = d.view(P).unwrap();
+        assert_eq!(v.owner, K1);
+        assert_eq!(v.copyset, vec![K1]);
+        assert!(v.busy);
+    }
+
+    #[test]
+    fn read_fault_fetches_from_owner() {
+        let mut d = Directory::new();
+        d.request(P, req(1, K0, true));
+        d.done(P);
+        match d.request(P, req(2, K1, false)) {
+            DirStep::Fetch { owner } => assert_eq!(owner, K0),
+            other => panic!("expected fetch, got {other:?}"),
+        }
+        let g = d.fetched(P, data());
+        assert_eq!(g.state, PageState::ReadShared);
+        assert_eq!(g.req.origin, K1);
+        assert!(g.contents.is_some());
+        d.done(P);
+        let v = d.view(P).unwrap();
+        assert_eq!(v.copyset, vec![K0, K1]);
+        assert_eq!(v.owner, K0);
+        assert!(!v.busy);
+    }
+
+    #[test]
+    fn write_fault_invalidates_all_holders() {
+        let mut d = Directory::new();
+        d.request(P, req(1, K0, true));
+        d.done(P);
+        d.request(P, req(2, K1, false));
+        d.fetched(P, data());
+        d.done(P);
+        // K2 writes: both K0 (owner) and K1 (sharer) must be invalidated.
+        match d.request(P, req(3, K2, true)) {
+            DirStep::Invalidate { holders } => assert_eq!(holders, vec![K0, K1]),
+            other => panic!("expected invalidate, got {other:?}"),
+        }
+        // Sharer acks without data: no grant yet.
+        assert!(d.inval_acked(P, K1, None).is_none());
+        // Owner acks with data: grant fires.
+        let g = d.inval_acked(P, K0, Some(data())).expect("grant");
+        assert_eq!(g.state, PageState::Exclusive);
+        assert_eq!(g.version, 1);
+        assert!(g.contents.is_some());
+        d.done(P);
+        let v = d.view(P).unwrap();
+        assert_eq!(v.owner, K2);
+        assert_eq!(v.copyset, vec![K2]);
+    }
+
+    #[test]
+    fn upgrade_of_sole_sharer_needs_no_data() {
+        let mut d = Directory::new();
+        d.request(P, req(1, K0, true));
+        d.done(P);
+        // K1 reads (K0 downgrades)...
+        d.request(P, req(2, K1, false));
+        d.fetched(P, data());
+        d.done(P);
+        // ...then K1 writes: K0 invalidated, but K1 already has the bytes.
+        match d.request(P, req(3, K1, true)) {
+            DirStep::Invalidate { holders } => assert_eq!(holders, vec![K0]),
+            other => panic!("expected invalidate, got {other:?}"),
+        }
+        let g = d.inval_acked(P, K0, Some(data())).expect("grant");
+        assert!(g.contents.is_none(), "upgrade must not reship data");
+        assert_eq!(g.version, 1);
+    }
+
+    #[test]
+    fn concurrent_requests_queue_behind_busy_page() {
+        let mut d = Directory::new();
+        let s1 = d.request(P, req(1, K0, true));
+        assert!(matches!(s1, DirStep::Grant(_)));
+        // Before K0 confirms install, K1 and K2 fault.
+        assert_eq!(d.request(P, req(2, K1, true)), DirStep::Queued);
+        assert_eq!(d.request(P, req(3, K2, false)), DirStep::Queued);
+        assert_eq!(d.view(P).unwrap().queued, 2);
+        // K0 done: K1's write is serviced next (invalidate K0).
+        let (next, step) = d.done(P).expect("queued request");
+        assert_eq!(next.origin, K1);
+        match step {
+            DirStep::Invalidate { holders } => assert_eq!(holders, vec![K0]),
+            other => panic!("expected invalidate, got {other:?}"),
+        }
+        let g = d.inval_acked(P, K0, Some(data())).expect("grant");
+        assert_eq!(g.req.origin, K1);
+        assert_eq!(g.version, 1);
+        // K1 done: K2's read is serviced (fetch from new owner K1).
+        let (next, step) = d.done(P).expect("queued request");
+        assert_eq!(next.origin, K2);
+        assert_eq!(step, DirStep::Fetch { owner: K1 });
+    }
+
+    #[test]
+    fn single_writer_invariant_holds_through_transfers() {
+        let mut d = Directory::new();
+        d.request(P, req(1, K0, true));
+        d.done(P);
+        for (n, k) in [(2u64, K1), (3, K2), (4, K0), (5, K1)] {
+            match d.request(P, req(n, k, true)) {
+                DirStep::Invalidate { holders } => {
+                    assert_eq!(holders.len(), 1, "exactly one holder before each write");
+                    let owner = holders[0];
+                    d.inval_acked(P, owner, Some(data())).expect("grant");
+                }
+                DirStep::Grant(_) => {}
+                other => panic!("unexpected {other:?}"),
+            }
+            let v = d.view(P).unwrap();
+            assert_eq!(v.copyset, vec![k], "writer is sole holder");
+            assert_eq!(v.owner, k);
+            d.done(P);
+        }
+        assert_eq!(d.view(P).unwrap().version, 4);
+    }
+
+    #[test]
+    fn versions_increase_only_on_writes() {
+        let mut d = Directory::new();
+        d.request(P, req(1, K0, true));
+        d.done(P);
+        let v0 = d.view(P).unwrap().version;
+        d.request(P, req(2, K1, false));
+        d.fetched(P, data());
+        d.done(P);
+        assert_eq!(d.view(P).unwrap().version, v0, "read must not bump version");
+        d.request(P, req(3, K2, true));
+        d.inval_acked(P, K0, Some(data()));
+        d.inval_acked(P, K1, None);
+        d.done(P);
+        assert_eq!(d.view(P).unwrap().version, v0 + 1);
+    }
+
+    #[test]
+    fn drop_pages_reports_holders() {
+        let mut d = Directory::new();
+        d.request(P, req(1, K0, true));
+        d.done(P);
+        d.request(P, req(2, K1, false));
+        d.fetched(P, data());
+        d.done(P);
+        let dropped = d.drop_pages([P, PageNo(0x9999)].into_iter());
+        assert_eq!(dropped, vec![(P, vec![K0, K1])]);
+        assert!(d.view(P).is_none());
+        assert_eq!(d.tracked_pages(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "unexpected inval ack")]
+    fn unexpected_ack_panics() {
+        let mut d = Directory::new();
+        d.request(P, req(1, K0, true));
+        d.done(P);
+        d.request(P, req(2, K1, true));
+        d.inval_acked(P, K2, None);
+    }
+
+    #[test]
+    fn done_without_waiters_just_clears_busy() {
+        let mut d = Directory::new();
+        d.request(P, req(1, K0, true));
+        assert!(d.done(P).is_none());
+        assert!(!d.view(P).unwrap().busy);
+    }
+
+    #[test]
+    fn all_holders_unions_copysets() {
+        let mut d = Directory::new();
+        let p2 = PageNo(0x7f001);
+        d.request(P, req(1, K0, true));
+        d.done(P);
+        d.request(p2, req(2, K2, true));
+        d.done(p2);
+        let all: Vec<KernelId> = d.all_holders().into_iter().collect();
+        assert_eq!(all, vec![K0, K2]);
+    }
+}

@@ -1,0 +1,323 @@
+//! Distributed thread group state kept at the group's home kernel.
+//!
+//! The home kernel is the serialization point for everything group-wide:
+//! membership (who is where), the set of kernels holding address-space
+//! replicas, the page [`Directory`], VMA-operation ordering (including the
+//! acked unmap protocol), the futex server's words/queues (held in the
+//! machine's [`FutexTable`](popcorn_kernel::futex::FutexTable)), and group
+//! exit.
+
+use std::collections::{BTreeMap, BTreeSet, HashMap};
+
+use popcorn_kernel::types::{GroupId, Tid};
+use popcorn_msg::{KernelId, RpcId};
+
+use crate::directory::Directory;
+
+/// An unmap waiting for replica acknowledgements before completing.
+#[derive(Debug)]
+struct UnmapPending {
+    rpc: RpcId,
+    origin: KernelId,
+    awaiting: BTreeSet<KernelId>,
+}
+
+/// Group-exit progress.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ExitPhase {
+    /// Group alive.
+    Running,
+    /// `exit_group` in progress; waiting for replica kill acks.
+    Killing,
+    /// All members gone; state reaped.
+    Reaped,
+}
+
+/// Home-kernel state of one distributed thread group.
+#[derive(Debug)]
+pub struct GroupHome {
+    group: GroupId,
+    members: BTreeMap<Tid, KernelId>,
+    replicas: BTreeSet<KernelId>,
+    /// The page-consistency directory.
+    pub dir: Directory,
+    next_token: u64,
+    pending_unmaps: HashMap<u64, UnmapPending>,
+    phase: ExitPhase,
+    kill_acks_awaiting: BTreeSet<KernelId>,
+    exit_code: i32,
+}
+
+impl GroupHome {
+    /// Creates home state for a group whose leader starts on the home
+    /// kernel.
+    pub fn new(group: GroupId, leader: Tid) -> Self {
+        let home = group.home();
+        let mut members = BTreeMap::new();
+        members.insert(leader, home);
+        let mut replicas = BTreeSet::new();
+        replicas.insert(home);
+        GroupHome {
+            group,
+            members,
+            replicas,
+            dir: Directory::new(),
+            next_token: 1,
+            pending_unmaps: HashMap::new(),
+            phase: ExitPhase::Running,
+            kill_acks_awaiting: BTreeSet::new(),
+            exit_code: 0,
+        }
+    }
+
+    /// The group id.
+    pub fn group(&self) -> GroupId {
+        self.group
+    }
+
+    /// Current exit phase.
+    pub fn phase(&self) -> ExitPhase {
+        self.phase
+    }
+
+    /// The agreed exit code once exiting.
+    pub fn exit_code(&self) -> i32 {
+        self.exit_code
+    }
+
+    /// Number of live members.
+    pub fn live_members(&self) -> usize {
+        self.members.len()
+    }
+
+    /// Kernels holding an address-space replica (home included).
+    pub fn replicas(&self) -> impl Iterator<Item = KernelId> + '_ {
+        self.replicas.iter().copied()
+    }
+
+    /// Replica kernels other than the home.
+    pub fn remote_replicas(&self) -> Vec<KernelId> {
+        self.replicas
+            .iter()
+            .copied()
+            .filter(|&k| k != self.group.home())
+            .collect()
+    }
+
+    /// Registers that `kernel` now holds a replica. Returns true if new.
+    pub fn add_replica(&mut self, kernel: KernelId) -> bool {
+        self.replicas.insert(kernel)
+    }
+
+    /// Records a new member created on `kernel`.
+    pub fn member_joined(&mut self, tid: Tid, kernel: KernelId) {
+        self.replicas.insert(kernel);
+        let prev = self.members.insert(tid, kernel);
+        debug_assert!(prev.is_none(), "{tid} joined twice");
+    }
+
+    /// Records that an existing member moved to `kernel` (migration).
+    pub fn member_at(&mut self, tid: Tid, kernel: KernelId) {
+        self.replicas.insert(kernel);
+        self.members.insert(tid, kernel);
+    }
+
+    /// Records a member exit; returns the number of members remaining.
+    pub fn member_exited(&mut self, tid: Tid) -> usize {
+        self.members.remove(&tid);
+        self.members.len()
+    }
+
+    /// Where a member currently runs, if known.
+    pub fn member_location(&self, tid: Tid) -> Option<KernelId> {
+        self.members.get(&tid).copied()
+    }
+
+    /// Live members in tid order.
+    pub fn member_tids(&self) -> Vec<Tid> {
+        self.members.keys().copied().collect()
+    }
+
+    /// Starts tracking an acked unmap; returns the token replicas echo.
+    pub fn begin_unmap(
+        &mut self,
+        rpc: RpcId,
+        origin: KernelId,
+        awaiting: impl IntoIterator<Item = KernelId>,
+    ) -> (u64, bool) {
+        let token = self.next_token;
+        self.next_token += 1;
+        let awaiting: BTreeSet<KernelId> = awaiting.into_iter().collect();
+        let complete = awaiting.is_empty();
+        self.pending_unmaps.insert(
+            token,
+            UnmapPending {
+                rpc,
+                origin,
+                awaiting,
+            },
+        );
+        (token, complete)
+    }
+
+    /// Records an unmap ack; returns `(rpc, origin)` when all replicas have
+    /// acknowledged so the home can complete the caller's syscall.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an unknown token or an unexpected acker.
+    pub fn unmap_acked(&mut self, token: u64, from: KernelId) -> Option<(RpcId, KernelId)> {
+        let p = self
+            .pending_unmaps
+            .get_mut(&token)
+            .unwrap_or_else(|| panic!("unknown unmap token {token}"));
+        assert!(p.awaiting.remove(&from), "unexpected unmap ack from {from}");
+        if p.awaiting.is_empty() {
+            let p = self.pending_unmaps.remove(&token).expect("just present");
+            Some((p.rpc, p.origin))
+        } else {
+            None
+        }
+    }
+
+    /// Completes an unmap that needed no acks (single-replica fast path).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the token has pending acks.
+    pub fn finish_unmap(&mut self, token: u64) -> (RpcId, KernelId) {
+        let p = self
+            .pending_unmaps
+            .remove(&token)
+            .unwrap_or_else(|| panic!("unknown unmap token {token}"));
+        assert!(p.awaiting.is_empty(), "finish_unmap with pending acks");
+        (p.rpc, p.origin)
+    }
+
+    /// Begins group exit: returns the replica kernels that must be ordered
+    /// to kill (excluding `already_killed_on`, which did it locally).
+    pub fn begin_exit(&mut self, code: i32, already_killed_on: KernelId) -> Vec<KernelId> {
+        if self.phase != ExitPhase::Running {
+            return Vec::new(); // duplicate exit_group: first wins
+        }
+        self.phase = ExitPhase::Killing;
+        self.exit_code = code;
+        let targets: Vec<KernelId> = self
+            .replicas
+            .iter()
+            .copied()
+            .filter(|&k| k != already_killed_on)
+            .collect();
+        self.kill_acks_awaiting = targets.iter().copied().collect();
+        // Members on the initiating kernel die immediately.
+        self.members.retain(|_, &mut k| k != already_killed_on);
+        targets
+    }
+
+    /// Records a kill acknowledgement listing the members that kernel
+    /// killed; returns true when the exit is fully acknowledged.
+    pub fn kill_acked(&mut self, from: KernelId, killed: &[Tid]) -> bool {
+        self.kill_acks_awaiting.remove(&from);
+        for t in killed {
+            self.members.remove(t);
+        }
+        // Members that were blocked/in-flight on that kernel are gone too.
+        self.members.retain(|_, &mut k| k != from);
+        self.kill_acks_awaiting.is_empty()
+    }
+
+    /// Marks the group reaped.
+    pub fn mark_reaped(&mut self) {
+        self.phase = ExitPhase::Reaped;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn home() -> GroupHome {
+        let leader = Tid::new(KernelId(0), 1);
+        GroupHome::new(GroupId(leader), leader)
+    }
+
+    #[test]
+    fn new_group_has_leader_at_home() {
+        let h = home();
+        assert_eq!(h.live_members(), 1);
+        assert_eq!(h.replicas().collect::<Vec<_>>(), vec![KernelId(0)]);
+        assert_eq!(h.phase(), ExitPhase::Running);
+        assert!(h.remote_replicas().is_empty());
+    }
+
+    #[test]
+    fn membership_tracks_joins_moves_exits() {
+        let mut h = home();
+        let t2 = Tid::new(KernelId(1), 1);
+        h.member_joined(t2, KernelId(1));
+        assert_eq!(h.live_members(), 2);
+        assert_eq!(h.member_location(t2), Some(KernelId(1)));
+        assert_eq!(h.remote_replicas(), vec![KernelId(1)]);
+        h.member_at(t2, KernelId(2));
+        assert_eq!(h.member_location(t2), Some(KernelId(2)));
+        assert_eq!(h.member_exited(t2), 1);
+        assert_eq!(h.member_exited(Tid::new(KernelId(0), 1)), 0);
+    }
+
+    #[test]
+    fn unmap_ack_protocol_completes_on_last_ack() {
+        let mut h = home();
+        let (token, complete) =
+            h.begin_unmap(RpcId(9), KernelId(1), [KernelId(1), KernelId(2)]);
+        assert!(!complete);
+        assert!(h.unmap_acked(token, KernelId(2)).is_none());
+        let done = h.unmap_acked(token, KernelId(1)).expect("complete");
+        assert_eq!(done, (RpcId(9), KernelId(1)));
+    }
+
+    #[test]
+    fn unmap_without_replicas_completes_inline() {
+        let mut h = home();
+        let (token, complete) = h.begin_unmap(RpcId(3), KernelId(0), []);
+        assert!(complete);
+        assert_eq!(h.finish_unmap(token), (RpcId(3), KernelId(0)));
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown unmap token")]
+    fn double_ack_panics() {
+        let mut h = home();
+        let (token, _) = h.begin_unmap(RpcId(1), KernelId(0), [KernelId(1)]);
+        h.unmap_acked(token, KernelId(1));
+        h.unmap_acked(token, KernelId(1));
+    }
+
+    #[test]
+    fn exit_kills_remote_replicas_and_collects_acks() {
+        let mut h = home();
+        let t2 = Tid::new(KernelId(1), 1);
+        let t3 = Tid::new(KernelId(2), 1);
+        h.member_joined(t2, KernelId(1));
+        h.member_joined(t3, KernelId(2));
+        // exit_group called on kernel 1.
+        let targets = h.begin_exit(5, KernelId(1));
+        assert_eq!(targets, vec![KernelId(0), KernelId(2)]);
+        assert_eq!(h.phase(), ExitPhase::Killing);
+        assert_eq!(h.exit_code(), 5);
+        // Kernel-1 members died with the initiator.
+        assert_eq!(h.live_members(), 2);
+        assert!(!h.kill_acked(KernelId(0), &[Tid::new(KernelId(0), 1)]));
+        assert!(h.kill_acked(KernelId(2), &[t3]));
+        assert_eq!(h.live_members(), 0);
+    }
+
+    #[test]
+    fn duplicate_exit_is_ignored() {
+        let mut h = home();
+        let first = h.begin_exit(1, KernelId(0));
+        assert!(first.is_empty()); // only home replica, already killed there
+        let second = h.begin_exit(2, KernelId(0));
+        assert!(second.is_empty());
+        assert_eq!(h.exit_code(), 1, "first exit code wins");
+    }
+}

@@ -1,0 +1,66 @@
+#![warn(missing_docs)]
+//! The paper's contribution: thread migration in a replicated-kernel OS.
+//!
+//! This crate implements the mechanisms "Thread Migration in a
+//! Replicated-Kernel OS" (ICDCS 2015) describes, on top of the simulated
+//! substrates (`popcorn-hw`, `popcorn-msg`, `popcorn-kernel`):
+//!
+//! - **Distributed thread groups** — a thread group spans kernel instances;
+//!   `getpid` returns the same pid everywhere; membership and exit are
+//!   coordinated at the group's *home kernel* ([`group`]);
+//! - **Context migration** — a thread's registers and program state are
+//!   marshalled into a message and re-instantiated on the target kernel,
+//!   with dormant *shadow tasks* left behind so back-migration is cheap
+//!   ([`machine`], the `TaskMigrate` path);
+//! - **Address-space consistency** — VMA operations serialize at the home
+//!   kernel and replicate to the other kernels; VMAs and pages are fetched
+//!   *on demand* at fault time; pages follow a single-writer
+//!   multiple-reader ownership protocol run by the home-kernel directory
+//!   ([`directory`]);
+//! - **Distributed futexes** — synchronization words and wait queues live
+//!   at the home kernel (the futex server), with a local fast path
+//!   ([`machine`], the `FutexReq`/`RmwReq` paths);
+//! - the assembled, runnable [`PopcornOs`] model ([`os`]).
+//!
+//! # Example
+//!
+//! ```
+//! use popcorn_core::PopcornOs;
+//! use popcorn_hw::Topology;
+//! use popcorn_kernel::osmodel::OsModel;
+//! use popcorn_kernel::program::{Program, Op, Resume, ProgEnv, SyscallReq, MigrateTarget};
+//! use popcorn_msg::KernelId;
+//!
+//! /// Migrate to kernel 1, then exit.
+//! #[derive(Debug)]
+//! struct Hopper { moved: bool }
+//! impl Program for Hopper {
+//!     fn step(&mut self, _r: Resume, env: &ProgEnv) -> Op {
+//!         if !self.moved {
+//!             self.moved = true;
+//!             return Op::Syscall(SyscallReq::Migrate(MigrateTarget::Kernel(KernelId(1))));
+//!         }
+//!         assert_eq!(env.kernel, KernelId(1), "thread resumed on the target kernel");
+//!         Op::Exit(0)
+//!     }
+//! }
+//!
+//! let mut os = PopcornOs::builder().topology(Topology::new(2, 2)).kernels(2).build();
+//! os.load(Box::new(Hopper { moved: false }));
+//! let report = os.run();
+//! assert!(report.is_clean());
+//! assert_eq!(report.metric("migrations_first"), 1.0);
+//! ```
+
+pub mod directory;
+pub mod group;
+pub mod machine;
+pub mod os;
+pub mod params;
+pub mod proto;
+pub mod stats;
+
+pub use machine::{PopEvent, PopcornMachine};
+pub use os::{PopcornOs, PopcornOsBuilder};
+pub use params::PopcornParams;
+pub use stats::PopStats;

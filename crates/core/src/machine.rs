@@ -1,0 +1,1787 @@
+//! The assembled replicated-kernel OS: policy for every syscall, fault and
+//! protocol message.
+//!
+//! `PopcornMachine` owns the kernel instances, the message fabric, and the
+//! per-group home state (membership, page directory, futex server). It
+//! implements [`OsMachine`] so the shared dispatch loop can drive it.
+//!
+//! A structural invariant keeps the distributed semantics honest even
+//! though the simulation is one process: state that logically lives on a
+//! kernel (its `Kernel`, its RPC table, its share of `groups`/`futex`) is
+//! only touched while handling an event addressed to that kernel; all other
+//! interaction goes through fabric messages. Because every group-wide
+//! decision is serialized at the group's home kernel and all
+//! home-to-replica channels are FIFO, layout changes are always visible
+//! before any data that could reveal them (see DESIGN.md §Ordering).
+
+#![allow(clippy::too_many_arguments)] // protocol handlers carry wide event context
+
+use std::collections::HashMap;
+
+use popcorn_hw::{CoreId, LockSite, Machine};
+use popcorn_kernel::futex::{FutexTable, Waiter};
+use popcorn_kernel::kernel::Kernel;
+use popcorn_kernel::mm::{Mm, PageContents, PageState, BRK_BASE};
+use popcorn_kernel::osmodel::{ensure_core_run, OsEvent, OsMachine};
+use popcorn_kernel::program::{
+    FutexOp, MigrateTarget, Placement, Program, Resume, RmwOp, SysResult, SyscallReq,
+};
+use popcorn_kernel::task::BlockReason;
+use popcorn_kernel::types::{Errno, GroupId, PageNo, Tid, VAddr};
+use popcorn_msg::{Delivery, Fabric, KernelId, RpcId, RpcTable};
+use popcorn_sim::{Scheduler, SimTime};
+
+use crate::directory::{DirStep, Grant, PageRequest};
+use crate::group::{ExitPhase, GroupHome};
+use crate::params::PopcornParams;
+use crate::proto::{FutexOutcome, ProtoMsg, VmaChange, VmaOp};
+use crate::stats::PopStats;
+
+/// The event payload of the Popcorn OS model.
+pub type PopMsg = Delivery<ProtoMsg>;
+/// The full event alphabet.
+pub type PopEvent = OsEvent<PopMsg>;
+
+/// Continuations parked at a kernel while a remote operation completes.
+#[derive(Debug)]
+enum Pending {
+    /// Threads waiting for a page grant (joined duplicates included).
+    PageWait {
+        write: bool,
+        started: SimTime,
+        /// `(tid, needs_write)`; empty for ablation prefetches.
+        waiters: Vec<(Tid, bool)>,
+    },
+    /// Thread waiting for an on-demand VMA retrieval.
+    VmaFetch { tid: Tid, group: GroupId },
+    /// Thread waiting for a home-serialized VMA operation.
+    VmaOp { tid: Tid },
+    /// Parent waiting for a remote thread creation.
+    CloneWait { tid: Tid, started: SimTime },
+    /// Thread waiting for a futex server response.
+    Futex { tid: Tid },
+    /// Thread waiting for a remote sync-word RMW.
+    Rmw { tid: Tid },
+}
+
+/// In-flight page request of one kernel (fault coalescing).
+#[derive(Debug, Clone, Copy)]
+struct InFlight {
+    rpc: RpcId,
+    write: bool,
+}
+
+/// A serial service point at a kernel (protocol handler occupancy).
+#[derive(Debug, Default, Clone, Copy)]
+struct Server {
+    free_at: SimTime,
+}
+
+impl Server {
+    fn serialize(&mut self, now: SimTime, cost: SimTime) -> SimTime {
+        let start = now.max(self.free_at);
+        let done = start + cost;
+        self.free_at = done;
+        done
+    }
+}
+
+#[derive(Debug, Default, Clone, Copy)]
+struct KernelServers {
+    page: Server,
+    vma: Server,
+    futex: Server,
+}
+
+/// The replicated-kernel OS model (see module docs).
+#[derive(Debug)]
+pub struct PopcornMachine {
+    kernels: Vec<Kernel>,
+    fabric: Fabric,
+    machine: Machine,
+    params: PopcornParams,
+    groups: HashMap<GroupId, GroupHome>,
+    futex: FutexTable,
+    sync_sites: HashMap<(GroupId, u64), LockSite>,
+    rpcs: Vec<RpcTable<Pending>>,
+    inflight: Vec<HashMap<(GroupId, PageNo), InFlight>>,
+    /// Per-group protocol service points (the per-mm protocol lock at the
+    /// group's home, plus the replica-side update path).
+    servers: HashMap<GroupId, KernelServers>,
+    /// Per-kernel page-allocator locks (the partitioned counterpart of
+    /// SMP's global zone lock).
+    zone_locks: Vec<LockSite>,
+    /// First-touch homes of synchronization words (extension; only
+    /// populated when `sync_first_touch_homing` is on).
+    sync_home: HashMap<(GroupId, u64), KernelId>,
+    /// Rotating tie-breaker for Auto placement across kernels.
+    auto_cursor: usize,
+    /// Protocol statistics.
+    pub stats: PopStats,
+}
+
+impl PopcornMachine {
+    /// Assembles the machine from its parts (used by the builder in
+    /// [`crate::os`]).
+    pub(crate) fn new(
+        kernels: Vec<Kernel>,
+        fabric: Fabric,
+        machine: Machine,
+        params: PopcornParams,
+    ) -> Self {
+        let n = kernels.len();
+        let zone_locks = (0..n)
+            .map(|_| LockSite::new("zone_lock", machine.params()))
+            .collect();
+        PopcornMachine {
+            kernels,
+            fabric,
+            machine,
+            params,
+            groups: HashMap::new(),
+            futex: FutexTable::new(),
+            sync_sites: HashMap::new(),
+            rpcs: (0..n).map(|_| RpcTable::new()).collect(),
+            inflight: (0..n).map(|_| HashMap::new()).collect(),
+            servers: HashMap::new(),
+            zone_locks,
+            sync_home: HashMap::new(),
+            auto_cursor: 0,
+            stats: PopStats::default(),
+        }
+    }
+
+    fn kid(&self, ki: usize) -> KernelId {
+        KernelId(ki as u16)
+    }
+
+    fn ki(&self, k: KernelId) -> usize {
+        k.0 as usize
+    }
+
+    /// The kernel instances (read access for reports).
+    pub fn kernels(&self) -> &[Kernel] {
+        &self.kernels
+    }
+
+    /// The message fabric (read access for reports).
+    pub fn fabric(&self) -> &Fabric {
+        &self.fabric
+    }
+
+    /// Creates a new group homed at kernel `home_ki` with `leader` running
+    /// `program`. Returns the group id and the core to kick.
+    pub fn create_group(
+        &mut self,
+        home_ki: usize,
+        program: Box<dyn Program>,
+        now: SimTime,
+    ) -> (GroupId, CoreId) {
+        let leader = self.kernels[home_ki].alloc_tid();
+        let group = GroupId(leader);
+        self.kernels[home_ki].adopt_mm(Mm::new(group));
+        self.groups.insert(group, GroupHome::new(group, leader));
+        let core = self.kernels[home_ki].spawn(leader, group, program, None, now);
+        (group, core)
+    }
+
+    fn send(
+        &mut self,
+        sched: &mut Scheduler<PopEvent>,
+        at: SimTime,
+        from: usize,
+        to: KernelId,
+        msg: ProtoMsg,
+    ) {
+        let d = self.fabric.send(at.max(sched.now()), self.kid(from), to, msg);
+        let deliver = d.deliver_at;
+        sched.at(deliver, OsEvent::Custom(d));
+    }
+
+    fn kick(&self, sched: &mut Scheduler<PopEvent>, ki: usize, core: CoreId, at: SimTime) {
+        ensure_core_run(sched, ki as u16, core, at);
+    }
+
+    fn group_of(&self, ki: usize, tid: Tid) -> GroupId {
+        self.kernels[ki]
+            .task(tid)
+            .unwrap_or_else(|| panic!("{tid} unknown on kernel {ki}"))
+            .group
+    }
+
+    fn task_alive(&self, ki: usize, tid: Tid) -> bool {
+        self.kernels[ki]
+            .task(tid)
+            .is_some_and(|t| !t.is_exited() && !t.is_shadow())
+    }
+
+    /// Wakes a blocked task with a syscall result.
+    fn wake_with(
+        &mut self,
+        sched: &mut Scheduler<PopEvent>,
+        ki: usize,
+        tid: Tid,
+        result: SysResult,
+        at: SimTime,
+    ) {
+        if !self.task_alive(ki, tid) {
+            return;
+        }
+        let k = &mut self.kernels[ki];
+        if let Some(task) = k.task_mut(tid) {
+            task.resume = Resume::Sys(result);
+        }
+        let core = k.wake(tid, at);
+        self.kick(sched, ki, core, at);
+    }
+
+    // ------------------------------------------------------------------
+    // Page-consistency protocol
+    // ------------------------------------------------------------------
+
+    /// Tries to join an in-flight request for the same page; returns true
+    /// if joined (the task is then blocked by the caller).
+    fn join_inflight(&mut self, ki: usize, group: GroupId, page: PageNo, write: bool, tid: Tid) -> bool {
+        let Some(inf) = self.inflight[ki].get(&(group, page)).copied() else {
+            return false;
+        };
+        if write && !inf.write {
+            return false; // a read is in flight but we need write rights
+        }
+        match self.rpcs[ki].get_mut(inf.rpc) {
+            Some(Pending::PageWait { waiters, .. }) => {
+                waiters.push((tid, write));
+                true
+            }
+            _ => false,
+        }
+    }
+
+    /// Common fault path: register a waiter, record in-flight state, block
+    /// the task, and return the fresh rpc id.
+    fn start_page_wait(
+        &mut self,
+        sched: &mut Scheduler<PopEvent>,
+        ki: usize,
+        tid: Tid,
+        group: GroupId,
+        page: PageNo,
+        write: bool,
+        at: SimTime,
+    ) -> RpcId {
+        let rpc = self.rpcs[ki].register(Pending::PageWait {
+            write,
+            started: at,
+            waiters: vec![(tid, write)],
+        });
+        self.inflight[ki].insert((group, page), InFlight { rpc, write });
+        let core = self.kernels[ki].block_current(tid, BlockReason::Remote("page"), at);
+        self.kick(sched, ki, core, at);
+        rpc
+    }
+
+    /// Serves a directory step at the home kernel.
+    fn exec_dir_step(
+        &mut self,
+        sched: &mut Scheduler<PopEvent>,
+        group: GroupId,
+        page: PageNo,
+        step: DirStep,
+        at: SimTime,
+    ) {
+        let home = group.home();
+        let home_ki = self.ki(home);
+        match step {
+            DirStep::Grant(g) => self.deliver_grant(sched, group, g, at),
+            DirStep::Fetch { owner } => {
+                if owner == home {
+                    // The home itself holds the copy: snapshot + downgrade.
+                    let mm = self.kernels[home_ki].mm_mut(group);
+                    let contents = if mm.page_info(page).is_some() {
+                        if mm.page_info(page).expect("checked").state == PageState::Exclusive {
+                            mm.set_page_state(page, PageState::ReadShared);
+                        }
+                        mm.snapshot_page(page)
+                    } else {
+                        PageContents::default()
+                    };
+                    let cost = SimTime::from_nanos(self.params.page_fetch_service_ns);
+                    let done = self.servers.entry(group).or_default().page.serialize(at, cost);
+                    let grant = self
+                        .groups
+                        .get_mut(&group)
+                        .expect("group alive during transfer")
+                        .dir
+                        .fetched(page, contents);
+                    self.deliver_grant(sched, group, grant, done);
+                } else {
+                    self.send(sched, at, home_ki, owner, ProtoMsg::PageFetch { group, page });
+                }
+            }
+            DirStep::Invalidate { holders } => {
+                for h in holders {
+                    self.stats.invalidations.incr();
+                    if h == home {
+                        // Defensive: evict locally and ack inline.
+                        let contents = self.evict_local(home_ki, group, page);
+                        if let Some(grant) = self
+                            .groups
+                            .get_mut(&group)
+                            .expect("group alive")
+                            .dir
+                            .inval_acked(page, home, contents)
+                        {
+                            self.deliver_grant(sched, group, grant, at);
+                        }
+                    } else {
+                        self.send(sched, at, home_ki, h, ProtoMsg::PageInval { group, page });
+                    }
+                }
+            }
+            DirStep::Queued => {}
+        }
+    }
+
+    fn evict_local(&mut self, ki: usize, group: GroupId, page: PageNo) -> Option<PageContents> {
+        if !self.kernels[ki].has_mm(group) {
+            return None;
+        }
+        let mm = self.kernels[ki].mm_mut(group);
+        if mm.page_info(page).is_some() {
+            Some(mm.evict_page(page))
+        } else {
+            None
+        }
+    }
+
+    /// Routes a completed grant to its requester.
+    fn deliver_grant(&mut self, sched: &mut Scheduler<PopEvent>, group: GroupId, g: Grant, at: SimTime) {
+        let home = group.home();
+        let home_ki = self.ki(home);
+        if g.contents.is_some() && g.req.origin != home {
+            self.stats.page_transfers.incr();
+        }
+        if g.req.origin == home {
+            // A (queued) local request at the home kernel.
+            self.apply_grant(sched, home_ki, group, g.page, g.state, g.version, g.contents, g.req.rpc, at);
+        } else {
+            self.send(
+                sched,
+                at,
+                home_ki,
+                g.req.origin,
+                ProtoMsg::PageGrant {
+                    rpc: g.req.rpc,
+                    group,
+                    page: g.page,
+                    state: g.state,
+                    version: g.version,
+                    contents: g.contents,
+                },
+            );
+        }
+    }
+
+    /// Installs a grant at the faulting kernel, wakes the waiters, and
+    /// confirms completion to the directory.
+    #[allow(clippy::too_many_arguments)]
+    fn apply_grant(
+        &mut self,
+        sched: &mut Scheduler<PopEvent>,
+        ki: usize,
+        group: GroupId,
+        page: PageNo,
+        state: PageState,
+        version: u64,
+        contents: Option<PageContents>,
+        rpc: RpcId,
+        at: SimTime,
+    ) {
+        if self.kernels[ki].has_mm(group) {
+            let had_data = contents.is_some();
+            self.kernels[ki]
+                .mm_mut(group)
+                .apply_grant(page, state, version, contents);
+            // Installing needs a local page frame: the kernel's allocator
+            // lock (partitioned counterpart of SMP's global zone lock).
+            let zone_hold = SimTime::from_nanos(self.kernels[ki].params().zone_lock_hold_ns);
+            let ic = self.machine.interconnect().clone();
+            let loc = self.fabric.location(self.kid(ki));
+            let zone = self.zone_locks[ki].acquire(at, loc, zone_hold, &ic);
+            let install = SimTime::from_nanos(self.params.page_install_ns);
+            let done = zone.released_at + install;
+            if let Some(Pending::PageWait {
+                waiters,
+                started,
+                write,
+                ..
+            }) = self.rpcs[ki].complete(rpc)
+            {
+                if let Some(inf) = self.inflight[ki].get(&(group, page)) {
+                    if inf.rpc == rpc {
+                        self.inflight[ki].remove(&(group, page));
+                    }
+                }
+                let lat = done.saturating_sub(started);
+                if write {
+                    self.stats.faults_remote_write.incr();
+                    self.stats.fault_remote_write_lat.record_time(lat);
+                } else {
+                    self.stats.faults_remote_read.incr();
+                    self.stats.fault_remote_read_lat.record_time(lat);
+                }
+                let _ = had_data;
+                for (tid, _) in waiters {
+                    if self.task_alive(ki, tid) {
+                        let core = self.kernels[ki].wake(tid, done);
+                        self.kick(sched, ki, core, done);
+                    }
+                }
+            }
+        }
+        // Confirm so the directory can serve queued requests.
+        let home = group.home();
+        if self.kid(ki) == home {
+            self.page_done_at_home(sched, group, page, at);
+        } else {
+            self.send(sched, at, ki, home, ProtoMsg::PageDone { group, page });
+        }
+    }
+
+    fn page_done_at_home(&mut self, sched: &mut Scheduler<PopEvent>, group: GroupId, page: PageNo, at: SimTime) {
+        let Some(h) = self.groups.get_mut(&group) else {
+            return;
+        };
+        if let Some((_req, step)) = h.dir.done(page) {
+            let cost = SimTime::from_nanos(self.params.page_dir_service_ns);
+            let done = self.servers.entry(group).or_default().page.serialize(at, cost);
+            self.exec_dir_step(sched, group, page, step, done);
+        }
+    }
+
+    /// Handles a page fault request arriving at the home kernel.
+    fn home_page_request(
+        &mut self,
+        sched: &mut Scheduler<PopEvent>,
+        group: GroupId,
+        page: PageNo,
+        req: PageRequest,
+        at: SimTime,
+    ) {
+        let Some(h) = self.groups.get_mut(&group) else {
+            return; // group already reaped; requester was killed too
+        };
+        h.add_replica(req.origin);
+        let cost = SimTime::from_nanos(self.params.page_dir_service_ns);
+        let done = self.servers.entry(group).or_default().page.serialize(at, cost);
+        let step = self
+            .groups
+            .get_mut(&group)
+            .expect("present above")
+            .dir
+            .request(page, req);
+        self.exec_dir_step(sched, group, page, step, done);
+    }
+
+    // ------------------------------------------------------------------
+    // VMA operations
+    // ------------------------------------------------------------------
+
+    /// Applies a VMA operation at the home kernel (the group-wide
+    /// serialization point). `origin`/`rpc` identify where the completion
+    /// goes — possibly this very kernel.
+    fn vma_op_at_home(
+        &mut self,
+        sched: &mut Scheduler<PopEvent>,
+        group: GroupId,
+        op: VmaOp,
+        rpc: RpcId,
+        origin: KernelId,
+        at: SimTime,
+    ) {
+        let home = group.home();
+        let home_ki = self.ki(home);
+        if !self.groups.contains_key(&group) {
+            self.finish_vma_op(sched, group, rpc, origin, Err(Errno::Srch), at);
+            return;
+        }
+        let base = match op {
+            VmaOp::Map { .. } | VmaOp::Brk { .. } => self.kernels[home_ki].params().mmap_base_ns,
+            VmaOp::Unmap { .. } => self.kernels[home_ki].params().munmap_base_ns,
+        };
+        // The replication machinery only costs anything once the group
+        // actually spans kernels.
+        let solo = self
+            .groups
+            .get(&group)
+            .is_none_or(|h| h.remote_replicas().is_empty());
+        let cost = if solo {
+            SimTime::from_nanos(base)
+        } else {
+            SimTime::from_nanos(base + self.params.vma_service_ns)
+        };
+        let done = self.servers.entry(group).or_default().vma.serialize(at, cost);
+        match op {
+            VmaOp::Map { len } => {
+                let res = self.kernels[home_ki].mm_mut(group).map_anon(len);
+                if let Ok(addr) = res {
+                    let vma = *self.kernels[home_ki]
+                        .mm(group)
+                        .vma_covering(addr)
+                        .expect("just mapped");
+                    let remotes = self.groups[&group].remote_replicas();
+                    for r in remotes {
+                        self.send(
+                            sched,
+                            done,
+                            home_ki,
+                            r,
+                            ProtoMsg::VmaUpdate {
+                                group,
+                                change: VmaChange::Map(vma),
+                                ack: None,
+                            },
+                        );
+                    }
+                }
+                self.finish_vma_op(sched, group, rpc, origin, res.map(|a| a.0), done);
+            }
+            VmaOp::Brk { grow } => {
+                let old = self.kernels[home_ki].mm_mut(group).brk_grow(grow);
+                let heap = self.kernels[home_ki]
+                    .mm(group)
+                    .vma_covering(VAddr(BRK_BASE))
+                    .copied();
+                if let Some(heap) = heap {
+                    let remotes = self.groups[&group].remote_replicas();
+                    for r in remotes {
+                        self.send(
+                            sched,
+                            done,
+                            home_ki,
+                            r,
+                            ProtoMsg::VmaUpdate {
+                                group,
+                                change: VmaChange::Map(heap),
+                                ack: None,
+                            },
+                        );
+                    }
+                }
+                self.finish_vma_op(sched, group, rpc, origin, Ok(old.0), done);
+            }
+            VmaOp::Unmap { addr, len } => {
+                let res = self.kernels[home_ki].mm_mut(group).unmap(addr, len);
+                match res {
+                    Err(e) => self.finish_vma_op(sched, group, rpc, origin, Err(e), done),
+                    Ok(_dropped_local) => {
+                        // Directory forgets the whole range; replicas drop
+                        // their copies when applying the update.
+                        let first = addr.0 >> 12;
+                        let last = (addr.0 + len - 1) >> 12;
+                        let h = self.groups.get_mut(&group).expect("checked above");
+                        h.dir.drop_pages((first..=last).map(PageNo));
+                        // Local TLB shootdown across the home's cores —
+                        // outside the serialized section (as on SMP, where
+                        // the flush happens after mmap_sem is dropped).
+                        let cores = self.kernels[home_ki].cores();
+                        let sd = self.machine.shootdown().tlb_shootdown(&cores[1..]);
+                        let done = done + sd.initiator_busy;
+                        let remotes = h.remote_replicas();
+                        let (token, complete) = h.begin_unmap(rpc, origin, remotes.clone());
+                        if complete {
+                            let (rpc, origin) = self
+                                .groups
+                                .get_mut(&group)
+                                .expect("present")
+                                .finish_unmap(token);
+                            self.finish_vma_op(sched, group, rpc, origin, Ok(0), done);
+                        } else {
+                            for r in remotes {
+                                self.send(
+                                    sched,
+                                    done,
+                                    home_ki,
+                                    r,
+                                    ProtoMsg::VmaUpdate {
+                                        group,
+                                        change: VmaChange::Unmap { addr, len },
+                                        ack: Some(token),
+                                    },
+                                );
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// Completes a VMA operation toward its origin kernel.
+    fn finish_vma_op(
+        &mut self,
+        sched: &mut Scheduler<PopEvent>,
+        group: GroupId,
+        rpc: RpcId,
+        origin: KernelId,
+        result: Result<u64, Errno>,
+        at: SimTime,
+    ) {
+        let home_ki = self.ki(group.home());
+        if origin == group.home() {
+            self.complete_vma_pending(sched, home_ki, rpc, result, at);
+        } else {
+            self.send(sched, at, home_ki, origin, ProtoMsg::VmaOpDone { rpc, result });
+        }
+    }
+
+    fn complete_vma_pending(
+        &mut self,
+        sched: &mut Scheduler<PopEvent>,
+        ki: usize,
+        rpc: RpcId,
+        result: Result<u64, Errno>,
+        at: SimTime,
+    ) {
+        if let Some(Pending::VmaOp { tid }) = self.rpcs[ki].complete(rpc) {
+            let sys = match result {
+                Ok(v) => SysResult::Val(v),
+                Err(e) => SysResult::Err(e),
+            };
+            self.wake_with(sched, ki, tid, sys, at);
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Futex / sync words
+    // ------------------------------------------------------------------
+
+    /// Serves a futex operation at the word's serving kernel `serve_ki`
+    /// (the group origin, or the first-toucher under the extension);
+    /// `caller` is where the syscall originated (possibly `serve_ki`).
+    fn futex_at_home(
+        &mut self,
+        sched: &mut Scheduler<PopEvent>,
+        group: GroupId,
+        op: FutexOp,
+        caller: Waiter,
+        serve_ki: usize,
+        at: SimTime,
+    ) -> (FutexOutcome, SimTime) {
+        let serving = self.kid(serve_ki);
+        let base = self.kernels[serve_ki].params().futex_base_ns;
+        let extra = if caller.kernel == serving {
+            0
+        } else {
+            self.params.futex_remote_service_ns
+        };
+        let done = self
+            .servers
+            .entry(group)
+            .or_default()
+            .futex
+            .serialize(at, SimTime::from_nanos(base + extra));
+        match op {
+            FutexOp::Wait { uaddr, expected } => {
+                if self.futex.wait_if(group, uaddr, expected, caller) {
+                    (FutexOutcome::Parked, done)
+                } else {
+                    (FutexOutcome::Mismatch, done)
+                }
+            }
+            FutexOp::Wake { uaddr, count } => {
+                let woken = self.futex.wake(group, uaddr, count);
+                let n = woken.len() as u64;
+                let wakeup = SimTime::from_nanos(self.kernels[serve_ki].params().wakeup_ns);
+                let mut t = done;
+                for w in woken {
+                    t += wakeup;
+                    if w.kernel == serving {
+                        self.wake_with(sched, serve_ki, w.tid, SysResult::Val(0), t);
+                    } else {
+                        self.send(
+                            sched,
+                            t,
+                            serve_ki,
+                            w.kernel,
+                            ProtoMsg::FutexWakeTask { group, tid: w.tid },
+                        );
+                    }
+                }
+                (FutexOutcome::Woken(n), t)
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Group exit
+    // ------------------------------------------------------------------
+
+    fn note_task_exited(
+        &mut self,
+        sched: &mut Scheduler<PopEvent>,
+        ki: usize,
+        group: GroupId,
+        tid: Tid,
+        at: SimTime,
+    ) {
+        let home = group.home();
+        if self.kid(ki) == home {
+            let finished = match self.groups.get_mut(&group) {
+                Some(h) => h.member_exited(tid) == 0 && h.phase() == ExitPhase::Running,
+                None => false,
+            };
+            if finished {
+                self.reap_group(sched, group, at);
+            }
+        } else {
+            self.send(sched, at, ki, home, ProtoMsg::TaskExited { group, tid });
+        }
+    }
+
+    /// Tears the group down everywhere (run at the home kernel).
+    fn reap_group(&mut self, sched: &mut Scheduler<PopEvent>, group: GroupId, at: SimTime) {
+        let Some(mut h) = self.groups.remove(&group) else {
+            return;
+        };
+        h.mark_reaped();
+        let home_ki = self.ki(group.home());
+        for r in h.remote_replicas() {
+            self.send(sched, at, home_ki, r, ProtoMsg::GroupReap { group });
+        }
+        self.kernels[home_ki].reap_group(group);
+        self.kernels[home_ki].drop_mm(group);
+        self.futex.drop_group(group);
+        self.sync_sites.retain(|&(g, _), _| g != group);
+        self.sync_home.retain(|&(g, _), _| g != group);
+        self.servers.remove(&group);
+    }
+
+    /// The kernel serving a synchronization word: the group's origin (the
+    /// paper's global futex server) or, with the first-touch extension,
+    /// whichever kernel used the word first.
+    fn sync_word_home(&mut self, group: GroupId, addr: VAddr, requester: KernelId) -> KernelId {
+        if !self.params.sync_first_touch_homing {
+            return group.home();
+        }
+        *self.sync_home.entry((group, addr.0)).or_insert(requester)
+    }
+
+    /// Kills every local member of a group; returns the killed tids.
+    fn kill_local_members(
+        &mut self,
+        sched: &mut Scheduler<PopEvent>,
+        ki: usize,
+        group: GroupId,
+        code: i32,
+        at: SimTime,
+    ) -> Vec<Tid> {
+        let members = self.kernels[ki].group_members(group);
+        for &tid in &members {
+            if let Some(core) = self.kernels[ki].kill_task(tid, code, at) {
+                self.kick(sched, ki, core, at);
+            }
+        }
+        members
+    }
+
+    // ------------------------------------------------------------------
+    // Migration
+    // ------------------------------------------------------------------
+
+    fn migrate_out(
+        &mut self,
+        sched: &mut Scheduler<PopEvent>,
+        ki: usize,
+        tid: Tid,
+        target: KernelId,
+        at: SimTime,
+    ) {
+        let group = self.group_of(ki, tid);
+        let (program, ctx, stats) = self.kernels[ki].extract_for_migration(tid, target, at);
+        // The old core is free once the context is marshalled.
+        let marshal = SimTime::from_nanos(self.params.migration_marshal_ns);
+        let freed_at = at + marshal;
+        let core = self.kernels[ki].task(tid).expect("shadow remains").core;
+        self.kick(sched, ki, core, freed_at);
+        let vmas = if self.params.eager_vma_replication {
+            self.kernels[ki].mm(group).vmas()
+        } else {
+            Vec::new()
+        };
+        self.send(
+            sched,
+            freed_at,
+            ki,
+            target,
+            ProtoMsg::TaskMigrate {
+                tid,
+                group,
+                program,
+                ctx,
+                stats,
+                started: at,
+                vmas,
+            },
+        );
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn migrate_in(
+        &mut self,
+        sched: &mut Scheduler<PopEvent>,
+        ki: usize,
+        tid: Tid,
+        group: GroupId,
+        program: Box<dyn Program>,
+        ctx: popcorn_kernel::types::CpuContext,
+        stats: popcorn_kernel::task::TaskStats,
+        started: SimTime,
+        vmas: Vec<popcorn_kernel::mm::Vma>,
+        now: SimTime,
+    ) {
+        // An exiting group kills arrivals on contact.
+        let home = group.home();
+        let group_dead = self.kid(ki) == home && !self.groups.contains_key(&group);
+        if group_dead {
+            return;
+        }
+        if !self.kernels[ki].has_mm(group) {
+            self.kernels[ki].adopt_mm(Mm::new(group));
+        }
+        for vma in vmas {
+            self.kernels[ki].mm_mut(group).install_vma(vma);
+        }
+        let (core, was_back) =
+            self.kernels[ki]
+                .attach_migrated(tid, group, program, ctx, stats, now);
+        let attach = if was_back && self.params.shadow_task_reuse {
+            SimTime::from_nanos(self.params.migration_revive_ns)
+        } else {
+            SimTime::from_nanos(
+                self.kernels[ki].params().clone_base_ns + self.params.migration_create_extra_ns,
+            )
+        };
+        let ready = now + attach;
+        self.kick(sched, ki, core, ready);
+        let lat = ready.saturating_sub(started);
+        if was_back {
+            self.stats.migrations_back.incr();
+            self.stats.migration_back_lat.record_time(lat);
+        } else {
+            self.stats.migrations_first.incr();
+            self.stats.migration_first_lat.record_time(lat);
+        }
+        // Tell the home where the thread lives now.
+        if self.kid(ki) == home {
+            if let Some(h) = self.groups.get_mut(&group) {
+                h.member_at(tid, home);
+            }
+        } else {
+            self.send(
+                sched,
+                now,
+                ki,
+                home,
+                ProtoMsg::MemberAt {
+                    group,
+                    tid,
+                    joined: false,
+                },
+            );
+        }
+    }
+
+    /// Resolves a migrate target to a kernel (and optional core).
+    fn resolve_target(&self, target: MigrateTarget) -> (KernelId, Option<CoreId>) {
+        match target {
+            MigrateTarget::Kernel(k) => (k, None),
+            MigrateTarget::Core(c) => {
+                for (i, k) in self.kernels.iter().enumerate() {
+                    if k.cores().contains(&c) {
+                        return (KernelId(i as u16), Some(c));
+                    }
+                }
+                panic!("{c} not owned by any kernel");
+            }
+        }
+    }
+
+    /// Auto placement spreads threads round-robin across kernels — the
+    /// even pinning the paper's experiments use. (Load-based placement is
+    /// misleading here: a thread that blocks on its first remote fault
+    /// stops counting as load, which herds every later spawn onto the
+    /// same kernel.)
+    fn least_loaded_kernel(&mut self) -> usize {
+        let i = self.auto_cursor % self.kernels.len();
+        self.auto_cursor += 1;
+        i
+    }
+}
+
+impl OsMachine for PopcornMachine {
+    type Msg = PopMsg;
+
+    fn kernels_mut(&mut self) -> &mut [Kernel] {
+        &mut self.kernels
+    }
+
+    fn handle_syscall(
+        &mut self,
+        sched: &mut Scheduler<PopEvent>,
+        ki: usize,
+        core: CoreId,
+        tid: Tid,
+        req: SyscallReq,
+        at: SimTime,
+    ) {
+        let me = self.kid(ki);
+        let group = self.group_of(ki, tid);
+        let home = group.home();
+        match req {
+            SyscallReq::GetPid => {
+                self.kernels[ki].finish_syscall(tid, SysResult::Val(group.pid() as u64), at);
+                self.kick(sched, ki, core, at);
+            }
+            SyscallReq::GetTid => {
+                self.kernels[ki].finish_syscall(tid, SysResult::Val(tid.0 as u64), at);
+                self.kick(sched, ki, core, at);
+            }
+            SyscallReq::GetKernel => {
+                self.kernels[ki].finish_syscall(tid, SysResult::Val(ki as u64), at);
+                self.kick(sched, ki, core, at);
+            }
+            SyscallReq::Yield => {
+                let c = self.kernels[ki].yield_current(tid, at);
+                self.kick(sched, ki, c, at);
+            }
+            SyscallReq::Nanosleep { ns } => {
+                let c = self.kernels[ki].block_current(tid, BlockReason::Sleep, at);
+                self.kick(sched, ki, c, at);
+                sched.at(
+                    at + SimTime::from_nanos(ns),
+                    OsEvent::TimerWake {
+                        kernel: ki as u16,
+                        tid,
+                    },
+                );
+            }
+            SyscallReq::Mmap { len } => {
+                let op = VmaOp::Map { len };
+                self.start_vma_op(sched, ki, core, tid, group, op, at);
+            }
+            SyscallReq::Munmap { addr, len } => {
+                let op = VmaOp::Unmap { addr, len };
+                self.start_vma_op(sched, ki, core, tid, group, op, at);
+            }
+            SyscallReq::Brk { grow } => {
+                let op = VmaOp::Brk { grow };
+                self.start_vma_op(sched, ki, core, tid, group, op, at);
+            }
+            SyscallReq::Futex(op) => {
+                let caller = Waiter { kernel: me, tid };
+                let word = match op {
+                    FutexOp::Wait { uaddr, .. } | FutexOp::Wake { uaddr, .. } => uaddr,
+                };
+                let word_home = self.sync_word_home(group, word, me);
+                if me == word_home {
+                    self.stats.futex_local.incr();
+                    let (outcome, done) = self.futex_at_home(sched, group, op, caller, ki, at);
+                    match outcome {
+                        FutexOutcome::Parked => {
+                            let uaddr = match op {
+                                FutexOp::Wait { uaddr, .. } => uaddr,
+                                FutexOp::Wake { .. } => unreachable!("wake cannot park"),
+                            };
+                            let c = self.kernels[ki].block_current(
+                                tid,
+                                BlockReason::Futex(uaddr),
+                                done,
+                            );
+                            self.kick(sched, ki, c, done);
+                        }
+                        FutexOutcome::Mismatch => {
+                            self.kernels[ki].finish_syscall(tid, SysResult::Err(Errno::Again), done);
+                            self.kick(sched, ki, core, done);
+                        }
+                        FutexOutcome::Woken(n) => {
+                            self.kernels[ki].finish_syscall(tid, SysResult::Val(n), done);
+                            self.kick(sched, ki, core, done);
+                        }
+                    }
+                } else {
+                    self.stats.futex_remote.incr();
+                    let rpc = self.rpcs[ki].register(Pending::Futex { tid });
+                    let reason = match op {
+                        FutexOp::Wait { uaddr, .. } => BlockReason::Futex(uaddr),
+                        FutexOp::Wake { .. } => BlockReason::Remote("futex"),
+                    };
+                    let c = self.kernels[ki].block_current(tid, reason, at);
+                    self.kick(sched, ki, c, at);
+                    self.send(
+                        sched,
+                        at,
+                        ki,
+                        word_home,
+                        ProtoMsg::FutexReq {
+                            rpc,
+                            origin: me,
+                            group,
+                            tid,
+                            op,
+                        },
+                    );
+                }
+            }
+            SyscallReq::Clone { child, placement } => {
+                let (target_ki, core_hint) = match placement {
+                    Placement::Local => (ki, None),
+                    Placement::Core(c) => {
+                        let (k, hint) = self.resolve_target(MigrateTarget::Core(c));
+                        (self.ki(k), hint)
+                    }
+                    Placement::Auto => (self.least_loaded_kernel(), None),
+                };
+                if target_ki == ki {
+                    self.stats.clone_local.incr();
+                    let child_tid = self.kernels[ki].alloc_tid();
+                    let done = at + SimTime::from_nanos(self.kernels[ki].params().clone_base_ns);
+                    let child_core =
+                        self.kernels[ki].spawn(child_tid, group, child, core_hint, done);
+                    self.kernels[ki].finish_syscall(tid, SysResult::Val(child_tid.0 as u64), done);
+                    self.kick(sched, ki, core, done);
+                    self.kick(sched, ki, child_core, done);
+                    if me == home {
+                        if let Some(h) = self.groups.get_mut(&group) {
+                            h.member_joined(child_tid, me);
+                        }
+                    } else {
+                        self.send(
+                            sched,
+                            done,
+                            ki,
+                            home,
+                            ProtoMsg::MemberAt {
+                                group,
+                                tid: child_tid,
+                                joined: true,
+                            },
+                        );
+                    }
+                } else {
+                    self.stats.clone_remote.incr();
+                    let rpc = self.rpcs[ki].register(Pending::CloneWait { tid, started: at });
+                    let c = self.kernels[ki].block_current(tid, BlockReason::Remote("clone"), at);
+                    self.kick(sched, ki, c, at);
+                    let target = self.kid(target_ki);
+                    let vmas = if self.params.eager_vma_replication {
+                        self.kernels[ki].mm(group).vmas()
+                    } else {
+                        Vec::new()
+                    };
+                    self.send(
+                        sched,
+                        at,
+                        ki,
+                        target,
+                        ProtoMsg::CloneReq {
+                            rpc,
+                            origin: me,
+                            group,
+                            child,
+                            vmas,
+                        },
+                    );
+                }
+            }
+            SyscallReq::Migrate(target) => {
+                let (tk, core_hint) = self.resolve_target(target);
+                if tk == me {
+                    match core_hint {
+                        Some(c) if c != core => {
+                            // Intra-kernel core move (sched_setaffinity).
+                            let freed =
+                                self.kernels[ki].block_current(tid, BlockReason::Migrating, at);
+                            self.kick(sched, ki, freed, at);
+                            self.kernels[ki].reassign_core(tid, c);
+                            let done =
+                                at + self.kernels[ki].params().context_switch();
+                            self.wake_with(sched, ki, tid, SysResult::Val(0), done);
+                        }
+                        _ => {
+                            self.kernels[ki].finish_syscall(tid, SysResult::Val(0), at);
+                            self.kick(sched, ki, core, at);
+                        }
+                    }
+                } else {
+                    self.migrate_out(sched, ki, tid, tk, at);
+                }
+            }
+            SyscallReq::ExitGroup { code } => {
+                let killed = self.kill_local_members(sched, ki, group, code, at);
+                if me == home {
+                    let targets = match self.groups.get_mut(&group) {
+                        Some(h) => h.begin_exit(code, me),
+                        None => Vec::new(),
+                    };
+                    if targets.is_empty() {
+                        self.reap_group(sched, group, at);
+                    } else {
+                        for t in targets {
+                            self.send(sched, at, ki, t, ProtoMsg::GroupKill { group, code });
+                        }
+                    }
+                } else {
+                    self.send(
+                        sched,
+                        at,
+                        ki,
+                        home,
+                        ProtoMsg::GroupExitReq {
+                            group,
+                            code,
+                            killed,
+                        },
+                    );
+                }
+            }
+        }
+    }
+
+    fn handle_sync_op(
+        &mut self,
+        sched: &mut Scheduler<PopEvent>,
+        ki: usize,
+        core: CoreId,
+        tid: Tid,
+        addr: VAddr,
+        op: RmwOp,
+        at: SimTime,
+    ) {
+        let me = self.kid(ki);
+        let group = self.group_of(ki, tid);
+        let home = self.sync_word_home(group, addr, me);
+        if me == home && self.params.futex_local_fastpath {
+            self.stats.rmw_local.incr();
+            let machine = self.machine.clone();
+            let site = self
+                .sync_sites
+                .entry((group, addr.0))
+                .or_insert_with(|| LockSite::new("syncword", machine.params()));
+            let acq = site.acquire(at, core, SimTime::ZERO, machine.interconnect());
+            let old = self.futex.rmw(group, addr, op);
+            self.kernels[ki].finish_sync_op(tid, old, acq.released_at);
+            self.kick(sched, ki, core, acq.released_at);
+        } else if me == home {
+            // Ablation: fast path disabled — even home-local ops pay the
+            // RPC-shaped service cost, serialized at the futex server.
+            self.stats.rmw_remote.incr();
+            let extra = SimTime::from_nanos(self.params.futex_remote_service_ns);
+            let svc = self.machine.params().atomic_op() + extra + extra;
+            let done = self.servers.entry(group).or_default().futex.serialize(at, svc);
+            let old = self.futex.rmw(group, addr, op);
+            self.kernels[ki].finish_sync_op(tid, old, done);
+            self.kick(sched, ki, core, done);
+        } else {
+            self.stats.rmw_remote.incr();
+            let rpc = self.rpcs[ki].register(Pending::Rmw { tid });
+            let c = self.kernels[ki].block_current(tid, BlockReason::Remote("rmw"), at);
+            self.kick(sched, ki, c, at);
+            self.send(
+                sched,
+                at,
+                ki,
+                home,
+                ProtoMsg::RmwReq {
+                    rpc,
+                    origin: me,
+                    group,
+                    addr,
+                    op,
+                },
+            );
+        }
+    }
+
+    fn handle_fault(
+        &mut self,
+        sched: &mut Scheduler<PopEvent>,
+        ki: usize,
+        core: CoreId,
+        tid: Tid,
+        page: PageNo,
+        write: bool,
+        no_vma: bool,
+        at: SimTime,
+    ) {
+        let me = self.kid(ki);
+        let group = self.group_of(ki, tid);
+        let home = group.home();
+        if no_vma {
+            if me == home {
+                // The home holds the authoritative layout: genuine segfault.
+                let c = self.kernels[ki].force_exit_current(tid, 139, at);
+                self.kick(sched, ki, c, at);
+                self.note_task_exited(sched, ki, group, tid, at);
+            } else {
+                self.stats.vma_fetches.incr();
+                let rpc = self.rpcs[ki].register(Pending::VmaFetch { tid, group });
+                let c = self.kernels[ki].block_current(tid, BlockReason::Remote("vma"), at);
+                self.kick(sched, ki, c, at);
+                self.send(
+                    sched,
+                    at,
+                    ki,
+                    home,
+                    ProtoMsg::VmaFetchReq {
+                        rpc,
+                        origin: me,
+                        group,
+                        addr: page.base(),
+                    },
+                );
+            }
+            return;
+        }
+        if self.join_inflight(ki, group, page, write, tid) {
+            let c = self.kernels[ki].block_current(tid, BlockReason::Remote("page"), at);
+            self.kick(sched, ki, c, at);
+            return;
+        }
+        if me == home {
+            // Consult the directory locally. Immediately grantable cases
+            // resolve inline on the faulting core (the fast path the paper
+            // compares against remote retrieval). While the group has no
+            // remote replicas the protocol state is dormant (the paper
+            // instantiates it lazily) and the fault is an ordinary local
+            // one with no serialized directory service.
+            let solo = self
+                .groups
+                .get(&group)
+                .is_none_or(|h| h.remote_replicas().is_empty());
+            let service = if solo {
+                at
+            } else {
+                let dir_cost = SimTime::from_nanos(self.params.page_dir_service_ns);
+                self.servers.entry(group).or_default().page.serialize(at, dir_cost)
+            };
+            // Probe without registering: first-touch/upgrade are inline.
+            let rpc = self.rpcs[ki].register(Pending::PageWait {
+                write,
+                started: at,
+                waiters: vec![(tid, write)],
+            });
+            let step = match self.groups.get_mut(&group) {
+                Some(h) => h.dir.request(page, PageRequest { rpc, origin: me, write }),
+                None => {
+                    self.rpcs[ki].complete(rpc);
+                    return;
+                }
+            };
+            match step {
+                DirStep::Grant(g) => {
+                    // Inline local fault service; allocating the backing
+                    // page contends this kernel's allocator lock.
+                    self.rpcs[ki].complete(rpc);
+                    self.kernels[ki]
+                        .mm_mut(group)
+                        .apply_grant(page, g.state, g.version, g.contents);
+                    let zone_hold =
+                        SimTime::from_nanos(self.kernels[ki].params().zone_lock_hold_ns);
+                    let ic = self.machine.interconnect().clone();
+                    let zone = self.zone_locks[ki].acquire(service, core, zone_hold, &ic);
+                    let fault_cost =
+                        SimTime::from_nanos(self.kernels[ki].params().fault_service_ns);
+                    let done = zone.released_at + fault_cost;
+                    self.stats.faults_local.incr();
+                    self.stats.fault_local_lat.record_time(done.saturating_sub(at));
+                    self.kernels[ki].finish_fault_inline(tid, done);
+                    self.kick(sched, ki, core, done);
+                    self.page_done_at_home(sched, group, page, done);
+                }
+                step @ (DirStep::Fetch { .. } | DirStep::Invalidate { .. }) => {
+                    self.inflight[ki].insert((group, page), InFlight { rpc, write });
+                    let c = self.kernels[ki].block_current(tid, BlockReason::Remote("page"), at);
+                    self.kick(sched, ki, c, at);
+                    self.exec_dir_step(sched, group, page, step, service);
+                }
+                DirStep::Queued => {
+                    self.inflight[ki].insert((group, page), InFlight { rpc, write });
+                    let c = self.kernels[ki].block_current(tid, BlockReason::Remote("page"), at);
+                    self.kick(sched, ki, c, at);
+                }
+            }
+        } else {
+            let rpc = self.start_page_wait(sched, ki, tid, group, page, write, at);
+            self.send(
+                sched,
+                at,
+                ki,
+                home,
+                ProtoMsg::PageReq {
+                    rpc,
+                    origin: me,
+                    group,
+                    page,
+                    write,
+                },
+            );
+        }
+    }
+
+    fn handle_exit(
+        &mut self,
+        sched: &mut Scheduler<PopEvent>,
+        ki: usize,
+        _core: CoreId,
+        tid: Tid,
+        _code: i32,
+        at: SimTime,
+    ) {
+        let group = self.group_of(ki, tid);
+        self.note_task_exited(sched, ki, group, tid, at);
+    }
+
+    fn handle_custom(&mut self, sched: &mut Scheduler<PopEvent>, msg: PopMsg, now: SimTime) {
+        let from = msg.from;
+        let to = msg.to;
+        let ki = self.ki(to);
+        match msg.payload {
+            ProtoMsg::TaskMigrate {
+                tid,
+                group,
+                program,
+                ctx,
+                stats,
+                started,
+                vmas,
+            } => {
+                self.migrate_in(sched, ki, tid, group, program, ctx, stats, started, vmas, now);
+            }
+            ProtoMsg::MemberAt { group, tid, joined } => {
+                if let Some(h) = self.groups.get_mut(&group) {
+                    if joined {
+                        h.member_joined(tid, from);
+                    } else {
+                        h.member_at(tid, from);
+                    }
+                    if h.phase() == ExitPhase::Killing {
+                        // Straggler joined a dying group: kill it there.
+                        let code = h.exit_code();
+                        self.send(sched, now, ki, from, ProtoMsg::GroupKill { group, code });
+                    }
+                }
+            }
+            ProtoMsg::CloneReq {
+                rpc,
+                origin,
+                group,
+                child,
+                vmas,
+            } => {
+                if !self.kernels[ki].has_mm(group) {
+                    self.kernels[ki].adopt_mm(Mm::new(group));
+                }
+                for vma in vmas {
+                    self.kernels[ki].mm_mut(group).install_vma(vma);
+                }
+                let child_tid = self.kernels[ki].alloc_tid();
+                let done = now + SimTime::from_nanos(self.kernels[ki].params().clone_base_ns);
+                let child_core = self.kernels[ki].spawn(child_tid, group, child, None, done);
+                self.kick(sched, ki, child_core, done);
+                self.send(
+                    sched,
+                    done,
+                    ki,
+                    origin,
+                    ProtoMsg::CloneResp {
+                        rpc,
+                        tid: child_tid,
+                    },
+                );
+                let home = group.home();
+                if to == home {
+                    if let Some(h) = self.groups.get_mut(&group) {
+                        h.member_joined(child_tid, to);
+                    }
+                } else {
+                    self.send(
+                        sched,
+                        done,
+                        ki,
+                        home,
+                        ProtoMsg::MemberAt {
+                            group,
+                            tid: child_tid,
+                            joined: true,
+                        },
+                    );
+                }
+            }
+            ProtoMsg::CloneResp { rpc, tid } => {
+                if let Some(Pending::CloneWait { tid: parent, started }) = self.rpcs[ki].complete(rpc)
+                {
+                    self.stats
+                        .clone_remote_lat
+                        .record_time(now.saturating_sub(started));
+                    self.wake_with(sched, ki, parent, SysResult::Val(tid.0 as u64), now);
+                }
+            }
+            ProtoMsg::VmaOpReq {
+                rpc,
+                origin,
+                group,
+                op,
+            } => {
+                self.vma_op_at_home(sched, group, op, rpc, origin, now);
+            }
+            ProtoMsg::VmaOpDone { rpc, result } => {
+                self.complete_vma_pending(sched, ki, rpc, result, now);
+            }
+            ProtoMsg::VmaUpdate { group, change, ack } => {
+                if self.kernels[ki].has_mm(group) {
+                    match change {
+                        VmaChange::Map(vma) => {
+                            self.kernels[ki].mm_mut(group).install_vma(vma);
+                        }
+                        VmaChange::Unmap { addr, len } => {
+                            let dropped = self.kernels[ki].mm_mut(group).remove_vma(addr, len);
+                            if !dropped.is_empty() {
+                                let cores = self.kernels[ki].cores();
+                                let sd = self.machine.shootdown().tlb_shootdown(&cores[1..]);
+                                self.servers.entry(group).or_default().vma.serialize(now, sd.initiator_busy);
+                            }
+                        }
+                    }
+                }
+                if let Some(token) = ack {
+                    let cost = SimTime::from_nanos(self.params.vma_service_ns);
+                    let done = self.servers.entry(group).or_default().vma.serialize(now, cost);
+                    self.send(
+                        sched,
+                        done,
+                        ki,
+                        from,
+                        ProtoMsg::VmaUpdateAck { group, token },
+                    );
+                }
+            }
+            ProtoMsg::VmaUpdateAck { group, token } => {
+                if let Some(h) = self.groups.get_mut(&group) {
+                    if let Some((rpc, origin)) = h.unmap_acked(token, from) {
+                        self.finish_vma_op(sched, group, rpc, origin, Ok(0), now);
+                    }
+                }
+            }
+            ProtoMsg::VmaFetchReq {
+                rpc,
+                origin,
+                group,
+                addr,
+            } => {
+                let vma = if self.kernels[ki].has_mm(group) {
+                    self.kernels[ki].mm(group).vma_covering(addr).copied()
+                } else {
+                    None
+                };
+                let cost = SimTime::from_nanos(self.params.vma_service_ns);
+                let done = self.servers.entry(group).or_default().vma.serialize(now, cost);
+                self.send(sched, done, ki, origin, ProtoMsg::VmaFetchResp { rpc, vma });
+            }
+            ProtoMsg::VmaFetchResp { rpc, vma } => {
+                if let Some(Pending::VmaFetch { tid, group }) = self.rpcs[ki].complete(rpc) {
+                    match vma {
+                        Some(vma) => {
+                            if self.kernels[ki].has_mm(group) {
+                                self.kernels[ki].mm_mut(group).install_vma(vma);
+                            }
+                            if self.task_alive(ki, tid) {
+                                let core = self.kernels[ki].wake(tid, now);
+                                self.kick(sched, ki, core, now);
+                            }
+                        }
+                        None => {
+                            // Genuine segfault on a remote kernel.
+                            if self.task_alive(ki, tid) {
+                                self.kernels[ki].kill_task(tid, 139, now);
+                                self.note_task_exited(sched, ki, group, tid, now);
+                            }
+                        }
+                    }
+                }
+            }
+            ProtoMsg::PageReq {
+                rpc,
+                origin,
+                group,
+                page,
+                write,
+            } => {
+                self.home_page_request(sched, group, page, PageRequest { rpc, origin, write }, now);
+            }
+            ProtoMsg::PageFetch { group, page } => {
+                let contents = if self.kernels[ki].has_mm(group) {
+                    let mm = self.kernels[ki].mm_mut(group);
+                    match mm.page_info(page) {
+                        Some(info) => {
+                            if info.state == PageState::Exclusive {
+                                mm.set_page_state(page, PageState::ReadShared);
+                            }
+                            mm.snapshot_page(page)
+                        }
+                        None => PageContents::default(),
+                    }
+                } else {
+                    PageContents::default()
+                };
+                let cost = SimTime::from_nanos(self.params.page_fetch_service_ns);
+                let done = self.servers.entry(group).or_default().page.serialize(now, cost);
+                self.send(
+                    sched,
+                    done,
+                    ki,
+                    from,
+                    ProtoMsg::PageFetched {
+                        group,
+                        page,
+                        contents,
+                    },
+                );
+            }
+            ProtoMsg::PageFetched {
+                group,
+                page,
+                contents,
+            } => {
+                if self.groups.contains_key(&group) {
+                    let grant = self
+                        .groups
+                        .get_mut(&group)
+                        .expect("checked")
+                        .dir
+                        .fetched(page, contents);
+                    self.deliver_grant(sched, group, grant, now);
+                }
+            }
+            ProtoMsg::PageInval { group, page } => {
+                let contents = self.evict_local(ki, group, page);
+                let cost = SimTime::from_nanos(self.params.page_inval_service_ns);
+                let cores = self.kernels[ki].cores();
+                let sd = self.machine.shootdown().tlb_shootdown(&cores[1..]);
+                let done = self.servers.entry(group).or_default().page.serialize(now, cost + sd.initiator_busy);
+                self.send(
+                    sched,
+                    done,
+                    ki,
+                    from,
+                    ProtoMsg::PageInvalAck {
+                        group,
+                        page,
+                        contents,
+                    },
+                );
+            }
+            ProtoMsg::PageInvalAck {
+                group,
+                page,
+                contents,
+            } => {
+                if self.groups.contains_key(&group) {
+                    let grant = self
+                        .groups
+                        .get_mut(&group)
+                        .expect("checked")
+                        .dir
+                        .inval_acked(page, from, contents);
+                    if let Some(grant) = grant {
+                        self.deliver_grant(sched, group, grant, now);
+                    }
+                }
+            }
+            ProtoMsg::PageGrant {
+                rpc,
+                group,
+                page,
+                state,
+                version,
+                contents,
+            } => {
+                self.apply_grant(sched, ki, group, page, state, version, contents, rpc, now);
+            }
+            ProtoMsg::PageDone { group, page } => {
+                self.page_done_at_home(sched, group, page, now);
+            }
+            ProtoMsg::FutexReq {
+                rpc,
+                origin,
+                group,
+                tid,
+                op,
+            } => {
+                let caller = Waiter {
+                    kernel: origin,
+                    tid,
+                };
+                let (outcome, done) = self.futex_at_home(sched, group, op, caller, ki, now);
+                self.send(sched, done, ki, origin, ProtoMsg::FutexResp { rpc, outcome });
+            }
+            ProtoMsg::FutexResp { rpc, outcome } => {
+                if let Some(Pending::Futex { tid }) = self.rpcs[ki].complete(rpc) {
+                    match outcome {
+                        FutexOutcome::Parked => {} // stays asleep until FutexWakeTask
+                        FutexOutcome::Mismatch => {
+                            self.wake_with(sched, ki, tid, SysResult::Err(Errno::Again), now);
+                        }
+                        FutexOutcome::Woken(n) => {
+                            self.wake_with(sched, ki, tid, SysResult::Val(n), now);
+                        }
+                    }
+                }
+            }
+            ProtoMsg::FutexWakeTask { group: _, tid } => {
+                self.wake_with(sched, ki, tid, SysResult::Val(0), now);
+            }
+            ProtoMsg::RmwReq {
+                rpc,
+                origin,
+                group,
+                addr,
+                op,
+            } => {
+                let machine = self.machine.clone();
+                let loc = self.fabric.location(to);
+                let site = self
+                    .sync_sites
+                    .entry((group, addr.0))
+                    .or_insert_with(|| LockSite::new("syncword", machine.params()));
+                let acq = site.acquire(now, loc, SimTime::ZERO, machine.interconnect());
+                let extra = SimTime::from_nanos(self.params.futex_remote_service_ns);
+                let old = self.futex.rmw(group, addr, op);
+                self.send(
+                    sched,
+                    acq.released_at + extra,
+                    ki,
+                    origin,
+                    ProtoMsg::RmwResp { rpc, old },
+                );
+            }
+            ProtoMsg::RmwResp { rpc, old } => {
+                if let Some(Pending::Rmw { tid }) = self.rpcs[ki].complete(rpc) {
+                    if self.task_alive(ki, tid) {
+                        if let Some(task) = self.kernels[ki].task_mut(tid) {
+                            task.resume = Resume::Value(old);
+                        }
+                        let core = self.kernels[ki].wake(tid, now);
+                        self.kick(sched, ki, core, now);
+                    }
+                }
+            }
+            ProtoMsg::TaskExited { group, tid } => {
+                let finished = match self.groups.get_mut(&group) {
+                    Some(h) => h.member_exited(tid) == 0 && h.phase() == ExitPhase::Running,
+                    None => false,
+                };
+                if finished {
+                    self.reap_group(sched, group, now);
+                }
+            }
+            ProtoMsg::GroupExitReq {
+                group,
+                code,
+                killed,
+            } => {
+                let targets = match self.groups.get_mut(&group) {
+                    Some(h) => {
+                        let t = h.begin_exit(code, from);
+                        for k in &killed {
+                            h.member_exited(*k);
+                        }
+                        t
+                    }
+                    None => Vec::new(),
+                };
+                // The home itself is among the replicas: kill locally
+                // rather than messaging itself.
+                let mut remote_targets = Vec::new();
+                let mut home_included = false;
+                for t in targets {
+                    if t == to {
+                        home_included = true;
+                    } else {
+                        remote_targets.push(t);
+                    }
+                }
+                if home_included {
+                    let local_killed = self.kill_local_members(sched, ki, group, code, now);
+                    if let Some(h) = self.groups.get_mut(&group) {
+                        h.kill_acked(to, &local_killed);
+                    }
+                }
+                if remote_targets.is_empty() {
+                    self.reap_group(sched, group, now);
+                } else {
+                    for t in remote_targets {
+                        self.send(sched, now, ki, t, ProtoMsg::GroupKill { group, code });
+                    }
+                }
+            }
+            ProtoMsg::GroupKill { group, code } => {
+                let killed = self.kill_local_members(sched, ki, group, code, now);
+                self.send(sched, now, ki, from, ProtoMsg::GroupKillAck { group, killed });
+            }
+            ProtoMsg::GroupKillAck { group, killed } => {
+                let complete = match self.groups.get_mut(&group) {
+                    Some(h) => h.kill_acked(from, &killed),
+                    None => false,
+                };
+                if complete {
+                    self.reap_group(sched, group, now);
+                }
+            }
+            ProtoMsg::GroupReap { group } => {
+                self.kernels[ki].reap_group(group);
+                self.kernels[ki].drop_mm(group);
+                self.inflight[ki].retain(|&(g, _), _| g != group);
+            }
+        }
+    }
+}
+
+impl PopcornMachine {
+    /// Starts a VMA operation from kernel `ki` (routing to the home).
+    #[allow(clippy::too_many_arguments)]
+    fn start_vma_op(
+        &mut self,
+        sched: &mut Scheduler<PopEvent>,
+        ki: usize,
+        _core: CoreId,
+        tid: Tid,
+        group: GroupId,
+        op: VmaOp,
+        at: SimTime,
+    ) {
+        let me = self.kid(ki);
+        let home = group.home();
+        let rpc = self.rpcs[ki].register(Pending::VmaOp { tid });
+        let c = self.kernels[ki].block_current(tid, BlockReason::Remote("vma"), at);
+        self.kick(sched, ki, c, at);
+        if me == home {
+            self.stats.vma_local.incr();
+            self.vma_op_at_home(sched, group, op, rpc, me, at);
+        } else {
+            self.stats.vma_remote.incr();
+            self.send(
+                sched,
+                at,
+                ki,
+                home,
+                ProtoMsg::VmaOpReq {
+                    rpc,
+                    origin: me,
+                    group,
+                    op,
+                },
+            );
+        }
+    }
+}

@@ -1,0 +1,210 @@
+//! The harness-facing Popcorn OS model: builder, event loop, reporting.
+
+use popcorn_hw::{HwParams, Machine, Topology};
+use popcorn_kernel::kernel::Kernel;
+use popcorn_kernel::osmodel::{self, OsEvent, OsModel, RunReport};
+use popcorn_kernel::params::OsParams;
+use popcorn_kernel::program::Program;
+use popcorn_kernel::types::GroupId;
+use popcorn_msg::{Fabric, KernelId, MsgParams};
+use popcorn_sim::{Handler, Scheduler, SimTime, Simulator};
+
+use crate::machine::{PopEvent, PopcornMachine};
+use crate::params::PopcornParams;
+
+impl Handler<PopEvent> for PopcornMachine {
+    fn handle(&mut self, now: SimTime, event: PopEvent, sched: &mut Scheduler<PopEvent>) {
+        osmodel::dispatch(self, now, event, sched);
+    }
+}
+
+/// Configures and builds a [`PopcornOs`].
+///
+/// # Example
+///
+/// ```
+/// use popcorn_core::PopcornOs;
+/// use popcorn_hw::Topology;
+///
+/// let os = PopcornOs::builder()
+///     .topology(Topology::new(2, 8))
+///     .kernels(2)
+///     .build();
+/// assert_eq!(os.num_kernels(), 2);
+/// ```
+#[derive(Debug, Clone)]
+pub struct PopcornOsBuilder {
+    topology: Topology,
+    kernels: u16,
+    hw: HwParams,
+    os: OsParams,
+    msg: MsgParams,
+    pop: PopcornParams,
+}
+
+impl Default for PopcornOsBuilder {
+    fn default() -> Self {
+        PopcornOsBuilder {
+            topology: Topology::paper_default(),
+            kernels: 4,
+            hw: HwParams::default(),
+            os: OsParams::default(),
+            msg: MsgParams::default(),
+            pop: PopcornParams::default(),
+        }
+    }
+}
+
+impl PopcornOsBuilder {
+    /// Sets the machine topology.
+    pub fn topology(mut self, t: Topology) -> Self {
+        self.topology = t;
+        self
+    }
+
+    /// Sets the number of kernel instances (cores are partitioned
+    /// contiguously among them).
+    pub fn kernels(mut self, n: u16) -> Self {
+        self.kernels = n;
+        self
+    }
+
+    /// Overrides the hardware cost parameters.
+    pub fn hw_params(mut self, p: HwParams) -> Self {
+        self.hw = p;
+        self
+    }
+
+    /// Overrides the kernel software cost parameters.
+    pub fn os_params(mut self, p: OsParams) -> Self {
+        self.os = p;
+        self
+    }
+
+    /// Overrides the message-layer parameters.
+    pub fn msg_params(mut self, p: MsgParams) -> Self {
+        self.msg = p;
+        self
+    }
+
+    /// Overrides the Popcorn protocol parameters (and ablation toggles).
+    pub fn popcorn_params(mut self, p: PopcornParams) -> Self {
+        self.pop = p;
+        self
+    }
+
+    /// Builds the OS model.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any parameter set fails validation or there are more
+    /// kernels than cores.
+    pub fn build(self) -> PopcornOs {
+        self.hw.validate().expect("invalid hardware parameters");
+        self.os.validate().expect("invalid OS parameters");
+        self.msg.validate().expect("invalid message parameters");
+        self.pop.validate().expect("invalid Popcorn parameters");
+        let machine = Machine::new(self.topology, self.hw);
+        let parts = self.topology.partition(self.kernels);
+        let locations: Vec<_> = parts.iter().map(|p| p[0]).collect();
+        let fabric = Fabric::new(&machine, locations, self.msg);
+        let kernels: Vec<Kernel> = parts
+            .into_iter()
+            .enumerate()
+            .map(|(i, cores)| {
+                Kernel::new(KernelId(i as u16), cores, self.os.clone(), machine.clone())
+            })
+            .collect();
+        PopcornOs {
+            sim: Simulator::new(),
+            machine: PopcornMachine::new(kernels, fabric, machine, self.pop),
+            topology: self.topology,
+            next_home: 0,
+        }
+    }
+}
+
+/// The replicated-kernel OS model, ready to load programs and run.
+///
+/// See the [crate-level example](crate).
+#[derive(Debug)]
+pub struct PopcornOs {
+    sim: Simulator<PopEvent>,
+    machine: PopcornMachine,
+    topology: Topology,
+    next_home: usize,
+}
+
+impl PopcornOs {
+    /// Starts configuring a Popcorn OS.
+    pub fn builder() -> PopcornOsBuilder {
+        PopcornOsBuilder::default()
+    }
+
+    /// Number of kernel instances.
+    pub fn num_kernels(&self) -> usize {
+        self.machine.kernels().len()
+    }
+
+    /// Protocol statistics (for benches needing raw histograms).
+    pub fn stats(&self) -> &crate::stats::PopStats {
+        &self.machine.stats
+    }
+
+    /// The message fabric statistics.
+    pub fn fabric(&self) -> &Fabric {
+        self.machine.fabric()
+    }
+
+    /// The kernel instances (read-only, for assertions in tests).
+    pub fn kernels(&self) -> &[Kernel] {
+        self.machine.kernels()
+    }
+}
+
+impl OsModel for PopcornOs {
+    fn name(&self) -> &'static str {
+        "popcorn"
+    }
+
+    fn topology(&self) -> Topology {
+        self.topology
+    }
+
+    fn load(&mut self, program: Box<dyn Program>) -> GroupId {
+        // Spread successive processes across kernels round-robin.
+        let home = self.next_home % self.num_kernels();
+        self.next_home += 1;
+        let (group, core) = self.machine.create_group(home, program, self.sim.now());
+        self.sim.schedule(
+            self.sim.now(),
+            OsEvent::CoreRun {
+                kernel: home as u16,
+                core,
+            },
+        );
+        group
+    }
+
+    fn run_with(&mut self, horizon: SimTime, event_budget: u64) -> RunReport {
+        let stop = self.sim.run_until(&mut self.machine, horizon, event_budget);
+        let kernels = self.machine.kernels();
+        let mut metrics = osmodel::base_metrics(kernels);
+        metrics.extend(self.machine.stats.metrics());
+        metrics.insert("messages".into(), self.machine.fabric().total_sends() as f64);
+        metrics.insert(
+            "msg_latency_us_mean".into(),
+            self.machine.fabric().latency_histogram().mean() / 1_000.0,
+        );
+        let exited: u64 = kernels.iter().map(|k| k.stats.exited.get()).sum();
+        RunReport {
+            os: self.name(),
+            finished_at: self.sim.now(),
+            exited_tasks: exited,
+            stuck_tasks: osmodel::stuck_tasks(kernels),
+            events: self.sim.events_processed(),
+            stop,
+            metrics,
+        }
+    }
+}

@@ -1,0 +1,110 @@
+//! Popcorn-specific protocol cost constants and feature toggles.
+
+use serde::{Deserialize, Serialize};
+
+/// Costs of Popcorn's migration/consistency protocols (software paths, on
+/// top of the message layer) plus the ablation toggles DESIGN.md calls out.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PopcornParams {
+    /// Marshalling a thread's context + live stack into a migration message.
+    pub migration_marshal_ns: u64,
+    /// Reviving a dormant shadow task on back-migration (the cheap path).
+    pub migration_revive_ns: u64,
+    /// Creating a fresh task for a first-visit migration (on top of the
+    /// kernel's `clone_base_ns`).
+    pub migration_create_extra_ns: u64,
+    /// Directory lookup / update at the home kernel per page request.
+    pub page_dir_service_ns: u64,
+    /// Installing a received page (map + copy into place).
+    pub page_install_ns: u64,
+    /// Servicing an invalidation at a holder (unmap + local TLB flush).
+    pub page_inval_service_ns: u64,
+    /// Snapshotting + downgrading a page at the owner on a read fetch.
+    pub page_fetch_service_ns: u64,
+    /// Futex/sync-word service at the home kernel per remote request.
+    pub futex_remote_service_ns: u64,
+    /// VMA operation service at the home kernel (on top of `mmap_base_ns`).
+    pub vma_service_ns: u64,
+    /// Ablation: reuse dormant shadow tasks on back-migration (paper
+    /// optimization; `false` forces the fresh-creation path every time).
+    pub shadow_task_reuse: bool,
+    /// Ablation: resolve sync-word ops locally when the group's home is
+    /// this kernel (`false` forces an RPC-shaped cost even at home).
+    pub futex_local_fastpath: bool,
+    /// Extension beyond the paper: home each synchronization word at the
+    /// kernel that touches it first instead of the group's origin kernel
+    /// (the paper's global futex server). Makes group-local barriers
+    /// kernel-local; see the `ablate-hier` experiment.
+    pub sync_first_touch_homing: bool,
+    /// Ablation: replicate the whole VMA layout with each migration
+    /// (`false` = the paper's on-demand VMA retrieval).
+    pub eager_vma_replication: bool,
+    /// Ablation: push every resident page of the address space with the
+    /// migrating thread (`false` = the paper's on-demand page retrieval).
+    pub eager_page_replication: bool,
+}
+
+impl Default for PopcornParams {
+    fn default() -> Self {
+        PopcornParams {
+            migration_marshal_ns: 2_400,
+            migration_revive_ns: 1_900,
+            migration_create_extra_ns: 5_500,
+            page_dir_service_ns: 650,
+            page_install_ns: 700,
+            page_inval_service_ns: 600,
+            page_fetch_service_ns: 750,
+            futex_remote_service_ns: 450,
+            vma_service_ns: 900,
+            shadow_task_reuse: true,
+            futex_local_fastpath: true,
+            sync_first_touch_homing: false,
+            eager_vma_replication: false,
+            eager_page_replication: false,
+        }
+    }
+}
+
+impl PopcornParams {
+    /// Validates internal consistency.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first violated constraint.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.eager_page_replication && !self.eager_vma_replication {
+            return Err(
+                "eager page replication requires eager VMA replication \
+                 (pages cannot be mapped without their VMAs)"
+                    .into(),
+            );
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_validate() {
+        assert_eq!(PopcornParams::default().validate(), Ok(()));
+    }
+
+    #[test]
+    fn eager_pages_require_eager_vmas() {
+        let p = PopcornParams {
+            eager_page_replication: true,
+            eager_vma_replication: false,
+            ..PopcornParams::default()
+        };
+        assert!(p.validate().is_err());
+        let ok = PopcornParams {
+            eager_page_replication: true,
+            eager_vma_replication: true,
+            ..PopcornParams::default()
+        };
+        assert_eq!(ok.validate(), Ok(()));
+    }
+}

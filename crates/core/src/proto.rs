@@ -1,0 +1,442 @@
+//! The inter-kernel protocol messages of the replicated-kernel OS.
+//!
+//! Every cross-kernel interaction in the paper flows through these
+//! messages: thread migration, remote thread creation, VMA replication,
+//! page consistency, distributed futexes, and group exit. Message sizes
+//! ([`Wire`]) drive the fabric's transmit-time model; a page transfer
+//! always costs a full 4 KiB on the wire regardless of how sparse its
+//! simulated contents are, matching the real system.
+
+use popcorn_kernel::mm::{PageContents, PageState, Vma};
+use popcorn_kernel::program::{FutexOp, Program, RmwOp};
+use popcorn_kernel::task::TaskStats;
+use popcorn_kernel::types::{CpuContext, Errno, GroupId, PageNo, Tid, VAddr};
+use popcorn_msg::{KernelId, RpcId, Wire};
+use popcorn_sim::SimTime;
+
+/// A VMA operation requested of the home kernel (the group-wide
+/// serialization point for address-space layout changes).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum VmaOp {
+    /// Map `len` bytes of anonymous memory.
+    Map {
+        /// Requested length in bytes.
+        len: u64,
+    },
+    /// Unmap an exact previously mapped range.
+    Unmap {
+        /// Start address.
+        addr: VAddr,
+        /// Length in bytes.
+        len: u64,
+    },
+    /// Grow the heap.
+    Brk {
+        /// Bytes to extend by.
+        grow: u64,
+    },
+}
+
+/// A layout change pushed from the home kernel to replicas.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum VmaChange {
+    /// A new mapping (or heap growth expressed as its covering VMA).
+    Map(Vma),
+    /// A removed range; replicas drop covered VMAs and resident pages.
+    Unmap {
+        /// Start address.
+        addr: VAddr,
+        /// Length in bytes.
+        len: u64,
+    },
+}
+
+/// What the home futex server did with a forwarded request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FutexOutcome {
+    /// Wait accepted: the caller stays asleep until a
+    /// [`ProtoMsg::FutexWakeTask`] arrives.
+    Parked,
+    /// Wait rejected: the word no longer holds the expected value
+    /// (`EAGAIN` to the caller).
+    Mismatch,
+    /// Wake completed; this many waiters were woken.
+    Woken(u64),
+}
+
+/// The protocol message set.
+///
+/// Variant sizes differ widely by design (a page grant carries 4 KiB-class
+/// payloads, a `PageDone` a few words); messages are moved into the event
+/// queue once and never copied, so boxing the big variants would only add
+/// indirection.
+#[derive(Debug)]
+#[allow(clippy::large_enum_variant)]
+pub enum ProtoMsg {
+    /// A migrating thread: context, program state, accounting.
+    TaskMigrate {
+        /// The thread.
+        tid: Tid,
+        /// Its group.
+        group: GroupId,
+        /// The user program state (moves with the thread).
+        program: Box<dyn Program>,
+        /// Architectural context.
+        ctx: CpuContext,
+        /// Accounting carried across kernels.
+        stats: TaskStats,
+        /// When the migrate syscall was issued (latency measurement).
+        started: SimTime,
+        /// VMAs pushed eagerly (ablation; empty = on-demand retrieval).
+        vmas: Vec<Vma>,
+    },
+    /// Membership/location update to the home kernel: `tid` now runs on
+    /// the sending kernel (sent on clone arrival and migration arrival).
+    MemberAt {
+        /// The group.
+        group: GroupId,
+        /// The member.
+        tid: Tid,
+        /// Whether this is a brand-new member (clone) vs a move (migration).
+        joined: bool,
+    },
+
+    /// Remote thread creation request (distributed thread group creation).
+    CloneReq {
+        /// Correlation id at the origin.
+        rpc: RpcId,
+        /// Requesting kernel (for the response).
+        origin: KernelId,
+        /// The group the child joins.
+        group: GroupId,
+        /// The child's program.
+        child: Box<dyn Program>,
+        /// VMAs pushed eagerly (ablation; empty = on-demand retrieval).
+        vmas: Vec<Vma>,
+    },
+    /// Remote thread creation response.
+    CloneResp {
+        /// Correlation id.
+        rpc: RpcId,
+        /// The new thread's id (allocated by the target kernel).
+        tid: Tid,
+    },
+
+    /// VMA operation request to the home kernel.
+    VmaOpReq {
+        /// Correlation id at the origin.
+        rpc: RpcId,
+        /// Requesting kernel.
+        origin: KernelId,
+        /// The group.
+        group: GroupId,
+        /// The operation.
+        op: VmaOp,
+    },
+    /// VMA operation completion (home → origin).
+    VmaOpDone {
+        /// Correlation id.
+        rpc: RpcId,
+        /// mmap: address; brk: old break; unmap: 0.
+        result: Result<u64, Errno>,
+    },
+    /// Layout change pushed to a replica.
+    VmaUpdate {
+        /// The group.
+        group: GroupId,
+        /// The change.
+        change: VmaChange,
+        /// Ack token (unmap waits for replica acknowledgements).
+        ack: Option<u64>,
+    },
+    /// Replica acknowledgement of an unmap update.
+    VmaUpdateAck {
+        /// The group.
+        group: GroupId,
+        /// Token from the update.
+        token: u64,
+    },
+    /// On-demand VMA retrieval (fault on an address with no local VMA).
+    VmaFetchReq {
+        /// Correlation id at the origin.
+        rpc: RpcId,
+        /// Requesting kernel.
+        origin: KernelId,
+        /// The group.
+        group: GroupId,
+        /// Faulting address.
+        addr: VAddr,
+    },
+    /// VMA retrieval response (`None` = genuine segfault).
+    VmaFetchResp {
+        /// Correlation id.
+        rpc: RpcId,
+        /// The covering VMA at the home kernel, if any.
+        vma: Option<Vma>,
+    },
+
+    /// Page fault request to the home kernel's directory.
+    PageReq {
+        /// Correlation id at the origin.
+        rpc: RpcId,
+        /// Faulting kernel.
+        origin: KernelId,
+        /// The group.
+        group: GroupId,
+        /// The page.
+        page: PageNo,
+        /// Write access required.
+        write: bool,
+    },
+    /// Home asks the current owner for a copy (read fault; owner
+    /// downgrades to read-shared).
+    PageFetch {
+        /// The group.
+        group: GroupId,
+        /// The page.
+        page: PageNo,
+    },
+    /// Owner's copy back to the home kernel.
+    PageFetched {
+        /// The group.
+        group: GroupId,
+        /// The page.
+        page: PageNo,
+        /// The data.
+        contents: PageContents,
+    },
+    /// Home tells a holder to drop its copy (write fault elsewhere).
+    PageInval {
+        /// The group.
+        group: GroupId,
+        /// The page.
+        page: PageNo,
+    },
+    /// Holder's acknowledgement; the owner attaches the data.
+    PageInvalAck {
+        /// The group.
+        group: GroupId,
+        /// The page.
+        page: PageNo,
+        /// Data, from the previous owner only.
+        contents: Option<PageContents>,
+    },
+    /// The grant completing a page fault.
+    PageGrant {
+        /// Correlation id.
+        rpc: RpcId,
+        /// The group.
+        group: GroupId,
+        /// The page.
+        page: PageNo,
+        /// Granted local state.
+        state: PageState,
+        /// Version to record locally.
+        version: u64,
+        /// Data (`None` = zero-fill grant or ownership upgrade in place).
+        contents: Option<PageContents>,
+    },
+    /// Requester confirms installation; home unblocks queued requests.
+    PageDone {
+        /// The group.
+        group: GroupId,
+        /// The page.
+        page: PageNo,
+    },
+
+    /// Futex operation forwarded to the group's home (futex server).
+    FutexReq {
+        /// Correlation id at the origin.
+        rpc: RpcId,
+        /// Requesting kernel.
+        origin: KernelId,
+        /// The group.
+        group: GroupId,
+        /// The calling thread (parked on a wait).
+        tid: Tid,
+        /// The operation.
+        op: FutexOp,
+    },
+    /// Futex response.
+    FutexResp {
+        /// Correlation id.
+        rpc: RpcId,
+        /// What the server did.
+        outcome: FutexOutcome,
+    },
+    /// Home wakes a parked remote waiter.
+    FutexWakeTask {
+        /// The group.
+        group: GroupId,
+        /// The sleeping thread.
+        tid: Tid,
+    },
+    /// Atomic RMW on a sync word, forwarded to the home.
+    RmwReq {
+        /// Correlation id at the origin.
+        rpc: RpcId,
+        /// Requesting kernel.
+        origin: KernelId,
+        /// The group.
+        group: GroupId,
+        /// Word address.
+        addr: VAddr,
+        /// The operation.
+        op: RmwOp,
+    },
+    /// RMW response: the old value.
+    RmwResp {
+        /// Correlation id.
+        rpc: RpcId,
+        /// Value before the op.
+        old: u64,
+    },
+
+    /// A member exited (kernel → home accounting).
+    TaskExited {
+        /// The group.
+        group: GroupId,
+        /// The member.
+        tid: Tid,
+    },
+    /// `exit_group` initiated on a non-home kernel.
+    GroupExitReq {
+        /// The group.
+        group: GroupId,
+        /// Exit status.
+        code: i32,
+        /// Members already killed locally by the sender.
+        killed: Vec<Tid>,
+    },
+    /// Home orders a replica to kill its local members.
+    GroupKill {
+        /// The group.
+        group: GroupId,
+        /// Exit status.
+        code: i32,
+    },
+    /// Replica reports the members it killed.
+    GroupKillAck {
+        /// The group.
+        group: GroupId,
+        /// Members killed (shadows excluded).
+        killed: Vec<Tid>,
+    },
+    /// Home orders replicas to drop all remaining group state.
+    GroupReap {
+        /// The group.
+        group: GroupId,
+    },
+}
+
+/// Fixed header bytes per protocol message.
+const HDR: usize = 48;
+/// Bytes of a full page on the wire.
+const PAGE_BYTES: usize = 4096;
+/// Bytes per VMA descriptor.
+const VMA_BYTES: usize = 24;
+
+fn contents_bytes(c: &Option<PageContents>) -> usize {
+    match c {
+        Some(_) => PAGE_BYTES,
+        None => 0,
+    }
+}
+
+impl Wire for ProtoMsg {
+    fn wire_size(&self) -> usize {
+        match self {
+            ProtoMsg::TaskMigrate {
+                ctx, program, vmas, ..
+            } => HDR + ctx.wire_size() + program.migration_payload() + vmas.len() * VMA_BYTES,
+            ProtoMsg::CloneReq { vmas, .. } => HDR + 208 + vmas.len() * VMA_BYTES,
+            ProtoMsg::PageFetched { .. } => HDR + PAGE_BYTES,
+            ProtoMsg::PageInvalAck { contents, .. } => HDR + contents_bytes(contents),
+            ProtoMsg::PageGrant { contents, .. } => HDR + contents_bytes(contents),
+            ProtoMsg::VmaFetchResp { vma, .. } => HDR + vma.map_or(0, |_| VMA_BYTES),
+            ProtoMsg::VmaUpdate { .. } => HDR + VMA_BYTES,
+            ProtoMsg::GroupExitReq { killed, .. } | ProtoMsg::GroupKillAck { killed, .. } => {
+                HDR + killed.len() * 8
+            }
+            // Small fixed-size control messages.
+            _ => HDR + 16,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use popcorn_kernel::program::{Op, ProgEnv, Resume};
+
+    #[derive(Debug)]
+    struct Nop;
+    impl Program for Nop {
+        fn step(&mut self, _r: Resume, _e: &ProgEnv) -> Op {
+            Op::Exit(0)
+        }
+    }
+
+    #[test]
+    fn page_bearing_messages_cost_a_full_page() {
+        let grant_with = ProtoMsg::PageGrant {
+            rpc: RpcId(1),
+            group: GroupId(Tid::new(KernelId(0), 1)),
+            page: PageNo(1),
+            state: PageState::Exclusive,
+            version: 1,
+            contents: Some(PageContents::default()),
+        };
+        let grant_without = ProtoMsg::PageGrant {
+            rpc: RpcId(1),
+            group: GroupId(Tid::new(KernelId(0), 1)),
+            page: PageNo(1),
+            state: PageState::Exclusive,
+            version: 1,
+            contents: None,
+        };
+        assert_eq!(grant_with.wire_size() - grant_without.wire_size(), 4096);
+    }
+
+    #[test]
+    fn migration_message_scales_with_context_and_payload() {
+        let lean = ProtoMsg::TaskMigrate {
+            tid: Tid::new(KernelId(0), 1),
+            group: GroupId(Tid::new(KernelId(0), 1)),
+            program: Box::new(Nop),
+            ctx: CpuContext::default(),
+            stats: TaskStats::default(),
+            started: SimTime::ZERO,
+            vmas: vec![],
+        };
+        let fpu_ctx = CpuContext {
+            fpu_used: true,
+            ..CpuContext::default()
+        };
+        let heavy = ProtoMsg::TaskMigrate {
+            tid: Tid::new(KernelId(0), 1),
+            group: GroupId(Tid::new(KernelId(0), 1)),
+            program: Box::new(Nop),
+            ctx: fpu_ctx,
+            stats: TaskStats::default(),
+            started: SimTime::ZERO,
+            vmas: vec![
+                Vma {
+                    start: VAddr(0x7f00_0000_0000),
+                    len: 4096,
+                };
+                3
+            ],
+        };
+        assert_eq!(heavy.wire_size() - lean.wire_size(), 512 + 3 * 24);
+    }
+
+    #[test]
+    fn control_messages_are_small() {
+        let m = ProtoMsg::PageDone {
+            group: GroupId(Tid::new(KernelId(0), 1)),
+            page: PageNo(5),
+        };
+        assert!(m.wire_size() <= 128);
+    }
+}

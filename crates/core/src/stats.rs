@@ -1,0 +1,126 @@
+//! Popcorn-specific protocol statistics.
+
+use std::collections::BTreeMap;
+
+use popcorn_sim::{Counter, Histogram};
+
+/// Counters and latency histograms for the replicated-kernel protocols.
+#[derive(Debug, Default)]
+pub struct PopStats {
+    /// First-visit migrations (fresh task creation at the target).
+    pub migrations_first: Counter,
+    /// Back-migrations (shadow revival).
+    pub migrations_back: Counter,
+    /// End-to-end latency of first-visit migrations (syscall to resume).
+    pub migration_first_lat: Histogram,
+    /// End-to-end latency of back-migrations.
+    pub migration_back_lat: Histogram,
+    /// Faults resolved entirely at the faulting (home) kernel.
+    pub faults_local: Counter,
+    /// Remote read faults (page fetched from another kernel).
+    pub faults_remote_read: Counter,
+    /// Remote write faults (invalidation round).
+    pub faults_remote_write: Counter,
+    /// Latency of local fault service.
+    pub fault_local_lat: Histogram,
+    /// Latency of remote read faults (fault to resume).
+    pub fault_remote_read_lat: Histogram,
+    /// Latency of remote write faults.
+    pub fault_remote_write_lat: Histogram,
+    /// Pages shipped between kernels.
+    pub page_transfers: Counter,
+    /// Invalidation messages sent.
+    pub invalidations: Counter,
+    /// Sync-word ops served on the local fast path.
+    pub rmw_local: Counter,
+    /// Sync-word ops forwarded to the home kernel.
+    pub rmw_remote: Counter,
+    /// Futex syscalls served locally.
+    pub futex_local: Counter,
+    /// Futex syscalls forwarded to the home kernel.
+    pub futex_remote: Counter,
+    /// Threads created on the caller's kernel.
+    pub clone_local: Counter,
+    /// Remote thread creations (distributed group growth).
+    pub clone_remote: Counter,
+    /// Latency of remote thread creation (syscall to parent resume).
+    pub clone_remote_lat: Histogram,
+    /// VMA operations served at the caller's (home) kernel.
+    pub vma_local: Counter,
+    /// VMA operations forwarded to the home kernel.
+    pub vma_remote: Counter,
+    /// On-demand VMA retrievals.
+    pub vma_fetches: Counter,
+}
+
+impl PopStats {
+    /// Flattens into named metrics for [`RunReport`](popcorn_kernel::RunReport).
+    pub fn metrics(&self) -> BTreeMap<String, f64> {
+        let mut m = BTreeMap::new();
+        m.insert("migrations_first".into(), self.migrations_first.get() as f64);
+        m.insert("migrations_back".into(), self.migrations_back.get() as f64);
+        m.insert(
+            "migration_first_us_mean".into(),
+            self.migration_first_lat.mean() / 1_000.0,
+        );
+        m.insert(
+            "migration_back_us_mean".into(),
+            self.migration_back_lat.mean() / 1_000.0,
+        );
+        m.insert("faults_local".into(), self.faults_local.get() as f64);
+        m.insert(
+            "faults_remote_read".into(),
+            self.faults_remote_read.get() as f64,
+        );
+        m.insert(
+            "faults_remote_write".into(),
+            self.faults_remote_write.get() as f64,
+        );
+        m.insert(
+            "fault_local_us_mean".into(),
+            self.fault_local_lat.mean() / 1_000.0,
+        );
+        m.insert(
+            "fault_remote_read_us_mean".into(),
+            self.fault_remote_read_lat.mean() / 1_000.0,
+        );
+        m.insert(
+            "fault_remote_write_us_mean".into(),
+            self.fault_remote_write_lat.mean() / 1_000.0,
+        );
+        m.insert("page_transfers".into(), self.page_transfers.get() as f64);
+        m.insert("invalidations".into(), self.invalidations.get() as f64);
+        m.insert("rmw_local".into(), self.rmw_local.get() as f64);
+        m.insert("rmw_remote".into(), self.rmw_remote.get() as f64);
+        m.insert("futex_local".into(), self.futex_local.get() as f64);
+        m.insert("futex_remote".into(), self.futex_remote.get() as f64);
+        m.insert("clone_local".into(), self.clone_local.get() as f64);
+        m.insert("clone_remote".into(), self.clone_remote.get() as f64);
+        m.insert(
+            "clone_remote_us_mean".into(),
+            self.clone_remote_lat.mean() / 1_000.0,
+        );
+        m.insert("vma_local".into(), self.vma_local.get() as f64);
+        m.insert("vma_remote".into(), self.vma_remote.get() as f64);
+        m.insert("vma_fetches".into(), self.vma_fetches.get() as f64);
+        m
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn metrics_flatten_all_counters() {
+        let mut s = PopStats::default();
+        s.migrations_first.incr();
+        s.page_transfers.add(3);
+        s.migration_first_lat.record(50_000);
+        let m = s.metrics();
+        assert_eq!(m["migrations_first"], 1.0);
+        assert_eq!(m["page_transfers"], 3.0);
+        assert_eq!(m["migration_first_us_mean"], 50.0);
+        assert!(m.contains_key("vma_fetches"));
+    }
+}

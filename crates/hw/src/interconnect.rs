@@ -1,0 +1,133 @@
+//! Core↔core and core↔memory latency model.
+//!
+//! Latency between cores is two-tier (same socket / cross socket), which is
+//! what the QPI-style interconnects of the paper era look like to software.
+//! Memory accesses are charged local or remote DRAM latency by socket.
+
+use popcorn_sim::SimTime;
+
+use crate::params::HwParams;
+use crate::topo::{CoreId, SocketId, Topology};
+
+/// Precomputed latency tiers for a given topology and parameter set.
+///
+/// # Example
+///
+/// ```
+/// use popcorn_hw::{Interconnect, Topology, HwParams, CoreId};
+///
+/// let ic = Interconnect::new(Topology::new(2, 2), &HwParams::default());
+/// assert!(ic.core_to_core(CoreId(0), CoreId(0)).is_zero());
+/// assert!(ic.core_to_core(CoreId(0), CoreId(3)) > ic.core_to_core(CoreId(0), CoreId(1)));
+/// ```
+#[derive(Debug, Clone)]
+pub struct Interconnect {
+    topology: Topology,
+    same_socket: SimTime,
+    cross_socket: SimTime,
+    dram_local: SimTime,
+    dram_remote: SimTime,
+    page_copy_same: SimTime,
+    page_copy_cross: SimTime,
+}
+
+impl Interconnect {
+    /// Builds the latency model.
+    pub fn new(topology: Topology, params: &HwParams) -> Self {
+        Interconnect {
+            topology,
+            same_socket: SimTime::from_nanos(params.line_transfer_same_socket_ns),
+            cross_socket: SimTime::from_nanos(params.line_transfer_cross_socket_ns),
+            dram_local: SimTime::from_nanos(params.dram_local_ns),
+            dram_remote: SimTime::from_nanos(params.dram_remote_ns),
+            page_copy_same: SimTime::from_nanos(params.page_copy_same_socket_ns),
+            page_copy_cross: SimTime::from_nanos(params.page_copy_cross_socket_ns),
+        }
+    }
+
+    /// One cache-line transfer between two cores (zero if they are the same
+    /// core — the line is already local).
+    pub fn core_to_core(&self, from: CoreId, to: CoreId) -> SimTime {
+        if from == to {
+            SimTime::ZERO
+        } else if self.topology.same_socket(from, to) {
+            self.same_socket
+        } else {
+            self.cross_socket
+        }
+    }
+
+    /// DRAM access from `core` to memory homed on `home` socket.
+    pub fn dram_access(&self, core: CoreId, home: SocketId) -> SimTime {
+        if self.topology.socket_of(core) == home {
+            self.dram_local
+        } else {
+            self.dram_remote
+        }
+    }
+
+    /// Copying one 4 KiB page from memory homed on `from` to memory homed on
+    /// `to` (same-socket copies are cheaper).
+    pub fn page_copy(&self, from: SocketId, to: SocketId) -> SimTime {
+        if from == to {
+            self.page_copy_same
+        } else {
+            self.page_copy_cross
+        }
+    }
+
+    /// The topology this model was built for.
+    pub fn topology(&self) -> Topology {
+        self.topology
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ic() -> Interconnect {
+        Interconnect::new(Topology::new(2, 4), &HwParams::default())
+    }
+
+    #[test]
+    fn self_transfer_is_free() {
+        assert_eq!(ic().core_to_core(CoreId(2), CoreId(2)), SimTime::ZERO);
+    }
+
+    #[test]
+    fn cross_socket_costs_more() {
+        let ic = ic();
+        let near = ic.core_to_core(CoreId(0), CoreId(3));
+        let far = ic.core_to_core(CoreId(0), CoreId(4));
+        assert!(far > near);
+        assert!(near > SimTime::ZERO);
+    }
+
+    #[test]
+    fn transfer_is_symmetric() {
+        let ic = ic();
+        for a in 0..8u16 {
+            for b in 0..8u16 {
+                assert_eq!(
+                    ic.core_to_core(CoreId(a), CoreId(b)),
+                    ic.core_to_core(CoreId(b), CoreId(a))
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn dram_numa_penalty() {
+        let ic = ic();
+        let local = ic.dram_access(CoreId(0), SocketId(0));
+        let remote = ic.dram_access(CoreId(0), SocketId(1));
+        assert!(remote > local);
+    }
+
+    #[test]
+    fn page_copy_tiers() {
+        let ic = ic();
+        assert!(ic.page_copy(SocketId(0), SocketId(1)) > ic.page_copy(SocketId(0), SocketId(0)));
+    }
+}

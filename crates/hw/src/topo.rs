@@ -1,0 +1,227 @@
+//! Core and socket identifiers and the machine topology.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// A hardware core (hyperthreading is not modelled; one core = one logical
+/// CPU as in the paper's setup).
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
+)]
+pub struct CoreId(pub u16);
+
+impl fmt::Display for CoreId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "cpu{}", self.0)
+    }
+}
+
+/// A NUMA socket (one memory controller per socket).
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
+)]
+pub struct SocketId(pub u16);
+
+impl fmt::Display for SocketId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "socket{}", self.0)
+    }
+}
+
+/// The machine layout: `sockets × cores_per_socket` cores, numbered
+/// socket-major (cores 0..c-1 on socket 0, c..2c-1 on socket 1, ...), which
+/// matches how Popcorn's evaluation partitioned kernels along socket
+/// boundaries.
+///
+/// # Example
+///
+/// ```
+/// use popcorn_hw::{Topology, CoreId, SocketId};
+///
+/// let t = Topology::new(4, 16);
+/// assert_eq!(t.num_cores(), 64);
+/// assert_eq!(t.socket_of(CoreId(17)), SocketId(1));
+/// assert!(t.same_socket(CoreId(0), CoreId(15)));
+/// assert!(!t.same_socket(CoreId(15), CoreId(16)));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Topology {
+    sockets: u16,
+    cores_per_socket: u16,
+}
+
+impl Topology {
+    /// Creates a topology.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either dimension is zero.
+    pub fn new(sockets: u16, cores_per_socket: u16) -> Self {
+        assert!(sockets > 0, "need at least one socket");
+        assert!(cores_per_socket > 0, "need at least one core per socket");
+        Topology {
+            sockets,
+            cores_per_socket,
+        }
+    }
+
+    /// A single-socket topology with `cores` cores.
+    pub fn single_socket(cores: u16) -> Self {
+        Topology::new(1, cores)
+    }
+
+    /// The 4-socket × 16-core layout used as the reproduction's default
+    /// 64-core machine (matching the paper-era evaluation scale).
+    pub fn paper_default() -> Self {
+        Topology::new(4, 16)
+    }
+
+    /// Number of sockets.
+    pub fn num_sockets(&self) -> u16 {
+        self.sockets
+    }
+
+    /// Cores per socket.
+    pub fn cores_per_socket(&self) -> u16 {
+        self.cores_per_socket
+    }
+
+    /// Total core count.
+    pub fn num_cores(&self) -> u16 {
+        self.sockets * self.cores_per_socket
+    }
+
+    /// The socket a core lives on.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `core` is out of range.
+    pub fn socket_of(&self, core: CoreId) -> SocketId {
+        assert!(self.contains(core), "{core} out of range for {self:?}");
+        SocketId(core.0 / self.cores_per_socket)
+    }
+
+    /// Whether two cores share a socket.
+    pub fn same_socket(&self, a: CoreId, b: CoreId) -> bool {
+        self.socket_of(a) == self.socket_of(b)
+    }
+
+    /// Whether the core id is valid for this topology.
+    pub fn contains(&self, core: CoreId) -> bool {
+        core.0 < self.num_cores()
+    }
+
+    /// Iterates all cores in id order.
+    pub fn cores(&self) -> impl Iterator<Item = CoreId> {
+        (0..self.num_cores()).map(CoreId)
+    }
+
+    /// Iterates the cores of one socket in id order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `socket` is out of range.
+    pub fn cores_of(&self, socket: SocketId) -> impl Iterator<Item = CoreId> {
+        assert!(socket.0 < self.sockets, "{socket} out of range");
+        let base = socket.0 * self.cores_per_socket;
+        (base..base + self.cores_per_socket).map(CoreId)
+    }
+
+    /// Splits the cores into `n` contiguous, near-equal partitions — how the
+    /// replicated-kernel and multikernel OS models assign cores to kernels.
+    /// Earlier partitions receive the remainder cores.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is zero or exceeds the core count.
+    pub fn partition(&self, n: u16) -> Vec<Vec<CoreId>> {
+        assert!(n > 0, "cannot partition into zero parts");
+        let total = self.num_cores();
+        assert!(n <= total, "more partitions ({n}) than cores ({total})");
+        let base = total / n;
+        let extra = total % n;
+        let mut parts = Vec::with_capacity(n as usize);
+        let mut next = 0u16;
+        for i in 0..n {
+            let len = base + u16::from(i < extra);
+            parts.push((next..next + len).map(CoreId).collect());
+            next += len;
+        }
+        parts
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn socket_major_numbering() {
+        let t = Topology::new(2, 4);
+        assert_eq!(t.socket_of(CoreId(0)), SocketId(0));
+        assert_eq!(t.socket_of(CoreId(3)), SocketId(0));
+        assert_eq!(t.socket_of(CoreId(4)), SocketId(1));
+        assert_eq!(t.socket_of(CoreId(7)), SocketId(1));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn socket_of_rejects_out_of_range() {
+        Topology::new(2, 4).socket_of(CoreId(8));
+    }
+
+    #[test]
+    fn cores_iterates_all() {
+        let t = Topology::new(2, 3);
+        let cores: Vec<_> = t.cores().collect();
+        assert_eq!(cores.len(), 6);
+        assert_eq!(cores[0], CoreId(0));
+        assert_eq!(cores[5], CoreId(5));
+    }
+
+    #[test]
+    fn cores_of_socket() {
+        let t = Topology::new(3, 2);
+        let s1: Vec<_> = t.cores_of(SocketId(1)).collect();
+        assert_eq!(s1, vec![CoreId(2), CoreId(3)]);
+    }
+
+    #[test]
+    fn partition_even() {
+        let t = Topology::new(2, 4);
+        let parts = t.partition(4);
+        assert_eq!(parts.len(), 4);
+        assert!(parts.iter().all(|p| p.len() == 2));
+        // Contiguous and covering.
+        let flat: Vec<_> = parts.iter().flatten().copied().collect();
+        assert_eq!(flat, t.cores().collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn partition_uneven_front_loads_remainder() {
+        let t = Topology::new(1, 7);
+        let parts = t.partition(3);
+        let lens: Vec<_> = parts.iter().map(Vec::len).collect();
+        assert_eq!(lens, vec![3, 2, 2]);
+    }
+
+    #[test]
+    fn partition_one_per_core() {
+        let t = Topology::new(1, 5);
+        let parts = t.partition(5);
+        assert!(parts.iter().all(|p| p.len() == 1));
+    }
+
+    #[test]
+    #[should_panic(expected = "more partitions")]
+    fn partition_rejects_too_many() {
+        Topology::new(1, 2).partition(3);
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(CoreId(3).to_string(), "cpu3");
+        assert_eq!(SocketId(1).to_string(), "socket1");
+    }
+}

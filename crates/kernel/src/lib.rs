@@ -1,0 +1,64 @@
+#![warn(missing_docs)]
+//! Kernel-instance model for the Popcorn replicated-kernel OS reproduction.
+//!
+//! This crate is the *mechanism layer* shared by all three OS models the
+//! evaluation compares (Popcorn, SMP Linux-like, Barrelfish-like
+//! multikernel):
+//!
+//! - [`types`] — task/group/address identifiers, CPU context;
+//! - [`program`] — user threads as resumable state machines
+//!   ([`program::Program`]);
+//! - [`mm`] — address-space replicas: VMAs, page-protocol state, contents;
+//! - [`task`] — thread control blocks;
+//! - [`futex`] — authoritative synchronization words and wait queues;
+//! - [`kernel`] — the kernel instance: per-core scheduling and the
+//!   execution loop ([`Kernel::run_core`](kernel::Kernel::run_core));
+//! - [`params`] — calibrated software-path costs;
+//! - [`osmodel`] — the scaffolding OS models plug their policy into, plus
+//!   the harness-facing [`osmodel::OsModel`] interface.
+//!
+//! Cross-kernel *policy* — migration, address-space consistency,
+//! distributed futexes — intentionally lives above this crate, in
+//! `popcorn-core` (the paper's contribution) and `popcorn-baselines`.
+//!
+//! # Example: a one-kernel machine running one program
+//!
+//! ```
+//! use popcorn_hw::{Machine, Topology, HwParams, CoreId};
+//! use popcorn_msg::KernelId;
+//! use popcorn_kernel::kernel::{Kernel, RunOutcome};
+//! use popcorn_kernel::mm::Mm;
+//! use popcorn_kernel::params::OsParams;
+//! use popcorn_kernel::program::{Program, Op, Resume, ProgEnv};
+//! use popcorn_kernel::types::GroupId;
+//! use popcorn_sim::SimTime;
+//!
+//! #[derive(Debug)]
+//! struct Hello;
+//! impl Program for Hello {
+//!     fn step(&mut self, _r: Resume, _e: &ProgEnv) -> Op { Op::Exit(0) }
+//! }
+//!
+//! let machine = Machine::new(Topology::single_socket(1), HwParams::default());
+//! let mut k = Kernel::new(KernelId(0), vec![CoreId(0)], OsParams::default(), machine);
+//! let leader = k.alloc_tid();
+//! let group = GroupId(leader);
+//! k.adopt_mm(Mm::new(group));
+//! let core = k.spawn(leader, group, Box::new(Hello), None, SimTime::ZERO);
+//! assert!(matches!(k.run_core(SimTime::ZERO, core), RunOutcome::Exited { code: 0, .. }));
+//! ```
+
+pub mod futex;
+pub mod kernel;
+pub mod mm;
+pub mod osmodel;
+pub mod params;
+pub mod program;
+pub mod task;
+pub mod types;
+
+pub use kernel::{Kernel, RunOutcome};
+pub use osmodel::{OsEvent, OsMachine, OsModel, RunReport};
+pub use params::OsParams;
+pub use program::{Op, Program, Resume};
+pub use types::{GroupId, Tid, VAddr};

@@ -1,0 +1,302 @@
+//! The user-program abstraction.
+//!
+//! Applications in this reproduction are resumable state machines: the
+//! kernel repeatedly calls [`Program::step`], feeding back the result of the
+//! previous operation, and the program returns its next [`Op`] — compute for
+//! some cycles, touch memory, perform an atomic read-modify-write on a
+//! synchronization word, or make a syscall. This mirrors how the simulation
+//! views a real thread: a stream of instructions punctuated by the events
+//! the OS must mediate.
+//!
+//! Because a program is a value (`Box<dyn Program>`), *migrating a thread
+//! moves the value between kernel instances* — together with its
+//! [`CpuContext`](crate::types::CpuContext) — which is exactly the paper's
+//! context-migration operation.
+
+use std::fmt;
+
+use popcorn_hw::CoreId;
+use popcorn_msg::KernelId;
+use popcorn_sim::SimTime;
+
+use crate::types::{Errno, Tid, VAddr};
+
+/// What the kernel feeds back into [`Program::step`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Resume {
+    /// First step of a fresh thread.
+    Start,
+    /// The previous op (compute/store) completed.
+    Done,
+    /// The previous load or atomic op completed with this value.
+    Value(u64),
+    /// The previous syscall returned.
+    Sys(SysResult),
+}
+
+/// Result of a syscall.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SysResult {
+    /// Success carrying a value (address for mmap, tid for clone/gettid,
+    /// woken count for futex-wake, 0 where nothing meaningful).
+    Val(u64),
+    /// Failure.
+    Err(Errno),
+}
+
+impl SysResult {
+    /// Unwraps the success value.
+    ///
+    /// # Panics
+    ///
+    /// Panics on `Err` — programs use this where failure indicates a
+    /// workload bug.
+    pub fn expect_val(self, what: &str) -> u64 {
+        match self {
+            SysResult::Val(v) => v,
+            SysResult::Err(e) => panic!("syscall {what} failed: {e}"),
+        }
+    }
+}
+
+/// Atomic read-modify-write operations on synchronization words.
+///
+/// These are routed through the OS model's synchronization-word engine (the
+/// futex value store); see DESIGN.md §Distributed futex for the modelling
+/// rationale.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RmwOp {
+    /// Fetch-and-add; returns the old value.
+    Add(u64),
+    /// Unconditional exchange; returns the old value.
+    Xchg(u64),
+    /// Compare-and-swap: store `new` if current == `expected`; returns the
+    /// old value (caller compares to detect success).
+    Cas {
+        /// Value the word must currently hold.
+        expected: u64,
+        /// Replacement on success.
+        new: u64,
+    },
+}
+
+/// Futex operations (the `futex(2)` subset the paper's workloads use).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FutexOp {
+    /// Sleep while `*uaddr == expected` (returns `Err(Again)` otherwise).
+    Wait {
+        /// Futex word address.
+        uaddr: VAddr,
+        /// Expected value gate.
+        expected: u64,
+    },
+    /// Wake up to `count` waiters; returns how many were woken.
+    Wake {
+        /// Futex word address.
+        uaddr: VAddr,
+        /// Maximum waiters to wake (`u32::MAX` = all).
+        count: u32,
+    },
+}
+
+/// Where a newly cloned thread should be placed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Placement {
+    /// Least-loaded core of the calling kernel.
+    Local,
+    /// A specific core (the OS model maps it to the owning kernel; on the
+    /// replicated-kernel OS a remote core implies remote thread creation).
+    Core(CoreId),
+    /// Spread across the whole machine (OS model's default placement).
+    Auto,
+}
+
+/// Where a thread asks to migrate (Popcorn exposes migration through a
+/// processor-affinity-style interface; on SMP the same call is an
+/// intra-kernel core move).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MigrateTarget {
+    /// Move to (some core of) the given kernel instance.
+    Kernel(KernelId),
+    /// Move to a specific core.
+    Core(CoreId),
+}
+
+/// A syscall request from a program.
+#[derive(Debug)]
+pub enum SyscallReq {
+    /// Create a thread in the caller's (distributed) thread group running
+    /// `child`. Returns the new tid.
+    Clone {
+        /// The child thread's program.
+        child: Box<dyn Program>,
+        /// Placement hint.
+        placement: Placement,
+    },
+    /// Terminate the whole thread group.
+    ExitGroup {
+        /// Exit status.
+        code: i32,
+    },
+    /// Map `len` bytes of anonymous memory; returns the address.
+    Mmap {
+        /// Length in bytes (rounded up to pages).
+        len: u64,
+    },
+    /// Unmap a range previously returned by mmap.
+    Munmap {
+        /// Start address (page aligned).
+        addr: VAddr,
+        /// Length in bytes.
+        len: u64,
+    },
+    /// Grow the heap by `grow` bytes; returns the old break.
+    Brk {
+        /// Bytes to extend by.
+        grow: u64,
+    },
+    /// Futex wait/wake.
+    Futex(FutexOp),
+    /// The group pid (identical on every kernel — single-system image).
+    GetPid,
+    /// The caller's tid.
+    GetTid,
+    /// Request migration of the calling thread.
+    Migrate(MigrateTarget),
+    /// Yield the CPU to the next runnable thread on this core.
+    Yield,
+    /// Sleep for at least `ns` virtual nanoseconds.
+    Nanosleep {
+        /// Sleep duration in nanoseconds.
+        ns: u64,
+    },
+    /// Which kernel instance the thread is currently executing on. (A
+    /// Popcorn-specific introspection call; SMP returns kernel 0.)
+    GetKernel,
+}
+
+/// One operation a program asks the machine to perform.
+#[derive(Debug)]
+pub enum Op {
+    /// Execute for this many CPU cycles.
+    Compute(u64),
+    /// Read a 64-bit word (feeds back [`Resume::Value`]).
+    Load(VAddr),
+    /// Write a 64-bit word.
+    Store(VAddr, u64),
+    /// Atomic RMW on a synchronization word (feeds back the old value).
+    AtomicRmw(VAddr, RmwOp),
+    /// Enter the kernel.
+    Syscall(SyscallReq),
+    /// Terminate this thread with a status code.
+    Exit(i32),
+}
+
+/// Read-only execution environment handed to [`Program::step`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ProgEnv {
+    /// The calling thread's id.
+    pub tid: Tid,
+    /// Core currently executing the thread.
+    pub core: CoreId,
+    /// Kernel instance currently hosting the thread.
+    pub kernel: KernelId,
+    /// Current virtual time.
+    pub now: SimTime,
+}
+
+/// A user thread as a resumable state machine.
+///
+/// Implementations must be deterministic given the `Resume` sequence; they
+/// may carry arbitrary state (it migrates with the thread).
+///
+/// # Example
+///
+/// ```
+/// use popcorn_kernel::program::{Program, Op, Resume, ProgEnv};
+///
+/// /// Spin for `n` chunks of 1000 cycles, then exit 0.
+/// #[derive(Debug)]
+/// struct Spin { n: u32 }
+///
+/// impl Program for Spin {
+///     fn step(&mut self, _resume: Resume, _env: &ProgEnv) -> Op {
+///         if self.n == 0 {
+///             return Op::Exit(0);
+///         }
+///         self.n -= 1;
+///         Op::Compute(1000)
+///     }
+/// }
+/// ```
+pub trait Program: fmt::Debug + Send {
+    /// Produces the next operation given the previous one's result.
+    fn step(&mut self, resume: Resume, env: &ProgEnv) -> Op;
+
+    /// Extra bytes this program's state adds to a migration message beyond
+    /// the architectural context (models dirty-stack transfer; defaults to
+    /// one page worth of live stack).
+    fn migration_payload(&self) -> usize {
+        4096
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[derive(Debug)]
+    struct Spin {
+        n: u32,
+    }
+
+    impl Program for Spin {
+        fn step(&mut self, _resume: Resume, _env: &ProgEnv) -> Op {
+            if self.n == 0 {
+                return Op::Exit(7);
+            }
+            self.n -= 1;
+            Op::Compute(100)
+        }
+    }
+
+    fn env() -> ProgEnv {
+        ProgEnv {
+            tid: Tid::new(KernelId(0), 1),
+            core: CoreId(0),
+            kernel: KernelId(0),
+            now: SimTime::ZERO,
+        }
+    }
+
+    #[test]
+    fn program_state_machine_drives_to_exit() {
+        let mut p = Spin { n: 2 };
+        let e = env();
+        assert!(matches!(p.step(Resume::Start, &e), Op::Compute(100)));
+        assert!(matches!(p.step(Resume::Done, &e), Op::Compute(100)));
+        assert!(matches!(p.step(Resume::Done, &e), Op::Exit(7)));
+    }
+
+    #[test]
+    fn default_migration_payload_is_one_page() {
+        assert_eq!(Spin { n: 0 }.migration_payload(), 4096);
+    }
+
+    #[test]
+    fn sys_result_expect_val() {
+        assert_eq!(SysResult::Val(5).expect_val("x"), 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "syscall mmap failed")]
+    fn sys_result_expect_val_panics_on_err() {
+        SysResult::Err(Errno::NoMem).expect_val("mmap");
+    }
+
+    #[test]
+    fn boxed_programs_are_objects() {
+        let boxed: Box<dyn Program> = Box::new(Spin { n: 1 });
+        assert!(format!("{boxed:?}").contains("Spin"));
+    }
+}

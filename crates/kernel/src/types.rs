@@ -1,0 +1,272 @@
+//! Kernel-wide identifier and context types.
+//!
+//! Popcorn gives every kernel instance a disjoint PID range so that task ids
+//! are globally unique without coordination (the paper's PID-offset scheme);
+//! [`Tid`] encodes that directly: the originating kernel in the high bits,
+//! a kernel-local id in the low bits.
+
+use std::fmt;
+
+use popcorn_msg::KernelId;
+use serde::{Deserialize, Serialize};
+
+/// Number of low bits reserved for the kernel-local part of a [`Tid`].
+const LOCAL_BITS: u32 = 24;
+
+/// A globally unique task (thread) identifier.
+///
+/// # Example
+///
+/// ```
+/// use popcorn_kernel::types::Tid;
+/// use popcorn_msg::KernelId;
+///
+/// let t = Tid::new(KernelId(2), 7);
+/// assert_eq!(t.origin(), KernelId(2));
+/// assert_eq!(t.local(), 7);
+/// ```
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
+)]
+pub struct Tid(pub u32);
+
+impl Tid {
+    /// Composes a tid from its originating kernel and a kernel-local id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `local` exceeds the 24-bit local space.
+    pub fn new(origin: KernelId, local: u32) -> Self {
+        assert!(local < (1 << LOCAL_BITS), "local tid {local} overflows");
+        Tid(((origin.0 as u32) << LOCAL_BITS) | local)
+    }
+
+    /// The kernel that allocated this tid.
+    pub fn origin(self) -> KernelId {
+        KernelId((self.0 >> LOCAL_BITS) as u16)
+    }
+
+    /// The kernel-local part.
+    pub fn local(self) -> u32 {
+        self.0 & ((1 << LOCAL_BITS) - 1)
+    }
+}
+
+impl fmt::Display for Tid {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "t{}.{}", self.origin().0, self.local())
+    }
+}
+
+/// A distributed thread group identity: the group leader's tid, which is
+/// also what `getpid` reports on every kernel (single-system image).
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
+)]
+pub struct GroupId(pub Tid);
+
+impl GroupId {
+    /// The kernel hosting the group's home (origin of the leader).
+    pub fn home(self) -> KernelId {
+        self.0.origin()
+    }
+
+    /// The pid applications observe (`getpid`).
+    pub fn pid(self) -> u32 {
+        self.0 .0
+    }
+}
+
+impl fmt::Display for GroupId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "g{}", self.0)
+    }
+}
+
+/// A virtual address within a group's (shared) address space.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
+)]
+pub struct VAddr(pub u64);
+
+impl VAddr {
+    /// Page size used throughout the model (4 KiB, as on the paper's x86).
+    pub const PAGE_SIZE: u64 = 4096;
+
+    /// The page number containing this address.
+    pub fn page(self) -> PageNo {
+        PageNo(self.0 >> 12)
+    }
+
+    /// Offset within the page.
+    pub fn page_offset(self) -> u64 {
+        self.0 & (Self::PAGE_SIZE - 1)
+    }
+
+    /// Byte-offset addition.
+    #[allow(clippy::should_implement_trait)]
+    pub fn add(self, delta: u64) -> VAddr {
+        VAddr(self.0 + delta)
+    }
+}
+
+impl fmt::Display for VAddr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:#x}", self.0)
+    }
+}
+
+/// A virtual page number (`address >> 12`).
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
+)]
+pub struct PageNo(pub u64);
+
+impl PageNo {
+    /// First address of the page.
+    pub fn base(self) -> VAddr {
+        VAddr(self.0 << 12)
+    }
+}
+
+impl fmt::Display for PageNo {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "pfn{:#x}", self.0)
+    }
+}
+
+/// POSIX-style error codes surfaced to programs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Errno {
+    /// Bad address (no VMA covers the access).
+    Fault,
+    /// Invalid argument.
+    Inval,
+    /// Try again (futex value mismatch).
+    Again,
+    /// No such process/task.
+    Srch,
+    /// Function not supported on this OS model (e.g. migration on SMP).
+    NoSys,
+    /// Out of memory / address space.
+    NoMem,
+}
+
+impl fmt::Display for Errno {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Errno::Fault => "EFAULT",
+            Errno::Inval => "EINVAL",
+            Errno::Again => "EAGAIN",
+            Errno::Srch => "ESRCH",
+            Errno::NoSys => "ENOSYS",
+            Errno::NoMem => "ENOMEM",
+        };
+        f.write_str(s)
+    }
+}
+
+/// The architectural state that travels with a migrating thread: the
+/// paper's context-migration payload (general-purpose registers, flags,
+/// segment bases, and optionally the FPU/vector state).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CpuContext {
+    /// General-purpose register file (16 × 64-bit on x86-64).
+    pub gpr: [u64; 16],
+    /// Instruction pointer.
+    pub rip: u64,
+    /// Flags register.
+    pub rflags: u64,
+    /// fs/gs segment bases (thread-local storage pointers).
+    pub seg_bases: [u64; 2],
+    /// Whether extended FPU/SSE state must be marshalled too.
+    pub fpu_used: bool,
+}
+
+impl Default for CpuContext {
+    fn default() -> Self {
+        CpuContext {
+            gpr: [0; 16],
+            rip: 0x40_0000,
+            rflags: 0x202,
+            seg_bases: [0; 2],
+            fpu_used: false,
+        }
+    }
+}
+
+impl CpuContext {
+    /// Serialized size in bytes when marshalled into a migration message
+    /// (the x86-64 integer state, plus the 512-byte FXSAVE area when the
+    /// FPU was used — the quantity the paper's context-migration cost
+    /// scales with).
+    pub fn wire_size(&self) -> usize {
+        let base = 16 * 8 + 8 + 8 + 2 * 8; // gpr + rip + rflags + seg bases
+        if self.fpu_used {
+            base + 512
+        } else {
+            base
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tid_roundtrips_origin_and_local() {
+        for k in [0u16, 1, 7, 63] {
+            for l in [0u32, 1, 12345, (1 << LOCAL_BITS) - 1] {
+                let t = Tid::new(KernelId(k), l);
+                assert_eq!(t.origin(), KernelId(k));
+                assert_eq!(t.local(), l);
+            }
+        }
+    }
+
+    #[test]
+    fn tids_from_different_kernels_never_collide() {
+        let a = Tid::new(KernelId(0), 5);
+        let b = Tid::new(KernelId(1), 5);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "overflows")]
+    fn local_overflow_panics() {
+        Tid::new(KernelId(0), 1 << LOCAL_BITS);
+    }
+
+    #[test]
+    fn group_home_is_leader_origin() {
+        let g = GroupId(Tid::new(KernelId(3), 1));
+        assert_eq!(g.home(), KernelId(3));
+    }
+
+    #[test]
+    fn vaddr_page_math() {
+        let a = VAddr(0x12345);
+        assert_eq!(a.page(), PageNo(0x12));
+        assert_eq!(a.page_offset(), 0x345);
+        assert_eq!(a.page().base(), VAddr(0x12000));
+        assert_eq!(a.add(0x10), VAddr(0x12355));
+    }
+
+    #[test]
+    fn context_wire_size_grows_with_fpu() {
+        let mut c = CpuContext::default();
+        let lean = c.wire_size();
+        c.fpu_used = true;
+        assert_eq!(c.wire_size(), lean + 512);
+    }
+
+    #[test]
+    fn display_formats_are_informative() {
+        let t = Tid::new(KernelId(2), 9);
+        assert_eq!(t.to_string(), "t2.9");
+        assert_eq!(GroupId(t).to_string(), "gt2.9");
+        assert_eq!(VAddr(0xff).to_string(), "0xff");
+        assert_eq!(Errno::Again.to_string(), "EAGAIN");
+    }
+}

@@ -1,0 +1,192 @@
+//! Tests of the shared OS-model dispatch skeleton: a minimal OsMachine
+//! that records which hooks fire, driven through a real simulator.
+
+use popcorn_hw::{CoreId, HwParams, Machine, Topology};
+use popcorn_kernel::kernel::Kernel;
+use popcorn_kernel::mm::{Mm, PageState};
+use popcorn_kernel::osmodel::{self, OsEvent, OsMachine};
+use popcorn_kernel::params::OsParams;
+use popcorn_kernel::program::{
+    Op, Program, ProgEnv, Resume, RmwOp, SysResult, SyscallReq,
+};
+use popcorn_kernel::types::{GroupId, PageNo, Tid, VAddr};
+use popcorn_msg::KernelId;
+use popcorn_sim::{Handler, Scheduler, SimTime, Simulator};
+
+/// A trivial OS policy: every syscall returns 1, every sync op returns 9,
+/// every fault is a local zero-fill. Records hook invocations.
+struct TinyOs {
+    kernels: Vec<Kernel>,
+    group: GroupId,
+    hooks: Vec<&'static str>,
+}
+
+impl OsMachine for TinyOs {
+    type Msg = ();
+
+    fn kernels_mut(&mut self) -> &mut [Kernel] {
+        &mut self.kernels
+    }
+
+    fn handle_syscall(
+        &mut self,
+        sched: &mut Scheduler<OsEvent<()>>,
+        _ki: usize,
+        core: CoreId,
+        tid: Tid,
+        req: SyscallReq,
+        at: SimTime,
+    ) {
+        self.hooks.push("syscall");
+        match req {
+            SyscallReq::Nanosleep { ns } => {
+                let c = self.kernels[0].block_current(
+                    tid,
+                    popcorn_kernel::task::BlockReason::Sleep,
+                    at,
+                );
+                osmodel::ensure_core_run(sched, 0, c, at);
+                sched.at(
+                    at + SimTime::from_nanos(ns),
+                    OsEvent::TimerWake { kernel: 0, tid },
+                );
+            }
+            _ => {
+                self.kernels[0].finish_syscall(tid, SysResult::Val(1), at);
+                osmodel::ensure_core_run(sched, 0, core, at);
+            }
+        }
+    }
+
+    fn handle_sync_op(
+        &mut self,
+        sched: &mut Scheduler<OsEvent<()>>,
+        _ki: usize,
+        core: CoreId,
+        tid: Tid,
+        _addr: VAddr,
+        _op: RmwOp,
+        at: SimTime,
+    ) {
+        self.hooks.push("sync");
+        self.kernels[0].finish_sync_op(tid, 9, at);
+        osmodel::ensure_core_run(sched, 0, core, at);
+    }
+
+    fn handle_fault(
+        &mut self,
+        sched: &mut Scheduler<OsEvent<()>>,
+        _ki: usize,
+        core: CoreId,
+        tid: Tid,
+        page: PageNo,
+        _write: bool,
+        no_vma: bool,
+        at: SimTime,
+    ) {
+        self.hooks.push("fault");
+        assert!(!no_vma);
+        self.kernels[0]
+            .mm_mut(self.group)
+            .install_zero_page(page, PageState::Exclusive);
+        self.kernels[0].finish_fault_inline(tid, at + SimTime::from_nanos(1_000));
+        osmodel::ensure_core_run(sched, 0, core, at + SimTime::from_nanos(1_000));
+    }
+
+    fn handle_exit(
+        &mut self,
+        _sched: &mut Scheduler<OsEvent<()>>,
+        _ki: usize,
+        _core: CoreId,
+        _tid: Tid,
+        code: i32,
+        _at: SimTime,
+    ) {
+        assert_eq!(code, 0);
+        self.hooks.push("exit");
+    }
+
+    fn handle_custom(&mut self, _sched: &mut Scheduler<OsEvent<()>>, _msg: (), _now: SimTime) {
+        self.hooks.push("custom");
+    }
+}
+
+impl Handler<OsEvent<()>> for TinyOs {
+    fn handle(&mut self, now: SimTime, ev: OsEvent<()>, sched: &mut Scheduler<OsEvent<()>>) {
+        osmodel::dispatch(self, now, ev, sched);
+    }
+}
+
+/// Exercises every hook: syscall, sleep+timer, sync op, fault, exit.
+#[derive(Debug)]
+struct Everything {
+    addr: VAddr,
+    state: u8,
+}
+
+impl Program for Everything {
+    fn step(&mut self, r: Resume, _e: &ProgEnv) -> Op {
+        let s = self.state;
+        self.state += 1;
+        match s {
+            0 => Op::Syscall(SyscallReq::GetPid),
+            1 => {
+                assert!(matches!(r, Resume::Sys(SysResult::Val(1))));
+                Op::Syscall(SyscallReq::Nanosleep { ns: 5_000 })
+            }
+            2 => Op::AtomicRmw(VAddr(0x9000), RmwOp::Add(1)),
+            3 => {
+                assert!(matches!(r, Resume::Value(9)));
+                Op::Store(self.addr, 77)
+            }
+            4 => Op::Load(self.addr),
+            5 => {
+                assert!(matches!(r, Resume::Value(77)));
+                Op::Exit(0)
+            }
+            _ => unreachable!(),
+        }
+    }
+}
+
+#[test]
+fn dispatch_routes_every_outcome_to_its_hook() {
+    let machine = Machine::new(Topology::single_socket(2), HwParams::default());
+    let mut kernel = Kernel::new(
+        KernelId(0),
+        vec![CoreId(0), CoreId(1)],
+        OsParams::default(),
+        machine,
+    );
+    let leader = kernel.alloc_tid();
+    let group = GroupId(leader);
+    kernel.adopt_mm(Mm::new(group));
+    let mut mm_addr = kernel.mm_mut(group).map_anon(4096).unwrap();
+    let core = kernel.spawn(
+        leader,
+        group,
+        Box::new(Everything {
+            addr: mm_addr,
+            state: 0,
+        }),
+        None,
+        SimTime::ZERO,
+    );
+    let _ = &mut mm_addr;
+    let mut os = TinyOs {
+        kernels: vec![kernel],
+        group,
+        hooks: Vec::new(),
+    };
+    let mut sim = Simulator::new();
+    sim.schedule(SimTime::ZERO, OsEvent::CoreRun { kernel: 0, core });
+    sim.run(&mut os);
+    assert_eq!(
+        os.hooks,
+        vec!["syscall", "syscall", "sync", "fault", "exit"],
+        "each mechanism outcome must reach exactly its policy hook"
+    );
+    assert_eq!(os.kernels[0].live_tasks(), 0);
+    // The sleep's timer really advanced virtual time.
+    assert!(sim.now() >= SimTime::from_nanos(5_000));
+}

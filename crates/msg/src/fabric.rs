@@ -1,0 +1,342 @@
+//! The message fabric: per-ordered-pair FIFO channels between kernels.
+
+use std::collections::HashMap;
+use std::fmt;
+
+use popcorn_hw::{CoreId, Machine};
+use popcorn_sim::{Counter, Histogram, SimTime};
+use serde::{Deserialize, Serialize};
+
+use crate::params::MsgParams;
+
+/// Identifier of a kernel instance within one machine.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
+)]
+pub struct KernelId(pub u16);
+
+impl fmt::Display for KernelId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "kernel{}", self.0)
+    }
+}
+
+/// Byte-size accounting for payloads: how many bytes the message occupies on
+/// the shared-memory ring, which drives the transmit-time cost.
+pub trait Wire {
+    /// Serialized size in bytes (headers excluded; the fabric adds a fixed
+    /// 64-byte envelope line).
+    fn wire_size(&self) -> usize;
+}
+
+/// A message accepted by the fabric: the payload plus the virtual time at
+/// which the receiving kernel's handler runs. The OS model schedules a
+/// simulation event at `deliver_at`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Delivery<P> {
+    /// Sender.
+    pub from: KernelId,
+    /// Receiver.
+    pub to: KernelId,
+    /// When the receive-side handler completes demux and may act.
+    pub deliver_at: SimTime,
+    /// Time the sending CPU was busy in the send path.
+    pub send_busy: SimTime,
+    /// The payload, returned by value for the OS model to route.
+    pub payload: P,
+}
+
+/// Per-ordered-pair channel state.
+#[derive(Debug, Clone, Default)]
+struct Channel {
+    /// When the ring accepts the next message (transmit serialization).
+    tx_free_at: SimTime,
+    /// FIFO guarantee: no later message may be delivered before this.
+    last_delivery: SimTime,
+    sends: Counter,
+    bytes: Counter,
+    queue_delay: Histogram,
+}
+
+/// The inter-kernel message fabric.
+///
+/// Channels are created lazily per ordered kernel pair. Messages on one
+/// channel are FIFO; channels are independent (per-pair rings, as in
+/// Popcorn's implementation). See the [crate-level example](crate).
+#[derive(Debug, Clone)]
+pub struct Fabric {
+    params: MsgParams,
+    /// Representative core of each kernel (where its message handler runs);
+    /// indexes by `KernelId`.
+    locations: Vec<CoreId>,
+    /// Hop latency between kernel pairs, precomputed from the interconnect.
+    hop: Vec<SimTime>,
+    /// IPI notification latency (or expected polling delay).
+    notify: SimTime,
+    channels: HashMap<(KernelId, KernelId), Channel>,
+    total_sends: Counter,
+    latency_hist: Histogram,
+}
+
+impl Fabric {
+    /// Builds a fabric for kernels whose message handlers run on the given
+    /// representative cores (one per kernel, indexed by [`KernelId`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `locations` is empty, contains an out-of-range core, or the
+    /// parameters fail validation.
+    pub fn new(machine: &Machine, locations: Vec<CoreId>, params: MsgParams) -> Self {
+        assert!(!locations.is_empty(), "need at least one kernel location");
+        params.validate().expect("invalid message parameters");
+        let topo = machine.topology();
+        for &c in &locations {
+            assert!(topo.contains(c), "kernel location {c} not in topology");
+        }
+        let n = locations.len();
+        let mut hop = vec![SimTime::ZERO; n * n];
+        for (i, &a) in locations.iter().enumerate() {
+            for (j, &b) in locations.iter().enumerate() {
+                hop[i * n + j] = machine.interconnect().core_to_core(a, b);
+            }
+        }
+        let notify = if params.ipi_notify {
+            machine.shootdown().ipi_latency() + machine.shootdown().ipi_handler_cost()
+        } else {
+            SimTime::from_nanos(params.poll_interval_ns / 2)
+        };
+        Fabric {
+            params,
+            locations,
+            hop,
+            notify,
+            channels: HashMap::new(),
+            total_sends: Counter::new(),
+            latency_hist: Histogram::new(),
+        }
+    }
+
+    /// Number of kernels the fabric connects.
+    pub fn num_kernels(&self) -> usize {
+        self.locations.len()
+    }
+
+    /// The representative core of a kernel.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k` is out of range.
+    pub fn location(&self, k: KernelId) -> CoreId {
+        self.locations[k.0 as usize]
+    }
+
+    fn hop_latency(&self, from: KernelId, to: KernelId) -> SimTime {
+        let n = self.locations.len();
+        self.hop[from.0 as usize * n + to.0 as usize]
+    }
+
+    /// Sends `payload` from `from` to `to` at virtual time `now`; returns the
+    /// delivery record whose `deliver_at` the OS model schedules.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `from == to` (kernels do not message themselves — local
+    /// operations take the function-call path) or either id is out of range.
+    pub fn send<P: Wire>(&mut self, now: SimTime, from: KernelId, to: KernelId, payload: P) -> Delivery<P> {
+        assert_ne!(from, to, "kernel cannot message itself");
+        assert!((from.0 as usize) < self.locations.len(), "{from} out of range");
+        assert!((to.0 as usize) < self.locations.len(), "{to} out of range");
+
+        let size = payload.wire_size();
+        // One envelope line plus the payload, rounded up to cache lines.
+        let lines = 1 + (size as u64).div_ceil(64);
+        let tx_time = SimTime::from_nanos(self.params.send_sw_ns + lines * self.params.per_line_ns);
+        let hop = self.hop_latency(from, to);
+        let recv = SimTime::from_nanos(self.params.recv_sw_ns);
+        let notify = self.notify;
+
+        let ch = self.channels.entry((from, to)).or_default();
+        let tx_start = now.max(ch.tx_free_at);
+        let queue_delay = tx_start - now;
+        let tx_done = tx_start + tx_time;
+        ch.tx_free_at = tx_done;
+        // Notification, flight and receive processing; FIFO per channel.
+        let deliver_at = (tx_done + hop + notify + recv).max(ch.last_delivery);
+        ch.last_delivery = deliver_at;
+        ch.sends.incr();
+        ch.bytes.add(lines * 64);
+        ch.queue_delay.record_time(queue_delay);
+        self.total_sends.incr();
+        self.latency_hist.record_time(deliver_at - now);
+
+        Delivery {
+            from,
+            to,
+            deliver_at,
+            send_busy: tx_done - now,
+            payload,
+        }
+    }
+
+    /// Sends a clone of `payload` to every other kernel; returns deliveries
+    /// in kernel-id order.
+    pub fn broadcast<P: Wire + Clone>(
+        &mut self,
+        now: SimTime,
+        from: KernelId,
+        payload: P,
+    ) -> Vec<Delivery<P>> {
+        (0..self.locations.len() as u16)
+            .map(KernelId)
+            .filter(|&k| k != from)
+            .map(|k| self.send(now, from, k, payload.clone()))
+            .collect()
+    }
+
+    /// Total messages sent across all channels.
+    pub fn total_sends(&self) -> u64 {
+        self.total_sends.get()
+    }
+
+    /// Distribution of end-to-end message latency (send call to handler
+    /// completion).
+    pub fn latency_histogram(&self) -> &Histogram {
+        &self.latency_hist
+    }
+
+    /// Per-channel totals `(from, to, sends, bytes)` in deterministic order.
+    pub fn channel_stats(&self) -> Vec<(KernelId, KernelId, u64, u64)> {
+        let mut rows: Vec<_> = self
+            .channels
+            .iter()
+            .map(|(&(f, t), ch)| (f, t, ch.sends.get(), ch.bytes.get()))
+            .collect();
+        rows.sort_unstable_by_key(|&(f, t, _, _)| (f, t));
+        rows
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use popcorn_hw::{HwParams, Topology};
+
+    struct Blob(usize);
+    impl Wire for Blob {
+        fn wire_size(&self) -> usize {
+            self.0
+        }
+    }
+
+    fn fabric(kernels: u16) -> Fabric {
+        let machine = Machine::new(Topology::new(2, 4), HwParams::default());
+        // Spread kernels across cores 0, 4 (cross-socket for k=2).
+        let locs: Vec<CoreId> = match kernels {
+            2 => vec![CoreId(0), CoreId(4)],
+            4 => vec![CoreId(0), CoreId(2), CoreId(4), CoreId(6)],
+            _ => (0..kernels).map(CoreId).collect(),
+        };
+        Fabric::new(&machine, locs, MsgParams::default())
+    }
+
+    #[test]
+    fn small_message_is_microsecond_scale() {
+        let mut f = fabric(2);
+        let d = f.send(SimTime::ZERO, KernelId(0), KernelId(1), Blob(64));
+        let us = d.deliver_at.as_micros_f64();
+        assert!((1.0..10.0).contains(&us), "latency {us}us out of expected band");
+    }
+
+    #[test]
+    fn bigger_payloads_take_longer() {
+        let mut f = fabric(2);
+        let small = f.send(SimTime::ZERO, KernelId(0), KernelId(1), Blob(64));
+        let mut f2 = fabric(2);
+        let big = f2.send(SimTime::ZERO, KernelId(0), KernelId(1), Blob(4096));
+        assert!(big.deliver_at > small.deliver_at);
+    }
+
+    #[test]
+    fn channel_serializes_sends_fifo() {
+        let mut f = fabric(2);
+        let d1 = f.send(SimTime::ZERO, KernelId(0), KernelId(1), Blob(4096));
+        let d2 = f.send(SimTime::ZERO, KernelId(0), KernelId(1), Blob(64));
+        assert!(d2.deliver_at >= d1.deliver_at, "FIFO violated");
+        // The second message queued behind the first's transmission.
+        assert!(d2.send_busy > SimTime::ZERO);
+    }
+
+    #[test]
+    fn independent_channels_do_not_interfere() {
+        let mut f = fabric(4);
+        let d1 = f.send(SimTime::ZERO, KernelId(0), KernelId(1), Blob(4096));
+        let d2 = f.send(SimTime::ZERO, KernelId(2), KernelId(3), Blob(4096));
+        // Same shape, started simultaneously on disjoint pairs.
+        assert_eq!(
+            d1.deliver_at.as_nanos() > 0,
+            d2.deliver_at.as_nanos() > 0
+        );
+        let d3 = f.send(SimTime::ZERO, KernelId(1), KernelId(0), Blob(64));
+        // Reverse direction is a separate ring: no queueing behind 0→1.
+        let mut fresh = fabric(4);
+        let base = fresh.send(SimTime::ZERO, KernelId(1), KernelId(0), Blob(64));
+        assert_eq!(d3.deliver_at, base.deliver_at);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot message itself")]
+    fn self_send_rejected() {
+        fabric(2).send(SimTime::ZERO, KernelId(0), KernelId(0), Blob(1));
+    }
+
+    #[test]
+    fn broadcast_reaches_all_others() {
+        let mut f = fabric(4);
+        #[derive(Clone)]
+        struct B;
+        impl Wire for B {
+            fn wire_size(&self) -> usize {
+                32
+            }
+        }
+        let ds = f.broadcast(SimTime::ZERO, KernelId(1), B);
+        let tos: Vec<u16> = ds.iter().map(|d| d.to.0).collect();
+        assert_eq!(tos, vec![0, 2, 3]);
+        assert_eq!(f.total_sends(), 3);
+    }
+
+    #[test]
+    fn stats_accumulate() {
+        let mut f = fabric(2);
+        f.send(SimTime::ZERO, KernelId(0), KernelId(1), Blob(64));
+        f.send(SimTime::ZERO, KernelId(1), KernelId(0), Blob(64));
+        assert_eq!(f.total_sends(), 2);
+        assert_eq!(f.latency_histogram().count(), 2);
+        let rows = f.channel_stats();
+        assert_eq!(rows.len(), 2);
+        assert_eq!(rows[0].0, KernelId(0));
+        assert_eq!(rows[0].2, 1);
+    }
+
+    #[test]
+    fn polling_mode_uses_poll_delay() {
+        let machine = Machine::new(Topology::new(1, 2), HwParams::default());
+        let params = MsgParams {
+            ipi_notify: false,
+            poll_interval_ns: 100_000,
+            ..MsgParams::default()
+        };
+        let mut f = Fabric::new(&machine, vec![CoreId(0), CoreId(1)], params);
+        let d = f.send(SimTime::ZERO, KernelId(0), KernelId(1), Blob(64));
+        // Expected poll delay (50us) dominates.
+        assert!(d.deliver_at.as_nanos() > 50_000);
+    }
+
+    #[test]
+    fn send_busy_is_send_side_only() {
+        let mut f = fabric(2);
+        let d = f.send(SimTime::ZERO, KernelId(0), KernelId(1), Blob(64));
+        assert!(d.send_busy < d.deliver_at);
+        assert!(d.send_busy >= SimTime::from_nanos(MsgParams::default().send_sw_ns));
+    }
+}

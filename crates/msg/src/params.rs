@@ -1,0 +1,71 @@
+//! Message-layer cost constants.
+
+use serde::{Deserialize, Serialize};
+
+/// Calibrated costs of the shared-memory message layer.
+///
+/// Defaults target the microsecond-scale kernel-to-kernel messaging the
+/// Popcorn papers report for small control messages on one machine: a
+/// same-socket 64-byte message lands in roughly 2–3 µs end to end
+/// (send software path + ring write + IPI notification + receive path).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MsgParams {
+    /// Send-side software path: marshalling, ring slot claim.
+    pub send_sw_ns: u64,
+    /// Receive-side software path: demux, handler dispatch.
+    pub recv_sw_ns: u64,
+    /// Ring write throughput, in nanoseconds per 64-byte cache line.
+    pub per_line_ns: u64,
+    /// Whether delivery is notified by IPI (true, the default) or by the
+    /// receiver polling (adds `poll_interval_ns/2` expected delay instead of
+    /// the IPI cost). The paper's layer is interrupt-driven.
+    pub ipi_notify: bool,
+    /// Mean polling interval when `ipi_notify` is false.
+    pub poll_interval_ns: u64,
+}
+
+impl Default for MsgParams {
+    fn default() -> Self {
+        MsgParams {
+            send_sw_ns: 550,
+            recv_sw_ns: 650,
+            per_line_ns: 18,
+            ipi_notify: true,
+            poll_interval_ns: 4_000,
+        }
+    }
+}
+
+impl MsgParams {
+    /// Validates internal consistency.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first violated constraint.
+    pub fn validate(&self) -> Result<(), String> {
+        if !self.ipi_notify && self.poll_interval_ns == 0 {
+            return Err("polling mode requires a non-zero poll interval".into());
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_validate() {
+        assert_eq!(MsgParams::default().validate(), Ok(()));
+    }
+
+    #[test]
+    fn polling_without_interval_rejected() {
+        let p = MsgParams {
+            ipi_notify: false,
+            poll_interval_ns: 0,
+            ..MsgParams::default()
+        };
+        assert!(p.validate().is_err());
+    }
+}

@@ -1,0 +1,373 @@
+//! The event loop: a time-ordered queue with stable FIFO tie-breaking and a
+//! [`Handler`] trait implemented by whole-machine models.
+//!
+//! Design note: instead of per-component actors with message mailboxes, the
+//! engine dispatches every event to a single handler (the whole OS-model
+//! "machine"). This sidesteps shared-mutability issues entirely — the machine
+//! borrows itself mutably for the duration of one event — and matches how the
+//! OS models are written: kernels never call each other directly, they only
+//! exchange events through the queue, exactly like kernels on real hardware
+//! exchange interrupts and shared-memory messages.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use crate::time::SimTime;
+
+/// A pending simulation event: fire time, insertion sequence number (for
+/// stable FIFO ordering among same-time events), and the payload.
+struct Pending<E> {
+    at: SimTime,
+    seq: u64,
+    event: E,
+}
+
+impl<E> PartialEq for Pending<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl<E> Eq for Pending<E> {}
+impl<E> PartialOrd for Pending<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<E> Ord for Pending<E> {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.at, self.seq).cmp(&(other.at, other.seq))
+    }
+}
+
+/// Scheduling interface handed to a [`Handler`] while it processes an event.
+///
+/// New events scheduled through it are merged into the simulator's queue when
+/// the handler returns.
+#[derive(Debug)]
+pub struct Scheduler<E> {
+    now: SimTime,
+    staged: Vec<(SimTime, E)>,
+    stop: bool,
+}
+
+impl<E> Scheduler<E> {
+    fn new(now: SimTime) -> Self {
+        Scheduler {
+            now,
+            staged: Vec::new(),
+            stop: false,
+        }
+    }
+
+    /// The current virtual time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Schedules `event` to fire `delay` after the current time.
+    pub fn after(&mut self, delay: SimTime, event: E) {
+        self.staged.push((self.now + delay, event));
+    }
+
+    /// Schedules `event` at an absolute time.
+    ///
+    /// # Panics
+    ///
+    /// Panics (in debug builds) if `at` is in the past: the simulation clock
+    /// is monotonic, events cannot fire before the current time.
+    pub fn at(&mut self, at: SimTime, event: E) {
+        debug_assert!(at >= self.now, "cannot schedule into the past");
+        self.staged.push((at.max(self.now), event));
+    }
+
+    /// Schedules `event` to fire immediately (at the current time, after all
+    /// previously scheduled same-time events).
+    pub fn immediately(&mut self, event: E) {
+        self.staged.push((self.now, event));
+    }
+
+    /// Requests that the simulation stop after the current event completes.
+    /// Remaining queued events are preserved (inspectable via
+    /// [`Simulator::pending`]).
+    pub fn request_stop(&mut self) {
+        self.stop = true;
+    }
+}
+
+/// A model that reacts to events. Implemented by whole OS-model machines.
+pub trait Handler<E> {
+    /// Processes one event at virtual time `now`, scheduling any follow-up
+    /// events through `sched`.
+    fn handle(&mut self, now: SimTime, event: E, sched: &mut Scheduler<E>);
+}
+
+/// Why [`Simulator::run_until`] returned.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StopCondition {
+    /// The event queue drained.
+    QueueEmpty,
+    /// The configured horizon was reached before the queue drained.
+    HorizonReached,
+    /// A handler called [`Scheduler::request_stop`].
+    Requested,
+    /// The configured event budget was exhausted (livelock guard).
+    EventBudgetExhausted,
+}
+
+/// The discrete-event simulator: a virtual clock plus an event queue.
+///
+/// See the [crate-level example](crate) for usage.
+#[derive(Debug)]
+pub struct Simulator<E> {
+    queue: BinaryHeap<Reverse<Pending<E>>>,
+    now: SimTime,
+    seq: u64,
+    events_processed: u64,
+}
+
+impl<E> Default for Simulator<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E> std::fmt::Debug for Pending<E> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Pending")
+            .field("at", &self.at)
+            .field("seq", &self.seq)
+            .finish_non_exhaustive()
+    }
+}
+
+impl<E> Simulator<E> {
+    /// Creates an empty simulator at time zero.
+    pub fn new() -> Self {
+        Simulator {
+            queue: BinaryHeap::new(),
+            now: SimTime::ZERO,
+            seq: 0,
+            events_processed: 0,
+        }
+    }
+
+    /// The current virtual time (the fire time of the last event processed).
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Number of events processed so far.
+    pub fn events_processed(&self) -> u64 {
+        self.events_processed
+    }
+
+    /// Number of events still queued.
+    pub fn pending(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Schedules an event at absolute time `at` (clamped to now).
+    pub fn schedule(&mut self, at: SimTime, event: E) {
+        let at = at.max(self.now);
+        let seq = self.seq;
+        self.seq += 1;
+        self.queue.push(Reverse(Pending { at, seq, event }));
+    }
+
+    /// Schedules an event `delay` after the current time.
+    pub fn schedule_after(&mut self, delay: SimTime, event: E) {
+        self.schedule(self.now + delay, event);
+    }
+
+    /// Runs until the queue drains. Returns the stop condition (which is
+    /// [`StopCondition::QueueEmpty`] unless a handler requested a stop).
+    pub fn run<H: Handler<E>>(&mut self, handler: &mut H) -> StopCondition {
+        self.run_until(handler, SimTime::MAX, u64::MAX)
+    }
+
+    /// Runs until the queue drains, virtual time would pass `horizon`, a
+    /// handler requests a stop, or `event_budget` events have been processed
+    /// (a guard against accidental livelock in protocol code).
+    ///
+    /// Events scheduled at exactly `horizon` still fire.
+    pub fn run_until<H: Handler<E>>(
+        &mut self,
+        handler: &mut H,
+        horizon: SimTime,
+        event_budget: u64,
+    ) -> StopCondition {
+        let mut budget = event_budget;
+        loop {
+            // Peek first so an over-horizon event stays queued.
+            match self.queue.peek() {
+                None => return StopCondition::QueueEmpty,
+                Some(Reverse(p)) if p.at > horizon => {
+                    self.now = horizon;
+                    return StopCondition::HorizonReached;
+                }
+                Some(_) => {}
+            }
+            if budget == 0 {
+                return StopCondition::EventBudgetExhausted;
+            }
+            budget -= 1;
+            let Reverse(p) = self.queue.pop().expect("peeked non-empty");
+            debug_assert!(p.at >= self.now, "event queue went backwards in time");
+            self.now = p.at;
+            self.events_processed += 1;
+            let mut sched = Scheduler::new(self.now);
+            handler.handle(self.now, p.event, &mut sched);
+            for (at, ev) in sched.staged {
+                let seq = self.seq;
+                self.seq += 1;
+                self.queue.push(Reverse(Pending { at, seq, event: ev }));
+            }
+            if sched.stop {
+                return StopCondition::Requested;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[derive(Debug, PartialEq, Eq, Clone)]
+    enum Ev {
+        Tag(u32),
+    }
+
+    struct Recorder {
+        order: Vec<(u64, u32)>,
+        chain: u32,
+        stop_at: Option<u32>,
+    }
+
+    impl Recorder {
+        fn new() -> Self {
+            Recorder {
+                order: Vec::new(),
+                chain: 0,
+                stop_at: None,
+            }
+        }
+    }
+
+    impl Handler<Ev> for Recorder {
+        fn handle(&mut self, now: SimTime, ev: Ev, sched: &mut Scheduler<Ev>) {
+            let Ev::Tag(n) = ev;
+            self.order.push((now.as_nanos(), n));
+            if self.stop_at == Some(n) {
+                sched.request_stop();
+            }
+            if self.chain > 0 {
+                self.chain -= 1;
+                sched.after(SimTime::from_nanos(10), Ev::Tag(n + 1));
+            }
+        }
+    }
+
+    #[test]
+    fn events_fire_in_time_order() {
+        let mut sim = Simulator::new();
+        sim.schedule(SimTime::from_nanos(30), Ev::Tag(3));
+        sim.schedule(SimTime::from_nanos(10), Ev::Tag(1));
+        sim.schedule(SimTime::from_nanos(20), Ev::Tag(2));
+        let mut r = Recorder::new();
+        assert_eq!(sim.run(&mut r), StopCondition::QueueEmpty);
+        assert_eq!(r.order, vec![(10, 1), (20, 2), (30, 3)]);
+        assert_eq!(sim.now(), SimTime::from_nanos(30));
+    }
+
+    #[test]
+    fn same_time_events_fire_fifo() {
+        let mut sim = Simulator::new();
+        for n in 0..100 {
+            sim.schedule(SimTime::from_nanos(5), Ev::Tag(n));
+        }
+        let mut r = Recorder::new();
+        sim.run(&mut r);
+        let tags: Vec<u32> = r.order.iter().map(|&(_, n)| n).collect();
+        assert_eq!(tags, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn handler_scheduled_events_chain() {
+        let mut sim = Simulator::new();
+        sim.schedule(SimTime::ZERO, Ev::Tag(0));
+        let mut r = Recorder::new();
+        r.chain = 4;
+        sim.run(&mut r);
+        assert_eq!(r.order.len(), 5);
+        assert_eq!(sim.now(), SimTime::from_nanos(40));
+    }
+
+    #[test]
+    fn horizon_stops_but_preserves_future_events() {
+        let mut sim = Simulator::new();
+        sim.schedule(SimTime::from_nanos(10), Ev::Tag(1));
+        sim.schedule(SimTime::from_nanos(100), Ev::Tag(2));
+        let mut r = Recorder::new();
+        let st = sim.run_until(&mut r, SimTime::from_nanos(50), u64::MAX);
+        assert_eq!(st, StopCondition::HorizonReached);
+        assert_eq!(r.order, vec![(10, 1)]);
+        assert_eq!(sim.pending(), 1);
+        assert_eq!(sim.now(), SimTime::from_nanos(50));
+        // Resuming with a later horizon picks the event back up.
+        let st = sim.run_until(&mut r, SimTime::MAX, u64::MAX);
+        assert_eq!(st, StopCondition::QueueEmpty);
+        assert_eq!(r.order, vec![(10, 1), (100, 2)]);
+    }
+
+    #[test]
+    fn event_at_exact_horizon_fires() {
+        let mut sim = Simulator::new();
+        sim.schedule(SimTime::from_nanos(50), Ev::Tag(1));
+        let mut r = Recorder::new();
+        let st = sim.run_until(&mut r, SimTime::from_nanos(50), u64::MAX);
+        assert_eq!(st, StopCondition::QueueEmpty);
+        assert_eq!(r.order, vec![(50, 1)]);
+    }
+
+    #[test]
+    fn requested_stop_halts_immediately() {
+        let mut sim = Simulator::new();
+        sim.schedule(SimTime::from_nanos(1), Ev::Tag(1));
+        sim.schedule(SimTime::from_nanos(2), Ev::Tag(2));
+        let mut r = Recorder::new();
+        r.stop_at = Some(1);
+        let st = sim.run(&mut r);
+        assert_eq!(st, StopCondition::Requested);
+        assert_eq!(r.order, vec![(1, 1)]);
+        assert_eq!(sim.pending(), 1);
+    }
+
+    #[test]
+    fn event_budget_guards_against_livelock() {
+        // A handler that reschedules itself forever at the same instant.
+        struct Livelock;
+        impl Handler<Ev> for Livelock {
+            fn handle(&mut self, _now: SimTime, _ev: Ev, sched: &mut Scheduler<Ev>) {
+                sched.immediately(Ev::Tag(0));
+            }
+        }
+        let mut sim = Simulator::new();
+        sim.schedule(SimTime::ZERO, Ev::Tag(0));
+        let st = sim.run_until(&mut Livelock, SimTime::MAX, 1000);
+        assert_eq!(st, StopCondition::EventBudgetExhausted);
+        assert_eq!(sim.events_processed(), 1000);
+    }
+
+    #[test]
+    fn schedule_in_past_clamps_to_now() {
+        let mut sim = Simulator::new();
+        sim.schedule(SimTime::from_nanos(10), Ev::Tag(1));
+        let mut r = Recorder::new();
+        sim.run(&mut r);
+        // now == 10; scheduling at 3 must clamp to 10, not go backwards.
+        sim.schedule(SimTime::from_nanos(3), Ev::Tag(2));
+        sim.run(&mut r);
+        assert_eq!(r.order, vec![(10, 1), (10, 2)]);
+    }
+}

@@ -1,0 +1,437 @@
+//! Metric primitives: counters, log-bucketed histograms, time series.
+//!
+//! Every OS model exposes its measurements through these types so the
+//! benchmark harness can print uniform tables. The histogram uses
+//! logarithmic bucketing (HDR-style, 16 sub-buckets per power of two) which
+//! keeps relative error below ~6% across the nanosecond-to-second range the
+//! simulation spans, with O(1) recording.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::time::SimTime;
+
+/// A named monotonic counter.
+///
+/// # Example
+///
+/// ```
+/// use popcorn_sim::Counter;
+/// let mut c = Counter::default();
+/// c.add(3);
+/// c.incr();
+/// assert_eq!(c.get(), 4);
+/// ```
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Counter(u64);
+
+impl Counter {
+    /// Creates a zeroed counter.
+    pub fn new() -> Self {
+        Counter(0)
+    }
+
+    /// Adds `n`.
+    pub fn add(&mut self, n: u64) {
+        self.0 = self.0.saturating_add(n);
+    }
+
+    /// Adds one.
+    pub fn incr(&mut self) {
+        self.add(1);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.0
+    }
+}
+
+impl fmt::Display for Counter {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+const SUB_BUCKET_BITS: u32 = 4; // 16 sub-buckets per power of two
+const SUB_BUCKETS: usize = 1 << SUB_BUCKET_BITS;
+const BUCKET_GROUPS: usize = 64;
+
+/// A log-bucketed histogram of `u64` samples (typically nanoseconds).
+///
+/// Recording is O(1); quantiles are approximate with bounded relative error
+/// (one sub-bucket, ≤ 1/16 of the value's magnitude).
+///
+/// # Example
+///
+/// ```
+/// use popcorn_sim::Histogram;
+/// let mut h = Histogram::new();
+/// for v in [10, 20, 30, 40, 50] {
+///     h.record(v);
+/// }
+/// assert_eq!(h.count(), 5);
+/// assert_eq!(h.min(), 10);
+/// assert_eq!(h.max(), 50);
+/// assert!(h.quantile(0.5) >= 30 && h.quantile(0.5) <= 32);
+/// ```
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Histogram {
+    counts: Vec<u64>,
+    count: u64,
+    sum: u128,
+    min: u64,
+    max: u64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Histogram {
+    /// Creates an empty histogram.
+    pub fn new() -> Self {
+        Histogram {
+            counts: vec![0; BUCKET_GROUPS * SUB_BUCKETS],
+            count: 0,
+            sum: 0,
+            min: u64::MAX,
+            max: 0,
+        }
+    }
+
+    fn bucket_of(value: u64) -> usize {
+        if value < SUB_BUCKETS as u64 {
+            return value as usize;
+        }
+        let group = 63 - value.leading_zeros() as usize; // floor(log2)
+        let shift = group as u32 - SUB_BUCKET_BITS;
+        let sub = ((value >> shift) as usize) & (SUB_BUCKETS - 1);
+        // Groups below SUB_BUCKET_BITS are covered by the linear range above.
+        (group - SUB_BUCKET_BITS as usize + 1) * SUB_BUCKETS + sub
+    }
+
+    /// Representative (lower-bound) value of a bucket index.
+    fn bucket_floor(index: usize) -> u64 {
+        let group = index / SUB_BUCKETS;
+        let sub = (index % SUB_BUCKETS) as u64;
+        if group == 0 {
+            return sub;
+        }
+        let shift = (group - 1) as u32;
+        ((SUB_BUCKETS as u64) + sub) << shift
+    }
+
+    /// Records one sample.
+    pub fn record(&mut self, value: u64) {
+        let idx = Self::bucket_of(value).min(self.counts.len() - 1);
+        self.counts[idx] += 1;
+        self.count += 1;
+        self.sum += value as u128;
+        self.min = self.min.min(value);
+        self.max = self.max.max(value);
+    }
+
+    /// Records a [`SimTime`] sample as nanoseconds.
+    pub fn record_time(&mut self, t: SimTime) {
+        self.record(t.as_nanos());
+    }
+
+    /// Number of samples recorded.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Exact smallest recorded sample (0 if empty).
+    pub fn min(&self) -> u64 {
+        if self.count == 0 {
+            0
+        } else {
+            self.min
+        }
+    }
+
+    /// Exact largest recorded sample (0 if empty).
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// Exact mean of recorded samples (0.0 if empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Approximate quantile `q` in `[0, 1]` (0 if empty). Clamped to the
+    /// exact min/max so the tails never report out-of-range values.
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let q = q.clamp(0.0, 1.0);
+        let target = ((q * self.count as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (i, &c) in self.counts.iter().enumerate() {
+            seen += c;
+            if seen >= target {
+                return Self::bucket_floor(i).clamp(self.min, self.max);
+            }
+        }
+        self.max
+    }
+
+    /// Merges another histogram into this one.
+    pub fn merge(&mut self, other: &Histogram) {
+        for (a, b) in self.counts.iter_mut().zip(&other.counts) {
+            *a += b;
+        }
+        self.count += other.count;
+        self.sum += other.sum;
+        if other.count > 0 {
+            self.min = self.min.min(other.min);
+            self.max = self.max.max(other.max);
+        }
+    }
+
+    /// Condensed summary for reporting.
+    pub fn summary(&self) -> Summary {
+        Summary {
+            count: self.count(),
+            mean: self.mean(),
+            min: self.min(),
+            p50: self.quantile(0.50),
+            p95: self.quantile(0.95),
+            p99: self.quantile(0.99),
+            max: self.max(),
+        }
+    }
+}
+
+/// Condensed distribution summary produced by [`Histogram::summary`].
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Summary {
+    /// Sample count.
+    pub count: u64,
+    /// Exact mean.
+    pub mean: f64,
+    /// Exact minimum.
+    pub min: u64,
+    /// Approximate median.
+    pub p50: u64,
+    /// Approximate 95th percentile.
+    pub p95: u64,
+    /// Approximate 99th percentile.
+    pub p99: u64,
+    /// Exact maximum.
+    pub max: u64,
+}
+
+impl fmt::Display for Summary {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "n={} mean={:.0} min={} p50={} p95={} p99={} max={}",
+            self.count, self.mean, self.min, self.p50, self.p95, self.p99, self.max
+        )
+    }
+}
+
+/// A `(time, value)` series sampled during a run, e.g. runqueue depth over
+/// time. Stores raw points; the harness downsamples at print time.
+///
+/// # Example
+///
+/// ```
+/// use popcorn_sim::{TimeSeries, SimTime};
+/// let mut ts = TimeSeries::new();
+/// ts.push(SimTime::from_micros(1), 4.0);
+/// ts.push(SimTime::from_micros(2), 6.0);
+/// assert_eq!(ts.len(), 2);
+/// assert_eq!(ts.mean(), 5.0);
+/// ```
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct TimeSeries {
+    points: Vec<(SimTime, f64)>,
+}
+
+impl TimeSeries {
+    /// Creates an empty series.
+    pub fn new() -> Self {
+        TimeSeries { points: Vec::new() }
+    }
+
+    /// Appends a point.
+    ///
+    /// # Panics
+    ///
+    /// Panics (in debug builds) if `at` is earlier than the last point:
+    /// series are sampled on the monotonic simulation clock.
+    pub fn push(&mut self, at: SimTime, value: f64) {
+        debug_assert!(
+            self.points.last().is_none_or(|&(t, _)| at >= t),
+            "time series must be appended in time order"
+        );
+        self.points.push((at, value));
+    }
+
+    /// Number of points.
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// True if no points were recorded.
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    /// Mean of the recorded values (0.0 if empty).
+    pub fn mean(&self) -> f64 {
+        if self.points.is_empty() {
+            return 0.0;
+        }
+        self.points.iter().map(|&(_, v)| v).sum::<f64>() / self.points.len() as f64
+    }
+
+    /// Largest recorded value (0.0 if empty).
+    pub fn max(&self) -> f64 {
+        self.points.iter().map(|&(_, v)| v).fold(0.0, f64::max)
+    }
+
+    /// Iterates over the raw points.
+    pub fn iter(&self) -> impl Iterator<Item = (SimTime, f64)> + '_ {
+        self.points.iter().copied()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_accumulates_and_saturates() {
+        let mut c = Counter::new();
+        c.add(u64::MAX - 1);
+        c.incr();
+        c.incr();
+        assert_eq!(c.get(), u64::MAX);
+    }
+
+    #[test]
+    fn histogram_empty_is_sane() {
+        let h = Histogram::new();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.min(), 0);
+        assert_eq!(h.max(), 0);
+        assert_eq!(h.mean(), 0.0);
+        assert_eq!(h.quantile(0.5), 0);
+    }
+
+    #[test]
+    fn histogram_exact_small_values() {
+        // Values below 16 land in exact linear buckets.
+        let mut h = Histogram::new();
+        for v in 0..16u64 {
+            h.record(v);
+        }
+        assert_eq!(h.quantile(0.0), 0);
+        assert_eq!(h.quantile(1.0), 15);
+        assert_eq!(h.min(), 0);
+        assert_eq!(h.max(), 15);
+    }
+
+    #[test]
+    fn histogram_relative_error_bounded() {
+        let mut h = Histogram::new();
+        let exact = 1_234_567u64;
+        h.record(exact);
+        let got = h.quantile(0.5);
+        let err = (got as f64 - exact as f64).abs() / exact as f64;
+        assert!(err <= 1.0 / 16.0, "relative error {err} too large");
+    }
+
+    #[test]
+    fn histogram_mean_is_exact() {
+        let mut h = Histogram::new();
+        for v in [100u64, 200, 300] {
+            h.record(v);
+        }
+        assert_eq!(h.mean(), 200.0);
+    }
+
+    #[test]
+    fn histogram_quantiles_are_monotonic() {
+        let mut h = Histogram::new();
+        let mut x = 1u64;
+        for _ in 0..1000 {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
+            h.record(x % 1_000_000);
+        }
+        let qs: Vec<u64> = [0.0, 0.1, 0.25, 0.5, 0.75, 0.9, 0.99, 1.0]
+            .iter()
+            .map(|&q| h.quantile(q))
+            .collect();
+        for w in qs.windows(2) {
+            assert!(w[0] <= w[1], "quantiles not monotonic: {qs:?}");
+        }
+    }
+
+    #[test]
+    fn histogram_merge_combines() {
+        let mut a = Histogram::new();
+        let mut b = Histogram::new();
+        a.record(10);
+        b.record(1_000);
+        a.merge(&b);
+        assert_eq!(a.count(), 2);
+        assert_eq!(a.min(), 10);
+        assert_eq!(a.max(), 1_000);
+        assert_eq!(a.mean(), 505.0);
+    }
+
+    #[test]
+    fn histogram_huge_values_do_not_panic() {
+        let mut h = Histogram::new();
+        h.record(u64::MAX);
+        h.record(0);
+        assert_eq!(h.count(), 2);
+        assert_eq!(h.max(), u64::MAX);
+    }
+
+    #[test]
+    fn bucket_roundtrip_floor_below_value() {
+        for &v in &[0u64, 1, 15, 16, 17, 100, 1_000, 123_456, u64::MAX / 2] {
+            let idx = Histogram::bucket_of(v);
+            let floor = Histogram::bucket_floor(idx);
+            assert!(floor <= v, "floor {floor} > value {v}");
+            // And the next bucket's floor is above the value.
+            let next = Histogram::bucket_floor(idx + 1);
+            assert!(next > v, "next floor {next} <= value {v}");
+        }
+    }
+
+    #[test]
+    fn summary_display_is_nonempty() {
+        let mut h = Histogram::new();
+        h.record(5);
+        let s = h.summary().to_string();
+        assert!(s.contains("n=1"));
+    }
+
+    #[test]
+    fn time_series_mean_and_max() {
+        let mut ts = TimeSeries::new();
+        ts.push(SimTime::from_nanos(1), 1.0);
+        ts.push(SimTime::from_nanos(2), 3.0);
+        ts.push(SimTime::from_nanos(3), 2.0);
+        assert_eq!(ts.mean(), 2.0);
+        assert_eq!(ts.max(), 3.0);
+        assert_eq!(ts.iter().count(), 3);
+        assert!(!ts.is_empty());
+    }
+}

@@ -1,0 +1,25 @@
+#![warn(missing_docs)]
+//! Benchmark programs for the replicated-kernel OS reproduction.
+//!
+//! - [`ulib`] — the user-space synchronization library (futex mutexes,
+//!   barriers, join counters) as resumable flows;
+//! - [`team`] — leader/worker scaffolding every benchmark uses;
+//! - [`micro`] — the paper's microbenchmark probes (migration ping-pong,
+//!   clone storms, mmap storms, futex contention, page bouncing, null
+//!   syscalls);
+//! - [`npb`] — NPB-class macro-benchmark skeletons (IS, CG, FT).
+//!
+//! Every workload is a [`Program`](popcorn_kernel::program::Program) and
+//! runs unchanged on all three OS models, exactly as the paper runs the
+//! same binaries on Popcorn and SMP Linux. (The Barrelfish comparison uses
+//! the same programs too; the multikernel model's restriction — no
+//! cross-kernel shared memory — is enforced by *placement*, see
+//! `popcorn-baselines`.)
+
+pub mod micro;
+pub mod npb;
+pub mod team;
+pub mod ulib;
+
+pub use npb::NpbConfig;
+pub use team::{Shared, Team, TeamConfig};

@@ -1,0 +1,459 @@
+//! Microbenchmark programs: the paper's low-level cost probes.
+//!
+//! Each function returns a leader [`Program`] ready for
+//! [`OsModel::load`](popcorn_kernel::osmodel::OsModel::load); the
+//! experiment harness sweeps their parameters.
+
+use popcorn_kernel::program::{
+    MigrateTarget, Op, Placement, Program, ProgEnv, Resume, SyscallReq,
+};
+use popcorn_kernel::types::VAddr;
+use popcorn_msg::KernelId;
+
+use crate::team::{Shared, Team, TeamConfig};
+use crate::ulib::{Flow, MutexLock, MutexUnlock, Poll};
+
+/// A worker that computes for `cycles` and exits — the trivial workload.
+#[derive(Debug)]
+pub struct ComputeWorker {
+    cycles: u64,
+    done: bool,
+}
+
+/// Builds a boxed [`ComputeWorker`].
+pub fn compute_worker(cycles: u64) -> Box<dyn Program> {
+    Box::new(ComputeWorker {
+        cycles,
+        done: false,
+    })
+}
+
+impl Program for ComputeWorker {
+    fn step(&mut self, _resume: Resume, _env: &ProgEnv) -> Op {
+        if self.done {
+            return Op::Exit(0);
+        }
+        self.done = true;
+        Op::Compute(self.cycles)
+    }
+}
+
+/// A thread that migrates back and forth between two kernels `hops` times
+/// (the paper's migration ping-pong probe). Each odd hop targets `far`,
+/// each even hop returns to `near`.
+#[derive(Debug)]
+pub struct MigrationPingPong {
+    hops: u32,
+    done_hops: u32,
+    near: KernelId,
+    far: KernelId,
+    compute_per_hop: u64,
+    computing: bool,
+}
+
+impl MigrationPingPong {
+    /// Ping-pong between kernels 0 and 1.
+    pub fn new(hops: u32) -> Self {
+        Self::between(hops, KernelId(0), KernelId(1))
+    }
+
+    /// Ping-pong between two specific kernels.
+    pub fn between(hops: u32, near: KernelId, far: KernelId) -> Self {
+        MigrationPingPong {
+            hops,
+            done_hops: 0,
+            near,
+            far,
+            compute_per_hop: 0,
+            computing: false,
+        }
+    }
+
+    /// Adds compute between hops (to study migration under load).
+    pub fn with_compute(mut self, cycles: u64) -> Self {
+        self.compute_per_hop = cycles;
+        self
+    }
+}
+
+impl Program for MigrationPingPong {
+    fn step(&mut self, _resume: Resume, env: &ProgEnv) -> Op {
+        if self.compute_per_hop > 0 && !self.computing {
+            self.computing = true;
+            return Op::Compute(self.compute_per_hop);
+        }
+        self.computing = false;
+        if self.done_hops == self.hops {
+            return Op::Exit(0);
+        }
+        self.done_hops += 1;
+        let target = if env.kernel == self.near {
+            self.far
+        } else {
+            self.near
+        };
+        Op::Syscall(SyscallReq::Migrate(MigrateTarget::Kernel(target)))
+    }
+}
+
+/// A loop of `getpid` calls — the null-syscall probe (E7).
+#[derive(Debug)]
+pub struct NullSyscallLoop {
+    iters: u32,
+}
+
+impl NullSyscallLoop {
+    /// `iters` back-to-back `getpid` calls.
+    pub fn new(iters: u32) -> Self {
+        NullSyscallLoop { iters }
+    }
+}
+
+impl Program for NullSyscallLoop {
+    fn step(&mut self, _resume: Resume, _env: &ProgEnv) -> Op {
+        if self.iters == 0 {
+            return Op::Exit(0);
+        }
+        self.iters -= 1;
+        Op::Syscall(SyscallReq::GetPid)
+    }
+}
+
+/// Leader that spawns `children` trivial workers and joins them — the
+/// thread-group-creation probe (E3).
+pub fn spawn_join_storm(children: usize, placement: Placement) -> Box<dyn Program> {
+    let mut cfg = TeamConfig::new(children, 0);
+    cfg.placement = placement;
+    Team::boxed(cfg, Box::new(|_, _| compute_worker(1_000)))
+}
+
+/// A worker that repeatedly maps, touches and unmaps anonymous memory —
+/// the `mmap_sem` contention probe (E5).
+#[derive(Debug)]
+pub struct MmapWorker {
+    iters: u32,
+    map_bytes: u64,
+    state: MmapState,
+}
+
+#[derive(Debug)]
+enum MmapState {
+    Map,
+    Touch { base: VAddr, page: u64 },
+    Unmap { base: VAddr },
+}
+
+impl MmapWorker {
+    /// `iters` rounds of map/touch/unmap of `map_bytes`.
+    pub fn new(iters: u32, map_bytes: u64) -> Self {
+        MmapWorker {
+            iters,
+            map_bytes,
+            state: MmapState::Map,
+        }
+    }
+}
+
+impl Program for MmapWorker {
+    fn step(&mut self, resume: Resume, _env: &ProgEnv) -> Op {
+        loop {
+            match self.state {
+                MmapState::Map => {
+                    if self.iters == 0 {
+                        return Op::Exit(0);
+                    }
+                    self.iters -= 1;
+                    self.state = MmapState::Touch {
+                        base: VAddr(0),
+                        page: 0,
+                    };
+                    return Op::Syscall(SyscallReq::Mmap {
+                        len: self.map_bytes,
+                    });
+                }
+                MmapState::Touch { ref mut base, ref mut page } => {
+                    if *page == 0 && base.0 == 0 {
+                        let Resume::Sys(res) = resume else {
+                            panic!("expected mmap result, got {resume:?}");
+                        };
+                        *base = VAddr(res.expect_val("mmap"));
+                    }
+                    let pages = self.map_bytes.div_ceil(VAddr::PAGE_SIZE);
+                    if *page == pages {
+                        let b = *base;
+                        self.state = MmapState::Unmap { base: b };
+                        continue;
+                    }
+                    let addr = base.add(*page * VAddr::PAGE_SIZE);
+                    *page += 1;
+                    return Op::Store(addr, 1);
+                }
+                MmapState::Unmap { base } => {
+                    self.state = MmapState::Map;
+                    let len = self.map_bytes.div_ceil(VAddr::PAGE_SIZE) * VAddr::PAGE_SIZE;
+                    return Op::Syscall(SyscallReq::Munmap { addr: base, len });
+                }
+            }
+        }
+    }
+}
+
+/// Team running [`MmapWorker`]s (E5).
+pub fn mmap_storm(threads: usize, iters: u32, map_bytes: u64) -> Box<dyn Program> {
+    Team::boxed(
+        TeamConfig::new(threads, 0),
+        Box::new(move |_, _| Box::new(MmapWorker::new(iters, map_bytes))),
+    )
+}
+
+/// A worker hammering one shared mutex: lock, short critical section,
+/// unlock — the futex-contention probe (E6).
+#[derive(Debug)]
+pub struct MutexWorker {
+    word: VAddr,
+    iters: u32,
+    critical_cycles: u64,
+    phase: MutexPhase,
+}
+
+#[derive(Debug)]
+enum MutexPhase {
+    Start,
+    Locking(MutexLock),
+    Critical,
+    Unlocking(MutexUnlock),
+}
+
+impl MutexWorker {
+    /// `iters` lock/unlock rounds on `word`.
+    pub fn new(word: VAddr, iters: u32, critical_cycles: u64) -> Self {
+        MutexWorker {
+            word,
+            iters,
+            critical_cycles,
+            phase: MutexPhase::Start,
+        }
+    }
+}
+
+impl Program for MutexWorker {
+    fn step(&mut self, resume: Resume, _env: &ProgEnv) -> Op {
+        loop {
+            match &mut self.phase {
+                MutexPhase::Start => {
+                    if self.iters == 0 {
+                        return Op::Exit(0);
+                    }
+                    self.iters -= 1;
+                    let mut lock = MutexLock::new(self.word);
+                    let first = lock.step(Resume::Start);
+                    self.phase = MutexPhase::Locking(lock);
+                    match first {
+                        Poll::Op(op) => return op,
+                        Poll::Done => unreachable!("lock cannot finish without an op"),
+                    }
+                }
+                MutexPhase::Locking(lock) => match lock.step(resume) {
+                    Poll::Op(op) => return op,
+                    Poll::Done => {
+                        self.phase = MutexPhase::Critical;
+                        return Op::Compute(self.critical_cycles);
+                    }
+                },
+                MutexPhase::Critical => {
+                    let mut unlock = MutexUnlock::new(self.word);
+                    let first = unlock.step(Resume::Start);
+                    self.phase = MutexPhase::Unlocking(unlock);
+                    match first {
+                        Poll::Op(op) => return op,
+                        Poll::Done => unreachable!("unlock cannot finish without an op"),
+                    }
+                }
+                MutexPhase::Unlocking(unlock) => match unlock.step(resume) {
+                    Poll::Op(op) => return op,
+                    Poll::Done => {
+                        self.phase = MutexPhase::Start;
+                        continue;
+                    }
+                },
+            }
+        }
+    }
+}
+
+/// Team of [`MutexWorker`]s contending one mutex (E6).
+pub fn futex_contention(threads: usize, iters: u32, critical_cycles: u64) -> Box<dyn Program> {
+    Team::boxed(
+        TeamConfig::new(threads, 0),
+        Box::new(move |_, shared: Shared| {
+            Box::new(MutexWorker::new(shared.sync_slot(1), iters, critical_cycles))
+        }),
+    )
+}
+
+/// A worker writing round-robin over a window of shared pages — drives
+/// page-ownership bouncing in the replicated kernel (E4's macro cousin).
+#[derive(Debug)]
+pub struct PageBounceWorker {
+    data: VAddr,
+    pages: u64,
+    iters: u32,
+    index: u64,
+    stride: u64,
+}
+
+impl PageBounceWorker {
+    /// `iters` writes striding over `pages` pages starting at `data`;
+    /// `start` offsets each worker so they collide.
+    pub fn new(data: VAddr, pages: u64, iters: u32, start: u64) -> Self {
+        PageBounceWorker {
+            data,
+            pages,
+            iters,
+            index: start,
+            stride: 1,
+        }
+    }
+}
+
+impl Program for PageBounceWorker {
+    fn step(&mut self, _resume: Resume, _env: &ProgEnv) -> Op {
+        if self.iters == 0 {
+            return Op::Exit(0);
+        }
+        self.iters -= 1;
+        let page = self.index % self.pages;
+        self.index += self.stride;
+        Op::Store(self.data.add(page * VAddr::PAGE_SIZE + 8), self.index)
+    }
+}
+
+/// Team of [`PageBounceWorker`]s sharing `pages` pages (page-protocol
+/// stress).
+pub fn page_bounce(threads: usize, pages: u64, iters: u32) -> Box<dyn Program> {
+    Team::boxed(
+        TeamConfig::new(threads, pages * VAddr::PAGE_SIZE),
+        Box::new(move |i, shared: Shared| {
+            Box::new(PageBounceWorker::new(
+                shared.data,
+                pages,
+                iters,
+                i as u64 * 7,
+            ))
+        }),
+    )
+}
+
+/// Team of [`NullSyscallLoop`]s (E7 syscall scaling).
+pub fn null_syscall_storm(threads: usize, iters: u32) -> Box<dyn Program> {
+    Team::boxed(
+        TeamConfig::new(threads, 0),
+        Box::new(move |_, _| Box::new(NullSyscallLoop::new(iters))),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn env() -> ProgEnv {
+        ProgEnv {
+            tid: popcorn_kernel::types::Tid::new(KernelId(0), 1),
+            core: popcorn_hw::CoreId(0),
+            kernel: KernelId(0),
+            now: popcorn_sim::SimTime::ZERO,
+        }
+    }
+
+    #[test]
+    fn compute_worker_computes_once_then_exits() {
+        let mut w = ComputeWorker {
+            cycles: 77,
+            done: false,
+        };
+        assert!(matches!(w.step(Resume::Start, &env()), Op::Compute(77)));
+        assert!(matches!(w.step(Resume::Done, &env()), Op::Exit(0)));
+    }
+
+    #[test]
+    fn pingpong_alternates_targets() {
+        let mut p = MigrationPingPong::new(2);
+        let e0 = env(); // on kernel 0
+        match p.step(Resume::Start, &e0) {
+            Op::Syscall(SyscallReq::Migrate(MigrateTarget::Kernel(k))) => {
+                assert_eq!(k, KernelId(1))
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        let mut e1 = env();
+        e1.kernel = KernelId(1);
+        match p.step(Resume::Sys(popcorn_kernel::program::SysResult::Val(0)), &e1) {
+            Op::Syscall(SyscallReq::Migrate(MigrateTarget::Kernel(k))) => {
+                assert_eq!(k, KernelId(0))
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        let e0b = env();
+        assert!(matches!(
+            p.step(Resume::Sys(popcorn_kernel::program::SysResult::Val(0)), &e0b),
+            Op::Exit(0)
+        ));
+    }
+
+    #[test]
+    fn null_syscall_loop_counts_down() {
+        let mut p = NullSyscallLoop::new(2);
+        assert!(matches!(
+            p.step(Resume::Start, &env()),
+            Op::Syscall(SyscallReq::GetPid)
+        ));
+        assert!(matches!(
+            p.step(Resume::Sys(popcorn_kernel::program::SysResult::Val(1)), &env()),
+            Op::Syscall(SyscallReq::GetPid)
+        ));
+        assert!(matches!(
+            p.step(Resume::Sys(popcorn_kernel::program::SysResult::Val(1)), &env()),
+            Op::Exit(0)
+        ));
+    }
+
+    #[test]
+    fn mmap_worker_cycles_map_touch_unmap() {
+        let mut w = MmapWorker::new(1, 8192);
+        let op = w.step(Resume::Start, &env());
+        assert!(matches!(op, Op::Syscall(SyscallReq::Mmap { len: 8192 })));
+        // Touch both pages.
+        let op = w.step(
+            Resume::Sys(popcorn_kernel::program::SysResult::Val(0x7f00_0000_0000)),
+            &env(),
+        );
+        assert!(matches!(op, Op::Store(VAddr(0x7f00_0000_0000), 1)));
+        let op = w.step(Resume::Done, &env());
+        assert!(matches!(op, Op::Store(VAddr(0x7f00_0000_1000), 1)));
+        let op = w.step(Resume::Done, &env());
+        match op {
+            Op::Syscall(SyscallReq::Munmap { addr, len }) => {
+                assert_eq!(addr, VAddr(0x7f00_0000_0000));
+                assert_eq!(len, 8192);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        assert!(matches!(
+            w.step(Resume::Sys(popcorn_kernel::program::SysResult::Val(0)), &env()),
+            Op::Exit(0)
+        ));
+    }
+
+    #[test]
+    fn page_bounce_strides_over_window() {
+        let mut w = PageBounceWorker::new(VAddr(0x1000), 2, 3, 0);
+        let a = w.step(Resume::Start, &env());
+        let b = w.step(Resume::Done, &env());
+        match (a, b) {
+            (Op::Store(x, _), Op::Store(y, _)) => {
+                assert_ne!(x.page(), y.page(), "consecutive writes hit distinct pages");
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+}

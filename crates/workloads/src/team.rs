@@ -1,0 +1,326 @@
+//! Leader/worker scaffolding for multi-threaded workloads.
+//!
+//! Every benchmark follows the same shape the paper's applications do: a
+//! leader thread maps shared memory, spawns `T` workers, waits for them to
+//! finish, and exits. [`Team`] implements the leader; [`SignalingWorker`]
+//! wraps a worker program so its exit signals the leader's join counter.
+
+use popcorn_kernel::program::{Op, Placement, Program, ProgEnv, Resume, SyscallReq};
+use popcorn_kernel::types::VAddr;
+
+use crate::ulib::{Flow, JoinSignal, JoinWait, Poll};
+
+/// Addresses of the shared regions a [`Team`] sets up, passed to each
+/// worker's factory.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Shared {
+    /// Synchronization page(s): join counter at offset 0, barriers and
+    /// mutexes from offset 64 up (one 64-byte slot each, false-sharing
+    /// safe by convention).
+    pub sync: VAddr,
+    /// Data region of the size requested in [`TeamConfig`].
+    pub data: VAddr,
+    /// Number of workers.
+    pub threads: usize,
+}
+
+impl Shared {
+    /// The join counter all workers signal.
+    pub fn join_word(&self) -> VAddr {
+        self.sync
+    }
+
+    /// The `i`-th 64-byte synchronization slot (slot 0 is the join word).
+    pub fn sync_slot(&self, i: usize) -> VAddr {
+        self.sync.add(64 * i as u64)
+    }
+}
+
+/// Builds the `index`-th worker program given the shared layout.
+pub type WorkerFactory = Box<dyn Fn(usize, Shared) -> Box<dyn Program> + Send>;
+
+/// Team parameters.
+#[derive(Debug, Clone)]
+pub struct TeamConfig {
+    /// Worker count.
+    pub threads: usize,
+    /// Bytes of shared data to map (rounded up to pages).
+    pub data_bytes: u64,
+    /// Worker placement (`Auto` spreads across the machine).
+    pub placement: Placement,
+}
+
+impl TeamConfig {
+    /// A team of `threads` workers with `data_bytes` of shared data,
+    /// spread automatically.
+    pub fn new(threads: usize, data_bytes: u64) -> Self {
+        TeamConfig {
+            threads,
+            data_bytes,
+            placement: Placement::Auto,
+        }
+    }
+}
+
+enum LeaderState {
+    MapSync,
+    MapData { sync: VAddr },
+    Spawn { shared: Shared, next: usize },
+    Join { join: JoinWait },
+    Done,
+}
+
+/// The leader program: map, spawn, join, exit.
+///
+/// # Example
+///
+/// ```
+/// use popcorn_workloads::team::{Team, TeamConfig};
+/// use popcorn_workloads::micro::compute_worker;
+/// use popcorn_core::PopcornOs;
+/// use popcorn_hw::Topology;
+/// use popcorn_kernel::osmodel::OsModel;
+///
+/// let mut os = PopcornOs::builder().topology(Topology::new(2, 2)).kernels(2).build();
+/// os.load(Team::boxed(
+///     TeamConfig::new(4, 4096),
+///     Box::new(|i, _shared| compute_worker(1_000 * (i as u64 + 1))),
+/// ));
+/// let report = os.run();
+/// assert!(report.is_clean());
+/// assert_eq!(report.exited_tasks, 5); // leader + 4 workers
+/// ```
+pub struct Team {
+    cfg: TeamConfig,
+    factory: WorkerFactory,
+    state: LeaderState,
+}
+
+impl std::fmt::Debug for Team {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Team")
+            .field("threads", &self.cfg.threads)
+            .field("data_bytes", &self.cfg.data_bytes)
+            .finish_non_exhaustive()
+    }
+}
+
+impl Team {
+    /// Creates a team leader.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the team has no workers.
+    pub fn new(cfg: TeamConfig, factory: WorkerFactory) -> Self {
+        assert!(cfg.threads > 0, "team needs at least one worker");
+        Team {
+            cfg,
+            factory,
+            state: LeaderState::MapSync,
+        }
+    }
+
+    /// Boxed constructor, convenient for `OsModel::load`.
+    pub fn boxed(cfg: TeamConfig, factory: WorkerFactory) -> Box<dyn Program> {
+        Box::new(Team::new(cfg, factory))
+    }
+}
+
+/// Bytes of synchronization area: the join word plus 63 more slots.
+const SYNC_BYTES: u64 = 4096;
+
+impl Program for Team {
+    fn step(&mut self, resume: Resume, _env: &ProgEnv) -> Op {
+        loop {
+            match &mut self.state {
+                LeaderState::MapSync => {
+                    self.state = LeaderState::MapData {
+                        sync: VAddr(0), // filled on resume
+                    };
+                    return Op::Syscall(SyscallReq::Mmap { len: SYNC_BYTES });
+                }
+                LeaderState::MapData { sync } => {
+                    let Resume::Sys(res) = resume else {
+                        panic!("leader expected mmap result, got {resume:?}");
+                    };
+                    *sync = VAddr(res.expect_val("mmap sync area"));
+                    let sync = *sync;
+                    if self.cfg.data_bytes == 0 {
+                        let shared = Shared {
+                            sync,
+                            data: VAddr(0),
+                            threads: self.cfg.threads,
+                        };
+                        self.state = LeaderState::Spawn { shared, next: 0 };
+                        continue;
+                    }
+                    self.state = LeaderState::Spawn {
+                        shared: Shared {
+                            sync,
+                            data: VAddr(0),
+                            threads: self.cfg.threads,
+                        },
+                        next: usize::MAX, // marker: waiting for data mmap
+                    };
+                    return Op::Syscall(SyscallReq::Mmap {
+                        len: self.cfg.data_bytes,
+                    });
+                }
+                LeaderState::Spawn { shared, next } => {
+                    if *next == usize::MAX {
+                        let Resume::Sys(res) = resume else {
+                            panic!("leader expected mmap result, got {resume:?}");
+                        };
+                        shared.data = VAddr(res.expect_val("mmap data area"));
+                        *next = 0;
+                    } else if *next > 0 {
+                        // Previous clone returned; nothing to record.
+                        let Resume::Sys(res) = resume else {
+                            panic!("leader expected clone result, got {resume:?}");
+                        };
+                        res.expect_val("clone worker");
+                    }
+                    if *next == self.cfg.threads {
+                        let join = JoinWait::new(shared.join_word(), self.cfg.threads as u64);
+                        self.state = LeaderState::Join { join };
+                        continue;
+                    }
+                    let i = *next;
+                    *next += 1;
+                    let inner = (self.factory)(i, *shared);
+                    let child = Box::new(SignalingWorker::new(inner, shared.join_word()));
+                    return Op::Syscall(SyscallReq::Clone {
+                        child,
+                        placement: self.cfg.placement,
+                    });
+                }
+                LeaderState::Join { join } => {
+                    // JoinWait's first state ignores the resume value, so
+                    // the last clone's result passes through harmlessly.
+                    match join.step(resume) {
+                        Poll::Op(op) => return op,
+                        Poll::Done => {
+                            self.state = LeaderState::Done;
+                            return Op::Exit(0);
+                        }
+                    }
+                }
+                LeaderState::Done => return Op::Exit(0),
+            }
+        }
+    }
+}
+
+/// Wraps a worker so that its `Exit` first signals the team join counter.
+pub struct SignalingWorker {
+    inner: Option<Box<dyn Program>>,
+    signal: Option<JoinSignal>,
+    join_word: VAddr,
+    code: i32,
+}
+
+impl std::fmt::Debug for SignalingWorker {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SignalingWorker")
+            .field("signalling", &self.signal.is_some())
+            .finish_non_exhaustive()
+    }
+}
+
+impl SignalingWorker {
+    /// Wraps `inner`.
+    pub fn new(inner: Box<dyn Program>, join_word: VAddr) -> Self {
+        SignalingWorker {
+            inner: Some(inner),
+            signal: None,
+            join_word,
+            code: 0,
+        }
+    }
+}
+
+impl Program for SignalingWorker {
+    fn step(&mut self, resume: Resume, env: &ProgEnv) -> Op {
+        if let Some(sig) = &mut self.signal {
+            return match sig.step(resume) {
+                Poll::Op(op) => op,
+                Poll::Done => Op::Exit(self.code),
+            };
+        }
+        let inner = self.inner.as_mut().expect("worker still running");
+        match inner.step(resume, env) {
+            Op::Exit(code) => {
+                self.code = code;
+                self.inner = None;
+                let mut sig = JoinSignal::new(self.join_word);
+                let first = sig.step(Resume::Start);
+                self.signal = Some(sig);
+                match first {
+                    Poll::Op(op) => op,
+                    Poll::Done => Op::Exit(code),
+                }
+            }
+            op => op,
+        }
+    }
+
+    fn migration_payload(&self) -> usize {
+        self.inner
+            .as_ref()
+            .map_or(4096, |p| p.migration_payload())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[derive(Debug)]
+    struct Trivial;
+    impl Program for Trivial {
+        fn step(&mut self, _r: Resume, _e: &ProgEnv) -> Op {
+            Op::Exit(3)
+        }
+    }
+
+    #[test]
+    fn shared_layout_slots_are_disjoint() {
+        let s = Shared {
+            sync: VAddr(0x1000),
+            data: VAddr(0x9000),
+            threads: 4,
+        };
+        assert_eq!(s.join_word(), VAddr(0x1000));
+        assert_eq!(s.sync_slot(1), VAddr(0x1040));
+        assert_eq!(s.sync_slot(2), VAddr(0x1080));
+    }
+
+    #[test]
+    fn signaling_worker_signals_then_exits_with_inner_code() {
+        let mut w = SignalingWorker::new(Box::new(Trivial), VAddr(0x1000));
+        let env = ProgEnv {
+            tid: popcorn_kernel::types::Tid::new(popcorn_msg::KernelId(0), 1),
+            core: popcorn_hw::CoreId(0),
+            kernel: popcorn_msg::KernelId(0),
+            now: popcorn_sim::SimTime::ZERO,
+        };
+        // Inner exits immediately → worker starts the join signal (an RMW).
+        let op = w.step(Resume::Start, &env);
+        assert!(matches!(op, Op::AtomicRmw(_, _)));
+        // RMW done → futex wake.
+        let op = w.step(Resume::Value(0), &env);
+        assert!(matches!(op, Op::Syscall(SyscallReq::Futex(_))));
+        // Wake done → exit with the inner's code.
+        let op = w.step(
+            Resume::Sys(popcorn_kernel::program::SysResult::Val(1)),
+            &env,
+        );
+        assert!(matches!(op, Op::Exit(3)));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one worker")]
+    fn empty_team_rejected() {
+        Team::new(TeamConfig::new(0, 0), Box::new(|_, _| Box::new(Trivial)));
+    }
+}

@@ -1,0 +1,53 @@
+#![warn(missing_docs)]
+//! # Popcorn — a replicated-kernel OS reproduction, in Rust
+//!
+//! Facade crate for the reproduction of *"Thread Migration in a
+//! Replicated-Kernel OS"* (Katz, Barbalace, Ansary, Ravichandran, Ravindran;
+//! IEEE ICDCS 2015), the thread-migration paper of the Popcorn Linux
+//! project.
+//!
+//! The original artifact is a modified Linux kernel booted as several
+//! cooperating kernel instances on one multicore x86 machine. This
+//! reproduction implements the same designs as deterministic simulation
+//! models (see `DESIGN.md` at the repository root):
+//!
+//! - [`sim`] — discrete-event engine (virtual time, events, RNG, metrics);
+//! - [`hw`] — the machine: topology, NUMA, lock contention, IPIs;
+//! - [`msg`] — Popcorn's inter-kernel message layer;
+//! - [`kernel`] — a kernel instance: tasks, scheduler, memory, syscalls;
+//! - [`core`] — **the paper's contribution**: distributed thread groups,
+//!   inter-kernel thread migration, address-space consistency, distributed
+//!   futexes, and the assembled Popcorn OS model;
+//! - [`baselines`] — the comparison systems: an SMP Linux-like shared
+//!   kernel and a Barrelfish-like multikernel;
+//! - [`workloads`] — user-space programs: futex-based synchronization,
+//!   microbenchmarks and NPB-class kernels.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use popcorn::core::PopcornOs;
+//! use popcorn::kernel::osmodel::OsModel;
+//! use popcorn::workloads::micro::MigrationPingPong;
+//! use popcorn::hw::Topology;
+//!
+//! // A 2-socket machine running two kernel instances (one per socket).
+//! let mut os = PopcornOs::builder()
+//!     .topology(Topology::new(2, 4))
+//!     .kernels(2)
+//!     .build();
+//!
+//! // One thread migrating between the kernels 8 times.
+//! os.load(Box::new(MigrationPingPong::new(8)));
+//! let report = os.run();
+//! assert_eq!(report.exited_tasks, 1);
+//! println!("total virtual time: {}", report.finished_at);
+//! ```
+
+pub use popcorn_baselines as baselines;
+pub use popcorn_core as core;
+pub use popcorn_hw as hw;
+pub use popcorn_kernel as kernel;
+pub use popcorn_msg as msg;
+pub use popcorn_sim as sim;
+pub use popcorn_workloads as workloads;
