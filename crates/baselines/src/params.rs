@@ -1,11 +1,10 @@
 //! Baseline-specific cost parameters.
 
-use serde::{Deserialize, Serialize};
 
 /// SMP-kernel lock-hold times: how long each shared-structure lock is held
 /// per operation. These are what the queueing models turn into waiting
 /// time as core counts grow.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct SmpParams {
     /// `tasklist_lock`-style hold during clone/exit.
     pub task_lock_hold_ns: u64,
@@ -65,7 +64,7 @@ impl SmpParams {
 }
 
 /// Multikernel (Barrelfish-like) parameters.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct MultikernelParams {
     /// Remote dispatcher (thread) creation service cost at the target.
     pub remote_spawn_ns: u64,

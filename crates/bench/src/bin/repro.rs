@@ -5,91 +5,171 @@
 //! repro e5 e8               # selected experiments
 //! repro list                # available ids
 //! repro all --json out/     # also dump each table as JSON
+//! repro all --jobs 8        # host threads for independent simulations
+//! repro all --serial        # force fully serial execution
 //! ```
 //!
-//! All runs are deterministic; the numbers printed here are the ones
-//! recorded in EXPERIMENTS.md.
+//! All runs are deterministic; every simulation is single-threaded and
+//! seeded, so `--jobs N` changes only host wall-clock time — the tables
+//! (and `--json` files) are byte-identical to a `--serial` run. The
+//! numbers printed here are the ones recorded in EXPERIMENTS.md.
+//!
+//! Each invocation that runs experiments also records simulator
+//! self-metrics (host wall-clock, events processed, events/sec per
+//! experiment) to `BENCH_repro.json` in the current directory.
 
 use std::io::Write;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 use std::time::Instant;
 
+use popcorn_bench::cli::{self, Mode};
 use popcorn_bench::experiments::all_experiments;
-use popcorn_bench::Table;
+use popcorn_bench::{parallel_map, set_jobs, Table};
+use popcorn_sim::with_event_sink;
+
+/// Self-metrics for one regenerated experiment.
+struct ExperimentPerf {
+    id: String,
+    table: Table,
+    wall_secs: f64,
+    events: u64,
+}
+
+impl ExperimentPerf {
+    fn events_per_sec(&self) -> f64 {
+        if self.wall_secs > 0.0 {
+            self.events as f64 / self.wall_secs
+        } else {
+            0.0
+        }
+    }
+}
+
+/// Renders the `BENCH_repro.json` body (hand-rolled: the build is fully
+/// offline, no serde).
+fn perf_json(jobs: usize, total_wall: f64, perfs: &[ExperimentPerf]) -> String {
+    let host = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let total_events: u64 = perfs.iter().map(|p| p.events).sum();
+    let entries: Vec<String> = perfs
+        .iter()
+        .map(|p| {
+            format!(
+                "    {{\n      \"id\": \"{}\",\n      \"wall_secs\": {:.3},\n      \"events\": {},\n      \"events_per_sec\": {:.0}\n    }}",
+                p.id,
+                p.wall_secs,
+                p.events,
+                p.events_per_sec()
+            )
+        })
+        .collect();
+    format!(
+        "{{\n  \"bench\": \"repro\",\n  \"jobs\": {},\n  \"host_parallelism\": {},\n  \"total_wall_secs\": {:.3},\n  \"total_events\": {},\n  \"experiments\": [\n{}\n  ]\n}}",
+        jobs,
+        host,
+        total_wall,
+        total_events,
+        entries.join(",\n")
+    )
+}
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let experiments = all_experiments();
+    let ids: Vec<&str> = experiments.iter().map(|(id, _)| *id).collect();
 
-    let mut json_dir: Option<String> = None;
-    let mut selected: Vec<String> = Vec::new();
-    let mut it = args.into_iter();
-    while let Some(a) = it.next() {
-        match a.as_str() {
-            "--json" => {
-                json_dir = Some(it.next().unwrap_or_else(|| {
-                    eprintln!("--json requires a directory");
-                    std::process::exit(2);
-                }));
-            }
-            "list" => {
-                for (id, _) in &experiments {
-                    println!("{id}");
-                }
-                println!("check");
-                return;
-            }
-            "check" => {
-                let results = popcorn_bench::check::run_all_checks();
-                let mut failed = false;
-                for r in &results {
-                    let mark = if r.passed { "PASS" } else { "FAIL" };
-                    println!("[{mark}] {} — {}", r.name, r.detail);
-                    failed |= !r.passed;
-                }
-                if failed {
-                    eprintln!("shape regressions detected");
-                    std::process::exit(1);
-                }
-                return;
-            }
-            "all" => selected.extend(experiments.iter().map(|(id, _)| id.to_string())),
-            other => selected.push(other.to_string()),
+    let cli = match cli::parse(&args, &ids) {
+        Ok(cli) => cli,
+        Err(msg) => {
+            eprintln!("{msg}");
+            std::process::exit(2);
         }
-    }
-    if selected.is_empty() {
-        eprintln!("usage: repro [all | list | check | <ids...>] [--json DIR]");
-        eprintln!(
-            "ids: {}",
-            experiments
-                .iter()
-                .map(|(i, _)| *i)
-                .collect::<Vec<_>>()
-                .join(" ")
-        );
-        std::process::exit(2);
-    }
-    selected.dedup();
+    };
+    set_jobs(cli.jobs_setting());
 
-    if let Some(dir) = &json_dir {
+    match cli.mode {
+        Mode::List => {
+            for id in &ids {
+                println!("{id}");
+            }
+            println!("check");
+            return;
+        }
+        Mode::Check => {
+            let results = popcorn_bench::check::run_all_checks();
+            let mut failed = false;
+            for r in &results {
+                let mark = if r.passed { "PASS" } else { "FAIL" };
+                println!("[{mark}] {} — {}", r.name, r.detail);
+                failed |= !r.passed;
+            }
+            if failed {
+                eprintln!("shape regressions detected");
+                std::process::exit(1);
+            }
+            return;
+        }
+        Mode::Run => {}
+    }
+
+    if let Some(dir) = &cli.json_dir {
         std::fs::create_dir_all(dir).expect("create json dir");
     }
 
-    for id in &selected {
-        let Some((_, f)) = experiments.iter().find(|(i, _)| i == id) else {
-            eprintln!("unknown experiment '{id}' (try `repro list`)");
-            std::process::exit(2);
-        };
+    // Run the selected experiments on parallel host threads; each gets
+    // its own event sink, so events stay attributed per experiment even
+    // while several run concurrently. Results are collected by index and
+    // rendered in request order — identical output to a serial run.
+    let work: Vec<(String, fn() -> Table)> = cli
+        .selected
+        .iter()
+        .map(|id| {
+            let (_, f) = experiments
+                .iter()
+                .find(|(i, _)| i == id)
+                .expect("ids validated by cli::parse");
+            (id.clone(), *f)
+        })
+        .collect();
+    let run_started = Instant::now();
+    let perfs: Vec<ExperimentPerf> = parallel_map(work, |(id, f)| {
+        let sink = Arc::new(AtomicU64::new(0));
         let started = Instant::now();
-        let table: Table = f();
-        let host_secs = started.elapsed().as_secs_f64();
-        println!("{}", table.render());
-        println!("(regenerated in {host_secs:.1}s host time)\n");
-        if let Some(dir) = &json_dir {
-            let path = format!("{dir}/{id}.json");
+        let table = with_event_sink(sink.clone(), f);
+        ExperimentPerf {
+            id,
+            table,
+            wall_secs: started.elapsed().as_secs_f64(),
+            events: sink.load(Ordering::Relaxed),
+        }
+    });
+    let total_wall = run_started.elapsed().as_secs_f64();
+
+    for p in &perfs {
+        println!("{}", p.table.render());
+        println!(
+            "(regenerated in {:.1}s host time; {} events, {:.0} events/s)\n",
+            p.wall_secs,
+            p.events,
+            p.events_per_sec()
+        );
+        if let Some(dir) = &cli.json_dir {
+            let path = format!("{dir}/{}.json", p.id);
             let mut file = std::fs::File::create(&path).expect("create json file");
-            let body = serde_json::to_string_pretty(&table).expect("serialize table");
-            file.write_all(body.as_bytes()).expect("write json");
+            file.write_all(p.table.to_json_pretty().as_bytes())
+                .expect("write json");
             println!("wrote {path}\n");
         }
     }
+
+    let perf_path = "BENCH_repro.json";
+    std::fs::write(perf_path, perf_json(popcorn_bench::jobs(), total_wall, &perfs))
+        .expect("write perf json");
+    println!(
+        "({} experiments in {total_wall:.1}s host time at --jobs {}; self-metrics in {perf_path})",
+        perfs.len(),
+        popcorn_bench::jobs()
+    );
 }

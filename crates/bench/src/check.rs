@@ -13,7 +13,7 @@ use popcorn_kernel::program::Placement;
 use popcorn_workloads::micro;
 use popcorn_workloads::npb::{self, NpbConfig};
 
-use crate::rig::{OsKind, Rig};
+use crate::rig::{parallel_map, OsKind, Rig};
 
 /// One shape check: name plus pass/fail with an explanation.
 #[derive(Debug, Clone)]
@@ -228,17 +228,19 @@ pub fn check_hier_extension_wins() -> ShapeResult {
     )
 }
 
-/// Runs every shape check; returns the results (all must pass).
+/// Runs every shape check (on parallel host threads up to the configured
+/// job count); returns the results in fixed order (all must pass).
 pub fn run_all_checks() -> Vec<ShapeResult> {
-    vec![
-        check_back_migration_cheaper(),
-        check_smp_contention_collapse(),
-        check_is_class_win(),
-        check_tracks_multikernel(),
-        check_local_futex_competitive(),
-        check_page_protocol_costs(),
-        check_hier_extension_wins(),
-    ]
+    let checks: Vec<fn() -> ShapeResult> = vec![
+        check_back_migration_cheaper,
+        check_smp_contention_collapse,
+        check_is_class_win,
+        check_tracks_multikernel,
+        check_local_futex_competitive,
+        check_page_protocol_costs,
+        check_hier_extension_wins,
+    ];
+    parallel_map(checks, |check| check())
 }
 
 #[cfg(test)]

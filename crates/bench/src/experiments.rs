@@ -15,7 +15,7 @@ use popcorn_workloads::micro;
 use popcorn_workloads::npb::{self, NpbConfig};
 use popcorn_workloads::team::{Team, TeamConfig};
 
-use crate::rig::{OsKind, Rig};
+use crate::rig::{parallel_map, OsKind, Rig};
 use crate::table::{ratio, us, Table};
 
 /// Thread counts swept by the scaling experiments on the 64-core machine.
@@ -39,31 +39,37 @@ pub fn e1_messaging() -> Table {
         "inter-kernel message layer: one-way latency and streaming throughput",
         ["payload_B", "scope", "latency_us", "msgs_per_s", "MB_per_s"],
     );
+    let mut points = Vec::new();
     for &(scope, from, to) in &[
         ("same-socket", KernelId(0), KernelId(1)),
         ("cross-socket", KernelId(0), KernelId(2)),
     ] {
         for &size in &[0usize, 64, 256, 1024, 4096] {
-            let mut fabric = Fabric::new(&machine, locations.clone(), MsgParams::default());
-            let one = fabric.send(SimTime::ZERO, from, to, Blob(size));
-            // Streaming: 10k back-to-back messages on one channel.
-            let n = 10_000u64;
-            let mut last = SimTime::ZERO;
-            let mut fabric2 = Fabric::new(&machine, locations.clone(), MsgParams::default());
-            for _ in 0..n {
-                last = fabric2.send(SimTime::ZERO, from, to, Blob(size)).deliver_at;
-            }
-            let secs = last.as_secs_f64();
-            let mps = n as f64 / secs;
-            let mbps = mps * (size as f64 + 64.0) / 1e6;
-            t.row([
-                size.to_string(),
-                scope.to_string(),
-                us(one.deliver_at.as_nanos() as f64),
-                format!("{mps:.0}"),
-                format!("{mbps:.0}"),
-            ]);
+            points.push((scope, from, to, size));
         }
+    }
+    for row in parallel_map(points, |(scope, from, to, size)| {
+        let mut fabric = Fabric::new(&machine, locations.clone(), MsgParams::default());
+        let one = fabric.send(SimTime::ZERO, from, to, Blob(size));
+        // Streaming: 10k back-to-back messages on one channel.
+        let n = 10_000u64;
+        let mut last = SimTime::ZERO;
+        let mut fabric2 = Fabric::new(&machine, locations.clone(), MsgParams::default());
+        for _ in 0..n {
+            last = fabric2.send(SimTime::ZERO, from, to, Blob(size)).deliver_at;
+        }
+        let secs = last.as_secs_f64();
+        let mps = n as f64 / secs;
+        let mbps = mps * (size as f64 + 64.0) / 1e6;
+        [
+            size.to_string(),
+            scope.to_string(),
+            us(one.deliver_at.as_nanos() as f64),
+            format!("{mps:.0}"),
+            format!("{mbps:.0}"),
+        ]
+    }) {
+        t.row(row);
     }
     t.note("expected: small messages land in the low microseconds; cross-socket adds the interconnect hop; throughput bounded by per-message software cost");
     t
@@ -77,7 +83,8 @@ pub fn e2_migration() -> Table {
         "thread migration latency (syscall to resume on the target kernel)",
         ["scenario", "first_visit_us", "back_migration_us", "hops"],
     );
-    for &(scenario, background) in &[("idle", 0usize), ("loaded", 32)] {
+    let scenarios = vec![("idle", 0usize), ("loaded", 32)];
+    for row in parallel_map(scenarios, |(scenario, background)| {
         let rig = Rig::paper();
         let mut os = popcorn_core::PopcornOs::builder()
             .topology(rig.topology)
@@ -92,12 +99,14 @@ pub fn e2_migration() -> Table {
         os.load(Box::new(micro::MigrationPingPong::new(40)));
         let r = os.run();
         assert!(r.is_clean(), "E2 {scenario} unclean");
-        t.row([
+        [
             scenario.to_string(),
             us(os.stats().migration_first_lat.mean()),
             us(os.stats().migration_back_lat.mean()),
             "40".to_string(),
-        ]);
+        ]
+    }) {
+        t.row(row);
     }
     t.note("expected: back-migration (shadow revival) markedly cheaper than first visit; load adds queueing, not protocol cost");
     t
@@ -118,14 +127,18 @@ pub fn e3_thread_group() -> Table {
         ],
     );
     let rig = Rig::paper();
-    for &n in &THREAD_SWEEP {
-        let results = rig.run_all(|| micro::spawn_join_storm(n, Placement::Auto));
+    // One parallel cell per (thread count, OS): the whole sweep fans out.
+    let cells: Vec<(usize, OsKind)> = THREAD_SWEEP
+        .iter()
+        .flat_map(|&n| OsKind::ALL.iter().map(move |&k| (n, k)))
+        .collect();
+    let reports = parallel_map(cells, |(n, k)| {
+        rig.run(k, micro::spawn_join_storm(n, Placement::Auto))
+    });
+    for (i, &n) in THREAD_SWEEP.iter().enumerate() {
         let find = |k: OsKind| {
-            results
-                .iter()
-                .find(|(x, _)| *x == k)
-                .map(|(_, r)| r)
-                .expect("ran")
+            let j = OsKind::ALL.iter().position(|&x| x == k).expect("known kind");
+            &reports[i * OsKind::ALL.len() + j]
         };
         t.row([
             n.to_string(),
@@ -272,7 +285,7 @@ pub fn e4_page_protocol() -> Table {
         ["case", "copyset", "local_us", "remote_read_us", "remote_write_us"],
     );
     // Base case: one reader kernel, then a writer: copyset 2.
-    for readers in [1u16, 2, 3] {
+    for row in parallel_map(vec![1u16, 2, 3], |readers| {
         let mut os = popcorn_core::PopcornOs::builder()
             .topology(Topology::paper_default())
             .kernels(4)
@@ -288,13 +301,15 @@ pub fn e4_page_protocol() -> Table {
         }));
         let r = os.run();
         assert!(r.is_clean(), "E4 unclean: {:?}", r.stuck_tasks);
-        t.row([
+        [
             "read-share-then-write".to_string(),
             format!("{}", readers + 1),
             us(os.stats().fault_local_lat.mean()),
             us(os.stats().fault_remote_read_lat.mean()),
             us(os.stats().fault_remote_write_lat.mean()),
-        ]);
+        ]
+    }) {
+        t.row(row);
     }
     t.note("expected: local ≪ remote read < remote write; invalidations to multiple holders proceed in parallel, so write cost grows from copyset 2 to 3 and then saturates");
     t
@@ -349,31 +364,23 @@ pub fn e5_mmap_storm() -> Table {
     let total_iters = 2880u32;
     let rig = Rig::paper();
     let procs = 4usize;
-    for &total in &[4usize, 8, 16, 32, 60] {
+    let totals = [4usize, 8, 16, 32, 60];
+    let cells: Vec<(usize, OsKind)> = totals
+        .iter()
+        .flat_map(|&total| OsKind::ALL.iter().map(move |&k| (total, k)))
+        .collect();
+    let ms = parallel_map(cells, |(total, k)| {
         let per_proc = total / procs;
         let iters = total_iters / total as u32;
-        let mut cells: Vec<(OsKind, f64)> = Vec::new();
-        crossbeam::thread::scope(|s| {
-            let hs: Vec<_> = OsKind::ALL
-                .iter()
-                .map(|&k| {
-                    let rig = &rig;
-                    s.spawn(move |_| {
-                        (
-                            k,
-                            multiproc_ms(rig, k, procs, |_| {
-                                mmap_storm_placed(per_proc, iters, 4 * 4096, Placement::Local)
-                            }),
-                        )
-                    })
-                })
-                .collect();
-            for h in hs {
-                cells.push(h.join().expect("thread"));
-            }
+        multiproc_ms(&rig, k, procs, |_| {
+            mmap_storm_placed(per_proc, iters, 4 * 4096, Placement::Local)
         })
-        .expect("scope");
-        let get = |k: OsKind| cells.iter().find(|(x, _)| *x == k).expect("ran").1;
+    });
+    for (i, &total) in totals.iter().enumerate() {
+        let get = |k: OsKind| {
+            let j = OsKind::ALL.iter().position(|&x| x == k).expect("known kind");
+            ms[i * OsKind::ALL.len() + j]
+        };
         let (p, s, m) = (get(OsKind::Popcorn), get(OsKind::Smp), get(OsKind::Multikernel));
         t.row([
             total.to_string(),
@@ -398,22 +405,20 @@ pub fn e5b_mmap_span() -> Table {
     );
     let total_iters = 1260u32;
     let rig = Rig::paper();
-    for &n in &[1usize, 4, 16, 63] {
+    let sweep = [1usize, 4, 16, 63];
+    let kinds = [OsKind::Popcorn, OsKind::Smp];
+    let cells: Vec<(usize, OsKind)> = sweep
+        .iter()
+        .flat_map(|&n| kinds.iter().map(move |&k| (n, k)))
+        .collect();
+    let ms = parallel_map(cells, |(n, k)| {
         let iters = total_iters / n as u32;
-        let p = rig
-            .run(
-                OsKind::Popcorn,
-                mmap_storm_placed(n, iters, 4 * 4096, Placement::Auto),
-            )
+        rig.run(k, mmap_storm_placed(n, iters, 4 * 4096, Placement::Auto))
             .finished_at
-            .as_millis_f64();
-        let s = rig
-            .run(
-                OsKind::Smp,
-                mmap_storm_placed(n, iters, 4 * 4096, Placement::Auto),
-            )
-            .finished_at
-            .as_millis_f64();
+            .as_millis_f64()
+    });
+    for (i, &n) in sweep.iter().enumerate() {
+        let (p, s) = (ms[i * 2], ms[i * 2 + 1]);
         t.row([
             n.to_string(),
             format!("{p:.3}"),
@@ -459,27 +464,26 @@ pub fn e6_futex() -> Table {
     );
     let total_rounds = 1260u32;
     let rig = Rig::paper();
-    for &n in &[1usize, 2, 4, 8, 16] {
+    let sweep = [1usize, 2, 4, 8, 16];
+    let variants = [
+        (OsKind::Popcorn, Placement::Local),
+        (OsKind::Popcorn, Placement::Auto),
+        (OsKind::Smp, Placement::Auto),
+        (OsKind::Multikernel, Placement::Auto),
+    ];
+    let cells: Vec<(usize, OsKind, Placement)> = sweep
+        .iter()
+        .flat_map(|&n| variants.iter().map(move |&(k, p)| (n, k, p)))
+        .collect();
+    let ms = parallel_map(cells, |(n, k, placement)| {
         let iters = total_rounds / n as u32;
-        let p_local = rig
-            .run(OsKind::Popcorn, futex_contention_placed(n, iters, 4_000, Placement::Local))
+        rig.run(k, futex_contention_placed(n, iters, 4_000, placement))
             .finished_at
-            .as_millis_f64();
-        let p_spread = rig
-            .run(OsKind::Popcorn, futex_contention_placed(n, iters, 4_000, Placement::Auto))
-            .finished_at
-            .as_millis_f64();
-        let smp = rig
-            .run(OsKind::Smp, futex_contention_placed(n, iters, 4_000, Placement::Auto))
-            .finished_at
-            .as_millis_f64();
-        let mk = rig
-            .run(
-                OsKind::Multikernel,
-                futex_contention_placed(n, iters, 4_000, Placement::Auto),
-            )
-            .finished_at
-            .as_millis_f64();
+            .as_millis_f64()
+    });
+    for (i, &n) in sweep.iter().enumerate() {
+        let v = &ms[i * variants.len()..(i + 1) * variants.len()];
+        let (p_local, p_spread, smp, mk) = (v[0], v[1], v[2], v[3]);
         t.row([
             n.to_string(),
             format!("{p_local:.3}"),
@@ -504,23 +508,29 @@ pub fn e7_syscall_scaling() -> Table {
     );
     let rig = Rig::paper();
     let (short, long) = (2_000u32, 4_000u32);
-    for &n in &[1usize, 8, 32, 63] {
-        let per_call = |k: OsKind| {
-            let t_short = rig
-                .run(k, micro::null_syscall_storm(n, short))
-                .finished_at
-                .as_nanos() as f64;
-            let t_long = rig
-                .run(k, micro::null_syscall_storm(n, long))
-                .finished_at
-                .as_nanos() as f64;
-            (t_long - t_short) / (long - short) as f64
-        };
+    let sweep = [1usize, 8, 32, 63];
+    let cells: Vec<(usize, OsKind)> = sweep
+        .iter()
+        .flat_map(|&n| OsKind::ALL.iter().map(move |&k| (n, k)))
+        .collect();
+    let ns = parallel_map(cells, |(n, k)| {
+        let t_short = rig
+            .run(k, micro::null_syscall_storm(n, short))
+            .finished_at
+            .as_nanos() as f64;
+        let t_long = rig
+            .run(k, micro::null_syscall_storm(n, long))
+            .finished_at
+            .as_nanos() as f64;
+        (t_long - t_short) / (long - short) as f64
+    });
+    for (i, &n) in sweep.iter().enumerate() {
+        let v = &ns[i * OsKind::ALL.len()..(i + 1) * OsKind::ALL.len()];
         t.row([
             n.to_string(),
-            format!("{:.0}", per_call(OsKind::Popcorn)),
-            format!("{:.0}", per_call(OsKind::Smp)),
-            format!("{:.0}", per_call(OsKind::Multikernel)),
+            format!("{:.0}", v[0]),
+            format!("{:.0}", v[1]),
+            format!("{:.0}", v[2]),
         ]);
     }
     t.note("expected: flat and identical across OSes — local syscalls touch no shared state in any of the three designs");
@@ -562,22 +572,20 @@ fn npb_experiment(
         ],
     );
     let rig = Rig::paper();
-    let mut base: Option<(f64, f64)> = None; // (popcorn@1, smp@1)
-    for &n in &THREAD_SWEEP {
+    let cells: Vec<(usize, OsKind)> = THREAD_SWEEP
+        .iter()
+        .flat_map(|&n| OsKind::ALL.iter().map(move |&k| (n, k)))
+        .collect();
+    let ms = parallel_map(cells, |(n, k)| {
         let cfg = strong_scaling(n, total_cycles_per_iter, iterations, pages);
-        let results = rig.run_all(|| make(cfg));
-        let get = |k: OsKind| {
-            results
-                .iter()
-                .find(|(x, _)| *x == k)
-                .map(|(_, r)| r.finished_at.as_millis_f64())
-                .expect("ran")
-        };
-        let (p, s, m) = (get(OsKind::Popcorn), get(OsKind::Smp), get(OsKind::Multikernel));
-        if base.is_none() {
-            base = Some((p, s));
-        }
-        let (p1, s1) = base.expect("set above");
+        rig.run(k, make(cfg)).finished_at.as_millis_f64()
+    });
+    // Speedups are relative to the first sweep point (popcorn@1, smp@1);
+    // with all cells collected, the base is simply the first row's cells.
+    let (p1, s1) = (ms[0], ms[1]);
+    for (i, &n) in THREAD_SWEEP.iter().enumerate() {
+        let v = &ms[i * OsKind::ALL.len()..(i + 1) * OsKind::ALL.len()];
+        let (p, s, m) = (v[0], v[1], v[2]);
         t.row([
             n.to_string(),
             format!("{p:.2}"),
@@ -608,40 +616,34 @@ pub fn e8_npb_is() -> Table {
         ],
     );
     let rig = Rig::paper();
-    for &total in &[4usize, 8, 16, 32, 64] {
+    let totals = [4usize, 8, 16, 32, 64];
+    let total_cycles_per_iter = 84_000_000u64; // ~35ms single-thread per iteration
+    let cells: Vec<(usize, OsKind)> = totals
+        .iter()
+        .flat_map(|&total| OsKind::ALL.iter().map(move |&k| (total, k)))
+        .collect();
+    let ms = parallel_map(cells, |(total, kind)| {
         let per_proc = total / 4;
-        let total_cycles_per_iter = 84_000_000u64; // ~35ms single-thread per iteration
-        let run = |kind: OsKind| {
-            let mut os = rig.build(kind);
-            for _ in 0..4 {
-                let cfg = NpbConfig {
-                    threads: per_proc,
-                    iterations: 10,
-                    pages_per_thread: 12,
-                    compute_cycles: total_cycles_per_iter / total as u64,
-                    barrier_groups: 0,
-                };
-                // Keep each process on its home kernel (the pinning the
-                // paper's runs use); SMP spreads over its one kernel.
-                os.load(npb::is_benchmark_placed(cfg, Placement::Local));
-            }
-            let r = os.run_with(rig.horizon, rig.event_budget);
-            assert!(r.is_clean(), "E8 {} unclean: {:?}", kind.name(), r.stuck_tasks);
-            r.finished_at.as_millis_f64()
-        };
-        let mut cells: Vec<(OsKind, f64)> = Vec::new();
-        crossbeam::thread::scope(|s| {
-            let hs: Vec<_> = OsKind::ALL
-                .iter()
-                .map(|&k| s.spawn(move |_| (k, run(k))))
-                .collect();
-            for h in hs {
-                cells.push(h.join().expect("thread"));
-            }
-        })
-        .expect("scope");
-        let get = |k: OsKind| cells.iter().find(|(x, _)| *x == k).expect("ran").1;
-        let (p, s, m) = (get(OsKind::Popcorn), get(OsKind::Smp), get(OsKind::Multikernel));
+        let mut os = rig.build(kind);
+        for _ in 0..4 {
+            let cfg = NpbConfig {
+                threads: per_proc,
+                iterations: 10,
+                pages_per_thread: 12,
+                compute_cycles: total_cycles_per_iter / total as u64,
+                barrier_groups: 0,
+            };
+            // Keep each process on its home kernel (the pinning the
+            // paper's runs use); SMP spreads over its one kernel.
+            os.load(npb::is_benchmark_placed(cfg, Placement::Local));
+        }
+        let r = os.run_with(rig.horizon, rig.event_budget);
+        assert!(r.is_clean(), "E8 {} unclean: {:?}", kind.name(), r.stuck_tasks);
+        r.finished_at.as_millis_f64()
+    });
+    for (i, &total) in totals.iter().enumerate() {
+        let v = &ms[i * OsKind::ALL.len()..(i + 1) * OsKind::ALL.len()];
+        let (p, s, m) = (v[0], v[1], v[2]);
         t.row([
             total.to_string(),
             format!("{p:.2}"),
@@ -704,7 +706,7 @@ pub fn ablate_shadow() -> Table {
         "ablation: shadow-task reuse on back-migration",
         ["shadow_reuse", "back_migration_us", "first_visit_us"],
     );
-    for reuse in [true, false] {
+    for row in parallel_map(vec![true, false], |reuse| {
         let params = PopcornParams {
             shadow_task_reuse: reuse,
             ..PopcornParams::default()
@@ -717,11 +719,13 @@ pub fn ablate_shadow() -> Table {
         os.load(Box::new(micro::MigrationPingPong::new(40)));
         let r = os.run();
         assert!(r.is_clean());
-        t.row([
+        [
             reuse.to_string(),
             us(os.stats().migration_back_lat.mean()),
             us(os.stats().migration_first_lat.mean()),
-        ]);
+        ]
+    }) {
+        t.row(row);
     }
     t.note("expected: disabling reuse makes every back-migration pay full task creation");
     t
@@ -734,7 +738,7 @@ pub fn ablate_vma() -> Table {
         "ablation: on-demand vs eager VMA replication",
         ["mode", "total_ms", "vma_fetches", "migration_msg_overhead"],
     );
-    for eager in [false, true] {
+    for row in parallel_map(vec![false, true], |eager| {
         let params = PopcornParams {
             eager_vma_replication: eager,
             ..PopcornParams::default()
@@ -754,12 +758,14 @@ pub fn ablate_vma() -> Table {
                 }),
             ),
         );
-        t.row([
+        [
             if eager { "eager" } else { "on-demand" }.to_string(),
             format!("{:.3}", r.finished_at.as_millis_f64()),
             format!("{:.0}", r.metric("vma_fetches")),
             format!("{:.0}", r.metric("messages")),
-        ]);
+        ]
+    }) {
+        t.row(row);
     }
     t.note("expected: eager replication eliminates VMA-fetch round trips at the cost of larger migration/clone state; on-demand is the paper's design");
     t
@@ -772,7 +778,7 @@ pub fn ablate_futex() -> Table {
         "ablation: futex/sync local fast path at the home kernel",
         ["fastpath", "total_ms", "rmw_local", "rmw_remote"],
     );
-    for fast in [true, false] {
+    for row in parallel_map(vec![true, false], |fast| {
         let params = PopcornParams {
             futex_local_fastpath: fast,
             ..PopcornParams::default()
@@ -794,12 +800,14 @@ pub fn ablate_futex() -> Table {
                 }),
             ),
         );
-        t.row([
+        [
             fast.to_string(),
             format!("{:.3}", r.finished_at.as_millis_f64()),
             format!("{:.0}", r.metric("rmw_local")),
             format!("{:.0}", r.metric("rmw_remote")),
-        ]);
+        ]
+    }) {
+        t.row(row);
     }
     t.note("expected: without the fast path even home-local threads pay the RPC-shaped cost, inflating synchronization-heavy runs");
     t
@@ -824,7 +832,7 @@ pub fn ablate_hier() -> Table {
         ("flat", true, 0u64),
         ("hier", true, 4u64),
     ];
-    for (barrier, first_touch, groups) in cases {
+    for row in parallel_map(cases.to_vec(), |(barrier, first_touch, groups)| {
         let params = PopcornParams {
             sync_first_touch_homing: first_touch,
             ..PopcornParams::default()
@@ -841,13 +849,15 @@ pub fn ablate_hier() -> Table {
             barrier_groups: groups,
         };
         let r = rig.run(OsKind::Popcorn, npb::cg_benchmark(cfg));
-        t.row([
+        [
             barrier.to_string(),
             if first_touch { "first-touch" } else { "origin" }.to_string(),
             format!("{:.3}", r.finished_at.as_millis_f64()),
             format!("{:.0}", r.metric("rmw_local")),
             format!("{:.0}", r.metric("rmw_remote")),
-        ]);
+        ]
+    }) {
+        t.row(row);
     }
     t.note("expected: hierarchy alone HURTS (an extra level, still served remotely at the origin); combined with first-touch homing ~90% of sync ops become kernel-local and the barrier-bound run speeds up ~20%");
     t

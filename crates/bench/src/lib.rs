@@ -2,25 +2,33 @@
 //! Experiment harness for the replicated-kernel OS reproduction.
 //!
 //! - [`table`] — result tables (text + JSON rendering);
-//! - [`rig`] — uniform construction/execution of the three OS models;
-//! - [`experiments`] — E1–E10 and the ablations, one function per
-//!   reconstructed table/figure of the paper's evaluation.
+//! - [`rig`] — uniform construction/execution of the three OS models,
+//!   plus the deterministic parallel-sweep machinery ([`rig::parallel_map`]);
+//! - [`experiments`] — E1–E11 and the ablations, one function per
+//!   reconstructed table/figure of the paper's evaluation;
+//! - [`cli`] — argument parsing for the `repro` binary.
 //!
 //! The `repro` binary drives everything:
 //!
 //! ```text
 //! cargo run --release -p popcorn-bench --bin repro -- all
 //! cargo run --release -p popcorn-bench --bin repro -- e5 e8 --json out/
-//! cargo run --release -p popcorn-bench --bin repro -- check
+//! cargo run --release -p popcorn-bench --bin repro -- all --jobs 8
+//! cargo run --release -p popcorn-bench --bin repro -- check --serial
 //! ```
+//!
+//! Every simulation is single-threaded and deterministic; `--jobs N`
+//! only spreads *independent* simulations over host threads, so results
+//! are byte-identical to `--serial` runs.
 //!
 //! `repro check` ([`check`]) asserts the claimed result *shapes*
 //! programmatically — a regression suite for the reproduction itself.
 
 pub mod check;
+pub mod cli;
 pub mod experiments;
 pub mod rig;
 pub mod table;
 
-pub use rig::{OsKind, Rig};
+pub use rig::{jobs, parallel_map, set_jobs, OsKind, Rig};
 pub use table::Table;

@@ -1,5 +1,20 @@
 //! Experiment rigs: uniform construction and execution of the three OS
-//! models.
+//! models, plus the parallel sweep machinery shared by every experiment.
+//!
+//! # Parallel deterministic sweeps
+//!
+//! Every simulation in the suite is single-threaded and seeded, so
+//! *independent* simulations (different experiments, different sweep
+//! points, different OS models) can run on parallel host threads without
+//! changing a single virtual-time result. [`parallel_map`] is the one
+//! primitive everything uses: it maps a function over items on up to
+//! [`jobs`] worker threads and returns results **in input order**, so
+//! tables render byte-for-byte identically whether the sweep ran serially
+//! or in parallel. The `repro` binary's `--jobs N` / `--serial` flags feed
+//! [`set_jobs`].
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
 
 use popcorn_baselines::{MultikernelOs, SmpOs};
 use popcorn_core::{PopcornOs, PopcornParams};
@@ -7,6 +22,90 @@ use popcorn_hw::Topology;
 use popcorn_kernel::osmodel::{OsModel, RunReport};
 use popcorn_kernel::program::Program;
 use popcorn_sim::SimTime;
+
+/// Configured host-parallelism level; 0 means "not set, use the host's
+/// available parallelism".
+static JOBS: AtomicUsize = AtomicUsize::new(0);
+
+/// Sets the number of host worker threads sweeps may use (the `repro`
+/// `--jobs` flag). `1` forces fully serial execution (`--serial`); `0`
+/// resets to the default (available host parallelism).
+pub fn set_jobs(n: usize) {
+    JOBS.store(n, Ordering::Relaxed);
+}
+
+/// The effective host-parallelism level: the value set by [`set_jobs`], or
+/// the host's available parallelism when unset.
+pub fn jobs() -> usize {
+    match JOBS.load(Ordering::Relaxed) {
+        0 => std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1),
+        n => n,
+    }
+}
+
+/// Maps `f` over `items` on up to [`jobs`] scoped worker threads,
+/// returning results in input order.
+///
+/// Determinism: each item is processed exactly once by exactly one worker,
+/// simulations own their seeded RNGs, and results are collected by index —
+/// so the output is identical to `items.into_iter().map(f).collect()`
+/// regardless of the parallelism level or scheduling. With `jobs() == 1`
+/// (or a single item) no threads are spawned at all.
+///
+/// An installed event sink ([`popcorn_sim::current_event_sink`]) is
+/// propagated into the workers, so events processed by nested simulations
+/// stay credited to the calling scope's experiment.
+pub fn parallel_map<T, R, F>(items: Vec<T>, f: F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(T) -> R + Sync,
+{
+    let n = items.len();
+    let workers = jobs().min(n);
+    if workers <= 1 {
+        return items.into_iter().map(f).collect();
+    }
+    let slots: Vec<Mutex<Option<T>>> = items.into_iter().map(|t| Mutex::new(Some(t))).collect();
+    let results: Vec<Mutex<Option<R>>> = (0..n).map(|_| Mutex::new(None)).collect();
+    let next = AtomicUsize::new(0);
+    let sink = popcorn_sim::current_event_sink();
+    std::thread::scope(|s| {
+        for _ in 0..workers {
+            let (slots, results, next, f) = (&slots, &results, &next, &f);
+            let sink = sink.clone();
+            s.spawn(move || {
+                let work = || loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= n {
+                        break;
+                    }
+                    let item = slots[i]
+                        .lock()
+                        .expect("item slot poisoned")
+                        .take()
+                        .expect("each item claimed exactly once");
+                    let r = f(item);
+                    *results[i].lock().expect("result slot poisoned") = Some(r);
+                };
+                match sink {
+                    Some(sink) => popcorn_sim::with_event_sink(sink, work),
+                    None => work(),
+                }
+            });
+        }
+    });
+    results
+        .into_iter()
+        .map(|m| {
+            m.into_inner()
+                .expect("result slot poisoned")
+                .expect("worker filled every slot")
+        })
+        .collect()
+}
 
 /// Which OS model to run.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -118,29 +217,16 @@ impl Rig {
         os.run_with(self.horizon, self.event_budget)
     }
 
-    /// Runs one workload per OS kind in parallel host threads (each
-    /// simulation itself is single-threaded and deterministic).
+    /// Runs one workload per OS kind, on parallel host threads when
+    /// [`jobs`] allows (each simulation itself is single-threaded and
+    /// deterministic, so the reports are identical to a serial run).
     pub fn run_all<F>(&self, make: F) -> Vec<(OsKind, RunReport)>
     where
         F: Fn() -> Box<dyn Program> + Sync,
     {
-        let mut out: Vec<(OsKind, RunReport)> = Vec::new();
-        crossbeam::thread::scope(|s| {
-            let handles: Vec<_> = OsKind::ALL
-                .iter()
-                .map(|&kind| {
-                    let make = &make;
-                    let rig = self.clone();
-                    s.spawn(move |_| (kind, rig.run(kind, make())))
-                })
-                .collect();
-            for h in handles {
-                out.push(h.join().expect("experiment thread panicked"));
-            }
+        parallel_map(OsKind::ALL.to_vec(), |kind| {
+            (kind, self.run(kind, make()))
         })
-        .expect("scope");
-        out.sort_by_key(|(k, _)| OsKind::ALL.iter().position(|x| x == k));
-        out
     }
 }
 
@@ -166,6 +252,32 @@ mod tests {
             .expect("popcorn ran")
             .1;
         assert_eq!(again.finished_at, first.finished_at);
+    }
+
+    #[test]
+    fn parallel_map_preserves_input_order() {
+        let doubled = parallel_map((0..64).collect::<Vec<u64>>(), |x| x * 2);
+        assert_eq!(doubled, (0..64).map(|x| x * 2).collect::<Vec<u64>>());
+        // Degenerate inputs.
+        assert_eq!(parallel_map(Vec::<u64>::new(), |x| x), Vec::<u64>::new());
+        assert_eq!(parallel_map(vec![7u64], |x| x + 1), vec![8]);
+    }
+
+    #[test]
+    fn parallel_map_propagates_event_sink_to_workers() {
+        use std::sync::atomic::Ordering;
+        use std::sync::Arc;
+        let sink = Arc::new(std::sync::atomic::AtomicU64::new(0));
+        let rig = Rig::small();
+        let serial: Vec<u64> = popcorn_sim::with_event_sink(sink.clone(), || {
+            parallel_map(vec![(); 4], |_| {
+                rig.run(OsKind::Popcorn, micro::null_syscall_storm(2, 5))
+                    .events
+            })
+        });
+        let expected: u64 = serial.iter().sum();
+        assert!(expected > 0);
+        assert_eq!(sink.load(Ordering::Relaxed), expected);
     }
 
     #[test]

@@ -1,9 +1,42 @@
 //! Result tables: the unit of output of every experiment.
 
-use serde::Serialize;
+/// Escapes a string per JSON (RFC 8259) and wraps it in quotes, matching
+/// serde_json's output byte for byte so regenerated result files diff
+/// cleanly against ones written by earlier serde-based revisions.
+fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\u{8}' => out.push_str("\\b"),
+            '\u{c}' => out.push_str("\\f"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// Renders a list of pre-rendered JSON values as a pretty array at the
+/// given indent depth (2 spaces per level, serde_json style).
+fn json_array(items: &[String], depth: usize) -> String {
+    if items.is_empty() {
+        return "[]".to_string();
+    }
+    let pad = "  ".repeat(depth + 1);
+    let close = "  ".repeat(depth);
+    let body: Vec<String> = items.iter().map(|i| format!("{pad}{i}")).collect();
+    format!("[\n{}\n{close}]", body.join(",\n"))
+}
 
 /// One experiment's table/figure data.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct Table {
     /// Experiment id ("E5", "E8", ...).
     pub id: String,
@@ -52,6 +85,30 @@ impl Table {
     /// Appends a note.
     pub fn note(&mut self, text: impl Into<String>) {
         self.notes.push(text.into());
+    }
+
+    /// Renders as pretty-printed JSON (2-space indent), byte-compatible
+    /// with `serde_json::to_string_pretty` on the former derive layout so
+    /// checked-in `results/*.json` files stay diffable.
+    pub fn to_json_pretty(&self) -> String {
+        let columns: Vec<String> = self.columns.iter().map(|c| json_string(c)).collect();
+        let rows: Vec<String> = self
+            .rows
+            .iter()
+            .map(|row| {
+                let cells: Vec<String> = row.iter().map(|c| json_string(c)).collect();
+                json_array(&cells, 2)
+            })
+            .collect();
+        let notes: Vec<String> = self.notes.iter().map(|n| json_string(n)).collect();
+        format!(
+            "{{\n  \"id\": {},\n  \"title\": {},\n  \"columns\": {},\n  \"rows\": {},\n  \"notes\": {}\n}}",
+            json_string(&self.id),
+            json_string(&self.title),
+            json_array(&columns, 1),
+            json_array(&rows, 1),
+            json_array(&notes, 1),
+        )
     }
 
     /// Renders as an aligned text table.
@@ -129,5 +186,25 @@ mod tests {
     fn formatters() {
         assert_eq!(us(12_345.0), "12.35");
         assert_eq!(ratio(1.399), "1.40x");
+    }
+
+    #[test]
+    fn json_matches_serde_pretty_layout() {
+        let mut t = Table::new("E0", "demo \"quoted\"", ["a", "b"]);
+        t.row(["1", "x\ny"]);
+        t.note("shape");
+        let expect = concat!(
+            "{\n",
+            "  \"id\": \"E0\",\n",
+            "  \"title\": \"demo \\\"quoted\\\"\",\n",
+            "  \"columns\": [\n    \"a\",\n    \"b\"\n  ],\n",
+            "  \"rows\": [\n    [\n      \"1\",\n      \"x\\ny\"\n    ]\n  ],\n",
+            "  \"notes\": [\n    \"shape\"\n  ]\n",
+            "}"
+        );
+        assert_eq!(t.to_json_pretty(), expect);
+        // Empty collections collapse to `[]` exactly like serde_json.
+        let empty = Table::new("E0", "t", Vec::<String>::new());
+        assert!(empty.to_json_pretty().contains("\"columns\": [],"));
     }
 }

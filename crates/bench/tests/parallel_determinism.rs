@@ -1,0 +1,33 @@
+//! The tentpole guarantee of the parallel harness: running experiments
+//! with host-thread parallelism produces byte-identical table JSON to a
+//! fully serial run. One test function (not several) because the jobs
+//! knob is process-global and tests in one binary run concurrently.
+
+use popcorn_bench::experiments;
+use popcorn_bench::{set_jobs, Table};
+
+#[test]
+fn parallel_runs_are_byte_identical_to_serial() {
+    // Two experiments with different shapes: E1 sweeps the message
+    // fabric (pure latency math), E4 sweeps full-OS page-protocol sims.
+    let cases: [(&str, fn() -> Table); 2] = [
+        ("e1", experiments::e1_messaging),
+        ("e4", experiments::e4_page_protocol),
+    ];
+    for (id, f) in cases {
+        set_jobs(1);
+        let serial = f().to_json_pretty();
+        set_jobs(4);
+        let parallel = f().to_json_pretty();
+        set_jobs(0);
+        assert_eq!(
+            serial, parallel,
+            "{id}: --jobs 4 output diverged from --serial"
+        );
+        // Parallel runs are also stable run-to-run.
+        set_jobs(4);
+        let again = f().to_json_pretty();
+        set_jobs(0);
+        assert_eq!(parallel, again, "{id}: parallel run not reproducible");
+    }
+}

@@ -1,10 +1,9 @@
 //! Popcorn-specific protocol cost constants and feature toggles.
 
-use serde::{Deserialize, Serialize};
 
 /// Costs of Popcorn's migration/consistency protocols (software paths, on
 /// top of the message layer) plus the ablation toggles DESIGN.md calls out.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct PopcornParams {
     /// Marshalling a thread's context + live stack into a migration message.
     pub migration_marshal_ns: u64,

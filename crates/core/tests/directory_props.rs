@@ -1,6 +1,8 @@
-//! Property tests for the page-consistency directory: millions of random
-//! protocol interleavings must preserve the single-writer invariant,
-//! version monotonicity, and liveness (every request eventually granted).
+//! Randomized property tests for the page-consistency directory: many
+//! random protocol interleavings must preserve the single-writer
+//! invariant, version monotonicity, and liveness (every request
+//! eventually granted). Driven by the deterministic [`SimRng`] (the build
+//! is offline, so no external property-testing framework).
 
 use std::collections::{HashMap, HashSet, VecDeque};
 
@@ -8,7 +10,7 @@ use popcorn_core::directory::{DirStep, Directory, Grant, PageRequest};
 use popcorn_kernel::mm::{PageContents, PageState};
 use popcorn_kernel::types::PageNo;
 use popcorn_msg::{KernelId, RpcId};
-use proptest::prelude::*;
+use popcorn_sim::SimRng;
 
 const PAGE: PageNo = PageNo(0x7f00);
 
@@ -157,19 +159,25 @@ impl Harness {
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(512))]
-
-    /// Random request streams from up to 6 kernels, delivered in order:
-    /// invariants hold at every grant, versions never decrease, and every
-    /// accepted request is eventually granted.
-    #[test]
-    fn directory_invariants_hold_under_random_traffic(
-        stimuli in proptest::collection::vec(
-            (0u16..6, any::<bool>(), 0u8..3),
-            1..200,
-        )
-    ) {
+/// Random request streams from up to 6 kernels, delivered in order:
+/// invariants hold at every grant, versions never decrease, and every
+/// accepted request is eventually granted.
+#[test]
+fn directory_invariants_hold_under_random_traffic() {
+    let mut rng = SimRng::new(0x5EED_4001);
+    for _ in 0..512 {
+        let stimuli: Vec<(u16, bool, u8)> = {
+            let len = rng.range_u64(1, 200) as usize;
+            (0..len)
+                .map(|_| {
+                    (
+                        rng.range_u64(0, 6) as u16,
+                        rng.chance(0.5),
+                        rng.range_u64(0, 3) as u8,
+                    )
+                })
+                .collect()
+        };
         let mut h = Harness::new();
         let mut issued = 0usize;
         for (k, write, deliveries) in stimuli {
@@ -180,18 +188,24 @@ proptest! {
             }
         }
         h.drain();
-        let _ = issued;
         // The protocol drained and at least every non-skipped request
         // produced a grant (liveness); granted count is bounded by issues.
-        prop_assert!(h.granted <= issued);
-        prop_assert!(!h.busy());
+        assert!(h.granted <= issued);
+        assert!(!h.busy());
         h.check_invariants();
     }
+}
 
-    /// Alternating writers from random kernels: every grant is Exclusive,
-    /// version strictly increases with each ownership change.
-    #[test]
-    fn write_ping_pong_increments_versions(seq in proptest::collection::vec(0u16..4, 2..60)) {
+/// Alternating writers from random kernels: every grant is Exclusive,
+/// version strictly increases with each ownership change.
+#[test]
+fn write_ping_pong_increments_versions() {
+    let mut rng = SimRng::new(0x5EED_4002);
+    for _ in 0..512 {
+        let seq: Vec<u16> = {
+            let len = rng.range_u64(2, 60) as usize;
+            (0..len).map(|_| rng.range_u64(0, 4) as u16).collect()
+        };
         let mut h = Harness::new();
         let mut last_version = None::<u64>;
         let mut last_writer = None::<u16>;
@@ -203,20 +217,22 @@ proptest! {
             h.drain();
             let v = h.dir.view(PAGE).expect("page tracked");
             if let Some(prev) = last_version {
-                prop_assert!(
+                assert!(
                     v.version > prev || last_writer.is_none(),
                     "version did not advance on ownership change"
                 );
             }
             last_version = Some(v.version);
             last_writer = Some(k);
-            prop_assert_eq!(v.copyset.len(), 1, "writer must be sole holder");
+            assert_eq!(v.copyset.len(), 1, "writer must be sole holder");
         }
     }
+}
 
-    /// Readers after one writer: copyset grows, version stays put.
-    #[test]
-    fn read_sharing_grows_copyset_without_version_bumps(readers in 1u16..6) {
+/// Readers after one writer: copyset grows, version stays put.
+#[test]
+fn read_sharing_grows_copyset_without_version_bumps() {
+    for readers in 1u16..6 {
         let mut h = Harness::new();
         h.request(KernelId(0), true);
         h.drain();
@@ -226,7 +242,7 @@ proptest! {
             h.drain();
         }
         let v = h.dir.view(PAGE).expect("tracked");
-        prop_assert_eq!(v.version, v0);
-        prop_assert_eq!(v.copyset.len() as u16, readers + 1);
+        assert_eq!(v.version, v0);
+        assert_eq!(v.copyset.len() as u16, readers + 1);
     }
 }

@@ -7,13 +7,12 @@
 //! both the IPI primitive and the full shootdown round.
 
 use popcorn_sim::SimTime;
-use serde::{Deserialize, Serialize};
 
 use crate::params::HwParams;
 use crate::topo::CoreId;
 
 /// Cost breakdown of one TLB shootdown round.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct ShootdownCost {
     /// Time the initiating core is busy (setup, sending, waiting for acks).
     pub initiator_busy: SimTime,

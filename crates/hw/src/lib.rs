@@ -9,7 +9,7 @@
 //! exactly those, in virtual time:
 //!
 //! - [`Topology`] — sockets × cores, NUMA distance ([`topo`]);
-//! - [`HwParams`] — every latency constant, serde-overridable ([`params`]);
+//! - [`HwParams`] — every latency constant, overridable per experiment ([`params`]);
 //! - [`Interconnect`] — core↔core and core↔memory latency ([`interconnect`]);
 //! - [`LockSite`] / [`RwLockSite`] — queuing models that turn concurrent
 //!   acquires of a simulated kernel lock into waiting time and cache-line

@@ -2,12 +2,11 @@
 //!
 //! Defaults approximate the 2015-era multi-socket Xeon class machines the
 //! Popcorn Linux evaluation used (see EXPERIMENTS.md for the calibration
-//! sources). All fields are public and serde-serializable so experiments can
+//! sources). All fields are public so experiments can
 //! override individual knobs and ablations can be expressed as parameter
 //! diffs.
 
 use popcorn_sim::SimTime;
-use serde::{Deserialize, Serialize};
 
 /// Every hardware latency constant used by the simulation, in nanoseconds
 /// unless noted.
@@ -21,7 +20,7 @@ use serde::{Deserialize, Serialize};
 /// p.dram_remote_ns = 200; // slow remote memory for a NUMA-stress study
 /// assert!(p.dram_remote_ns > p.dram_local_ns);
 /// ```
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct HwParams {
     /// Core clock in GHz; converts workload "cycles" to time.
     pub clock_ghz: f64,

@@ -2,12 +2,11 @@
 
 use std::fmt;
 
-use serde::{Deserialize, Serialize};
 
 /// A hardware core (hyperthreading is not modelled; one core = one logical
 /// CPU as in the paper's setup).
 #[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default,
 )]
 pub struct CoreId(pub u16);
 
@@ -19,7 +18,7 @@ impl fmt::Display for CoreId {
 
 /// A NUMA socket (one memory controller per socket).
 #[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default,
 )]
 pub struct SocketId(pub u16);
 
@@ -45,7 +44,7 @@ impl fmt::Display for SocketId {
 /// assert!(t.same_socket(CoreId(0), CoreId(15)));
 /// assert!(!t.same_socket(CoreId(15), CoreId(16)));
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct Topology {
     sockets: u16,
     cores_per_socket: u16,

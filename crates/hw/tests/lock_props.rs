@@ -1,10 +1,11 @@
-//! Property tests for the lock-site queuing models: critical sections
-//! never overlap, waits are exactly the queueing delay, and reader/writer
-//! exclusion holds under arbitrary interleavings.
+//! Randomized property tests for the lock-site queuing models: critical
+//! sections never overlap, waits are exactly the queueing delay, and
+//! reader/writer exclusion holds under arbitrary interleavings. Driven by
+//! the deterministic [`SimRng`] (the build is offline, so no external
+//! property-testing framework).
 
 use popcorn_hw::{CoreId, HwParams, Interconnect, LockSite, RwLockSite, Topology};
-use popcorn_sim::SimTime;
-use proptest::prelude::*;
+use popcorn_sim::{SimRng, SimTime};
 
 fn setup() -> (HwParams, Interconnect) {
     let p = HwParams::default();
@@ -12,16 +13,25 @@ fn setup() -> (HwParams, Interconnect) {
     (p, ic)
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(256))]
-
-    /// Exclusive critical sections never overlap, regardless of request
-    /// times, cores and hold durations; waits are never negative and a
-    /// request after the previous release waits zero.
-    #[test]
-    fn lock_site_sections_never_overlap(
-        reqs in proptest::collection::vec((0u64..10_000, 0u16..64, 0u64..3_000), 1..80)
-    ) {
+/// Exclusive critical sections never overlap, regardless of request times,
+/// cores and hold durations; waits are never negative and a request after
+/// the previous release waits zero.
+#[test]
+fn lock_site_sections_never_overlap() {
+    let mut rng = SimRng::new(0x5EED_2001);
+    for _ in 0..256 {
+        let reqs: Vec<(u64, u16, u64)> = {
+            let len = rng.range_u64(1, 80) as usize;
+            (0..len)
+                .map(|_| {
+                    (
+                        rng.range_u64(0, 10_000),
+                        rng.range_u64(0, 64) as u16,
+                        rng.range_u64(0, 3_000),
+                    )
+                })
+                .collect()
+        };
         let (p, ic) = setup();
         let mut site = LockSite::new("prop", &p);
         let mut clock = 0u64;
@@ -31,29 +41,40 @@ proptest! {
             clock += advance;
             let now = SimTime::from_nanos(clock);
             let a = site.acquire(now, CoreId(core), SimTime::from_nanos(hold), &ic);
-            prop_assert!(a.acquired_at >= now);
-            prop_assert!(a.released_at >= a.acquired_at);
-            prop_assert!(a.acquired_at >= prev_release, "overlapping critical sections");
+            assert!(a.acquired_at >= now);
+            assert!(a.released_at >= a.acquired_at);
+            assert!(a.acquired_at >= prev_release, "overlapping critical sections");
             if now < prev_release {
                 contended_expect += 1;
-                prop_assert_eq!(a.wait, prev_release - now);
+                assert_eq!(a.wait, prev_release - now);
             } else {
-                prop_assert_eq!(a.wait, SimTime::ZERO);
+                assert_eq!(a.wait, SimTime::ZERO);
             }
             prev_release = a.released_at;
         }
-        prop_assert_eq!(site.contended(), contended_expect);
+        assert_eq!(site.contended(), contended_expect);
     }
+}
 
-    /// Writers exclude everything; readers exclude writers but overlap
-    /// each other (modulo the serialized count-line atomics).
-    #[test]
-    fn rwlock_exclusion_invariants(
-        ops in proptest::collection::vec(
-            (any::<bool>(), 0u64..5_000, 0u16..64, 1u64..4_000),
-            1..80,
-        )
-    ) {
+/// Writers exclude everything; readers exclude writers but overlap each
+/// other (modulo the serialized count-line atomics).
+#[test]
+fn rwlock_exclusion_invariants() {
+    let mut rng = SimRng::new(0x5EED_2002);
+    for _ in 0..256 {
+        let ops: Vec<(bool, u64, u16, u64)> = {
+            let len = rng.range_u64(1, 80) as usize;
+            (0..len)
+                .map(|_| {
+                    (
+                        rng.chance(0.5),
+                        rng.range_u64(0, 5_000),
+                        rng.range_u64(0, 64) as u16,
+                        rng.range_u64(1, 4_000),
+                    )
+                })
+                .collect()
+        };
         let (p, ic) = setup();
         let mut sem = RwLockSite::new("prop", &p);
         let mut clock = 0u64;
@@ -67,48 +88,41 @@ proptest! {
                 let a = sem.write_acquire(now, CoreId(core), hold, &ic);
                 // A writer overlaps no earlier reader or writer section.
                 for &(s, e) in writer_sections.iter().chain(reader_sections.iter()) {
-                    prop_assert!(a.acquired_at >= e || a.released_at <= s,
-                        "writer overlaps an earlier section");
+                    assert!(
+                        a.acquired_at >= e || a.released_at <= s,
+                        "writer overlaps an earlier section"
+                    );
                 }
                 writer_sections.push((a.acquired_at, a.released_at));
             } else {
                 let a = sem.read_acquire(now, CoreId(core), hold, &ic);
                 for &(s, e) in &writer_sections {
-                    prop_assert!(a.acquired_at >= e || a.released_at <= s,
-                        "reader overlaps a writer");
+                    assert!(
+                        a.acquired_at >= e || a.released_at <= s,
+                        "reader overlaps a writer"
+                    );
                 }
                 reader_sections.push((a.acquired_at, a.released_at));
             }
         }
-        prop_assert_eq!(
+        assert_eq!(
             sem.read_acquires() + sem.write_acquires(),
             (reader_sections.len() + writer_sections.len()) as u64
         );
     }
+}
 
-    /// Lock throughput degrades monotonically-ish with offered load: a
-    /// denser arrival schedule never finishes earlier than a sparser one.
-    #[test]
-    fn denser_arrivals_never_finish_earlier(gap in 0u64..500, n in 2usize..40) {
+/// Lock throughput degrades monotonically-ish with offered load: a denser
+/// arrival schedule never accumulates less waiting than a sparser one.
+#[test]
+fn denser_arrivals_never_finish_earlier() {
+    let mut rng = SimRng::new(0x5EED_2003);
+    for _ in 0..256 {
+        let gap = rng.range_u64(0, 500);
+        let n = rng.range_u64(2, 40) as usize;
         let (p, ic) = setup();
         let hold = SimTime::from_nanos(400);
-        let run = |gap: u64| {
-            let mut site = LockSite::new("prop", &p);
-            let mut last = SimTime::ZERO;
-            for i in 0..n {
-                let now = SimTime::from_nanos(gap * i as u64);
-                last = site
-                    .acquire(now, CoreId((i % 64) as u16), hold, &ic)
-                    .released_at;
-            }
-            last
-        };
-        let dense = run(gap);
-        let sparse = run(gap + 300);
-        prop_assert!(sparse >= dense.min(sparse), "sanity");
-        // The last release under sparser arrivals is at least as late in
-        // absolute time, but waits must be no larger.
-        let wait_dense = {
+        let total_wait = |gap: u64| {
             let mut site = LockSite::new("prop", &p);
             let mut total = SimTime::ZERO;
             for i in 0..n {
@@ -117,15 +131,8 @@ proptest! {
             }
             total
         };
-        let wait_sparse = {
-            let mut site = LockSite::new("prop", &p);
-            let mut total = SimTime::ZERO;
-            for i in 0..n {
-                let now = SimTime::from_nanos((gap + 300) * i as u64);
-                total += site.acquire(now, CoreId((i % 64) as u16), hold, &ic).wait;
-            }
-            total
-        };
-        prop_assert!(wait_sparse <= wait_dense, "sparser arrivals must wait no more");
+        let wait_dense = total_wait(gap);
+        let wait_sparse = total_wait(gap + 300);
+        assert!(wait_sparse <= wait_dense, "sparser arrivals must wait no more");
     }
 }

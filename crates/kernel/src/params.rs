@@ -6,10 +6,9 @@
 //! (see EXPERIMENTS.md §Calibration).
 
 use popcorn_sim::SimTime;
-use serde::{Deserialize, Serialize};
 
 /// Per-kernel software cost constants (nanoseconds).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct OsParams {
     /// Syscall trap entry + exit.
     pub syscall_entry_ns: u64,

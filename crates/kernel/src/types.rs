@@ -8,7 +8,6 @@
 use std::fmt;
 
 use popcorn_msg::KernelId;
-use serde::{Deserialize, Serialize};
 
 /// Number of low bits reserved for the kernel-local part of a [`Tid`].
 const LOCAL_BITS: u32 = 24;
@@ -26,7 +25,7 @@ const LOCAL_BITS: u32 = 24;
 /// assert_eq!(t.local(), 7);
 /// ```
 #[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default,
 )]
 pub struct Tid(pub u32);
 
@@ -61,7 +60,7 @@ impl fmt::Display for Tid {
 /// A distributed thread group identity: the group leader's tid, which is
 /// also what `getpid` reports on every kernel (single-system image).
 #[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default,
 )]
 pub struct GroupId(pub Tid);
 
@@ -85,7 +84,7 @@ impl fmt::Display for GroupId {
 
 /// A virtual address within a group's (shared) address space.
 #[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default,
 )]
 pub struct VAddr(pub u64);
 
@@ -118,7 +117,7 @@ impl fmt::Display for VAddr {
 
 /// A virtual page number (`address >> 12`).
 #[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default,
 )]
 pub struct PageNo(pub u64);
 
@@ -136,7 +135,7 @@ impl fmt::Display for PageNo {
 }
 
 /// POSIX-style error codes surfaced to programs.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Errno {
     /// Bad address (no VMA covers the access).
     Fault,
@@ -169,7 +168,7 @@ impl fmt::Display for Errno {
 /// The architectural state that travels with a migrating thread: the
 /// paper's context-migration payload (general-purpose registers, flags,
 /// segment bases, and optionally the FPU/vector state).
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct CpuContext {
     /// General-purpose register file (16 × 64-bit on x86-64).
     pub gpr: [u64; 16],

@@ -5,13 +5,12 @@ use std::fmt;
 
 use popcorn_hw::{CoreId, Machine};
 use popcorn_sim::{Counter, Histogram, SimTime};
-use serde::{Deserialize, Serialize};
 
 use crate::params::MsgParams;
 
 /// Identifier of a kernel instance within one machine.
 #[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default,
 )]
 pub struct KernelId(pub u16);
 

@@ -1,6 +1,5 @@
 //! Message-layer cost constants.
 
-use serde::{Deserialize, Serialize};
 
 /// Calibrated costs of the shared-memory message layer.
 ///
@@ -8,7 +7,7 @@ use serde::{Deserialize, Serialize};
 /// Popcorn papers report for small control messages on one machine: a
 /// same-socket 64-byte message lands in roughly 2–3 µs end to end
 /// (send software path + ring write + IPI notification + receive path).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct MsgParams {
     /// Send-side software path: marshalling, ring slot claim.
     pub send_sw_ns: u64,

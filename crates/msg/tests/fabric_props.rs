@@ -1,10 +1,11 @@
-//! Property tests for the message fabric: FIFO delivery per channel,
-//! monotone costs, and consistent statistics under random traffic.
+//! Randomized property tests for the message fabric: FIFO delivery per
+//! channel, monotone costs, and consistent statistics under random
+//! traffic. Driven by the deterministic [`SimRng`] (the build is offline,
+//! so no external property-testing framework).
 
 use popcorn_hw::{CoreId, HwParams, Machine, Topology};
 use popcorn_msg::{Fabric, KernelId, MsgParams, Wire};
-use popcorn_sim::SimTime;
-use proptest::prelude::*;
+use popcorn_sim::{SimRng, SimTime};
 
 struct Blob(usize);
 impl Wire for Blob {
@@ -19,16 +20,19 @@ fn fabric(kernels: u16) -> Fabric {
     Fabric::new(&machine, locs, MsgParams::default())
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(256))]
-
-    /// Messages on one ordered channel are delivered FIFO regardless of
-    /// sizes and send times (send times are nondecreasing, as produced by
-    /// a single sending kernel's event stream).
-    #[test]
-    fn per_channel_delivery_is_fifo(
-        msgs in proptest::collection::vec((0usize..8192, 0u64..2_000), 1..60)
-    ) {
+/// Messages on one ordered channel are delivered FIFO regardless of sizes
+/// and send times (send times are nondecreasing, as produced by a single
+/// sending kernel's event stream).
+#[test]
+fn per_channel_delivery_is_fifo() {
+    let mut rng = SimRng::new(0x5EED_3001);
+    for _ in 0..256 {
+        let msgs: Vec<(usize, u64)> = {
+            let len = rng.range_u64(1, 60) as usize;
+            (0..len)
+                .map(|_| (rng.index(8192), rng.range_u64(0, 2_000)))
+                .collect()
+        };
         let mut f = fabric(2);
         let mut clock = 0u64;
         let mut last_delivery = SimTime::ZERO;
@@ -40,44 +44,62 @@ proptest! {
                 KernelId(1),
                 Blob(size),
             );
-            prop_assert!(d.deliver_at >= last_delivery, "FIFO violated");
-            prop_assert!(d.deliver_at > SimTime::from_nanos(clock), "zero-latency delivery");
+            assert!(d.deliver_at >= last_delivery, "FIFO violated");
+            assert!(
+                d.deliver_at > SimTime::from_nanos(clock),
+                "zero-latency delivery"
+            );
             last_delivery = d.deliver_at;
         }
-        prop_assert_eq!(f.latency_histogram().count(), f.total_sends());
+        assert_eq!(f.latency_histogram().count(), f.total_sends());
     }
+}
 
-    /// Bigger payloads never deliver faster than smaller ones sent from a
-    /// fresh channel at the same instant.
-    #[test]
-    fn latency_is_monotone_in_payload(a in 0usize..16384, b in 0usize..16384) {
+/// Bigger payloads never deliver faster than smaller ones sent from a
+/// fresh channel at the same instant.
+#[test]
+fn latency_is_monotone_in_payload() {
+    let mut rng = SimRng::new(0x5EED_3002);
+    for _ in 0..256 {
+        let a = rng.index(16384);
+        let b = rng.index(16384);
         let (small, big) = if a <= b { (a, b) } else { (b, a) };
         let mut f1 = fabric(2);
         let d_small = f1.send(SimTime::ZERO, KernelId(0), KernelId(1), Blob(small));
         let mut f2 = fabric(2);
         let d_big = f2.send(SimTime::ZERO, KernelId(0), KernelId(1), Blob(big));
-        prop_assert!(d_big.deliver_at >= d_small.deliver_at);
+        assert!(d_big.deliver_at >= d_small.deliver_at);
     }
+}
 
-    /// Independent channels do not interfere: traffic on (0,1) leaves the
-    /// latency of a fresh (2,3) message identical to an idle fabric.
-    #[test]
-    fn channels_are_independent(noise in proptest::collection::vec(0usize..4096, 0..40)) {
+/// Independent channels do not interfere: traffic on (0,1) leaves the
+/// latency of a fresh (2,3) message identical to an idle fabric.
+#[test]
+fn channels_are_independent() {
+    let mut rng = SimRng::new(0x5EED_3003);
+    for _ in 0..256 {
         let mut busy = fabric(4);
-        for size in noise {
-            busy.send(SimTime::ZERO, KernelId(0), KernelId(1), Blob(size));
+        for _ in 0..rng.range_u64(0, 40) {
+            busy.send(SimTime::ZERO, KernelId(0), KernelId(1), Blob(rng.index(4096)));
         }
         let probe_busy = busy.send(SimTime::ZERO, KernelId(2), KernelId(3), Blob(64));
         let mut idle = fabric(4);
         let probe_idle = idle.send(SimTime::ZERO, KernelId(2), KernelId(3), Blob(64));
-        prop_assert_eq!(probe_busy.deliver_at, probe_idle.deliver_at);
+        assert_eq!(probe_busy.deliver_at, probe_idle.deliver_at);
     }
+}
 
-    /// Channel statistics account exactly for the messages sent.
-    #[test]
-    fn stats_account_for_every_send(
-        plan in proptest::collection::vec((0u16..3, 0u16..3), 1..50)
-    ) {
+/// Channel statistics account exactly for the messages sent.
+#[test]
+fn stats_account_for_every_send() {
+    let mut rng = SimRng::new(0x5EED_3004);
+    for _ in 0..256 {
+        let plan: Vec<(u16, u16)> = {
+            let len = rng.range_u64(1, 50) as usize;
+            (0..len)
+                .map(|_| (rng.range_u64(0, 3) as u16, rng.range_u64(0, 3) as u16))
+                .collect()
+        };
         let mut f = fabric(3);
         let mut expected = 0u64;
         for (from, to) in plan {
@@ -87,8 +109,8 @@ proptest! {
             f.send(SimTime::ZERO, KernelId(from), KernelId(to), Blob(32));
             expected += 1;
         }
-        prop_assert_eq!(f.total_sends(), expected);
+        assert_eq!(f.total_sends(), expected);
         let per_channel: u64 = f.channel_stats().iter().map(|&(_, _, n, _)| n).sum();
-        prop_assert_eq!(per_channel, expected);
+        assert_eq!(per_channel, expected);
     }
 }

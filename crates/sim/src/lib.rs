@@ -46,7 +46,7 @@ pub mod rng;
 pub mod stats;
 pub mod time;
 
-pub use engine::{Handler, Scheduler, Simulator, StopCondition};
+pub use engine::{current_event_sink, with_event_sink, Handler, Scheduler, Simulator, StopCondition};
 pub use rng::SimRng;
 pub use stats::{Counter, Histogram, Summary, TimeSeries};
 pub use time::SimTime;

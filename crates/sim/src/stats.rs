@@ -8,7 +8,6 @@
 
 use std::fmt;
 
-use serde::{Deserialize, Serialize};
 
 use crate::time::SimTime;
 
@@ -23,7 +22,7 @@ use crate::time::SimTime;
 /// c.incr();
 /// assert_eq!(c.get(), 4);
 /// ```
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct Counter(u64);
 
 impl Counter {
@@ -76,7 +75,7 @@ const BUCKET_GROUPS: usize = 64;
 /// assert_eq!(h.max(), 50);
 /// assert!(h.quantile(0.5) >= 30 && h.quantile(0.5) <= 32);
 /// ```
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct Histogram {
     counts: Vec<u64>,
     count: u64,
@@ -214,7 +213,7 @@ impl Histogram {
 }
 
 /// Condensed distribution summary produced by [`Histogram::summary`].
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Summary {
     /// Sample count.
     pub count: u64,
@@ -255,7 +254,7 @@ impl fmt::Display for Summary {
 /// assert_eq!(ts.len(), 2);
 /// assert_eq!(ts.mean(), 5.0);
 /// ```
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default)]
 pub struct TimeSeries {
     points: Vec<(SimTime, f64)>,
 }
@@ -300,7 +299,13 @@ impl TimeSeries {
 
     /// Largest recorded value (0.0 if empty).
     pub fn max(&self) -> f64 {
-        self.points.iter().map(|&(_, v)| v).fold(0.0, f64::max)
+        if self.points.is_empty() {
+            return 0.0;
+        }
+        self.points
+            .iter()
+            .map(|&(_, v)| v)
+            .fold(f64::NEG_INFINITY, f64::max)
     }
 
     /// Iterates over the raw points.
@@ -421,6 +426,18 @@ mod tests {
         h.record(5);
         let s = h.summary().to_string();
         assert!(s.contains("n=1"));
+    }
+
+    #[test]
+    fn time_series_max_of_all_negative_series_is_negative() {
+        // Regression: max() used to fold from 0.0, reporting 0.0 for a
+        // series that never reached zero.
+        let mut ts = TimeSeries::new();
+        ts.push(SimTime::from_nanos(1), -5.0);
+        ts.push(SimTime::from_nanos(2), -2.5);
+        ts.push(SimTime::from_nanos(3), -7.0);
+        assert_eq!(ts.max(), -2.5);
+        assert_eq!(TimeSeries::new().max(), 0.0, "empty series stays 0.0");
     }
 
     #[test]

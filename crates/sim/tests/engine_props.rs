@@ -1,7 +1,10 @@
-//! Property tests for the simulation engine and metric primitives.
+//! Randomized property tests for the simulation engine and metric
+//! primitives, driven by the crate's own deterministic [`SimRng`] (the
+//! build is offline, so no external property-testing framework): each test
+//! replays many generated cases from a fixed seed, keeping runs
+//! reproducible bit-for-bit.
 
 use popcorn_sim::{Handler, Histogram, Scheduler, SimRng, SimTime, Simulator};
-use proptest::prelude::*;
 
 #[derive(Debug)]
 struct Tagged {
@@ -20,35 +23,43 @@ impl Handler<Tagged> for Collector {
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(256))]
+/// Draws a random schedule of `1..max_len` event times below `bound`.
+fn random_times(rng: &mut SimRng, max_len: u64, bound: u64) -> Vec<u64> {
+    let len = rng.range_u64(1, max_len) as usize;
+    (0..len).map(|_| rng.range_u64(0, bound)).collect()
+}
 
-    /// Events fire in nondecreasing time order with FIFO tie-breaking,
-    /// for any schedule.
-    #[test]
-    fn events_fire_in_order_with_fifo_ties(times in proptest::collection::vec(0u64..1_000, 1..200)) {
+/// Events fire in nondecreasing time order with FIFO tie-breaking, for any
+/// schedule.
+#[test]
+fn events_fire_in_order_with_fifo_ties() {
+    let mut rng = SimRng::new(0x5EED_0001);
+    for _ in 0..256 {
+        let times = random_times(&mut rng, 200, 1_000);
         let mut sim = Simulator::new();
         for (seq, &at) in times.iter().enumerate() {
             sim.schedule(SimTime::from_nanos(at), Tagged { at, seq });
         }
         let mut c = Collector { fired: Vec::new() };
         sim.run(&mut c);
-        prop_assert_eq!(c.fired.len(), times.len());
+        assert_eq!(c.fired.len(), times.len());
         for w in c.fired.windows(2) {
-            prop_assert!(w[0].0 <= w[1].0, "time order violated");
+            assert!(w[0].0 <= w[1].0, "time order violated");
             if w[0].0 == w[1].0 {
-                prop_assert!(w[0].1 < w[1].1, "FIFO tie-break violated");
+                assert!(w[0].1 < w[1].1, "FIFO tie-break violated");
             }
         }
     }
+}
 
-    /// Splitting a run at an arbitrary horizon produces the same firing
-    /// sequence as one uninterrupted run.
-    #[test]
-    fn horizon_split_is_transparent(
-        times in proptest::collection::vec(0u64..1_000, 1..100),
-        split in 0u64..1_000,
-    ) {
+/// Splitting a run at an arbitrary horizon produces the same firing
+/// sequence as one uninterrupted run.
+#[test]
+fn horizon_split_is_transparent() {
+    let mut rng = SimRng::new(0x5EED_0002);
+    for _ in 0..256 {
+        let times = random_times(&mut rng, 100, 1_000);
+        let split = rng.range_u64(0, 1_000);
         let run_once = |split: Option<u64>| {
             let mut sim = Simulator::new();
             for (seq, &at) in times.iter().enumerate() {
@@ -61,13 +72,18 @@ proptest! {
             sim.run(&mut c);
             c.fired
         };
-        prop_assert_eq!(run_once(None), run_once(Some(split)));
+        assert_eq!(run_once(None), run_once(Some(split)));
     }
+}
 
-    /// Histogram quantiles are always within [min, max], monotone in q,
-    /// and the mean is exact.
-    #[test]
-    fn histogram_quantiles_are_sane(samples in proptest::collection::vec(0u64..10_000_000, 1..300)) {
+/// Histogram quantiles are always within [min, max], monotone in q, and
+/// the mean is exact.
+#[test]
+fn histogram_quantiles_are_sane() {
+    let mut rng = SimRng::new(0x5EED_0003);
+    for _ in 0..256 {
+        let len = rng.range_u64(1, 300) as usize;
+        let samples: Vec<u64> = (0..len).map(|_| rng.range_u64(0, 10_000_000)).collect();
         let mut h = Histogram::new();
         for &s in &samples {
             h.record(s);
@@ -75,14 +91,14 @@ proptest! {
         let min = *samples.iter().min().expect("nonempty");
         let max = *samples.iter().max().expect("nonempty");
         let mean = samples.iter().map(|&s| s as f64).sum::<f64>() / samples.len() as f64;
-        prop_assert_eq!(h.min(), min);
-        prop_assert_eq!(h.max(), max);
-        prop_assert!((h.mean() - mean).abs() < 1e-6);
+        assert_eq!(h.min(), min);
+        assert_eq!(h.max(), max);
+        assert!((h.mean() - mean).abs() < 1e-6);
         let mut prev = 0u64;
         for q in [0.0, 0.1, 0.25, 0.5, 0.75, 0.9, 0.99, 1.0] {
             let v = h.quantile(q);
-            prop_assert!(v >= min && v <= max, "quantile {q} out of range");
-            prop_assert!(v >= prev, "quantiles not monotone");
+            assert!(v >= min && v <= max, "quantile {q} out of range");
+            assert!(v >= prev, "quantiles not monotone");
             prev = v;
         }
         // Median has bounded relative error vs the exact one.
@@ -92,14 +108,21 @@ proptest! {
         let got = h.quantile(0.5) as f64;
         if exact > 0 {
             let err = (got - exact as f64).abs() / exact as f64;
-            prop_assert!(err <= 0.0783, "median error {err} > 2^-4 + slack (got {got}, exact {exact})");
+            assert!(
+                err <= 0.0783,
+                "median error {err} > 2^-4 + slack (got {got}, exact {exact})"
+            );
         }
     }
+}
 
-    /// The RNG's range draws are uniform enough: each of 8 buckets of a
-    /// large sample is within 30% of the expected share.
-    #[test]
-    fn rng_range_is_roughly_uniform(seed in any::<u64>()) {
+/// The RNG's range draws are uniform enough: each of 8 buckets of a large
+/// sample is within 30% of the expected share, across many seeds.
+#[test]
+fn rng_range_is_roughly_uniform() {
+    let mut seeder = SimRng::new(0x5EED_0004);
+    for _ in 0..64 {
+        let seed = seeder.next_u64();
         let mut rng = SimRng::new(seed);
         let mut buckets = [0u32; 8];
         let n = 8_000;
@@ -108,14 +131,21 @@ proptest! {
         }
         for (i, &b) in buckets.iter().enumerate() {
             let share = b as f64 / n as f64;
-            prop_assert!((share - 0.125).abs() < 0.04, "bucket {i} share {share}");
+            assert!(
+                (share - 0.125).abs() < 0.04,
+                "seed {seed:#x} bucket {i} share {share}"
+            );
         }
     }
+}
 
-    /// Two simulators fed the same schedule agree event-for-event
-    /// (engine determinism).
-    #[test]
-    fn engine_is_deterministic(times in proptest::collection::vec(0u64..500, 1..100)) {
+/// Two simulators fed the same schedule agree event-for-event (engine
+/// determinism).
+#[test]
+fn engine_is_deterministic() {
+    let mut rng = SimRng::new(0x5EED_0005);
+    for _ in 0..256 {
+        let times = random_times(&mut rng, 100, 500);
         let run = || {
             let mut sim = Simulator::new();
             for (seq, &at) in times.iter().enumerate() {
@@ -125,6 +155,6 @@ proptest! {
             sim.run(&mut c);
             (c.fired, sim.now(), sim.events_processed())
         };
-        prop_assert_eq!(run(), run());
+        assert_eq!(run(), run());
     }
 }

@@ -813,34 +813,40 @@ mod tests {
     }
 
     mod props {
+        //! Randomized interleaving tests driven by the deterministic
+        //! [`SimRng`] (the build is offline, so no external
+        //! property-testing framework).
         use super::*;
-        use proptest::prelude::*;
+        use popcorn_sim::SimRng;
 
-        proptest! {
-            #![proptest_config(ProptestConfig::with_cases(128))]
-
-            /// Barriers release everyone under adversarial scheduling
-            /// orders, for any party count.
-            #[test]
-            fn barrier_correct_under_random_interleavings(n in 1u64..12, seed in any::<u64>()) {
+        /// Barriers release everyone under adversarial scheduling orders,
+        /// for any party count.
+        #[test]
+        fn barrier_correct_under_random_interleavings() {
+            let mut rng = SimRng::new(0x5EED_5001);
+            for _ in 0..128 {
+                let n = rng.range_u64(1, 12);
+                let seed = rng.next_u64();
                 let b = Barrier::at(BASE, n);
                 let flows: Vec<Box<dyn Flow>> = (0..n)
                     .map(|_| Box::new(BarrierWait::new(b)) as Box<dyn Flow>)
                     .collect();
                 let mut exec = MiniExec::new(flows);
                 exec.run_with_order(Some(seed));
-                prop_assert_eq!(exec.done.len() as u64, n);
-                prop_assert_eq!(exec.table.read(exec.group, b.count), 0);
-                prop_assert_eq!(exec.table.read(exec.group, b.gen), 1);
+                assert_eq!(exec.done.len() as u64, n);
+                assert_eq!(exec.table.read(exec.group, b.count), 0);
+                assert_eq!(exec.table.read(exec.group, b.gen), 1);
             }
+        }
 
-            /// The mutex never loses an increment under adversarial
-            /// scheduling.
-            #[test]
-            fn mutex_counts_exactly_under_random_interleavings(
-                n in 1u64..10,
-                seed in any::<u64>(),
-            ) {
+        /// The mutex never loses an increment under adversarial
+        /// scheduling.
+        #[test]
+        fn mutex_counts_exactly_under_random_interleavings() {
+            let mut rng = SimRng::new(0x5EED_5002);
+            for _ in 0..128 {
+                let n = rng.range_u64(1, 10);
+                let seed = rng.next_u64();
                 let lock_word = BASE;
                 let cell = BASE.add(64);
                 let flows: Vec<Box<dyn Flow>> = (0..n)
@@ -848,17 +854,20 @@ mod tests {
                     .collect();
                 let mut exec = MiniExec::new(flows);
                 exec.run_with_order(Some(seed));
-                prop_assert_eq!(exec.table.read(exec.group, cell), n);
-                prop_assert_eq!(exec.table.read(exec.group, lock_word), 0);
+                assert_eq!(exec.table.read(exec.group, cell), n);
+                assert_eq!(exec.table.read(exec.group, lock_word), 0);
             }
+        }
 
-            /// Hierarchical barriers with arbitrary group shapes release
-            /// every member under adversarial scheduling.
-            #[test]
-            fn hier_barrier_correct_under_random_interleavings(
-                sizes in proptest::collection::vec(1u64..5, 1..5),
-                seed in any::<u64>(),
-            ) {
+        /// Hierarchical barriers with arbitrary group shapes release every
+        /// member under adversarial scheduling.
+        #[test]
+        fn hier_barrier_correct_under_random_interleavings() {
+            let mut rng = SimRng::new(0x5EED_5003);
+            for _ in 0..128 {
+                let groups = rng.range_u64(1, 5) as usize;
+                let sizes: Vec<u64> = (0..groups).map(|_| rng.range_u64(1, 5)).collect();
+                let seed = rng.next_u64();
                 let h = HierBarrier::at(BASE, sizes.len() as u64);
                 let mut flows: Vec<Box<dyn Flow>> = Vec::new();
                 for (g, &n) in sizes.iter().enumerate() {
@@ -869,8 +878,8 @@ mod tests {
                 let total = flows.len();
                 let mut exec = MiniExec::new(flows);
                 exec.run_with_order(Some(seed));
-                prop_assert_eq!(exec.done.len(), total);
-                prop_assert_eq!(exec.table.read(exec.group, h.global.gen), 1);
+                assert_eq!(exec.done.len(), total);
+                assert_eq!(exec.table.read(exec.group, h.global.gen), 1);
             }
         }
     }
