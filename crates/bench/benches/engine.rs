@@ -51,6 +51,85 @@ fn bench_event_loop(c: &mut Criterion) {
     });
 }
 
+/// Zero-delay chain: every event stages its successor at the same instant
+/// via `immediately()`, the pattern the engine's inline fast path serves
+/// without touching the queue at all.
+struct ImmediateChain {
+    remaining: u32,
+}
+
+impl Handler<Ev> for ImmediateChain {
+    fn handle(&mut self, _now: SimTime, ev: Ev, sched: &mut Scheduler<Ev>) {
+        let Ev::Tick(n) = ev;
+        if self.remaining > 0 {
+            self.remaining -= 1;
+            sched.immediately(Ev::Tick(n + 1));
+        }
+    }
+}
+
+/// Chain alternating between a short hop inside the calendar ring window
+/// and a far-future jump through the overflow heap, so both tiers (and the
+/// migration between them) stay on the measured path.
+struct NearFarChain {
+    remaining: u32,
+}
+
+impl Handler<Ev> for NearFarChain {
+    fn handle(&mut self, _now: SimTime, ev: Ev, sched: &mut Scheduler<Ev>) {
+        let Ev::Tick(n) = ev;
+        if self.remaining > 0 {
+            self.remaining -= 1;
+            let delay = if n % 2 == 0 { 3 } else { 50_000 };
+            sched.after(SimTime::from_nanos(delay), Ev::Tick(n + 1));
+        }
+    }
+}
+
+/// The three regimes the calendar-queue rework optimizes, measured in
+/// isolation: same-time burst fan-out (tie-group extraction), the
+/// self-rescheduling chain (inline fast path), and mixed near/far-future
+/// schedules (ring ↔ overflow traffic).
+fn bench_queue_regimes(c: &mut Criterion) {
+    // All 10k events at one instant: a single tie group far larger than a
+    // ring bucket, drained in FIFO seq order.
+    c.bench_function("engine/same_time_burst_10k", |b| {
+        b.iter(|| {
+            let mut sim = Simulator::new();
+            for i in 0..10_000u32 {
+                sim.schedule(SimTime::from_micros(5), Ev::Tick(i));
+            }
+            let mut h = Chain { remaining: 0 };
+            sim.run(&mut h);
+            black_box(sim.events_processed())
+        })
+    });
+
+    c.bench_function("engine/immediate_chain_100k", |b| {
+        b.iter(|| {
+            let mut sim = Simulator::new();
+            sim.schedule(SimTime::ZERO, Ev::Tick(0));
+            let mut h = ImmediateChain { remaining: 100_000 };
+            sim.run(&mut h);
+            black_box(sim.events_processed())
+        })
+    });
+
+    c.bench_function("engine/mixed_near_far_100k", |b| {
+        b.iter(|| {
+            let mut sim = Simulator::new();
+            // A standing population in both tiers while the chain runs.
+            for i in 0..64u32 {
+                sim.schedule(SimTime::from_nanos(i as u64 * 1_009), Ev::Tick(i));
+            }
+            sim.schedule(SimTime::ZERO, Ev::Tick(0));
+            let mut h = NearFarChain { remaining: 100_000 };
+            sim.run(&mut h);
+            black_box(sim.events_processed())
+        })
+    });
+}
+
 fn bench_rng(c: &mut Criterion) {
     c.bench_function("engine/rng_100k_draws", |b| {
         b.iter(|| {
@@ -110,6 +189,7 @@ fn bench_lock_sites(c: &mut Criterion) {
 criterion_group!(
     benches,
     bench_event_loop,
+    bench_queue_regimes,
     bench_rng,
     bench_histogram,
     bench_lock_sites

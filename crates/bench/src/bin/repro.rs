@@ -25,55 +25,9 @@ use std::time::Instant;
 
 use popcorn_bench::cli::{self, Mode};
 use popcorn_bench::experiments::all_experiments;
+use popcorn_bench::rig::{perf_json, ExperimentPerf};
 use popcorn_bench::{parallel_map, set_jobs, Table};
 use popcorn_sim::with_event_sink;
-
-/// Self-metrics for one regenerated experiment.
-struct ExperimentPerf {
-    id: String,
-    table: Table,
-    wall_secs: f64,
-    events: u64,
-}
-
-impl ExperimentPerf {
-    fn events_per_sec(&self) -> f64 {
-        if self.wall_secs > 0.0 {
-            self.events as f64 / self.wall_secs
-        } else {
-            0.0
-        }
-    }
-}
-
-/// Renders the `BENCH_repro.json` body (hand-rolled: the build is fully
-/// offline, no serde).
-fn perf_json(jobs: usize, total_wall: f64, perfs: &[ExperimentPerf]) -> String {
-    let host = std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(1);
-    let total_events: u64 = perfs.iter().map(|p| p.events).sum();
-    let entries: Vec<String> = perfs
-        .iter()
-        .map(|p| {
-            format!(
-                "    {{\n      \"id\": \"{}\",\n      \"wall_secs\": {:.3},\n      \"events\": {},\n      \"events_per_sec\": {:.0}\n    }}",
-                p.id,
-                p.wall_secs,
-                p.events,
-                p.events_per_sec()
-            )
-        })
-        .collect();
-    format!(
-        "{{\n  \"bench\": \"repro\",\n  \"jobs\": {},\n  \"host_parallelism\": {},\n  \"total_wall_secs\": {:.3},\n  \"total_events\": {},\n  \"experiments\": [\n{}\n  ]\n}}",
-        jobs,
-        host,
-        total_wall,
-        total_events,
-        entries.join(",\n")
-    )
-}
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -134,42 +88,44 @@ fn main() {
         })
         .collect();
     let run_started = Instant::now();
-    let perfs: Vec<ExperimentPerf> = parallel_map(work, |(id, f)| {
+    let runs: Vec<(Table, ExperimentPerf)> = parallel_map(work, |(id, f)| {
         let sink = Arc::new(AtomicU64::new(0));
         let started = Instant::now();
         let table = with_event_sink(sink.clone(), f);
-        ExperimentPerf {
+        let perf = ExperimentPerf {
             id,
-            table,
-            wall_secs: started.elapsed().as_secs_f64(),
+            wall: started.elapsed(),
             events: sink.load(Ordering::Relaxed),
-        }
+        };
+        (table, perf)
     });
-    let total_wall = run_started.elapsed().as_secs_f64();
+    let total_wall = run_started.elapsed();
 
-    for p in &perfs {
-        println!("{}", p.table.render());
+    for (table, p) in &runs {
+        println!("{}", table.render());
         println!(
             "(regenerated in {:.1}s host time; {} events, {:.0} events/s)\n",
-            p.wall_secs,
+            p.wall.as_secs_f64(),
             p.events,
             p.events_per_sec()
         );
         if let Some(dir) = &cli.json_dir {
             let path = format!("{dir}/{}.json", p.id);
             let mut file = std::fs::File::create(&path).expect("create json file");
-            file.write_all(p.table.to_json_pretty().as_bytes())
+            file.write_all(table.to_json_pretty().as_bytes())
                 .expect("write json");
             println!("wrote {path}\n");
         }
     }
 
+    let perfs: Vec<ExperimentPerf> = runs.into_iter().map(|(_, p)| p).collect();
     let perf_path = "BENCH_repro.json";
     std::fs::write(perf_path, perf_json(popcorn_bench::jobs(), total_wall, &perfs))
         .expect("write perf json");
     println!(
-        "({} experiments in {total_wall:.1}s host time at --jobs {}; self-metrics in {perf_path})",
+        "({} experiments in {:.1}s host time at --jobs {}; self-metrics in {perf_path})",
         perfs.len(),
+        total_wall.as_secs_f64(),
         popcorn_bench::jobs()
     );
 }

@@ -15,6 +15,7 @@
 
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
+use std::time::Duration;
 
 use popcorn_baselines::{MultikernelOs, SmpOs};
 use popcorn_core::{PopcornOs, PopcornParams};
@@ -105,6 +106,69 @@ where
                 .expect("worker filled every slot")
         })
         .collect()
+}
+
+/// Simulator self-metrics for one regenerated experiment (the entries of
+/// `BENCH_repro.json`).
+#[derive(Debug, Clone)]
+pub struct ExperimentPerf {
+    /// Experiment id as selected on the command line (`e5`, `ablate-vma`, …).
+    pub id: String,
+    /// Host wall-clock time spent regenerating the experiment, at full
+    /// [`Duration`] resolution.
+    pub wall: Duration,
+    /// Simulation events processed across every run of the experiment.
+    pub events: u64,
+}
+
+impl ExperimentPerf {
+    /// Events per host second, computed from the full-resolution
+    /// [`Duration`]. Never derive this from the rounded `wall_secs` JSON
+    /// field: millisecond rounding quantizes sub-10ms experiments badly
+    /// and reports `0` events/sec for anything under half a millisecond.
+    pub fn events_per_sec(&self) -> f64 {
+        let secs = self.wall.as_secs_f64();
+        if secs > 0.0 {
+            self.events as f64 / secs
+        } else {
+            0.0
+        }
+    }
+}
+
+/// Renders the `BENCH_repro.json` body (hand-rolled: the build is fully
+/// offline, no serde).
+///
+/// Each entry records `wall_nanos` — the exact integer measurement — next
+/// to the human-friendly millisecond-rounded `wall_secs`; `events_per_sec`
+/// is always computed from the unrounded duration.
+pub fn perf_json(jobs: usize, total_wall: Duration, perfs: &[ExperimentPerf]) -> String {
+    let host = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let total_events: u64 = perfs.iter().map(|p| p.events).sum();
+    let entries: Vec<String> = perfs
+        .iter()
+        .map(|p| {
+            format!(
+                "    {{\n      \"id\": \"{}\",\n      \"wall_secs\": {:.3},\n      \"wall_nanos\": {},\n      \"events\": {},\n      \"events_per_sec\": {:.0}\n    }}",
+                p.id,
+                p.wall.as_secs_f64(),
+                p.wall.as_nanos(),
+                p.events,
+                p.events_per_sec()
+            )
+        })
+        .collect();
+    format!(
+        "{{\n  \"bench\": \"repro\",\n  \"jobs\": {},\n  \"host_parallelism\": {},\n  \"total_wall_secs\": {:.3},\n  \"total_wall_nanos\": {},\n  \"total_events\": {},\n  \"experiments\": [\n{}\n  ]\n}}",
+        jobs,
+        host,
+        total_wall.as_secs_f64(),
+        total_wall.as_nanos(),
+        total_events,
+        entries.join(",\n")
+    )
 }
 
 /// Which OS model to run.
@@ -278,6 +342,43 @@ mod tests {
         let expected: u64 = serial.iter().sum();
         assert!(expected > 0);
         assert_eq!(sink.load(Ordering::Relaxed), expected);
+    }
+
+    #[test]
+    fn events_per_sec_uses_the_unrounded_duration() {
+        // 2308 events in 361.4 µs — rounds to 0.000 s in the JSON, which
+        // used to make the recorded rate 0. The unrounded rate is ~6.4M/s.
+        let p = ExperimentPerf {
+            id: "e2".into(),
+            wall: Duration::from_nanos(361_400),
+            events: 2308,
+        };
+        let rate = p.events_per_sec();
+        assert!((rate - 6_386_275.594).abs() < 1.0, "rate = {rate}");
+        // Degenerate zero-duration measurement stays finite.
+        let z = ExperimentPerf {
+            id: "z".into(),
+            wall: Duration::ZERO,
+            events: 10,
+        };
+        assert_eq!(z.events_per_sec(), 0.0);
+    }
+
+    #[test]
+    fn perf_json_records_exact_nanos_next_to_rounded_secs() {
+        let perfs = vec![ExperimentPerf {
+            id: "e1".into(),
+            wall: Duration::from_nanos(412_345),
+            events: 1000,
+        }];
+        let json = perf_json(1, Duration::from_nanos(412_345), &perfs);
+        // The rounded view quantizes to zero...
+        assert!(json.contains("\"wall_secs\": 0.000"), "{json}");
+        // ...but the exact measurement and the rate derived from it do not.
+        assert!(json.contains("\"wall_nanos\": 412345"), "{json}");
+        assert!(json.contains("\"events_per_sec\": 2425154"), "{json}");
+        assert!(json.contains("\"total_wall_nanos\": 412345"), "{json}");
+        assert!(json.contains("\"total_events\": 1000"), "{json}");
     }
 
     #[test]

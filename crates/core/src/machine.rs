@@ -34,7 +34,7 @@ use popcorn_sim::{Scheduler, SimTime};
 use crate::directory::{DirStep, Grant, PageRequest};
 use crate::group::{ExitPhase, GroupHome};
 use crate::params::PopcornParams;
-use crate::proto::{FutexOutcome, ProtoMsg, VmaChange, VmaOp};
+use crate::proto::{FutexOutcome, ProtoMsg, TaskMigrateMsg, VmaChange, VmaOp};
 use crate::stats::PopStats;
 
 /// The event payload of the Popcorn OS model.
@@ -814,7 +814,7 @@ impl PopcornMachine {
             freed_at,
             ki,
             target,
-            ProtoMsg::TaskMigrate {
+            ProtoMsg::TaskMigrate(Box::new(TaskMigrateMsg {
                 tid,
                 group,
                 program,
@@ -822,7 +822,7 @@ impl PopcornMachine {
                 stats,
                 started: at,
                 vmas,
-            },
+            })),
         );
     }
 
@@ -1347,15 +1347,16 @@ impl OsMachine for PopcornMachine {
         let to = msg.to;
         let ki = self.ki(to);
         match msg.payload {
-            ProtoMsg::TaskMigrate {
-                tid,
-                group,
-                program,
-                ctx,
-                stats,
-                started,
-                vmas,
-            } => {
+            ProtoMsg::TaskMigrate(m) => {
+                let TaskMigrateMsg {
+                    tid,
+                    group,
+                    program,
+                    ctx,
+                    stats,
+                    started,
+                    vmas,
+                } = *m;
                 self.migrate_in(sched, ki, tid, group, program, ctx, stats, started, vmas, now);
             }
             ProtoMsg::MemberAt { group, tid, joined } => {

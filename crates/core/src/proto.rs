@@ -64,32 +64,40 @@ pub enum FutexOutcome {
     Woken(u64),
 }
 
+/// A migrating thread: context, program state, accounting. Boxed inside
+/// [`ProtoMsg::TaskMigrate`] — see the enum docs for why.
+#[derive(Debug)]
+pub struct TaskMigrateMsg {
+    /// The thread.
+    pub tid: Tid,
+    /// Its group.
+    pub group: GroupId,
+    /// The user program state (moves with the thread).
+    pub program: Box<dyn Program>,
+    /// Architectural context.
+    pub ctx: CpuContext,
+    /// Accounting carried across kernels.
+    pub stats: TaskStats,
+    /// When the migrate syscall was issued (latency measurement).
+    pub started: SimTime,
+    /// VMAs pushed eagerly (ablation; empty = on-demand retrieval).
+    pub vmas: Vec<Vma>,
+}
+
 /// The protocol message set.
 ///
-/// Variant sizes differ widely by design (a page grant carries 4 KiB-class
-/// payloads, a `PageDone` a few words); messages are moved into the event
-/// queue once and never copied, so boxing the big variants would only add
-/// indirection.
+/// The enum's size is the size of its largest variant, and every message
+/// is moved through the event queue inside an `OsEvent` — so one fat
+/// variant taxes every push and pop of *every* event with its full-width
+/// copy. The migration payload (register file + accounting, ~200 bytes) is
+/// therefore boxed: migrations are orders of magnitude rarer than the
+/// core-run and page-protocol events whose copies they would inflate.
+/// (`wire_size` models the on-the-wire bytes independently of the host
+/// representation, so boxing changes no simulated cost.)
 #[derive(Debug)]
-#[allow(clippy::large_enum_variant)]
 pub enum ProtoMsg {
     /// A migrating thread: context, program state, accounting.
-    TaskMigrate {
-        /// The thread.
-        tid: Tid,
-        /// Its group.
-        group: GroupId,
-        /// The user program state (moves with the thread).
-        program: Box<dyn Program>,
-        /// Architectural context.
-        ctx: CpuContext,
-        /// Accounting carried across kernels.
-        stats: TaskStats,
-        /// When the migrate syscall was issued (latency measurement).
-        started: SimTime,
-        /// VMAs pushed eagerly (ablation; empty = on-demand retrieval).
-        vmas: Vec<Vma>,
-    },
+    TaskMigrate(Box<TaskMigrateMsg>),
     /// Membership/location update to the home kernel: `tid` now runs on
     /// the sending kernel (sent on clone arrival and migration arrival).
     MemberAt {
@@ -346,9 +354,9 @@ fn contents_bytes(c: &Option<PageContents>) -> usize {
 impl Wire for ProtoMsg {
     fn wire_size(&self) -> usize {
         match self {
-            ProtoMsg::TaskMigrate {
-                ctx, program, vmas, ..
-            } => HDR + ctx.wire_size() + program.migration_payload() + vmas.len() * VMA_BYTES,
+            ProtoMsg::TaskMigrate(m) => {
+                HDR + m.ctx.wire_size() + m.program.migration_payload() + m.vmas.len() * VMA_BYTES
+            }
             ProtoMsg::CloneReq { vmas, .. } => HDR + 208 + vmas.len() * VMA_BYTES,
             ProtoMsg::PageFetched { .. } => HDR + PAGE_BYTES,
             ProtoMsg::PageInvalAck { contents, .. } => HDR + contents_bytes(contents),
@@ -400,7 +408,7 @@ mod tests {
 
     #[test]
     fn migration_message_scales_with_context_and_payload() {
-        let lean = ProtoMsg::TaskMigrate {
+        let lean = ProtoMsg::TaskMigrate(Box::new(TaskMigrateMsg {
             tid: Tid::new(KernelId(0), 1),
             group: GroupId(Tid::new(KernelId(0), 1)),
             program: Box::new(Nop),
@@ -408,12 +416,12 @@ mod tests {
             stats: TaskStats::default(),
             started: SimTime::ZERO,
             vmas: vec![],
-        };
+        }));
         let fpu_ctx = CpuContext {
             fpu_used: true,
             ..CpuContext::default()
         };
-        let heavy = ProtoMsg::TaskMigrate {
+        let heavy = ProtoMsg::TaskMigrate(Box::new(TaskMigrateMsg {
             tid: Tid::new(KernelId(0), 1),
             group: GroupId(Tid::new(KernelId(0), 1)),
             program: Box::new(Nop),
@@ -427,7 +435,7 @@ mod tests {
                 };
                 3
             ],
-        };
+        }));
         assert_eq!(heavy.wire_size() - lean.wire_size(), 512 + 3 * 24);
     }
 

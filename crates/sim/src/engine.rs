@@ -10,11 +10,10 @@
 //! exchange interrupts and shared-memory messages.
 
 use std::cell::RefCell;
-use std::cmp::Reverse;
-use std::collections::BinaryHeap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
+use crate::queue::CalendarQueue;
 use crate::time::SimTime;
 
 thread_local! {
@@ -74,59 +73,74 @@ fn credit_event_sink(events: u64) {
     });
 }
 
-/// A pending simulation event: fire time, insertion sequence number (for
-/// stable FIFO ordering among same-time events), and the payload.
-struct Pending<E> {
-    at: SimTime,
-    seq: u64,
-    event: E,
-}
-
-impl<E> PartialEq for Pending<E> {
-    fn eq(&self, other: &Self) -> bool {
-        self.at == other.at && self.seq == other.seq
-    }
-}
-impl<E> Eq for Pending<E> {}
-impl<E> PartialOrd for Pending<E> {
-    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
-        Some(self.cmp(other))
-    }
-}
-impl<E> Ord for Pending<E> {
-    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-        (self.at, self.seq).cmp(&(other.at, other.seq))
-    }
-}
-
 /// Scheduling interface handed to a [`Handler`] while it processes an event.
 ///
-/// New events scheduled through it are merged into the simulator's queue when
-/// the handler returns.
+/// Events scheduled through it go straight into the simulator's queue — no
+/// staging buffer, no allocation — except a *chain fast-path candidate*: a
+/// first staged event that fires strictly before everything queued is held
+/// in a one-slot buffer, and if it stays the only staged event the engine
+/// dispatches it next without any queue traffic at all. Sequence numbers
+/// are assigned in staging order either way, so the firing order is
+/// identical to a buffered implementation.
 #[derive(Debug)]
-pub struct Scheduler<E> {
+pub struct Scheduler<'a, E> {
     now: SimTime,
-    staged: Vec<(SimTime, E)>,
+    queue: &'a mut CalendarQueue<E>,
+    seq: &'a mut u64,
+    /// The chain fast-path candidate: the first staged event, held only
+    /// when it fires before everything queued, and flushed to the queue as
+    /// soon as a second event is staged.
+    first: Option<(SimTime, u64, E)>,
+    /// True once the first staged event has been routed to the queue (or
+    /// flushed from the slot) — the fast path is off for this dispatch and
+    /// later stages push straight through.
+    overflowed: bool,
     stop: bool,
 }
 
-impl<E> Scheduler<E> {
-    fn new(now: SimTime) -> Self {
-        Scheduler {
-            now,
-            staged: Vec::new(),
-            stop: false,
-        }
-    }
-
+impl<E> Scheduler<'_, E> {
     /// The current virtual time.
     pub fn now(&self) -> SimTime {
         self.now
     }
 
+    #[inline]
+    fn stage(&mut self, at: SimTime, event: E) {
+        let seq = *self.seq;
+        *self.seq += 1;
+        if !self.overflowed {
+            if self.first.is_none() {
+                // First staged event of this dispatch: hold it as the chain
+                // fast-path candidate only when it fires strictly before
+                // everything queued (ties lose on purpose — queued events
+                // carry smaller seqs). Nothing else can change the queue
+                // minimum before the handler returns, so deciding here is
+                // equivalent to deciding at end-of-dispatch and skips the
+                // slot round-trip for the common schedule-for-later case.
+                match self.queue.peek() {
+                    Some((qat, _)) if qat <= at => {
+                        self.overflowed = true;
+                        self.queue.push(at, seq, event);
+                    }
+                    _ => self.first = Some((at, seq, event)),
+                }
+                return;
+            }
+            // A second staged event revokes the candidate: flush it, then
+            // everything (including later stages) goes straight to the
+            // queue, preserving seq order.
+            self.overflowed = true;
+            if let Some((a, s, e)) = self.first.take() {
+                self.queue.push(a, s, e);
+            }
+        }
+        self.queue.push(at, seq, event);
+    }
+
     /// Schedules `event` to fire `delay` after the current time.
+    #[inline]
     pub fn after(&mut self, delay: SimTime, event: E) {
-        self.staged.push((self.now + delay, event));
+        self.stage(self.now + delay, event);
     }
 
     /// Schedules `event` at an absolute time.
@@ -135,15 +149,17 @@ impl<E> Scheduler<E> {
     ///
     /// Panics (in debug builds) if `at` is in the past: the simulation clock
     /// is monotonic, events cannot fire before the current time.
+    #[inline]
     pub fn at(&mut self, at: SimTime, event: E) {
         debug_assert!(at >= self.now, "cannot schedule into the past");
-        self.staged.push((at.max(self.now), event));
+        self.stage(at.max(self.now), event);
     }
 
     /// Schedules `event` to fire immediately (at the current time, after all
     /// previously scheduled same-time events).
+    #[inline]
     pub fn immediately(&mut self, event: E) {
-        self.staged.push((self.now, event));
+        self.stage(self.now, event);
     }
 
     /// Requests that the simulation stop after the current event completes.
@@ -158,7 +174,7 @@ impl<E> Scheduler<E> {
 pub trait Handler<E> {
     /// Processes one event at virtual time `now`, scheduling any follow-up
     /// events through `sched`.
-    fn handle(&mut self, now: SimTime, event: E, sched: &mut Scheduler<E>);
+    fn handle(&mut self, now: SimTime, event: E, sched: &mut Scheduler<'_, E>);
 }
 
 /// Why [`Simulator::run_until`] returned.
@@ -176,10 +192,17 @@ pub enum StopCondition {
 
 /// The discrete-event simulator: a virtual clock plus an event queue.
 ///
-/// See the [crate-level example](crate) for usage.
+/// See the [crate-level example](crate) for usage. Internals: events wait in
+/// a two-tier [`CalendarQueue`] (near-future bucket ring over a far-future
+/// overflow heap; see [`crate::queue`]), handlers stage follow-ups directly
+/// into that queue with no intermediate buffer, and a staged event that
+/// fires strictly before everything queued is dispatched directly without a
+/// queue round-trip — the self-rescheduling chain pattern that dominates
+/// the OS models' tick loops. None of this changes the firing order: events
+/// fire in `(time, seq)` order exactly as a sorted list would.
 #[derive(Debug)]
 pub struct Simulator<E> {
-    queue: BinaryHeap<Reverse<Pending<E>>>,
+    queue: CalendarQueue<E>,
     now: SimTime,
     seq: u64,
     events_processed: u64,
@@ -191,20 +214,11 @@ impl<E> Default for Simulator<E> {
     }
 }
 
-impl<E> std::fmt::Debug for Pending<E> {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("Pending")
-            .field("at", &self.at)
-            .field("seq", &self.seq)
-            .finish_non_exhaustive()
-    }
-}
-
 impl<E> Simulator<E> {
     /// Creates an empty simulator at time zero.
     pub fn new() -> Self {
         Simulator {
-            queue: BinaryHeap::new(),
+            queue: CalendarQueue::new(),
             now: SimTime::ZERO,
             seq: 0,
             events_processed: 0,
@@ -231,7 +245,7 @@ impl<E> Simulator<E> {
         let at = at.max(self.now);
         let seq = self.seq;
         self.seq += 1;
-        self.queue.push(Reverse(Pending { at, seq, event }));
+        self.queue.push(at, seq, event);
     }
 
     /// Schedules an event `delay` after the current time.
@@ -249,7 +263,9 @@ impl<E> Simulator<E> {
     /// handler requests a stop, or `event_budget` events have been processed
     /// (a guard against accidental livelock in protocol code).
     ///
-    /// Events scheduled at exactly `horizon` still fire.
+    /// Events scheduled at exactly `horizon` still fire. A horizon earlier
+    /// than the current time never rewinds the clock: the run stops
+    /// immediately and `now` is unchanged.
     pub fn run_until<H: Handler<E>>(
         &mut self,
         handler: &mut H,
@@ -269,32 +285,72 @@ impl<E> Simulator<E> {
         event_budget: u64,
     ) -> StopCondition {
         let mut budget = event_budget;
+        // A staged event proven to fire before everything queued — the chain
+        // fast path holds it here instead of round-tripping the queue. Must
+        // be flushed back on every return so `pending()` and later runs see
+        // it.
+        let mut inline: Option<(SimTime, u64, E)> = None;
         loop {
             // Peek first so an over-horizon event stays queued.
-            match self.queue.peek() {
+            let next_at = match inline.as_ref() {
+                Some((at, _, _)) => Some(*at),
+                None => self.queue.peek().map(|(at, _)| at),
+            };
+            match next_at {
                 None => return StopCondition::QueueEmpty,
-                Some(Reverse(p)) if p.at > horizon => {
-                    self.now = horizon;
+                Some(at) if at > horizon => {
+                    if let Some((at, seq, ev)) = inline {
+                        self.queue.push(at, seq, ev);
+                    }
+                    // Clamp: a horizon in the past must not rewind the clock.
+                    self.now = horizon.max(self.now);
                     return StopCondition::HorizonReached;
                 }
                 Some(_) => {}
             }
             if budget == 0 {
+                if let Some((at, seq, ev)) = inline {
+                    self.queue.push(at, seq, ev);
+                }
                 return StopCondition::EventBudgetExhausted;
             }
             budget -= 1;
-            let Reverse(p) = self.queue.pop().expect("peeked non-empty");
-            debug_assert!(p.at >= self.now, "event queue went backwards in time");
-            self.now = p.at;
+            // `is_some` before `take`: a blind `take` copies the full
+            // (time, seq, event) slot even when it holds `None`, and event
+            // payloads are large.
+            let (at, _seq, event) = if inline.is_some() {
+                inline.take().expect("just checked")
+            } else {
+                self.queue.pop().expect("peeked non-empty")
+            };
+            debug_assert!(at >= self.now, "event queue went backwards in time");
+            self.now = at;
             self.events_processed += 1;
-            let mut sched = Scheduler::new(self.now);
-            handler.handle(self.now, p.event, &mut sched);
-            for (at, ev) in sched.staged {
-                let seq = self.seq;
-                self.seq += 1;
-                self.queue.push(Reverse(Pending { at, seq, event: ev }));
+            let mut sched = Scheduler {
+                now: self.now,
+                queue: &mut self.queue,
+                seq: &mut self.seq,
+                first: None,
+                overflowed: false,
+                stop: false,
+            };
+            handler.handle(self.now, event, &mut sched);
+            let stop = sched.stop;
+            if sched.first.is_some() {
+                // Chain fast path: the scheduler proved this event fires
+                // before everything queued and it stayed the only staged
+                // event — dispatch it on the next iteration without
+                // touching the queue (unless the handler asked to stop, in
+                // which case it must be preserved as pending).
+                let (at, seq, ev) = sched.first.take().expect("just checked");
+                if stop {
+                    sched.queue.push(at, seq, ev);
+                } else {
+                    inline = Some((at, seq, ev));
+                }
             }
-            if sched.stop {
+            if stop {
+                debug_assert!(inline.is_none(), "fast path is skipped on stop");
                 return StopCondition::Requested;
             }
         }
@@ -466,6 +522,50 @@ mod tests {
         assert_eq!(outer.load(Ordering::Relaxed), 2);
         assert_eq!(inner.load(Ordering::Relaxed), 1);
         assert!(current_event_sink().is_none());
+    }
+
+    #[test]
+    fn past_horizon_does_not_rewind_the_clock() {
+        // Regression: `run_until` with a horizon earlier than `now` used to
+        // set `self.now = horizon`, rewinding the virtual clock.
+        let mut sim = Simulator::new();
+        sim.schedule(SimTime::from_nanos(100), Ev::Tag(1));
+        sim.schedule(SimTime::from_nanos(200), Ev::Tag(2));
+        let mut r = Recorder::new();
+        let st = sim.run_until(&mut r, SimTime::from_nanos(150), u64::MAX);
+        assert_eq!(st, StopCondition::HorizonReached);
+        assert_eq!(sim.now(), SimTime::from_nanos(150));
+        // Back-to-back run with a *smaller* second horizon: nothing fires
+        // and the clock stays where it was.
+        let st = sim.run_until(&mut r, SimTime::from_nanos(40), u64::MAX);
+        assert_eq!(st, StopCondition::HorizonReached);
+        assert_eq!(sim.now(), SimTime::from_nanos(150));
+        assert_eq!(sim.pending(), 1);
+        // Same with an empty queue.
+        let st = sim.run_until(&mut r, SimTime::MAX, u64::MAX);
+        assert_eq!(st, StopCondition::QueueEmpty);
+        assert_eq!(sim.now(), SimTime::from_nanos(200));
+        let st = sim.run_until(&mut r, SimTime::from_nanos(10), u64::MAX);
+        assert_eq!(st, StopCondition::QueueEmpty);
+        assert_eq!(sim.now(), SimTime::from_nanos(200));
+        assert_eq!(r.order, vec![(100, 1), (200, 2)]);
+    }
+
+    #[test]
+    fn budget_stop_preserves_inline_chain_event() {
+        // The chain fast path must flush its held event back into the queue
+        // when the budget runs out, so resuming continues the chain.
+        let mut sim = Simulator::new();
+        sim.schedule(SimTime::ZERO, Ev::Tag(0));
+        let mut r = Recorder::new();
+        r.chain = 9;
+        let st = sim.run_until(&mut r, SimTime::MAX, 4);
+        assert_eq!(st, StopCondition::EventBudgetExhausted);
+        assert_eq!(sim.pending(), 1);
+        let st = sim.run(&mut r);
+        assert_eq!(st, StopCondition::QueueEmpty);
+        assert_eq!(r.order.len(), 10);
+        assert_eq!(sim.now(), SimTime::from_nanos(90));
     }
 
     #[test]

@@ -4,7 +4,9 @@
 //! replays many generated cases from a fixed seed, keeping runs
 //! reproducible bit-for-bit.
 
-use popcorn_sim::{Handler, Histogram, Scheduler, SimRng, SimTime, Simulator};
+use popcorn_sim::{
+    CalendarQueue, Handler, Histogram, Scheduler, SimRng, SimTime, Simulator, StopCondition,
+};
 
 #[derive(Debug)]
 struct Tagged {
@@ -136,6 +138,261 @@ fn rng_range_is_roughly_uniform() {
                 "seed {seed:#x} bucket {i} share {share}"
             );
         }
+    }
+}
+
+/// Naive sorted-`Vec` priority queue: the test-only oracle the calendar
+/// queue is differential-tested against. Everything is kept sorted by
+/// `(at, seq)` and popped from the front — obviously correct, gloriously
+/// slow.
+struct ReferenceQueue<E> {
+    items: Vec<(u64, u64, E)>,
+}
+
+impl<E> ReferenceQueue<E> {
+    fn new() -> Self {
+        ReferenceQueue { items: Vec::new() }
+    }
+
+    fn push(&mut self, at: u64, seq: u64, event: E) {
+        let idx = self.items.partition_point(|&(a, s, _)| (a, s) <= (at, seq));
+        self.items.insert(idx, (at, seq, event));
+    }
+
+    fn peek(&self) -> Option<(u64, u64)> {
+        self.items.first().map(|&(a, s, _)| (a, s))
+    }
+
+    fn pop(&mut self) -> Option<(u64, u64, E)> {
+        if self.items.is_empty() {
+            None
+        } else {
+            Some(self.items.remove(0))
+        }
+    }
+}
+
+/// The calendar queue agrees op-for-op with the sorted-reference oracle
+/// over randomized push/peek/pop interleavings: same-time bursts (some
+/// larger than the entire ring of buckets), far-future times that route
+/// through the overflow heap, and pushes earlier than everything still
+/// queued (the retreat / head-spill paths).
+#[test]
+fn calendar_queue_matches_sorted_reference() {
+    let mut rng = SimRng::new(0x5EED_0006);
+    for case in 0..256 {
+        let mut real: CalendarQueue<u64> = CalendarQueue::new();
+        let mut oracle: ReferenceQueue<u64> = ReferenceQueue::new();
+        let mut seq = 0u64;
+        let mut push = |real: &mut CalendarQueue<u64>, oracle: &mut ReferenceQueue<u64>, at: u64| {
+            real.push(SimTime::from_nanos(at), seq, seq);
+            oracle.push(at, seq, seq);
+            seq += 1;
+        };
+
+        // A same-time tie group larger than one ring of buckets, every
+        // eighth case: 1300 events at a single instant (the ring has 1024
+        // buckets), so extraction must stay seq-ordered across a group
+        // that dwarfs any single-bucket assumption.
+        if case % 8 == 0 {
+            let at = rng.range_u64(0, 4_096);
+            for _ in 0..1_300 {
+                push(&mut real, &mut oracle, at);
+            }
+        }
+
+        let ops = rng.range_u64(50, 600);
+        let mut burst_at = rng.range_u64(0, 2_048);
+        for _ in 0..ops {
+            match rng.index(8) {
+                // Near-future push (inside the ring window).
+                0 | 1 => {
+                    let at = rng.range_u64(0, 4_096);
+                    push(&mut real, &mut oracle, at);
+                }
+                // Same-time burst: several events at one sticky instant.
+                2 => {
+                    for _ in 0..rng.range_u64(2, 40) {
+                        push(&mut real, &mut oracle, burst_at);
+                    }
+                    if rng.index(4) == 0 {
+                        burst_at = rng.range_u64(0, 8_192);
+                    }
+                }
+                // Far-future push (beyond the 8192 ns ring window).
+                3 => {
+                    let at = rng.range_u64(8_192, 100_000);
+                    push(&mut real, &mut oracle, at);
+                }
+                // Push earlier than the current minimum (retreat/spill).
+                4 => {
+                    let at = oracle
+                        .peek()
+                        .map(|(a, _)| a.saturating_sub(rng.range_u64(1, 512)))
+                        .unwrap_or(0);
+                    push(&mut real, &mut oracle, at);
+                }
+                // Pop.
+                5 | 6 => {
+                    let got = real.pop().map(|(a, s, e)| (a.as_nanos(), s, e));
+                    assert_eq!(got, oracle.pop(), "pop diverged (case {case})");
+                }
+                // Peek (non-destructive).
+                _ => {
+                    assert_eq!(real.peek().map(|(a, s)| (a.as_nanos(), s)), oracle.peek());
+                    assert_eq!(real.peek().map(|(a, s)| (a.as_nanos(), s)), oracle.peek());
+                }
+            }
+        }
+
+        // Drain both to empty; the tails must agree too.
+        loop {
+            let got = real.pop().map(|(a, s, e)| (a.as_nanos(), s, e));
+            let want = oracle.pop();
+            assert_eq!(got, want, "drain diverged (case {case})");
+            if want.is_none() {
+                break;
+            }
+        }
+        assert!(real.is_empty() && real.len() == 0);
+    }
+}
+
+/// Chain workload for the engine-level oracle: every event may stage
+/// follow-ups, derived purely from `(case_seed, id, depth)` so the real
+/// engine and the reference executor make identical staging decisions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct Chained {
+    id: u64,
+    depth: u8,
+}
+
+/// Deterministic follow-up schedule for one handled event: up to three
+/// children at delays that exercise `immediately()` chains at one instant,
+/// short hops within a bucket, hops across the ring, and far-future jumps
+/// through the overflow heap.
+fn reactions(case_seed: u64, ev: Chained) -> Vec<(u64, Chained)> {
+    if ev.depth >= 3 {
+        return Vec::new();
+    }
+    let mut r = SimRng::new(
+        case_seed ^ ev.id.wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ ((ev.depth as u64) << 56),
+    );
+    (0..r.index(4))
+        .map(|i| {
+            let delay = match r.index(4) {
+                0 => 0,
+                1 => r.range_u64(1, 16),
+                2 => r.range_u64(16, 4_096),
+                _ => r.range_u64(8_192, 32_768),
+            };
+            let child = Chained {
+                id: ev.id.wrapping_mul(8).wrapping_add(i as u64 + 1),
+                depth: ev.depth + 1,
+            };
+            (delay, child)
+        })
+        .collect()
+}
+
+struct Chainer {
+    case_seed: u64,
+    fired: Vec<(u64, Chained)>,
+}
+
+impl Handler<Chained> for Chainer {
+    fn handle(&mut self, now: SimTime, ev: Chained, sched: &mut Scheduler<Chained>) {
+        self.fired.push((now.as_nanos(), ev));
+        for (delay, child) in reactions(self.case_seed, ev) {
+            if delay == 0 {
+                sched.immediately(child);
+            } else {
+                sched.after(SimTime::from_nanos(delay), child);
+            }
+        }
+    }
+}
+
+/// Executes the same chain workload on the sorted-reference queue alone —
+/// no engine, no fast paths — producing the ground-truth firing order.
+fn reference_run(case_seed: u64, initial: &[(u64, Chained)]) -> Vec<(u64, Chained)> {
+    let mut q = ReferenceQueue::new();
+    let mut seq = 0u64;
+    for &(at, ev) in initial {
+        q.push(at, seq, ev);
+        seq += 1;
+    }
+    let mut fired = Vec::new();
+    while let Some((at, _, ev)) = q.pop() {
+        fired.push((at, ev));
+        for (delay, child) in reactions(case_seed, ev) {
+            q.push(at + delay, seq, child);
+            seq += 1;
+        }
+    }
+    fired
+}
+
+/// The full engine — calendar queue, inline chain fast path, and all —
+/// fires handler-staged chains in exactly the order the sorted-reference
+/// executor predicts, both uninterrupted and when chopped into arbitrary
+/// event-budget slices that land mid-tie-group.
+#[test]
+fn engine_matches_reference_executor_on_staged_chains() {
+    let mut rng = SimRng::new(0x5EED_0007);
+    for case in 0..256u64 {
+        let case_seed = rng.next_u64();
+        // Initial schedule: random singles plus a same-time burst so that
+        // tie groups are routinely bigger than any budget slice. Case 0
+        // seeds a burst larger than the whole 1024-bucket ring.
+        let mut initial: Vec<(u64, Chained)> = Vec::new();
+        let mut id = 1_000_000;
+        for _ in 0..rng.range_u64(1, 48) {
+            initial.push((rng.range_u64(0, 16_384), Chained { id, depth: 0 }));
+            id += 1;
+        }
+        let burst_at = rng.range_u64(0, 8_192);
+        let burst_len = if case == 0 { 1_300 } else { rng.range_u64(2, 64) };
+        for _ in 0..burst_len {
+            initial.push((burst_at, Chained { id, depth: 0 }));
+            id += 1;
+        }
+
+        let want = reference_run(case_seed, &initial);
+
+        let schedule = |sim: &mut Simulator<Chained>| {
+            for &(at, ev) in &initial {
+                sim.schedule(SimTime::from_nanos(at), ev);
+            }
+        };
+
+        // One uninterrupted run.
+        let mut sim = Simulator::new();
+        schedule(&mut sim);
+        let mut h = Chainer {
+            case_seed,
+            fired: Vec::new(),
+        };
+        sim.run(&mut h);
+        assert_eq!(h.fired, want, "uninterrupted run diverged (case {case})");
+
+        // The same workload chopped into tiny event-budget slices, which
+        // routinely interrupt mid-tie-group (and mid-inline-chain).
+        let mut sim = Simulator::new();
+        schedule(&mut sim);
+        let mut h = Chainer {
+            case_seed,
+            fired: Vec::new(),
+        };
+        loop {
+            let budget = rng.range_u64(1, 20);
+            match sim.run_until(&mut h, SimTime::MAX, budget) {
+                StopCondition::EventBudgetExhausted => continue,
+                StopCondition::QueueEmpty => break,
+                other => panic!("unexpected stop: {other:?} (case {case})"),
+            }
+        }
+        assert_eq!(h.fired, want, "budget-sliced run diverged (case {case})");
     }
 }
 
