@@ -212,7 +212,12 @@ impl MultikernelMachine {
         to: KernelId,
         msg: MkMsg,
     ) {
-        let d = self.fabric.send(at.max(sched.now()), self.kid(from), to, msg);
+        // The multikernel baseline never injects faults, so every send
+        // delivers.
+        let d = self
+            .fabric
+            .send(at.max(sched.now()), self.kid(from), to, msg)
+            .expect_delivered();
         let deliver = d.deliver_at;
         sched.at(deliver, OsEvent::Custom(d));
     }

@@ -43,6 +43,7 @@ fn bench_e1_messaging(c: &mut Criterion) {
             for _ in 0..1_000 {
                 last = fabric
                     .send(SimTime::ZERO, KernelId(0), KernelId(1), Blob(64))
+                    .expect_delivered()
                     .deliver_at;
             }
             black_box(last)

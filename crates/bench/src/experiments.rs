@@ -7,9 +7,11 @@
 use popcorn_core::PopcornParams;
 use popcorn_hw::{CoreId, HwParams, Machine, Topology};
 use popcorn_kernel::osmodel::OsModel;
-use popcorn_kernel::program::{Op, Placement, Program, ProgEnv, Resume, SyscallReq};
+use popcorn_kernel::program::{
+    MigrateTarget, Op, Placement, Program, ProgEnv, Resume, SysResult, SyscallReq,
+};
 use popcorn_kernel::types::VAddr;
-use popcorn_msg::{Fabric, KernelId, MsgParams, Wire};
+use popcorn_msg::{Fabric, FaultPlan, KernelId, MsgParams, Wire};
 use popcorn_sim::SimTime;
 use popcorn_workloads::micro;
 use popcorn_workloads::npb::{self, NpbConfig};
@@ -37,7 +39,14 @@ pub fn e1_messaging() -> Table {
     let mut t = Table::new(
         "E1",
         "inter-kernel message layer: one-way latency and streaming throughput",
-        ["payload_B", "scope", "latency_us", "msgs_per_s", "MB_per_s"],
+        [
+            "payload_B",
+            "scope",
+            "latency_us",
+            "msgs_per_s",
+            "MB_per_s",
+            "queue_delay_us",
+        ],
     );
     let mut points = Vec::new();
     for &(scope, from, to) in &[
@@ -50,23 +59,33 @@ pub fn e1_messaging() -> Table {
     }
     for row in parallel_map(points, |(scope, from, to, size)| {
         let mut fabric = Fabric::new(&machine, locations.clone(), MsgParams::default());
-        let one = fabric.send(SimTime::ZERO, from, to, Blob(size));
+        let one = fabric
+            .send(SimTime::ZERO, from, to, Blob(size))
+            .expect_delivered();
         // Streaming: 10k back-to-back messages on one channel.
         let n = 10_000u64;
         let mut last = SimTime::ZERO;
         let mut fabric2 = Fabric::new(&machine, locations.clone(), MsgParams::default());
         for _ in 0..n {
-            last = fabric2.send(SimTime::ZERO, from, to, Blob(size)).deliver_at;
+            last = fabric2
+                .send(SimTime::ZERO, from, to, Blob(size))
+                .expect_delivered()
+                .deliver_at;
         }
         let secs = last.as_secs_f64();
         let mps = n as f64 / secs;
         let mbps = mps * (size as f64 + 64.0) / 1e6;
+        // Mean time a streamed message spent queued behind its
+        // predecessors (channel serialization), from the per-channel
+        // queue-delay histograms.
+        let qd = fabric2.queue_delay_histogram();
         [
             size.to_string(),
             scope.to_string(),
             us(one.deliver_at.as_nanos() as f64),
             format!("{mps:.0}"),
             format!("{mbps:.0}"),
+            us(qd.mean()),
         ]
     }) {
         t.row(row);
@@ -699,6 +718,199 @@ pub fn e11_npb_mg() -> Table {
     )
 }
 
+/// Migrates around the kernel ring with compute between hops, skipping a
+/// hop when the migration fails with an error (the graceful-abort path a
+/// crashed target forces). Used by the E12 kernel-crash scenario.
+#[derive(Debug)]
+struct RingHopper {
+    hops_left: u32,
+    kernels: u16,
+    compute_ns: u64,
+    migrating: bool,
+    hops_failed: u32,
+}
+
+impl RingHopper {
+    fn new(hops: u32, kernels: u16, compute_ns: u64) -> Self {
+        RingHopper {
+            hops_left: hops,
+            kernels,
+            compute_ns,
+            migrating: false,
+            hops_failed: 0,
+        }
+    }
+}
+
+impl Program for RingHopper {
+    fn step(&mut self, r: Resume, env: &ProgEnv) -> Op {
+        if self.migrating {
+            self.migrating = false;
+            if matches!(r, Resume::Sys(SysResult::Err(_))) {
+                // The target was unreachable; we were revived at the origin.
+                self.hops_failed += 1;
+            }
+            return Op::Compute(self.compute_ns);
+        }
+        if self.hops_left == 0 {
+            return Op::Exit(0);
+        }
+        self.hops_left -= 1;
+        self.migrating = true;
+        let next = KernelId((env.kernel.0 + 1) % self.kernels);
+        Op::Syscall(SyscallReq::Migrate(MigrateTarget::Kernel(next)))
+    }
+}
+
+/// E12 workloads: the E2 migration workload, the E4 page-protocol
+/// workload, and the crash-scenario hopper fleet.
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum E12Workload {
+    Migration,
+    Pages,
+    Hoppers,
+}
+
+/// Runs one E12 cell and reduces it to the table's numeric columns
+/// (clean, completion ms, retransmits, backoff ms, aborts, p99 us).
+fn e12_cell(wk: E12Workload, plan: FaultPlan) -> (bool, f64, f64, f64, f64, f64) {
+    let mut os = popcorn_core::PopcornOs::builder()
+        .topology(Topology::paper_default())
+        .kernels(4)
+        .msg_params(MsgParams {
+            faults: plan,
+            ..MsgParams::default()
+        })
+        .build();
+    match wk {
+        E12Workload::Migration => {
+            os.load(Box::new(micro::MigrationPingPong::new(200)));
+        }
+        E12Workload::Pages => {
+            os.load(Box::new(E4Orchestrator {
+                pages: 16,
+                readers: 2,
+                writer_last: true,
+                state: 0,
+                base: VAddr(0),
+                page: 0,
+                next_reader: 1,
+            }));
+        }
+        E12Workload::Hoppers => {
+            // Four independent single-thread processes hopping the kernel
+            // ring (homes round-robin across kernels); compute keeps them
+            // in flight when the crash lands.
+            for _ in 0..4 {
+                os.load(Box::new(RingHopper::new(24, 4, 200_000)));
+            }
+        }
+    }
+    let r = os.run();
+    let p99_ns = match wk {
+        E12Workload::Migration | E12Workload::Hoppers => {
+            os.stats().migration_back_lat.quantile(0.99)
+        }
+        E12Workload::Pages => os.stats().fault_remote_read_lat.quantile(0.99),
+    };
+    (
+        r.is_clean(),
+        r.finished_at.as_millis_f64(),
+        r.metric("retransmits"),
+        r.metric("retx_backoff_ms"),
+        r.metric("migrations_aborted") + r.metric("ops_failed") + r.metric("fault_kills"),
+        p99_ns as f64 / 1_000.0,
+    )
+}
+
+/// E12 — fault tolerance (extension beyond the paper): reliable delivery
+/// under injected message loss. Sweeps uniform drop probability over the
+/// E2 migration and E4 page-protocol workloads, rides out a scripted
+/// channel blackout, and survives a mid-run kernel crash with migrations
+/// aborting back to their origin.
+pub fn e12_fault_tolerance() -> Table {
+    let mut t = Table::new(
+        "E12",
+        "fault tolerance: completion and recovery overhead under fabric faults",
+        [
+            "workload",
+            "fault",
+            "clean",
+            "completion_ms",
+            "retransmits",
+            "retx_overhead_ms",
+            "aborted",
+            "p99_us",
+            "p99_x",
+        ],
+    );
+    const DROPS: [(f64, &str); 4] = [
+        (0.0, "none"),
+        (0.001, "drop 0.1%"),
+        (0.01, "drop 1%"),
+        (0.1, "drop 10%"),
+    ];
+    let mut cells: Vec<(E12Workload, &str, FaultPlan)> = Vec::new();
+    for wk in [E12Workload::Migration, E12Workload::Pages] {
+        for (i, (p, label)) in DROPS.into_iter().enumerate() {
+            // A distinct seed per rate, or the nested-subset structure of
+            // one shared uniform stream makes low rates drop nothing.
+            let seed = 0xE12 + 0x9E37 * (i as u64 + 1) + 0x5BD1;
+            cells.push((wk, label, FaultPlan::uniform_drop(seed, p)));
+        }
+    }
+    cells.push((
+        E12Workload::Migration,
+        "blackout 0->1, 0.2-1.2ms",
+        FaultPlan::none().with_blackout(
+            KernelId(0),
+            KernelId(1),
+            SimTime::from_micros(200),
+            SimTime::from_micros(1_200),
+        ),
+    ));
+    cells.push((
+        E12Workload::Hoppers,
+        "kernel 3 crash @1ms",
+        FaultPlan::none().with_crash(KernelId(3), SimTime::from_millis(1)),
+    ));
+    let results = parallel_map(cells.clone(), |(wk, _, plan)| e12_cell(wk, plan));
+    // p99 inflation is relative to the same workload's zero-fault row.
+    let baseline_p99 = |wk: E12Workload| {
+        cells
+            .iter()
+            .zip(&results)
+            .find(|((w, label, _), _)| *w == wk && *label == "none")
+            .map(|(_, r)| r.5)
+    };
+    for ((wk, label, _), &(clean, ms, retx, backoff_ms, aborted, p99)) in
+        cells.iter().zip(&results)
+    {
+        let wk_name = match wk {
+            E12Workload::Migration => "migration (E2)",
+            E12Workload::Pages => "pages (E4)",
+            E12Workload::Hoppers => "ring hoppers",
+        };
+        let p99_x = match baseline_p99(*wk) {
+            Some(base) if base > 0.0 => format!("{:.2}", p99 / base),
+            _ => "-".to_string(),
+        };
+        t.row([
+            wk_name.to_string(),
+            label.to_string(),
+            clean.to_string(),
+            format!("{ms:.3}"),
+            format!("{retx:.0}"),
+            format!("{backoff_ms:.3}"),
+            format!("{aborted:.0}"),
+            format!("{p99:.1}"),
+            p99_x,
+        ]);
+    }
+    t.note("expected: every run completes cleanly; retransmit count tracks the drop rate; p99 inflates with loss (a lost message costs at least one backoff); the crash scenario aborts migrations to the dead kernel back to their origin instead of wedging");
+    t
+}
+
 /// Ablation — shadow-task reuse on back-migration.
 pub fn ablate_shadow() -> Table {
     let mut t = Table::new(
@@ -878,6 +1090,7 @@ pub fn all_experiments() -> Vec<Experiment> {
         ("e9", e9_npb_cg),
         ("e10", e10_npb_ft),
         ("e11", e11_npb_mg),
+        ("e12", e12_fault_tolerance),
         ("ablate-shadow", ablate_shadow),
         ("ablate-vma", ablate_vma),
         ("ablate-futex", ablate_futex),

@@ -399,6 +399,6 @@ mod tests {
             horizon: SimTime::from_millis(1),
             ..Rig::small()
         };
-        rig.run(OsKind::Smp, Box::new(Forever));
+        let _ = rig.run(OsKind::Smp, Box::new(Forever));
     }
 }

@@ -28,7 +28,7 @@ use popcorn_kernel::program::{
 };
 use popcorn_kernel::task::BlockReason;
 use popcorn_kernel::types::{Errno, GroupId, PageNo, Tid, VAddr};
-use popcorn_msg::{Delivery, Fabric, KernelId, RpcId, RpcTable};
+use popcorn_msg::{Delivery, Fabric, KernelId, RpcId, RpcTable, SendOutcome};
 use popcorn_sim::{Scheduler, SimTime};
 
 use crate::directory::{DirStep, Grant, PageRequest};
@@ -47,6 +47,8 @@ pub type PopEvent = OsEvent<PopMsg>;
 enum Pending {
     /// Threads waiting for a page grant (joined duplicates included).
     PageWait {
+        group: GroupId,
+        page: PageNo,
         write: bool,
         started: SimTime,
         /// `(tid, needs_write)`; empty for ablation prefetches.
@@ -69,6 +71,51 @@ enum Pending {
 struct InFlight {
     rpc: RpcId,
     write: bool,
+}
+
+/// Sender-side retransmission record for one lost message.
+#[derive(Debug)]
+struct Retx {
+    from: usize,
+    to: KernelId,
+    /// Transmissions attempted so far (all lost).
+    attempts: u32,
+    payload: ProtoMsg,
+}
+
+/// Reliable-delivery state: per-channel sequence numbers on the send side,
+/// duplicate suppression on the receive side, and the retransmit buffer.
+///
+/// Allocated only when the fabric's fault plan is active *and*
+/// [`PopcornParams::reliable_delivery`] is on; zero-fault runs carry no
+/// reliability state, which keeps their results byte-identical.
+#[derive(Debug, Default)]
+struct Reliability {
+    /// Next sequence number per directed channel `(sender ki, receiver)`.
+    next_seq: HashMap<(usize, u16), u64>,
+    /// Highest sequence seen per directed channel `(receiver ki, sender)`.
+    /// Channels are FIFO and retransmissions take *fresh* sequence numbers
+    /// (the receiver never saw the lost original), so arrivals are strictly
+    /// monotone in `seq` and anything at or below the high-water mark is an
+    /// injected duplicate.
+    last_seen: HashMap<(usize, u16), u64>,
+    /// Lost messages awaiting their retransmit timer, by token.
+    retx: HashMap<u64, Retx>,
+    next_token: u64,
+}
+
+impl Reliability {
+    fn alloc_seq(&mut self, from: usize, to: KernelId) -> u64 {
+        let c = self.next_seq.entry((from, to.0)).or_insert(0);
+        *c += 1;
+        *c
+    }
+
+    fn stash(&mut self, r: Retx) -> u64 {
+        self.next_token += 1;
+        self.retx.insert(self.next_token, r);
+        self.next_token
+    }
 }
 
 /// A serial service point at a kernel (protocol handler occupancy).
@@ -116,6 +163,15 @@ pub struct PopcornMachine {
     sync_home: HashMap<(GroupId, u64), KernelId>,
     /// Rotating tie-breaker for Auto placement across kernels.
     auto_cursor: usize,
+    /// Reliable-delivery state; `None` unless fault injection is active
+    /// and `reliable_delivery` is on.
+    reliability: Option<Reliability>,
+    /// Virtual time of the last event that did real protocol or execution
+    /// work. RPC-deadline timers that find their request already completed
+    /// (the overwhelmingly common case) do not count, so faulty runs can
+    /// report when the workload actually finished rather than when the
+    /// last moot deadline drained from the queue.
+    last_activity: SimTime,
     /// Protocol statistics.
     pub stats: PopStats,
 }
@@ -133,6 +189,8 @@ impl PopcornMachine {
         let zone_locks = (0..n)
             .map(|_| LockSite::new("zone_lock", machine.params()))
             .collect();
+        let reliability = (fabric.faults_active() && params.reliable_delivery)
+            .then(Reliability::default);
         PopcornMachine {
             kernels,
             fabric,
@@ -147,8 +205,19 @@ impl PopcornMachine {
             zone_locks,
             sync_home: HashMap::new(),
             auto_cursor: 0,
+            reliability,
+            last_activity: SimTime::ZERO,
             stats: PopStats::default(),
         }
+    }
+
+    /// Virtual time of the last event that did real work (see the field).
+    pub(crate) fn last_activity(&self) -> SimTime {
+        self.last_activity
+    }
+
+    fn note_activity(&mut self, at: SimTime) {
+        self.last_activity = self.last_activity.max(at);
     }
 
     fn kid(&self, ki: usize) -> KernelId {
@@ -193,9 +262,277 @@ impl PopcornMachine {
         to: KernelId,
         msg: ProtoMsg,
     ) {
-        let d = self.fabric.send(at.max(sched.now()), self.kid(from), to, msg);
-        let deliver = d.deliver_at;
-        sched.at(deliver, OsEvent::Custom(d));
+        let at = at.max(sched.now());
+        if self.reliability.is_some() {
+            self.send_sequenced(sched, at, from, to, msg, 1);
+            return;
+        }
+        match self.fabric.send(at, self.kid(from), to, msg) {
+            SendOutcome::Delivered {
+                delivery,
+                duplicate_at,
+            } => self.schedule_delivery(sched, delivery, duplicate_at),
+            SendOutcome::Dropped { .. } => {
+                // Faults active but the reliability layer is off: raw loss.
+                self.stats.msgs_lost_raw.incr();
+            }
+        }
+    }
+
+    /// Sends under the reliability layer: the message travels inside a
+    /// [`ProtoMsg::Seq`] envelope with a fresh per-channel sequence number.
+    /// If the fabric reports the transmission lost, the payload is buffered
+    /// and a backoff retransmit timer scheduled; once `retx_max_attempts`
+    /// transmissions have all been lost the sender gives up and fails the
+    /// operation cleanly ([`PopcornMachine::fail_undeliverable`]).
+    ///
+    /// `attempt` is this transmission's 1-based ordinal.
+    fn send_sequenced(
+        &mut self,
+        sched: &mut Scheduler<PopEvent>,
+        at: SimTime,
+        from: usize,
+        to: KernelId,
+        msg: ProtoMsg,
+        attempt: u32,
+    ) {
+        let seq = self
+            .reliability
+            .as_mut()
+            .expect("sequenced send without reliability state")
+            .alloc_seq(from, to);
+        let wrapped = ProtoMsg::Seq {
+            seq,
+            inner: Box::new(msg),
+        };
+        match self.fabric.send(at, self.kid(from), to, wrapped) {
+            SendOutcome::Delivered {
+                delivery,
+                duplicate_at,
+            } => self.schedule_delivery(sched, delivery, duplicate_at),
+            SendOutcome::Dropped { payload, .. } => {
+                let ProtoMsg::Seq { inner, .. } = payload else {
+                    unreachable!("the fabric returns the payload it was given");
+                };
+                if attempt >= self.params.retx_max_attempts {
+                    self.stats.msgs_abandoned.incr();
+                    self.fail_undeliverable(sched, from, to, *inner, at);
+                    return;
+                }
+                let backoff = SimTime::from_nanos(self.params.retx_backoff_ns(attempt));
+                self.stats.retx_backoff_ns.add(backoff.as_nanos());
+                let token = self
+                    .reliability
+                    .as_mut()
+                    .expect("present above")
+                    .stash(Retx {
+                        from,
+                        to,
+                        attempts: attempt,
+                        payload: *inner,
+                    });
+                self.schedule_self(sched, from, at + backoff, ProtoMsg::RetxTimer { token });
+            }
+        }
+    }
+
+    /// Schedules a fabric delivery — and, when the fault injector produced
+    /// one, its duplicate — as receive events. Program-bearing messages
+    /// cannot be cloned, so their duplicates are silently not materialized
+    /// (see [`ProtoMsg::try_clone`]).
+    fn schedule_delivery(
+        &mut self,
+        sched: &mut Scheduler<PopEvent>,
+        delivery: Delivery<ProtoMsg>,
+        duplicate_at: Option<SimTime>,
+    ) {
+        if let Some(dup_at) = duplicate_at {
+            if let Some(copy) = delivery.payload.try_clone() {
+                sched.at(
+                    dup_at,
+                    OsEvent::Custom(Delivery {
+                        from: delivery.from,
+                        to: delivery.to,
+                        deliver_at: dup_at,
+                        send_busy: delivery.send_busy,
+                        payload: copy,
+                    }),
+                );
+            }
+        }
+        sched.at(delivery.deliver_at, OsEvent::Custom(delivery));
+    }
+
+    /// Schedules a kernel-local timer as a self-addressed event; it never
+    /// touches the fabric (no cost, no fault exposure).
+    fn schedule_self(
+        &self,
+        sched: &mut Scheduler<PopEvent>,
+        ki: usize,
+        at: SimTime,
+        payload: ProtoMsg,
+    ) {
+        sched.at(
+            at,
+            OsEvent::Custom(Delivery {
+                from: self.kid(ki),
+                to: self.kid(ki),
+                deliver_at: at,
+                send_busy: SimTime::ZERO,
+                payload,
+            }),
+        );
+    }
+
+    /// Registers a pending RPC. Under active fault injection a response
+    /// deadline is attached and a timeout event scheduled, so a lost
+    /// conversation fails its caller cleanly instead of wedging it.
+    fn register_rpc(
+        &mut self,
+        sched: &mut Scheduler<PopEvent>,
+        ki: usize,
+        pending: Pending,
+        at: SimTime,
+    ) -> RpcId {
+        if self.reliability.is_none() {
+            return self.rpcs[ki].register(pending);
+        }
+        let deadline = at + SimTime::from_nanos(self.params.rpc_deadline_ns);
+        let rpc = self.rpcs[ki].register_with_deadline(pending, deadline);
+        self.schedule_self(sched, ki, deadline, ProtoMsg::RpcDeadline { rpc });
+        rpc
+    }
+
+    /// Fails a request that will never complete (deadline expiry or
+    /// abandoned after retransmit exhaustion): callers on paths with an
+    /// error return get `EIO`; fault paths with no error return are killed.
+    fn fail_pending(
+        &mut self,
+        sched: &mut Scheduler<PopEvent>,
+        ki: usize,
+        rpc: RpcId,
+        pending: Pending,
+        at: SimTime,
+    ) {
+        match pending {
+            Pending::PageWait {
+                group,
+                page,
+                waiters,
+                ..
+            } => {
+                if let Some(inf) = self.inflight[ki].get(&(group, page)) {
+                    if inf.rpc == rpc {
+                        self.inflight[ki].remove(&(group, page));
+                    }
+                }
+                for (tid, _) in waiters {
+                    self.fail_task(sched, ki, tid, at);
+                }
+            }
+            Pending::VmaFetch { tid, .. } | Pending::Rmw { tid } => {
+                self.fail_task(sched, ki, tid, at);
+            }
+            Pending::VmaOp { tid }
+            | Pending::Futex { tid }
+            | Pending::CloneWait { tid, .. } => {
+                self.stats.ops_failed.incr();
+                self.wake_with(sched, ki, tid, SysResult::Err(Errno::Io), at);
+            }
+        }
+    }
+
+    /// Kills a task that cannot make progress after an unrecoverable
+    /// message loss on a path with no error return (page faults, sync
+    /// words). Exit code 135 = 128+SIGBUS, the hardware-error death a real
+    /// kernel delivers when backing memory goes away.
+    fn fail_task(&mut self, sched: &mut Scheduler<PopEvent>, ki: usize, tid: Tid, at: SimTime) {
+        if !self.task_alive(ki, tid) {
+            return;
+        }
+        let group = self.group_of(ki, tid);
+        self.stats.fault_kills.incr();
+        if let Some(core) = self.kernels[ki].kill_task(tid, 135, at) {
+            self.kick(sched, ki, core, at);
+        }
+        self.note_task_exited(sched, ki, group, tid, at);
+    }
+
+    /// Sender-side failure handling once every transmission attempt of a
+    /// message has been lost. The abandoned payload is back in the
+    /// sender's hands, so whatever local state expected the send to
+    /// succeed is unwound here; remote kernels are never touched (their
+    /// blocked parties are covered by their own RPC deadlines).
+    fn fail_undeliverable(
+        &mut self,
+        sched: &mut Scheduler<PopEvent>,
+        from: usize,
+        to: KernelId,
+        msg: ProtoMsg,
+        at: SimTime,
+    ) {
+        match msg {
+            ProtoMsg::TaskMigrate(m) => {
+                let TaskMigrateMsg {
+                    tid,
+                    group,
+                    program,
+                    ctx,
+                    stats,
+                    ..
+                } = *m;
+                self.stats.migrations_aborted.incr();
+                // The shadow left by `extract_for_migration` is revived in
+                // place: the thread resumes on its origin kernel, its
+                // migrate syscall returning EIO.
+                let shadow_ok = self.kernels[from].has_mm(group)
+                    && self.kernels[from].task(tid).is_some_and(|t| t.is_shadow());
+                if !shadow_ok {
+                    return; // the group died while the migration was in flight
+                }
+                let (core, _back) =
+                    self.kernels[from].attach_migrated(tid, group, program, ctx, stats, at);
+                if let Some(task) = self.kernels[from].task_mut(tid) {
+                    task.resume = Resume::Sys(SysResult::Err(Errno::Io));
+                }
+                let ready = at + SimTime::from_nanos(self.params.migration_revive_ns);
+                self.kick(sched, from, core, ready);
+            }
+            // Requests: the sender is the origin, so its own pending state
+            // is failed directly (faster than waiting for the deadline).
+            ProtoMsg::CloneReq { rpc, .. }
+            | ProtoMsg::VmaOpReq { rpc, .. }
+            | ProtoMsg::VmaFetchReq { rpc, .. }
+            | ProtoMsg::PageReq { rpc, .. }
+            | ProtoMsg::FutexReq { rpc, .. }
+            | ProtoMsg::RmwReq { rpc, .. } => {
+                if let Some(pending) = self.rpcs[from].complete(rpc) {
+                    self.fail_pending(sched, from, rpc, pending, at);
+                }
+            }
+            // The home gives up on a requester it cannot reach: unblock the
+            // directory so other kernels can keep using the page (the
+            // requester's own deadline cleans up its side).
+            ProtoMsg::PageGrant { group, page, .. } => {
+                self.page_done_at_home(sched, group, page, at);
+            }
+            // An unmap barrier update to an unreachable replica: treat it
+            // as acknowledged so the unmap completes for everyone else.
+            ProtoMsg::VmaUpdate {
+                group,
+                ack: Some(token),
+                ..
+            } => {
+                if let Some(h) = self.groups.get_mut(&group) {
+                    if let Some((rpc, origin)) = h.unmap_acked(token, to) {
+                        self.finish_vma_op(sched, group, rpc, origin, Ok(0), at);
+                    }
+                }
+            }
+            // Responses and one-way notifications: nothing to unwind at the
+            // sender; any blocked remote party is covered by its deadline.
+            _ => {}
+        }
     }
 
     fn kick(&self, sched: &mut Scheduler<PopEvent>, ki: usize, core: CoreId, at: SimTime) {
@@ -269,11 +606,18 @@ impl PopcornMachine {
         write: bool,
         at: SimTime,
     ) -> RpcId {
-        let rpc = self.rpcs[ki].register(Pending::PageWait {
-            write,
-            started: at,
-            waiters: vec![(tid, write)],
-        });
+        let rpc = self.register_rpc(
+            sched,
+            ki,
+            Pending::PageWait {
+                group,
+                page,
+                write,
+                started: at,
+                waiters: vec![(tid, write)],
+            },
+            at,
+        );
         self.inflight[ki].insert((group, page), InFlight { rpc, write });
         let core = self.kernels[ki].block_current(tid, BlockReason::Remote("page"), at);
         self.kick(sched, ki, core, at);
@@ -935,6 +1279,7 @@ impl OsMachine for PopcornMachine {
         req: SyscallReq,
         at: SimTime,
     ) {
+        self.note_activity(at);
         let me = self.kid(ki);
         let group = self.group_of(ki, tid);
         let home = group.home();
@@ -1011,7 +1356,7 @@ impl OsMachine for PopcornMachine {
                     }
                 } else {
                     self.stats.futex_remote.incr();
-                    let rpc = self.rpcs[ki].register(Pending::Futex { tid });
+                    let rpc = self.register_rpc(sched, ki, Pending::Futex { tid }, at);
                     let reason = match op {
                         FutexOp::Wait { uaddr, .. } => BlockReason::Futex(uaddr),
                         FutexOp::Wake { .. } => BlockReason::Remote("futex"),
@@ -1070,7 +1415,8 @@ impl OsMachine for PopcornMachine {
                     }
                 } else {
                     self.stats.clone_remote.incr();
-                    let rpc = self.rpcs[ki].register(Pending::CloneWait { tid, started: at });
+                    let rpc =
+                        self.register_rpc(sched, ki, Pending::CloneWait { tid, started: at }, at);
                     let c = self.kernels[ki].block_current(tid, BlockReason::Remote("clone"), at);
                     self.kick(sched, ki, c, at);
                     let target = self.kid(target_ki);
@@ -1158,6 +1504,7 @@ impl OsMachine for PopcornMachine {
         op: RmwOp,
         at: SimTime,
     ) {
+        self.note_activity(at);
         let me = self.kid(ki);
         let group = self.group_of(ki, tid);
         let home = self.sync_word_home(group, addr, me);
@@ -1184,7 +1531,7 @@ impl OsMachine for PopcornMachine {
             self.kick(sched, ki, core, done);
         } else {
             self.stats.rmw_remote.incr();
-            let rpc = self.rpcs[ki].register(Pending::Rmw { tid });
+            let rpc = self.register_rpc(sched, ki, Pending::Rmw { tid }, at);
             let c = self.kernels[ki].block_current(tid, BlockReason::Remote("rmw"), at);
             self.kick(sched, ki, c, at);
             self.send(
@@ -1214,6 +1561,7 @@ impl OsMachine for PopcornMachine {
         no_vma: bool,
         at: SimTime,
     ) {
+        self.note_activity(at);
         let me = self.kid(ki);
         let group = self.group_of(ki, tid);
         let home = group.home();
@@ -1225,7 +1573,7 @@ impl OsMachine for PopcornMachine {
                 self.note_task_exited(sched, ki, group, tid, at);
             } else {
                 self.stats.vma_fetches.incr();
-                let rpc = self.rpcs[ki].register(Pending::VmaFetch { tid, group });
+                let rpc = self.register_rpc(sched, ki, Pending::VmaFetch { tid, group }, at);
                 let c = self.kernels[ki].block_current(tid, BlockReason::Remote("vma"), at);
                 self.kick(sched, ki, c, at);
                 self.send(
@@ -1266,11 +1614,18 @@ impl OsMachine for PopcornMachine {
                 self.servers.entry(group).or_default().page.serialize(at, dir_cost)
             };
             // Probe without registering: first-touch/upgrade are inline.
-            let rpc = self.rpcs[ki].register(Pending::PageWait {
-                write,
-                started: at,
-                waiters: vec![(tid, write)],
-            });
+            let rpc = self.register_rpc(
+                sched,
+                ki,
+                Pending::PageWait {
+                    group,
+                    page,
+                    write,
+                    started: at,
+                    waiters: vec![(tid, write)],
+                },
+                at,
+            );
             let step = match self.groups.get_mut(&group) {
                 Some(h) => h.dir.request(page, PageRequest { rpc, origin: me, write }),
                 None => {
@@ -1338,6 +1693,7 @@ impl OsMachine for PopcornMachine {
         _code: i32,
         at: SimTime,
     ) {
+        self.note_activity(at);
         let group = self.group_of(ki, tid);
         self.note_task_exited(sched, ki, group, tid, at);
     }
@@ -1347,6 +1703,84 @@ impl OsMachine for PopcornMachine {
         let to = msg.to;
         let ki = self.ki(to);
         match msg.payload {
+            // --- Reliability layer (self-addressed timers + envelope) ---
+            ProtoMsg::RetxTimer { token } => {
+                let Some(r) = self
+                    .reliability
+                    .as_mut()
+                    .and_then(|rel| rel.retx.remove(&token))
+                else {
+                    return;
+                };
+                self.note_activity(now);
+                self.stats.retransmits.incr();
+                self.send_sequenced(sched, now, r.from, r.to, r.payload, r.attempts + 1);
+            }
+            ProtoMsg::RpcDeadline { rpc } => {
+                // Only fires for requests still pending at their deadline;
+                // `complete` is None when the response arrived in time (the
+                // moot timer then also doesn't count as activity).
+                if let Some(pending) = self.rpcs[ki].complete(rpc) {
+                    self.note_activity(now);
+                    self.stats.rpc_timeouts.incr();
+                    self.fail_pending(sched, ki, rpc, pending, now);
+                }
+            }
+            // Channel acks model the reliability layer's wire overhead;
+            // the simulated sender observes delivery directly, so nothing
+            // to do on receipt.
+            ProtoMsg::ChanAck { .. } => {}
+            ProtoMsg::Seq { seq, inner } => {
+                let Some(rel) = self.reliability.as_mut() else {
+                    debug_assert!(false, "sequenced message without reliability state");
+                    return;
+                };
+                let last = rel.last_seen.entry((ki, from.0)).or_insert(0);
+                if seq <= *last {
+                    self.stats.dup_suppressed.incr();
+                    return;
+                }
+                *last = seq;
+                self.note_activity(now);
+                // Ack the sequence (unsequenced itself; a lost ack is
+                // harmless — see the ChanAck arm above).
+                self.stats.acks_sent.incr();
+                match self.fabric.send(now, to, from, ProtoMsg::ChanAck { seq }) {
+                    SendOutcome::Delivered {
+                        delivery,
+                        duplicate_at,
+                    } => self.schedule_delivery(sched, delivery, duplicate_at),
+                    SendOutcome::Dropped { .. } => {}
+                }
+                self.handle_proto(sched, from, to, ki, *inner, now);
+            }
+            payload => {
+                self.note_activity(now);
+                self.handle_proto(sched, from, to, ki, payload, now);
+            }
+        }
+    }
+}
+
+impl PopcornMachine {
+    /// Dispatches one protocol message at its receiving kernel (after the
+    /// reliability layer has unwrapped envelopes and filtered duplicates).
+    fn handle_proto(
+        &mut self,
+        sched: &mut Scheduler<PopEvent>,
+        from: KernelId,
+        to: KernelId,
+        ki: usize,
+        payload: ProtoMsg,
+        now: SimTime,
+    ) {
+        match payload {
+            ProtoMsg::Seq { .. }
+            | ProtoMsg::ChanAck { .. }
+            | ProtoMsg::RetxTimer { .. }
+            | ProtoMsg::RpcDeadline { .. } => {
+                unreachable!("reliability-layer messages are consumed before dispatch")
+            }
             ProtoMsg::TaskMigrate(m) => {
                 let TaskMigrateMsg {
                     tid,
@@ -1763,7 +2197,7 @@ impl PopcornMachine {
     ) {
         let me = self.kid(ki);
         let home = group.home();
-        let rpc = self.rpcs[ki].register(Pending::VmaOp { tid });
+        let rpc = self.register_rpc(sched, ki, Pending::VmaOp { tid }, at);
         let c = self.kernels[ki].block_current(tid, BlockReason::Remote("vma"), at);
         self.kick(sched, ki, c, at);
         if me == home {

@@ -196,10 +196,27 @@ impl OsModel for PopcornOs {
             "msg_latency_us_mean".into(),
             self.machine.fabric().latency_histogram().mean() / 1_000.0,
         );
+        if self.machine.fabric().faults_active() {
+            let fc = self.machine.fabric().fault_counters();
+            metrics.insert("drops_injected".into(), fc.drops as f64);
+            metrics.insert("dups_injected".into(), fc.dups as f64);
+            metrics.insert("delays_injected".into(), fc.delays as f64);
+            metrics.insert("blackout_drops".into(), fc.blackout_drops as f64);
+            metrics.insert("crash_drops".into(), fc.crash_drops as f64);
+        }
         let exited: u64 = kernels.iter().map(|k| k.stats.exited.get()).sum();
+        // Under fault injection, moot RPC-deadline timers can trail the real
+        // work by up to `rpc_deadline_ns`; report when the workload actually
+        // finished. Fault-free runs keep the raw clock (byte-identical to a
+        // build without the reliability layer).
+        let finished_at = if self.machine.fabric().faults_active() {
+            self.machine.last_activity()
+        } else {
+            self.sim.now()
+        };
         RunReport {
             os: self.name(),
-            finished_at: self.sim.now(),
+            finished_at,
             exited_tasks: exited,
             stuck_tasks: osmodel::stuck_tasks(kernels),
             events: self.sim.events_processed(),

@@ -41,6 +41,24 @@ pub struct PopcornParams {
     /// Ablation: push every resident page of the address space with the
     /// migrating thread (`false` = the paper's on-demand page retrieval).
     pub eager_page_replication: bool,
+    /// Reliable delivery over a faulty fabric: sequence numbers, duplicate
+    /// suppression, retransmission with backoff, and RPC deadlines. Only
+    /// engaged when the fabric's [`popcorn_msg::FaultPlan`] is active —
+    /// with no faults the send path is byte-identical with this on or off.
+    /// `false` exposes raw loss (used to demonstrate stuck tasks).
+    pub reliable_delivery: bool,
+    /// First retransmit backoff after a loss.
+    pub retx_base_ns: u64,
+    /// Backoff ceiling (exponential growth is clamped here).
+    pub retx_cap_ns: u64,
+    /// Total transmission attempts (first send + retransmits) before the
+    /// sender gives up and fails the operation.
+    pub retx_max_attempts: u32,
+    /// Response deadline for RPCs issued while faults are active; an
+    /// expired request completes with `EIO` instead of wedging its caller.
+    /// Must comfortably exceed the worst-case retransmit chain
+    /// (`Σ min(retx_base·2ⁱ, retx_cap)` plus service and response time).
+    pub rpc_deadline_ns: u64,
 }
 
 impl Default for PopcornParams {
@@ -60,6 +78,11 @@ impl Default for PopcornParams {
             sync_first_touch_homing: false,
             eager_vma_replication: false,
             eager_page_replication: false,
+            reliable_delivery: true,
+            retx_base_ns: 50_000,
+            retx_cap_ns: 2_000_000,
+            retx_max_attempts: 10,
+            rpc_deadline_ns: 100_000_000,
         }
     }
 }
@@ -78,7 +101,42 @@ impl PopcornParams {
                     .into(),
             );
         }
+        if self.retx_max_attempts == 0 {
+            return Err("retx_max_attempts must be at least 1 (the first send)".into());
+        }
+        if self.retx_base_ns == 0 || self.retx_cap_ns < self.retx_base_ns {
+            return Err("retransmit backoff needs 0 < retx_base_ns <= retx_cap_ns".into());
+        }
+        if self.rpc_deadline_ns == 0 {
+            return Err("rpc_deadline_ns must be non-zero".into());
+        }
+        // The deadline exists to catch *unrecoverable* loss; if a healthy
+        // retransmit chain can outlive it, transient faults get misreported
+        // as failures.
+        let worst_chain: u64 = (1..=self.retx_max_attempts)
+            .map(|a| self.retx_backoff_ns(a))
+            .sum();
+        if self.rpc_deadline_ns < 2 * worst_chain {
+            return Err(format!(
+                "rpc_deadline_ns ({}) must be at least twice the worst-case \
+                 retransmit chain ({worst_chain} ns) so transient loss is not \
+                 reported as failure",
+                self.rpc_deadline_ns
+            ));
+        }
         Ok(())
+    }
+
+    /// Backoff before retransmit number `attempt` (1-based: the delay
+    /// scheduled after the `attempt`-th failed transmission).
+    pub fn retx_backoff_ns(&self, attempt: u32) -> u64 {
+        let exp = attempt.saturating_sub(1);
+        // `<<` drops overflowing bits silently (and panics past 63 in
+        // debug), so saturate once the doubling leaves the u64 range.
+        if exp >= self.retx_base_ns.leading_zeros() {
+            return self.retx_cap_ns;
+        }
+        (self.retx_base_ns << exp).min(self.retx_cap_ns)
     }
 }
 
@@ -105,5 +163,34 @@ mod tests {
             ..PopcornParams::default()
         };
         assert_eq!(ok.validate(), Ok(()));
+    }
+
+    #[test]
+    fn backoff_grows_exponentially_to_the_cap() {
+        let p = PopcornParams::default();
+        assert_eq!(p.retx_backoff_ns(1), 50_000);
+        assert_eq!(p.retx_backoff_ns(2), 100_000);
+        assert_eq!(p.retx_backoff_ns(5), 800_000);
+        assert_eq!(p.retx_backoff_ns(7), 2_000_000); // clamped
+        assert_eq!(p.retx_backoff_ns(63), 2_000_000);
+    }
+
+    #[test]
+    fn bad_reliability_knobs_rejected() {
+        let p = PopcornParams {
+            retx_max_attempts: 0,
+            ..PopcornParams::default()
+        };
+        assert!(p.validate().is_err());
+        let p = PopcornParams {
+            retx_cap_ns: 10,
+            ..PopcornParams::default()
+        };
+        assert!(p.validate().is_err());
+        let p = PopcornParams {
+            rpc_deadline_ns: 1_000, // shorter than the retransmit chain
+            ..PopcornParams::default()
+        };
+        assert!(p.validate().is_err());
     }
 }

@@ -51,6 +51,30 @@ pub struct PopStats {
     pub vma_remote: Counter,
     /// On-demand VMA retrievals.
     pub vma_fetches: Counter,
+
+    // --- Reliability layer (only non-zero when fault injection is on) ---
+    /// Messages retransmitted after an injected loss.
+    pub retransmits: Counter,
+    /// Total virtual time spent waiting in retransmit backoff.
+    pub retx_backoff_ns: Counter,
+    /// Messages abandoned after exhausting every transmission attempt.
+    pub msgs_abandoned: Counter,
+    /// Messages lost with the reliability layer disabled (raw loss).
+    pub msgs_lost_raw: Counter,
+    /// Injected duplicates suppressed by sequence-number checks.
+    pub dup_suppressed: Counter,
+    /// Channel-level acknowledgements sent for sequenced messages.
+    pub acks_sent: Counter,
+    /// RPCs failed by their response deadline.
+    pub rpc_timeouts: Counter,
+    /// Migrations aborted back to the origin kernel (thread resumes there
+    /// with `EIO`).
+    pub migrations_aborted: Counter,
+    /// Remote operations completed with `EIO` instead of wedging.
+    pub ops_failed: Counter,
+    /// Tasks killed because an unrecoverable fault hit a path with no
+    /// error return (page faults, sync words).
+    pub fault_kills: Counter,
 }
 
 impl PopStats {
@@ -103,6 +127,22 @@ impl PopStats {
         m.insert("vma_local".into(), self.vma_local.get() as f64);
         m.insert("vma_remote".into(), self.vma_remote.get() as f64);
         m.insert("vma_fetches".into(), self.vma_fetches.get() as f64);
+        m.insert("retransmits".into(), self.retransmits.get() as f64);
+        m.insert(
+            "retx_backoff_ms".into(),
+            self.retx_backoff_ns.get() as f64 / 1e6,
+        );
+        m.insert("msgs_abandoned".into(), self.msgs_abandoned.get() as f64);
+        m.insert("msgs_lost_raw".into(), self.msgs_lost_raw.get() as f64);
+        m.insert("dup_suppressed".into(), self.dup_suppressed.get() as f64);
+        m.insert("acks_sent".into(), self.acks_sent.get() as f64);
+        m.insert("rpc_timeouts".into(), self.rpc_timeouts.get() as f64);
+        m.insert(
+            "migrations_aborted".into(),
+            self.migrations_aborted.get() as f64,
+        );
+        m.insert("ops_failed".into(), self.ops_failed.get() as f64);
+        m.insert("fault_kills".into(), self.fault_kills.get() as f64);
         m
     }
 }

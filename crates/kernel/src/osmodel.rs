@@ -174,7 +174,12 @@ pub fn dispatch<M: OsMachine>(
 }
 
 /// Outcome of running an OS model.
+///
+/// Marked `#[must_use]`: silently discarding a report usually hides an
+/// unclean run (stuck tasks, budget exhaustion) — check [`RunReport::is_clean`]
+/// or bind it explicitly.
 #[derive(Debug, Clone)]
+#[must_use]
 pub struct RunReport {
     /// Model name (`"popcorn"`, `"smp"`, `"multikernel"`).
     pub os: &'static str,

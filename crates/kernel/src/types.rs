@@ -149,6 +149,9 @@ pub enum Errno {
     NoSys,
     /// Out of memory / address space.
     NoMem,
+    /// I/O error: a remote operation was given up on after the message
+    /// layer exhausted its retries (or its response deadline expired).
+    Io,
 }
 
 impl fmt::Display for Errno {
@@ -160,6 +163,7 @@ impl fmt::Display for Errno {
             Errno::Srch => "ESRCH",
             Errno::NoSys => "ENOSYS",
             Errno::NoMem => "ENOMEM",
+            Errno::Io => "EIO",
         };
         f.write_str(s)
     }

@@ -16,7 +16,9 @@
 //!   (a channel is busy while a message is being written), and delivery
 //!   timestamps the OS model turns into simulation events;
 //! - [`RpcTable`] — request/response correlation for the protocol layers;
-//! - [`MsgParams`] — the calibrated cost constants.
+//! - [`MsgParams`] — the calibrated cost constants;
+//! - [`FaultPlan`] — deterministic fault injection (drop / delay /
+//!   duplicate / blackout / kernel crash); inactive by default.
 //!
 //! # Example
 //!
@@ -33,14 +35,16 @@
 //! let machine = Machine::new(Topology::new(2, 4), HwParams::default());
 //! // Kernel 0 lives on socket 0 (core 0), kernel 1 on socket 1 (core 4).
 //! let mut fabric = Fabric::new(&machine, vec![CoreId(0), CoreId(4)], MsgParams::default());
-//! let d = fabric.send(SimTime::ZERO, KernelId(0), KernelId(1), Ping);
+//! let d = fabric.send(SimTime::ZERO, KernelId(0), KernelId(1), Ping).expect_delivered();
 //! assert!(d.deliver_at > SimTime::ZERO);
 //! ```
 
 pub mod fabric;
+pub mod fault;
 pub mod params;
 pub mod rpc;
 
-pub use fabric::{Delivery, Fabric, KernelId, Wire};
+pub use fabric::{Delivery, Fabric, KernelId, SendOutcome, Wire};
+pub use fault::{Blackout, ChannelFaults, Crash, FaultCounters, FaultPlan};
 pub use params::MsgParams;
 pub use rpc::{RpcId, RpcTable};

@@ -1,5 +1,6 @@
 //! Message-layer cost constants.
 
+use crate::fault::FaultPlan;
 
 /// Calibrated costs of the shared-memory message layer.
 ///
@@ -21,6 +22,10 @@ pub struct MsgParams {
     pub ipi_notify: bool,
     /// Mean polling interval when `ipi_notify` is false.
     pub poll_interval_ns: u64,
+    /// Deterministic fault-injection script. The default
+    /// ([`FaultPlan::none()`]) injects nothing and keeps the send path
+    /// byte-identical to a fabric without fault support.
+    pub faults: FaultPlan,
 }
 
 impl Default for MsgParams {
@@ -31,6 +36,7 @@ impl Default for MsgParams {
             per_line_ns: 18,
             ipi_notify: true,
             poll_interval_ns: 4_000,
+            faults: FaultPlan::none(),
         }
     }
 }
@@ -45,7 +51,7 @@ impl MsgParams {
         if !self.ipi_notify && self.poll_interval_ns == 0 {
             return Err("polling mode requires a non-zero poll interval".into());
         }
-        Ok(())
+        self.faults.validate()
     }
 }
 
@@ -63,6 +69,15 @@ mod tests {
         let p = MsgParams {
             ipi_notify: false,
             poll_interval_ns: 0,
+            ..MsgParams::default()
+        };
+        assert!(p.validate().is_err());
+    }
+
+    #[test]
+    fn invalid_fault_plan_rejected() {
+        let p = MsgParams {
+            faults: FaultPlan::uniform_drop(0, 2.0),
             ..MsgParams::default()
         };
         assert!(p.validate().is_err());

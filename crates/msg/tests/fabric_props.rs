@@ -4,7 +4,7 @@
 //! so no external property-testing framework).
 
 use popcorn_hw::{CoreId, HwParams, Machine, Topology};
-use popcorn_msg::{Fabric, KernelId, MsgParams, Wire};
+use popcorn_msg::{ChannelFaults, Fabric, FaultPlan, KernelId, MsgParams, Wire};
 use popcorn_sim::{SimRng, SimTime};
 
 struct Blob(usize);
@@ -38,12 +38,14 @@ fn per_channel_delivery_is_fifo() {
         let mut last_delivery = SimTime::ZERO;
         for (size, advance) in msgs {
             clock += advance;
-            let d = f.send(
-                SimTime::from_nanos(clock),
-                KernelId(0),
-                KernelId(1),
-                Blob(size),
-            );
+            let d = f
+                .send(
+                    SimTime::from_nanos(clock),
+                    KernelId(0),
+                    KernelId(1),
+                    Blob(size),
+                )
+                .expect_delivered();
             assert!(d.deliver_at >= last_delivery, "FIFO violated");
             assert!(
                 d.deliver_at > SimTime::from_nanos(clock),
@@ -65,9 +67,13 @@ fn latency_is_monotone_in_payload() {
         let b = rng.index(16384);
         let (small, big) = if a <= b { (a, b) } else { (b, a) };
         let mut f1 = fabric(2);
-        let d_small = f1.send(SimTime::ZERO, KernelId(0), KernelId(1), Blob(small));
+        let d_small = f1
+            .send(SimTime::ZERO, KernelId(0), KernelId(1), Blob(small))
+            .expect_delivered();
         let mut f2 = fabric(2);
-        let d_big = f2.send(SimTime::ZERO, KernelId(0), KernelId(1), Blob(big));
+        let d_big = f2
+            .send(SimTime::ZERO, KernelId(0), KernelId(1), Blob(big))
+            .expect_delivered();
         assert!(d_big.deliver_at >= d_small.deliver_at);
     }
 }
@@ -80,11 +86,15 @@ fn channels_are_independent() {
     for _ in 0..256 {
         let mut busy = fabric(4);
         for _ in 0..rng.range_u64(0, 40) {
-            busy.send(SimTime::ZERO, KernelId(0), KernelId(1), Blob(rng.index(4096)));
+            let _ = busy.send(SimTime::ZERO, KernelId(0), KernelId(1), Blob(rng.index(4096)));
         }
-        let probe_busy = busy.send(SimTime::ZERO, KernelId(2), KernelId(3), Blob(64));
+        let probe_busy = busy
+            .send(SimTime::ZERO, KernelId(2), KernelId(3), Blob(64))
+            .expect_delivered();
         let mut idle = fabric(4);
-        let probe_idle = idle.send(SimTime::ZERO, KernelId(2), KernelId(3), Blob(64));
+        let probe_idle = idle
+            .send(SimTime::ZERO, KernelId(2), KernelId(3), Blob(64))
+            .expect_delivered();
         assert_eq!(probe_busy.deliver_at, probe_idle.deliver_at);
     }
 }
@@ -106,11 +116,66 @@ fn stats_account_for_every_send() {
             if from == to {
                 continue;
             }
-            f.send(SimTime::ZERO, KernelId(from), KernelId(to), Blob(32));
+            let _ = f.send(SimTime::ZERO, KernelId(from), KernelId(to), Blob(32));
             expected += 1;
         }
         assert_eq!(f.total_sends(), expected);
         let per_channel: u64 = f.channel_stats().iter().map(|&(_, _, n, _)| n).sum();
         assert_eq!(per_channel, expected);
+    }
+}
+
+/// Under heavy delay/duplication injection, per-channel FIFO ordering and
+/// loss accounting still hold: delivered + lost == sent, and deliveries
+/// (including duplicates) never go backwards in time.
+#[test]
+fn fifo_and_accounting_hold_under_faults() {
+    let mut rng = SimRng::new(0x5EED_3005);
+    for case in 0..64u64 {
+        let params = MsgParams {
+            faults: FaultPlan {
+                seed: 0xFA_0000 + case,
+                uniform: Some(ChannelFaults {
+                    drop_p: 0.2,
+                    dup_p: 0.2,
+                    delay_p: 0.5,
+                    delay_max_ns: 50_000,
+                }),
+                ..FaultPlan::none()
+            },
+            ..MsgParams::default()
+        };
+        let machine = Machine::new(Topology::new(2, 8), HwParams::default());
+        let locs: Vec<CoreId> = (0..2).map(|k| CoreId(k * 2)).collect();
+        let mut f = Fabric::new(&machine, locs, params);
+        let mut clock = 0u64;
+        let mut last_delivery = SimTime::ZERO;
+        let mut delivered = 0u64;
+        for _ in 0..rng.range_u64(1, 80) {
+            clock += rng.range_u64(0, 2_000);
+            match f.send(
+                SimTime::from_nanos(clock),
+                KernelId(0),
+                KernelId(1),
+                Blob(rng.index(4096)),
+            ) {
+                popcorn_msg::SendOutcome::Delivered {
+                    delivery,
+                    duplicate_at,
+                } => {
+                    assert!(delivery.deliver_at >= last_delivery, "FIFO violated");
+                    last_delivery = delivery.deliver_at;
+                    if let Some(dup) = duplicate_at {
+                        assert!(dup >= delivery.deliver_at);
+                        last_delivery = dup;
+                    }
+                    delivered += 1;
+                }
+                popcorn_msg::SendOutcome::Dropped { .. } => {}
+            }
+        }
+        let c = f.fault_counters();
+        assert_eq!(delivered + c.total_lost(), f.total_sends());
+        assert_eq!(f.latency_histogram().count(), delivered);
     }
 }
