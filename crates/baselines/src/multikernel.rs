@@ -28,16 +28,17 @@ use popcorn_hw::{CoreId, HwParams, Machine, Topology};
 use popcorn_kernel::futex::{FutexTable, Waiter};
 use popcorn_kernel::kernel::Kernel;
 use popcorn_kernel::mm::{Mm, PageState, Vma};
-use popcorn_kernel::osmodel::{
-    self, ensure_core_run, OsEvent, OsMachine, OsModel, RunReport,
-};
+use popcorn_kernel::osmodel::{self, ensure_core_run, OsEvent, OsMachine, OsModel, RunReport};
 use popcorn_kernel::params::OsParams;
 use popcorn_kernel::program::{
     FutexOp, MigrateTarget, Placement, Program, Resume, RmwOp, SysResult, SyscallReq,
 };
 use popcorn_kernel::task::BlockReason;
 use popcorn_kernel::types::{Errno, GroupId, PageNo, Tid, VAddr};
-use popcorn_msg::{Delivery, Fabric, KernelId, MsgParams, RpcId, RpcTable, Wire};
+use popcorn_msg::{
+    Delivery, Endpoint, Fabric, KernelId, MsgParams, ReliableFabric, RetxPolicy, RpcId, SendPlan,
+    SeqEnvelope, Wire,
+};
 use popcorn_sim::{Counter, Handler, Scheduler, SimTime, Simulator};
 
 use crate::params::MultikernelParams;
@@ -143,25 +144,45 @@ pub enum MkMsg {
         /// Members the sender already killed.
         killed: u64,
     },
+    /// Reliable-delivery envelope required by the shared endpoint
+    /// substrate ([`SeqEnvelope`]). The baseline runs on a fault-free
+    /// fabric, so the endpoint takes its plain path and never actually
+    /// wraps a message in this.
+    Seq {
+        /// Per-channel sequence number.
+        seq: u64,
+        /// The wrapped payload.
+        inner: Box<MkMsg>,
+    },
 }
 
 impl Wire for MkMsg {
     fn wire_size(&self) -> usize {
         match self {
             MkMsg::SpawnReq { layout, .. } => 48 + 208 + layout.len() * 24,
+            MkMsg::Seq { inner, .. } => 8 + inner.wire_size(),
             _ => 48 + 16,
         }
     }
 }
 
-type MkEvent = OsEvent<Delivery<MkMsg>>;
+impl SeqEnvelope for MkMsg {
+    fn wrap_seq(seq: u64, inner: Self) -> Self {
+        MkMsg::Seq {
+            seq,
+            inner: Box::new(inner),
+        }
+    }
 
-#[derive(Debug)]
-enum Pending {
-    Spawn { tid: Tid },
-    Rmw { tid: Tid },
-    Futex { tid: Tid },
+    fn unwrap_seq(self) -> Result<(u64, Self), Self> {
+        match self {
+            MkMsg::Seq { seq, inner } => Ok((seq, *inner)),
+            other => Err(other),
+        }
+    }
 }
+
+type MkEvent = OsEvent<Delivery<MkMsg>>;
 
 /// Home-kernel group accounting (membership only; no shared memory).
 #[derive(Debug, Default)]
@@ -185,12 +206,16 @@ pub struct MkStats {
 #[derive(Debug)]
 pub struct MultikernelMachine {
     kernels: Vec<Kernel>,
-    fabric: Fabric,
+    /// The shared reliable-endpoint substrate on its plain (fault-free)
+    /// path — the same transport the popcorn model rides.
+    net: ReliableFabric<MkMsg>,
     machine: Machine,
     params: MultikernelParams,
     futex: FutexTable,
     groups: HashMap<GroupId, MkGroup>,
-    rpcs: Vec<RpcTable<Pending>>,
+    /// Per-kernel RPC endpoints. Every pending continuation is just the
+    /// blocked thread, so the continuation type is [`Tid`] directly.
+    rpcs: Vec<Endpoint<Tid>>,
     /// Per-kernel page-allocator locks.
     zone_locks: Vec<popcorn_hw::LockSite>,
     /// Rotating tie-breaker for Auto placement.
@@ -212,14 +237,14 @@ impl MultikernelMachine {
         to: KernelId,
         msg: MkMsg,
     ) {
-        // The multikernel baseline never injects faults, so every send
-        // delivers.
-        let d = self
-            .fabric
-            .send(at.max(sched.now()), self.kid(from), to, msg)
-            .expect_delivered();
-        let deliver = d.deliver_at;
-        sched.at(deliver, OsEvent::Custom(d));
+        // The multikernel baseline never injects faults, so the endpoint
+        // stays on its plain path and every send delivers.
+        match self.net.send(at.max(sched.now()), self.kid(from), to, msg) {
+            SendPlan::Deliver { delivery, .. } => {
+                sched.at(delivery.deliver_at, OsEvent::Custom(delivery));
+            }
+            _ => unreachable!("the multikernel baseline runs on a fault-free fabric"),
+        }
     }
 
     fn kick(&self, sched: &mut Scheduler<MkEvent>, ki: usize, core: CoreId, at: SimTime) {
@@ -296,7 +321,14 @@ impl MultikernelMachine {
         }
     }
 
-    fn note_exit(&mut self, sched: &mut Scheduler<MkEvent>, ki: usize, group: GroupId, tid: Tid, at: SimTime) {
+    fn note_exit(
+        &mut self,
+        sched: &mut Scheduler<MkEvent>,
+        ki: usize,
+        group: GroupId,
+        tid: Tid,
+        at: SimTime,
+    ) {
         let home = group.home();
         if self.kid(ki) == home {
             let done = match self.groups.get_mut(&group) {
@@ -457,7 +489,7 @@ impl OsMachine for MultikernelMachine {
                     }
                 } else {
                     self.stats.remote_service.incr();
-                    let rpc = self.rpcs[ki].register(Pending::Futex { tid });
+                    let rpc = self.rpcs[ki].register(tid);
                     let reason = match op {
                         FutexOp::Wait { uaddr, .. } => BlockReason::Futex(uaddr),
                         FutexOp::Wake { .. } => BlockReason::Remote("futex"),
@@ -510,7 +542,7 @@ impl OsMachine for MultikernelMachine {
                     }
                 } else {
                     self.stats.remote_spawns.incr();
-                    let rpc = self.rpcs[ki].register(Pending::Spawn { tid });
+                    let rpc = self.rpcs[ki].register(tid);
                     let c = self.kernels[ki].block_current(tid, BlockReason::Remote("spawn"), at);
                     self.kick(sched, ki, c, at);
                     let layout = self.kernels[ki].mm(group).vmas();
@@ -613,7 +645,7 @@ impl OsMachine for MultikernelMachine {
             self.kick(sched, ki, core, done);
         } else {
             self.stats.remote_service.incr();
-            let rpc = self.rpcs[ki].register(Pending::Rmw { tid });
+            let rpc = self.rpcs[ki].register(tid);
             let c = self.kernels[ki].block_current(tid, BlockReason::Remote("rmw"), at);
             self.kick(sched, ki, c, at);
             self.send(
@@ -655,7 +687,8 @@ impl OsMachine for MultikernelMachine {
         let zone_hold = SimTime::from_nanos(self.kernels[ki].params().zone_lock_hold_ns);
         let ic = self.machine.interconnect().clone();
         let zone = self.zone_locks[ki].acquire(at, core, zone_hold, &ic);
-        let done = zone.released_at + SimTime::from_nanos(self.kernels[ki].params().fault_service_ns);
+        let done =
+            zone.released_at + SimTime::from_nanos(self.kernels[ki].params().fault_service_ns);
         self.kernels[ki]
             .mm_mut(group)
             .install_zero_page(page, PageState::Exclusive);
@@ -676,7 +709,12 @@ impl OsMachine for MultikernelMachine {
         self.note_exit(sched, ki, group, tid, at);
     }
 
-    fn handle_custom(&mut self, sched: &mut Scheduler<MkEvent>, msg: Delivery<MkMsg>, now: SimTime) {
+    fn handle_custom(
+        &mut self,
+        sched: &mut Scheduler<MkEvent>,
+        msg: Delivery<MkMsg>,
+        now: SimTime,
+    ) {
         let from = msg.from;
         let to = msg.to;
         let ki = to.0 as usize;
@@ -701,7 +739,16 @@ impl OsMachine for MultikernelMachine {
                     );
                 let child_core = self.kernels[ki].spawn(child_tid, group, child, None, done);
                 self.kick(sched, ki, child_core, done);
-                self.send(sched, done, ki, origin, MkMsg::SpawnResp { rpc, tid: child_tid });
+                self.send(
+                    sched,
+                    done,
+                    ki,
+                    origin,
+                    MkMsg::SpawnResp {
+                        rpc,
+                        tid: child_tid,
+                    },
+                );
                 let home = group.home();
                 if to == home {
                     if let Some(g) = self.groups.get_mut(&group) {
@@ -724,7 +771,7 @@ impl OsMachine for MultikernelMachine {
                 }
             }
             MkMsg::SpawnResp { rpc, tid } => {
-                if let Some(Pending::Spawn { tid: parent }) = self.rpcs[ki].complete(rpc) {
+                if let Some(parent) = self.rpcs[ki].complete(rpc) {
                     self.wake_with(sched, ki, parent, SysResult::Val(tid.0 as u64), now);
                 }
             }
@@ -740,7 +787,7 @@ impl OsMachine for MultikernelMachine {
                 self.send(sched, done, ki, origin, MkMsg::RmwResp { rpc, old });
             }
             MkMsg::RmwResp { rpc, old } => {
-                if let Some(Pending::Rmw { tid }) = self.rpcs[ki].complete(rpc) {
+                if let Some(tid) = self.rpcs[ki].complete(rpc) {
                     if let Some(task) = self.kernels[ki].task_mut(tid) {
                         if !task.is_exited() {
                             task.resume = Resume::Value(old);
@@ -765,12 +812,10 @@ impl OsMachine for MultikernelMachine {
                 self.send(sched, done, ki, origin, MkMsg::FutexResp { rpc, result });
             }
             MkMsg::FutexResp { rpc, result } => {
-                if let Some(Pending::Futex { tid }) = self.rpcs[ki].complete(rpc) {
+                if let Some(tid) = self.rpcs[ki].complete(rpc) {
                     match result {
                         None => {} // parked; FutexWakeTask will arrive
-                        Some(Ok(n)) => {
-                            self.wake_with(sched, ki, tid, SysResult::Val(n), now)
-                        }
+                        Some(Ok(n)) => self.wake_with(sched, ki, tid, SysResult::Val(n), now),
                         Some(Err(e)) => self.wake_with(sched, ki, tid, SysResult::Err(e), now),
                     }
                 }
@@ -849,6 +894,9 @@ impl OsMachine for MultikernelMachine {
                 if empty {
                     self.reap(group);
                 }
+            }
+            MkMsg::Seq { .. } => {
+                unreachable!("the fault-free baseline never wraps messages in Seq")
             }
         }
     }
@@ -943,11 +991,18 @@ impl MultikernelOsBuilder {
             })
             .collect();
         let n = kernels.len();
+        // The policy is inert: with a fault-free fabric the endpoint takes
+        // its plain path and never arms a retransmit timer.
+        let policy = RetxPolicy {
+            base_ns: 50_000,
+            cap_ns: 2_000_000,
+            max_attempts: 10,
+        };
         MultikernelOs {
             sim: Simulator::new(),
             machine: MultikernelMachine {
                 kernels,
-                fabric,
+                net: ReliableFabric::new(fabric, policy, false),
                 zone_locks: (0..n)
                     .map(|_| popcorn_hw::LockSite::new("zone_lock", machine.params()))
                     .collect(),
@@ -955,7 +1010,7 @@ impl MultikernelOsBuilder {
                 params: self.mk,
                 futex: FutexTable::new(),
                 groups: HashMap::new(),
-                rpcs: (0..n).map(|_| RpcTable::new()).collect(),
+                rpcs: (0..n).map(|_| Endpoint::new()).collect(),
                 auto_cursor: 0,
                 stats: MkStats::default(),
             },
@@ -1053,8 +1108,16 @@ impl OsModel for MultikernelOs {
             "local_service".into(),
             self.machine.stats.local_service.get() as f64,
         );
-        metrics.insert("messages".into(), self.machine.fabric.total_sends() as f64);
-        let exited: u64 = self.machine.kernels.iter().map(|k| k.stats.exited.get()).sum();
+        metrics.insert(
+            "messages".into(),
+            self.machine.net.fabric().total_sends() as f64,
+        );
+        let exited: u64 = self
+            .machine
+            .kernels
+            .iter()
+            .map(|k| k.stats.exited.get())
+            .sum();
         RunReport {
             os: self.name(),
             finished_at: self.sim.now(),

@@ -1,6 +1,5 @@
 //! Baseline-specific cost parameters.
 
-
 /// SMP-kernel lock-hold times: how long each shared-structure lock is held
 /// per operation. These are what the queueing models turn into waiting
 /// time as core counts grow.

@@ -22,9 +22,7 @@ use popcorn_hw::{CoreId, HwParams, LockSite, Machine, RwLockSite, Topology};
 use popcorn_kernel::futex::{FutexTable, Waiter};
 use popcorn_kernel::kernel::Kernel;
 use popcorn_kernel::mm::{Mm, PageState};
-use popcorn_kernel::osmodel::{
-    self, ensure_core_run, OsEvent, OsMachine, OsModel, RunReport,
-};
+use popcorn_kernel::osmodel::{self, ensure_core_run, OsEvent, OsMachine, OsModel, RunReport};
 use popcorn_kernel::params::OsParams;
 use popcorn_kernel::program::{
     FutexOp, MigrateTarget, Placement, Program, Resume, RmwOp, SysResult, SyscallReq,
@@ -190,7 +188,8 @@ impl OsMachine for SmpMachine {
                 self.kick(sched, core, at);
             }
             SyscallReq::GetTid => {
-                self.kernel().finish_syscall(tid, SysResult::Val(tid.0 as u64), at);
+                self.kernel()
+                    .finish_syscall(tid, SysResult::Val(tid.0 as u64), at);
                 self.kick(sched, core, at);
             }
             SyscallReq::GetKernel => {
@@ -261,13 +260,17 @@ impl OsMachine for SmpMachine {
                 let old = self.kernels[0].mm_mut(group).brk_grow(grow);
                 let base = SimTime::from_nanos(self.kernels[0].params().mmap_base_ns);
                 let done = acq.released_at + base;
-                self.kernel().finish_syscall(tid, SysResult::Val(old.0), done);
+                self.kernel()
+                    .finish_syscall(tid, SysResult::Val(old.0), done);
                 self.kick(sched, core, done);
             }
             SyscallReq::Futex(op) => {
-                let bucket = self.bucket_of(group, match op {
-                    FutexOp::Wait { uaddr, .. } | FutexOp::Wake { uaddr, .. } => uaddr,
-                });
+                let bucket = self.bucket_of(
+                    group,
+                    match op {
+                        FutexOp::Wait { uaddr, .. } | FutexOp::Wake { uaddr, .. } => uaddr,
+                    },
+                );
                 let hold = SimTime::from_nanos(self.params.futex_bucket_hold_ns);
                 let acq = self.futex_buckets[bucket].acquire(at, core, hold, &ic);
                 let base = SimTime::from_nanos(self.kernels[0].params().futex_base_ns);
@@ -280,7 +283,8 @@ impl OsMachine for SmpMachine {
                         };
                         if self.futex.wait_if(group, uaddr, expected, w) {
                             let c =
-                                self.kernel().block_current(tid, BlockReason::Futex(uaddr), done);
+                                self.kernel()
+                                    .block_current(tid, BlockReason::Futex(uaddr), done);
                             self.kick(sched, c, done);
                         } else {
                             self.kernel()
@@ -291,8 +295,7 @@ impl OsMachine for SmpMachine {
                     FutexOp::Wake { uaddr, count } => {
                         let woken = self.futex.wake(group, uaddr, count);
                         let n = woken.len() as u64;
-                        let wakeup =
-                            SimTime::from_nanos(self.kernels[0].params().wakeup_ns);
+                        let wakeup = SimTime::from_nanos(self.kernels[0].params().wakeup_ns);
                         let mut t = done;
                         for w in woken {
                             t += wakeup;
@@ -313,7 +316,9 @@ impl OsMachine for SmpMachine {
                     Placement::Core(c) => Some(c),
                     Placement::Local | Placement::Auto => None,
                 };
-                let child_core = self.kernel().spawn(child_tid, group, child, core_hint, done);
+                let child_core = self
+                    .kernel()
+                    .spawn(child_tid, group, child, core_hint, done);
                 if let Some(g) = self.groups.get_mut(&group) {
                     g.live += 1;
                 }
@@ -565,21 +570,25 @@ impl SmpOs {
             "zone_lock_contention".into(),
             self.machine.zone_lock.contention_ratio(),
         );
-        let (acq, wait_sum, contended): (u64, f64, u64) = self
-            .machine
-            .futex_buckets
-            .iter()
-            .fold((0, 0.0, 0), |(a, w, c), s| {
-                (
-                    a + s.acquires(),
-                    w + s.wait_histogram().mean() * s.acquires() as f64,
-                    c + s.contended(),
-                )
-            });
+        let (acq, wait_sum, contended): (u64, f64, u64) =
+            self.machine
+                .futex_buckets
+                .iter()
+                .fold((0, 0.0, 0), |(a, w, c), s| {
+                    (
+                        a + s.acquires(),
+                        w + s.wait_histogram().mean() * s.acquires() as f64,
+                        c + s.contended(),
+                    )
+                });
         m.insert("futex_bucket_acquires".into(), acq as f64);
         m.insert(
             "futex_bucket_wait_us_mean".into(),
-            if acq == 0 { 0.0 } else { wait_sum / acq as f64 / 1_000.0 },
+            if acq == 0 {
+                0.0
+            } else {
+                wait_sum / acq as f64 / 1_000.0
+            },
         );
         m.insert("futex_bucket_contended".into(), contended as f64);
         let mut mmap_waits = self.machine.retired_mmap.1;
@@ -635,7 +644,12 @@ impl OsModel for SmpOs {
         let stop = self.sim.run_until(&mut self.machine, horizon, event_budget);
         let mut metrics = osmodel::base_metrics(&self.machine.kernels);
         metrics.extend(self.lock_contention_metrics());
-        let exited: u64 = self.machine.kernels.iter().map(|k| k.stats.exited.get()).sum();
+        let exited: u64 = self
+            .machine
+            .kernels
+            .iter()
+            .map(|k| k.stats.exited.get())
+            .sum();
         RunReport {
             os: self.name(),
             finished_at: self.sim.now(),

@@ -4,7 +4,7 @@
 use popcorn_baselines::{MultikernelOs, SmpOs};
 use popcorn_hw::Topology;
 use popcorn_kernel::osmodel::OsModel;
-use popcorn_kernel::program::{Op, Placement, Program, ProgEnv, Resume, SyscallReq};
+use popcorn_kernel::program::{Op, Placement, ProgEnv, Program, Resume, SyscallReq};
 use popcorn_workloads::micro;
 use popcorn_workloads::team::{Team, TeamConfig};
 

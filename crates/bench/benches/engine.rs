@@ -178,7 +178,8 @@ fn bench_lock_sites(c: &mut Criterion) {
             let mut site = RwLockSite::new("bench", &params);
             let mut t = SimTime::ZERO;
             for i in 0..100_000u32 {
-                let a = site.read_acquire(t, CoreId((i % 64) as u16), SimTime::from_nanos(400), &ic);
+                let a =
+                    site.read_acquire(t, CoreId((i % 64) as u16), SimTime::from_nanos(400), &ic);
                 t = a.acquired_at;
             }
             black_box(site.read_acquires())

@@ -89,7 +89,12 @@ fn bench_e3_thread_group(c: &mut Criterion) {
 fn bench_e4_page_protocol(c: &mut Criterion) {
     c.bench_function("e4/page_bounce_8x4x20", |b| {
         let rig = small_rig();
-        b.iter(|| black_box(rig.run(OsKind::Popcorn, micro::page_bounce(8, 4, 20)).finished_at))
+        b.iter(|| {
+            black_box(
+                rig.run(OsKind::Popcorn, micro::page_bounce(8, 4, 20))
+                    .finished_at,
+            )
+        })
     });
 }
 

@@ -120,8 +120,11 @@ fn main() {
 
     let perfs: Vec<ExperimentPerf> = runs.into_iter().map(|(_, p)| p).collect();
     let perf_path = "BENCH_repro.json";
-    std::fs::write(perf_path, perf_json(popcorn_bench::jobs(), total_wall, &perfs))
-        .expect("write perf json");
+    std::fs::write(
+        perf_path,
+        perf_json(popcorn_bench::jobs(), total_wall, &perfs),
+    )
+    .expect("write perf json");
     println!(
         "({} experiments in {:.1}s host time at --jobs {}; self-metrics in {perf_path})",
         perfs.len(),

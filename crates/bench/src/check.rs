@@ -148,7 +148,10 @@ pub fn check_tracks_multikernel() -> ShapeResult {
     result(
         "popcorn scales like the multikernel (E5/E8)",
         gap < 0.10,
-        format!("popcorn {pop:.2}ms vs multikernel {mk:.2}ms ({:.1}% apart)", gap * 100.0),
+        format!(
+            "popcorn {pop:.2}ms vs multikernel {mk:.2}ms ({:.1}% apart)",
+            gap * 100.0
+        ),
     )
 }
 
@@ -161,7 +164,9 @@ pub fn check_local_futex_competitive() -> ShapeResult {
         cfg.placement = Placement::Local;
         popcorn_workloads::team::Team::boxed(
             cfg,
-            Box::new(|_, shared| Box::new(micro::MutexWorker::new(shared.sync_slot(1), 100, 4_000))),
+            Box::new(|_, shared| {
+                Box::new(micro::MutexWorker::new(shared.sync_slot(1), 100, 4_000))
+            }),
         )
     };
     let pop = rig.run(OsKind::Popcorn, make()).finished_at.as_millis_f64();
@@ -170,7 +175,10 @@ pub fn check_local_futex_competitive() -> ShapeResult {
     result(
         "kernel-local futexes competitive with SMP (E6)",
         gap < 0.10,
-        format!("popcorn {pop:.3}ms vs smp {smp:.3}ms ({:.1}% apart)", gap * 100.0),
+        format!(
+            "popcorn {pop:.3}ms vs smp {smp:.3}ms ({:.1}% apart)",
+            gap * 100.0
+        ),
     )
 }
 
@@ -253,9 +261,6 @@ mod tests {
     fn all_shapes_hold() {
         let results = run_all_checks();
         let failures: Vec<_> = results.iter().filter(|r| !r.passed).collect();
-        assert!(
-            failures.is_empty(),
-            "shape regressions: {failures:#?}"
-        );
+        assert!(failures.is_empty(), "shape regressions: {failures:#?}");
     }
 }

@@ -163,7 +163,10 @@ mod tests {
 
     #[test]
     fn list_and_check_modes() {
-        assert_eq!(parse(&argv(&["list"]), &IDS).expect("parses").mode, Mode::List);
+        assert_eq!(
+            parse(&argv(&["list"]), &IDS).expect("parses").mode,
+            Mode::List
+        );
         let cli = parse(&argv(&["check", "--jobs", "3"]), &IDS).expect("parses");
         assert_eq!(cli.mode, Mode::Check);
         assert_eq!(cli.jobs, Some(3));

@@ -8,7 +8,7 @@ use popcorn_core::PopcornParams;
 use popcorn_hw::{CoreId, HwParams, Machine, Topology};
 use popcorn_kernel::osmodel::OsModel;
 use popcorn_kernel::program::{
-    MigrateTarget, Op, Placement, Program, ProgEnv, Resume, SysResult, SyscallReq,
+    MigrateTarget, Op, Placement, ProgEnv, Program, Resume, SysResult, SyscallReq,
 };
 use popcorn_kernel::types::VAddr;
 use popcorn_msg::{Fabric, FaultPlan, KernelId, MsgParams, Wire};
@@ -156,7 +156,10 @@ pub fn e3_thread_group() -> Table {
     });
     for (i, &n) in THREAD_SWEEP.iter().enumerate() {
         let find = |k: OsKind| {
-            let j = OsKind::ALL.iter().position(|&x| x == k).expect("known kind");
+            let j = OsKind::ALL
+                .iter()
+                .position(|&x| x == k)
+                .expect("known kind");
             &reports[i * OsKind::ALL.len() + j]
         };
         t.row([
@@ -167,7 +170,10 @@ pub fn e3_thread_group() -> Table {
                 "{:.3}",
                 find(OsKind::Multikernel).finished_at.as_millis_f64()
             ),
-            format!("{:.1}", find(OsKind::Popcorn).metric("clone_remote_us_mean")),
+            format!(
+                "{:.1}",
+                find(OsKind::Popcorn).metric("clone_remote_us_mean")
+            ),
         ]);
     }
     t.note("expected: remote creation costs a message round-trip per thread; all three grow roughly linearly with N");
@@ -301,7 +307,13 @@ pub fn e4_page_protocol() -> Table {
     let mut t = Table::new(
         "E4",
         "page-consistency costs (mean fault-to-resume latency)",
-        ["case", "copyset", "local_us", "remote_read_us", "remote_write_us"],
+        [
+            "case",
+            "copyset",
+            "local_us",
+            "remote_read_us",
+            "remote_write_us",
+        ],
     );
     // Base case: one reader kernel, then a writer: copyset 2.
     for row in parallel_map(vec![1u16, 2, 3], |readers| {
@@ -378,7 +390,13 @@ pub fn e5_mmap_storm() -> Table {
     let mut t = Table::new(
         "E5",
         "mmap/munmap scalability, 4 processes x T/4 local threads (total ms, fixed total work)",
-        ["total_threads", "popcorn_ms", "smp_ms", "multikernel_ms", "smp_over_popcorn"],
+        [
+            "total_threads",
+            "popcorn_ms",
+            "smp_ms",
+            "multikernel_ms",
+            "smp_over_popcorn",
+        ],
     );
     let total_iters = 2880u32;
     let rig = Rig::paper();
@@ -397,10 +415,17 @@ pub fn e5_mmap_storm() -> Table {
     });
     for (i, &total) in totals.iter().enumerate() {
         let get = |k: OsKind| {
-            let j = OsKind::ALL.iter().position(|&x| x == k).expect("known kind");
+            let j = OsKind::ALL
+                .iter()
+                .position(|&x| x == k)
+                .expect("known kind");
             ms[i * OsKind::ALL.len() + j]
         };
-        let (p, s, m) = (get(OsKind::Popcorn), get(OsKind::Smp), get(OsKind::Multikernel));
+        let (p, s, m) = (
+            get(OsKind::Popcorn),
+            get(OsKind::Smp),
+            get(OsKind::Multikernel),
+        );
         t.row([
             total.to_string(),
             format!("{p:.3}"),
@@ -461,7 +486,11 @@ fn futex_contention_placed(
     Team::boxed(
         cfg,
         Box::new(move |_, shared| {
-            Box::new(micro::MutexWorker::new(shared.sync_slot(1), iters, critical))
+            Box::new(micro::MutexWorker::new(
+                shared.sync_slot(1),
+                iters,
+                critical,
+            ))
         }),
     )
 }
@@ -557,7 +586,12 @@ pub fn e7_syscall_scaling() -> Table {
 }
 
 /// Builds an NPB config with *fixed total work* divided over T threads.
-fn strong_scaling(threads: usize, total_cycles_per_iter: u64, iterations: u32, pages: u64) -> NpbConfig {
+fn strong_scaling(
+    threads: usize,
+    total_cycles_per_iter: u64,
+    iterations: u32,
+    pages: u64,
+) -> NpbConfig {
     NpbConfig {
         threads,
         iterations,
@@ -657,7 +691,12 @@ pub fn e8_npb_is() -> Table {
             os.load(npb::is_benchmark_placed(cfg, Placement::Local));
         }
         let r = os.run_with(rig.horizon, rig.event_budget);
-        assert!(r.is_clean(), "E8 {} unclean: {:?}", kind.name(), r.stuck_tasks);
+        assert!(
+            r.is_clean(),
+            "E8 {} unclean: {:?}",
+            kind.name(),
+            r.stuck_tasks
+        );
         r.finished_at.as_millis_f64()
     });
     for (i, &total) in totals.iter().enumerate() {
@@ -883,8 +922,7 @@ pub fn e12_fault_tolerance() -> Table {
             .find(|((w, label, _), _)| *w == wk && *label == "none")
             .map(|(_, r)| r.5)
     };
-    for ((wk, label, _), &(clean, ms, retx, backoff_ms, aborted, p99)) in
-        cells.iter().zip(&results)
+    for ((wk, label, _), &(clean, ms, retx, backoff_ms, aborted, p99)) in cells.iter().zip(&results)
     {
         let wk_name = match wk {
             E12Workload::Migration => "migration (E2)",
@@ -966,7 +1004,12 @@ pub fn ablate_vma() -> Table {
             Team::boxed(
                 cfg,
                 Box::new(|i, shared| {
-                    Box::new(micro::PageBounceWorker::new(shared.data, 32, 20, i as u64 * 3))
+                    Box::new(micro::PageBounceWorker::new(
+                        shared.data,
+                        32,
+                        20,
+                        i as u64 * 3,
+                    ))
                 }),
             ),
         );

@@ -288,9 +288,7 @@ impl Rig {
     where
         F: Fn() -> Box<dyn Program> + Sync,
     {
-        parallel_map(OsKind::ALL.to_vec(), |kind| {
-            (kind, self.run(kind, make()))
-        })
+        parallel_map(OsKind::ALL.to_vec(), |kind| (kind, self.run(kind, make())))
     }
 }
 

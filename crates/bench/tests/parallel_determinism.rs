@@ -6,11 +6,14 @@
 use popcorn_bench::experiments;
 use popcorn_bench::{set_jobs, Table};
 
+/// A named experiment entry point.
+type Case = (&'static str, fn() -> Table);
+
 #[test]
 fn parallel_runs_are_byte_identical_to_serial() {
     // Two experiments with different shapes: E1 sweeps the message
     // fabric (pure latency math), E4 sweeps full-OS page-protocol sims.
-    let cases: [(&str, fn() -> Table); 2] = [
+    let cases: [Case; 2] = [
         ("e1", experiments::e1_messaging),
         ("e4", experiments::e4_page_protocol),
     ];

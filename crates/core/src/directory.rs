@@ -290,7 +290,10 @@ impl Directory {
     /// Drops directory entries for unmapped pages, returning for each the
     /// holders that must be invalidated (fire-and-forget; the VMA update
     /// ack protocol provides the synchronization).
-    pub fn drop_pages(&mut self, pages: impl Iterator<Item = PageNo>) -> Vec<(PageNo, Vec<KernelId>)> {
+    pub fn drop_pages(
+        &mut self,
+        pages: impl Iterator<Item = PageNo>,
+    ) -> Vec<(PageNo, Vec<KernelId>)> {
         let mut out = Vec::new();
         for p in pages {
             if let Some(e) = self.entries.remove(&p) {

@@ -7,7 +7,7 @@
 //! machine's [`FutexTable`](popcorn_kernel::futex::FutexTable)), and group
 //! exit.
 
-use std::collections::{BTreeMap, BTreeSet, HashMap};
+use std::collections::{BTreeMap, BTreeSet};
 
 use popcorn_kernel::types::{GroupId, Tid};
 use popcorn_msg::{KernelId, RpcId};
@@ -42,7 +42,7 @@ pub struct GroupHome {
     /// The page-consistency directory.
     pub dir: Directory,
     next_token: u64,
-    pending_unmaps: HashMap<u64, UnmapPending>,
+    pending_unmaps: BTreeMap<u64, UnmapPending>,
     phase: ExitPhase,
     kill_acks_awaiting: BTreeSet<KernelId>,
     exit_code: i32,
@@ -63,7 +63,7 @@ impl GroupHome {
             replicas,
             dir: Directory::new(),
             next_token: 1,
-            pending_unmaps: HashMap::new(),
+            pending_unmaps: BTreeMap::new(),
             phase: ExitPhase::Running,
             kill_acks_awaiting: BTreeSet::new(),
             exit_code: 0,
@@ -267,8 +267,7 @@ mod tests {
     #[test]
     fn unmap_ack_protocol_completes_on_last_ack() {
         let mut h = home();
-        let (token, complete) =
-            h.begin_unmap(RpcId(9), KernelId(1), [KernelId(1), KernelId(2)]);
+        let (token, complete) = h.begin_unmap(RpcId(9), KernelId(1), [KernelId(1), KernelId(2)]);
         assert!(!complete);
         assert!(h.unmap_acked(token, KernelId(2)).is_none());
         let done = h.unmap_acked(token, KernelId(1)).expect("complete");

@@ -1,0 +1,317 @@
+//! Distributed futexes and remote sync-word RMWs.
+//!
+//! Each synchronization word is served at one kernel — the group's origin
+//! (the paper's global futex server) or, under the first-touch extension,
+//! whichever kernel used it first. Syscalls at the serving kernel take the
+//! local fast path; everyone else runs a `FutexReq`/`RmwReq` RPC. Waiters
+//! parked remotely are woken with a `FutexWakeTask` one-way message.
+
+use popcorn_hw::LockSite;
+use popcorn_kernel::futex::Waiter;
+use popcorn_kernel::program::{FutexOp, Resume, RmwOp, SysResult};
+use popcorn_kernel::task::BlockReason;
+use popcorn_kernel::types::{Errno, GroupId, Tid, VAddr};
+use popcorn_msg::{KernelId, RpcId};
+use popcorn_sim::SimTime;
+
+use crate::proto::{FutexOutcome, ProtoMsg, Protocol};
+
+use super::{CoreId, KernelCtx, Pending};
+
+/// A thread waiting on the futex server.
+#[derive(Debug)]
+pub enum FutexPending {
+    /// Waiting for a futex server response.
+    Futex {
+        /// The calling thread.
+        tid: Tid,
+    },
+    /// Waiting for a remote sync-word RMW.
+    Rmw {
+        /// The calling thread.
+        tid: Tid,
+    },
+}
+
+impl KernelCtx<'_, '_> {
+    /// The kernel serving a synchronization word: the group's origin (the
+    /// paper's global futex server) or, with the first-touch extension,
+    /// whichever kernel used the word first.
+    pub(super) fn sync_word_home(
+        &mut self,
+        group: GroupId,
+        addr: VAddr,
+        requester: KernelId,
+    ) -> KernelId {
+        if !self.params.sync_first_touch_homing {
+            return group.home();
+        }
+        *self.sync_home.entry((group, addr.0)).or_insert(requester)
+    }
+
+    /// Serializes a request behind the group's futex server, recording the
+    /// service time against the futex protocol.
+    fn serve_futex(&mut self, group: GroupId, now: SimTime, cost: SimTime) -> SimTime {
+        self.stats
+            .proto
+            .of(Protocol::Futex)
+            .service
+            .record_time(cost);
+        self.servers
+            .entry(group)
+            .or_default()
+            .futex
+            .serialize(now, cost)
+    }
+
+    /// Serves a futex operation at the word's serving kernel `serve_ki`
+    /// (the group origin, or the first-toucher under the extension);
+    /// `caller` is where the syscall originated (possibly `serve_ki`).
+    pub fn futex_at_home(
+        &mut self,
+        group: GroupId,
+        op: FutexOp,
+        caller: Waiter,
+        serve_ki: usize,
+        at: SimTime,
+    ) -> (FutexOutcome, SimTime) {
+        let serving = self.kid(serve_ki);
+        let base = self.kernels[serve_ki].params().futex_base_ns;
+        let extra = if caller.kernel == serving {
+            0
+        } else {
+            self.params.futex_remote_service_ns
+        };
+        let done = self.serve_futex(group, at, SimTime::from_nanos(base + extra));
+        match op {
+            FutexOp::Wait { uaddr, expected } => {
+                if self.futex.wait_if(group, uaddr, expected, caller) {
+                    (FutexOutcome::Parked, done)
+                } else {
+                    (FutexOutcome::Mismatch, done)
+                }
+            }
+            FutexOp::Wake { uaddr, count } => {
+                let woken = self.futex.wake(group, uaddr, count);
+                let n = woken.len() as u64;
+                let wakeup = SimTime::from_nanos(self.kernels[serve_ki].params().wakeup_ns);
+                let mut t = done;
+                for w in woken {
+                    t += wakeup;
+                    if w.kernel == serving {
+                        self.wake_with(serve_ki, w.tid, SysResult::Val(0), t);
+                    } else {
+                        self.send(
+                            t,
+                            serve_ki,
+                            w.kernel,
+                            ProtoMsg::FutexWakeTask { group, tid: w.tid },
+                        );
+                    }
+                }
+                (FutexOutcome::Woken(n), t)
+            }
+        }
+    }
+
+    /// The futex syscall: local fast path at the word's serving kernel,
+    /// RPC to it from everywhere else.
+    pub(super) fn futex_syscall(
+        &mut self,
+        ki: usize,
+        core: CoreId,
+        tid: Tid,
+        group: GroupId,
+        op: FutexOp,
+        at: SimTime,
+    ) {
+        let me = self.kid(ki);
+        let caller = Waiter { kernel: me, tid };
+        let word = match op {
+            FutexOp::Wait { uaddr, .. } | FutexOp::Wake { uaddr, .. } => uaddr,
+        };
+        let word_home = self.sync_word_home(group, word, me);
+        if me == word_home {
+            self.stats.futex_local.incr();
+            let (outcome, done) = self.futex_at_home(group, op, caller, ki, at);
+            match outcome {
+                FutexOutcome::Parked => {
+                    let uaddr = match op {
+                        FutexOp::Wait { uaddr, .. } => uaddr,
+                        FutexOp::Wake { .. } => unreachable!("wake cannot park"),
+                    };
+                    let c = self.kernels[ki].block_current(tid, BlockReason::Futex(uaddr), done);
+                    self.kick(ki, c, done);
+                }
+                FutexOutcome::Mismatch => {
+                    self.kernels[ki].finish_syscall(tid, SysResult::Err(Errno::Again), done);
+                    self.kick(ki, core, done);
+                }
+                FutexOutcome::Woken(n) => {
+                    self.kernels[ki].finish_syscall(tid, SysResult::Val(n), done);
+                    self.kick(ki, core, done);
+                }
+            }
+        } else {
+            self.stats.futex_remote.incr();
+            let rpc = self.register_rpc(ki, Pending::Futex(FutexPending::Futex { tid }), at);
+            let reason = match op {
+                FutexOp::Wait { uaddr, .. } => BlockReason::Futex(uaddr),
+                FutexOp::Wake { .. } => BlockReason::Remote("futex"),
+            };
+            let c = self.kernels[ki].block_current(tid, reason, at);
+            self.kick(ki, c, at);
+            self.send(
+                at,
+                ki,
+                word_home,
+                ProtoMsg::FutexReq {
+                    rpc,
+                    origin: me,
+                    group,
+                    tid,
+                    op,
+                },
+            );
+        }
+    }
+
+    /// The sync-word (RMW) hook: lock-site fast path at the serving
+    /// kernel, RPC from everywhere else.
+    pub fn sync_op(
+        &mut self,
+        ki: usize,
+        core: CoreId,
+        tid: Tid,
+        addr: VAddr,
+        op: RmwOp,
+        at: SimTime,
+    ) {
+        self.note_activity(at);
+        let me = self.kid(ki);
+        let group = self.group_of(ki, tid);
+        let home = self.sync_word_home(group, addr, me);
+        if me == home && self.params.futex_local_fastpath {
+            self.stats.rmw_local.incr();
+            let machine = self.machine;
+            let site = self
+                .sync_sites
+                .entry((group, addr.0))
+                .or_insert_with(|| LockSite::new("syncword", machine.params()));
+            let acq = site.acquire(at, core, SimTime::ZERO, machine.interconnect());
+            let old = self.futex.rmw(group, addr, op);
+            self.kernels[ki].finish_sync_op(tid, old, acq.released_at);
+            self.kick(ki, core, acq.released_at);
+        } else if me == home {
+            // Ablation: fast path disabled — even home-local ops pay the
+            // RPC-shaped service cost, serialized at the futex server.
+            self.stats.rmw_remote.incr();
+            let extra = SimTime::from_nanos(self.params.futex_remote_service_ns);
+            let svc = self.machine.params().atomic_op() + extra + extra;
+            let done = self.serve_futex(group, at, svc);
+            let old = self.futex.rmw(group, addr, op);
+            self.kernels[ki].finish_sync_op(tid, old, done);
+            self.kick(ki, core, done);
+        } else {
+            self.stats.rmw_remote.incr();
+            let rpc = self.register_rpc(ki, Pending::Futex(FutexPending::Rmw { tid }), at);
+            let c = self.kernels[ki].block_current(tid, BlockReason::Remote("rmw"), at);
+            self.kick(ki, c, at);
+            self.send(
+                at,
+                ki,
+                home,
+                ProtoMsg::RmwReq {
+                    rpc,
+                    origin: me,
+                    group,
+                    addr,
+                    op,
+                },
+            );
+        }
+    }
+
+    /// `FutexReq` at the serving kernel: run the operation and answer.
+    pub(super) fn on_futex_req(
+        &mut self,
+        ki: usize,
+        rpc: RpcId,
+        origin: KernelId,
+        group: GroupId,
+        tid: Tid,
+        op: FutexOp,
+        now: SimTime,
+    ) {
+        let caller = Waiter {
+            kernel: origin,
+            tid,
+        };
+        let (outcome, done) = self.futex_at_home(group, op, caller, ki, now);
+        self.send(done, ki, origin, ProtoMsg::FutexResp { rpc, outcome });
+    }
+
+    /// `FutexResp` at the caller: wake (or keep parked) accordingly.
+    pub(super) fn on_futex_resp(
+        &mut self,
+        ki: usize,
+        rpc: RpcId,
+        outcome: FutexOutcome,
+        now: SimTime,
+    ) {
+        if let Some(Pending::Futex(FutexPending::Futex { tid })) = self.complete_rpc(ki, rpc) {
+            match outcome {
+                FutexOutcome::Parked => {} // stays asleep until FutexWakeTask
+                FutexOutcome::Mismatch => {
+                    self.wake_with(ki, tid, SysResult::Err(Errno::Again), now);
+                }
+                FutexOutcome::Woken(n) => {
+                    self.wake_with(ki, tid, SysResult::Val(n), now);
+                }
+            }
+        }
+    }
+
+    /// `RmwReq` at the serving kernel: acquire the word's contention site,
+    /// apply the RMW, answer with the old value.
+    pub(super) fn on_rmw_req(
+        &mut self,
+        to: KernelId,
+        ki: usize,
+        rpc: RpcId,
+        origin: KernelId,
+        group: GroupId,
+        addr: VAddr,
+        op: RmwOp,
+        now: SimTime,
+    ) {
+        let machine = self.machine;
+        let loc = self.net.fabric().location(to);
+        let site = self
+            .sync_sites
+            .entry((group, addr.0))
+            .or_insert_with(|| LockSite::new("syncword", machine.params()));
+        let acq = site.acquire(now, loc, SimTime::ZERO, machine.interconnect());
+        let extra = SimTime::from_nanos(self.params.futex_remote_service_ns);
+        let old = self.futex.rmw(group, addr, op);
+        self.send(
+            acq.released_at + extra,
+            ki,
+            origin,
+            ProtoMsg::RmwResp { rpc, old },
+        );
+    }
+
+    /// `RmwResp` at the caller: resume with the old value.
+    pub(super) fn on_rmw_resp(&mut self, ki: usize, rpc: RpcId, old: u64, now: SimTime) {
+        if let Some(Pending::Futex(FutexPending::Rmw { tid })) = self.complete_rpc(ki, rpc) {
+            if self.task_alive(ki, tid) {
+                if let Some(task) = self.kernels[ki].task_mut(tid) {
+                    task.resume = Resume::Value(old);
+                }
+                let core = self.kernels[ki].wake(tid, now);
+                self.kick(ki, core, now);
+            }
+        }
+    }
+}

@@ -1,0 +1,549 @@
+//! Page coherence: faults, the home directory conversation, grants and
+//! invalidations.
+//!
+//! Every page of a distributed group has a single directory entry at the
+//! group's home kernel. Remote faults send `PageReq` to the home, which
+//! walks the directory ([`crate::directory`]) and answers with fetches,
+//! invalidation rounds and finally a `PageGrant`; `PageDone` releases the
+//! entry for queued requests. Faults at the home itself consult the
+//! directory inline (the fast path the paper compares against remote
+//! retrieval).
+
+use popcorn_kernel::mm::{PageContents, PageState};
+use popcorn_kernel::task::BlockReason;
+use popcorn_kernel::types::{GroupId, PageNo, Tid};
+use popcorn_msg::{KernelId, RpcId};
+use popcorn_sim::SimTime;
+
+use crate::directory::{DirStep, Grant, PageRequest};
+use crate::proto::{ProtoMsg, Protocol};
+
+use super::{CoreId, KernelCtx, Pending};
+
+/// Threads waiting for a page grant (joined duplicates included).
+#[derive(Debug)]
+pub struct PageWait {
+    /// The faulting group.
+    pub group: GroupId,
+    /// The page being granted.
+    pub page: PageNo,
+    /// Whether write access was requested.
+    pub write: bool,
+    /// When the first fault started (latency accounting).
+    pub started: SimTime,
+    /// `(tid, needs_write)`; empty for ablation prefetches.
+    pub waiters: Vec<(Tid, bool)>,
+}
+
+/// In-flight page request of one kernel (fault coalescing).
+#[derive(Debug, Clone, Copy)]
+pub struct InFlight {
+    /// The RPC waiting for the grant.
+    pub rpc: RpcId,
+    /// Whether the in-flight request asks for write access.
+    pub write: bool,
+}
+
+impl KernelCtx<'_, '_> {
+    /// Serializes a request behind the group's page server, recording the
+    /// service time against the page protocol.
+    fn serve_page(&mut self, group: GroupId, now: SimTime, cost: SimTime) -> SimTime {
+        self.stats
+            .proto
+            .of(Protocol::Page)
+            .service
+            .record_time(cost);
+        self.servers
+            .entry(group)
+            .or_default()
+            .page
+            .serialize(now, cost)
+    }
+
+    /// Tries to join an in-flight request for the same page; returns true
+    /// if joined (the task is then blocked by the caller).
+    fn join_inflight(
+        &mut self,
+        ki: usize,
+        group: GroupId,
+        page: PageNo,
+        write: bool,
+        tid: Tid,
+    ) -> bool {
+        let Some(inf) = self.inflight[ki].get(&(group, page)).copied() else {
+            return false;
+        };
+        if write && !inf.write {
+            return false; // a read is in flight but we need write rights
+        }
+        match self.rpcs[ki].get_mut(inf.rpc) {
+            Some(Pending::Page(PageWait { waiters, .. })) => {
+                waiters.push((tid, write));
+                true
+            }
+            _ => false,
+        }
+    }
+
+    /// Common fault path: register a waiter, record in-flight state, block
+    /// the task, and return the fresh rpc id.
+    fn start_page_wait(
+        &mut self,
+        ki: usize,
+        tid: Tid,
+        group: GroupId,
+        page: PageNo,
+        write: bool,
+        at: SimTime,
+    ) -> RpcId {
+        let rpc = self.register_rpc(
+            ki,
+            Pending::Page(PageWait {
+                group,
+                page,
+                write,
+                started: at,
+                waiters: vec![(tid, write)],
+            }),
+            at,
+        );
+        self.inflight[ki].insert((group, page), InFlight { rpc, write });
+        let core = self.kernels[ki].block_current(tid, BlockReason::Remote("page"), at);
+        self.kick(ki, core, at);
+        rpc
+    }
+
+    /// Serves a directory step at the home kernel.
+    pub(super) fn exec_dir_step(
+        &mut self,
+        group: GroupId,
+        page: PageNo,
+        step: DirStep,
+        at: SimTime,
+    ) {
+        let home = group.home();
+        let home_ki = self.ki(home);
+        match step {
+            DirStep::Grant(g) => self.deliver_grant(group, g, at),
+            DirStep::Fetch { owner } => {
+                if owner == home {
+                    // The home itself holds the copy: snapshot + downgrade.
+                    let mm = self.kernels[home_ki].mm_mut(group);
+                    let contents = if mm.page_info(page).is_some() {
+                        if mm.page_info(page).expect("checked").state == PageState::Exclusive {
+                            mm.set_page_state(page, PageState::ReadShared);
+                        }
+                        mm.snapshot_page(page)
+                    } else {
+                        PageContents::default()
+                    };
+                    let cost = SimTime::from_nanos(self.params.page_fetch_service_ns);
+                    let done = self.serve_page(group, at, cost);
+                    let grant = self
+                        .groups
+                        .get_mut(&group)
+                        .expect("group alive during transfer")
+                        .dir
+                        .fetched(page, contents);
+                    self.deliver_grant(group, grant, done);
+                } else {
+                    self.send(at, home_ki, owner, ProtoMsg::PageFetch { group, page });
+                }
+            }
+            DirStep::Invalidate { holders } => {
+                for h in holders {
+                    self.stats.invalidations.incr();
+                    if h == home {
+                        // Defensive: evict locally and ack inline.
+                        let contents = self.evict_local(home_ki, group, page);
+                        if let Some(grant) = self
+                            .groups
+                            .get_mut(&group)
+                            .expect("group alive")
+                            .dir
+                            .inval_acked(page, home, contents)
+                        {
+                            self.deliver_grant(group, grant, at);
+                        }
+                    } else {
+                        self.send(at, home_ki, h, ProtoMsg::PageInval { group, page });
+                    }
+                }
+            }
+            DirStep::Queued => {}
+        }
+    }
+
+    fn evict_local(&mut self, ki: usize, group: GroupId, page: PageNo) -> Option<PageContents> {
+        if !self.kernels[ki].has_mm(group) {
+            return None;
+        }
+        let mm = self.kernels[ki].mm_mut(group);
+        if mm.page_info(page).is_some() {
+            Some(mm.evict_page(page))
+        } else {
+            None
+        }
+    }
+
+    /// Routes a completed grant to its requester.
+    pub(super) fn deliver_grant(&mut self, group: GroupId, g: Grant, at: SimTime) {
+        let home = group.home();
+        let home_ki = self.ki(home);
+        if g.contents.is_some() && g.req.origin != home {
+            self.stats.page_transfers.incr();
+        }
+        if g.req.origin == home {
+            // A (queued) local request at the home kernel.
+            self.apply_grant(
+                home_ki, group, g.page, g.state, g.version, g.contents, g.req.rpc, at,
+            );
+        } else {
+            self.send(
+                at,
+                home_ki,
+                g.req.origin,
+                ProtoMsg::PageGrant {
+                    rpc: g.req.rpc,
+                    group,
+                    page: g.page,
+                    state: g.state,
+                    version: g.version,
+                    contents: g.contents,
+                },
+            );
+        }
+    }
+
+    /// Installs a grant at the faulting kernel, wakes the waiters, and
+    /// confirms completion to the directory.
+    pub(super) fn apply_grant(
+        &mut self,
+        ki: usize,
+        group: GroupId,
+        page: PageNo,
+        state: PageState,
+        version: u64,
+        contents: Option<PageContents>,
+        rpc: RpcId,
+        at: SimTime,
+    ) {
+        if self.kernels[ki].has_mm(group) {
+            let had_data = contents.is_some();
+            self.kernels[ki]
+                .mm_mut(group)
+                .apply_grant(page, state, version, contents);
+            // Installing needs a local page frame: the kernel's allocator
+            // lock (partitioned counterpart of SMP's global zone lock).
+            let zone_hold = SimTime::from_nanos(self.kernels[ki].params().zone_lock_hold_ns);
+            let machine = self.machine;
+            let loc = self.net.fabric().location(self.kid(ki));
+            let zone = self.zone_locks[ki].acquire(at, loc, zone_hold, machine.interconnect());
+            let install = SimTime::from_nanos(self.params.page_install_ns);
+            let done = zone.released_at + install;
+            if let Some(Pending::Page(PageWait {
+                waiters,
+                started,
+                write,
+                ..
+            })) = self.complete_rpc(ki, rpc)
+            {
+                if let Some(inf) = self.inflight[ki].get(&(group, page)) {
+                    if inf.rpc == rpc {
+                        self.inflight[ki].remove(&(group, page));
+                    }
+                }
+                let lat = done.saturating_sub(started);
+                if write {
+                    self.stats.faults_remote_write.incr();
+                    self.stats.fault_remote_write_lat.record_time(lat);
+                } else {
+                    self.stats.faults_remote_read.incr();
+                    self.stats.fault_remote_read_lat.record_time(lat);
+                }
+                let _ = had_data;
+                for (tid, _) in waiters {
+                    if self.task_alive(ki, tid) {
+                        let core = self.kernels[ki].wake(tid, done);
+                        self.kick(ki, core, done);
+                    }
+                }
+            }
+        }
+        // Confirm so the directory can serve queued requests.
+        let home = group.home();
+        if self.kid(ki) == home {
+            self.page_done_at_home(group, page, at);
+        } else {
+            self.send(at, ki, home, ProtoMsg::PageDone { group, page });
+        }
+    }
+
+    /// Releases the directory entry and serves the next queued request.
+    pub(super) fn page_done_at_home(&mut self, group: GroupId, page: PageNo, at: SimTime) {
+        let Some(h) = self.groups.get_mut(&group) else {
+            return;
+        };
+        if let Some((_req, step)) = h.dir.done(page) {
+            let cost = SimTime::from_nanos(self.params.page_dir_service_ns);
+            let done = self.serve_page(group, at, cost);
+            self.exec_dir_step(group, page, step, done);
+        }
+    }
+
+    /// Handles a page fault request arriving at the home kernel.
+    pub(super) fn home_page_request(
+        &mut self,
+        group: GroupId,
+        page: PageNo,
+        req: PageRequest,
+        at: SimTime,
+    ) {
+        let Some(h) = self.groups.get_mut(&group) else {
+            return; // group already reaped; requester was killed too
+        };
+        h.add_replica(req.origin);
+        let cost = SimTime::from_nanos(self.params.page_dir_service_ns);
+        let done = self.serve_page(group, at, cost);
+        let step = self
+            .groups
+            .get_mut(&group)
+            .expect("present above")
+            .dir
+            .request(page, req);
+        self.exec_dir_step(group, page, step, done);
+    }
+
+    /// The page-fault hook: local fast path at the home, coalescing with
+    /// in-flight requests, or a `PageReq` conversation with the home.
+    /// `no_vma` faults route into the VMA protocol's on-demand retrieval.
+    pub fn fault(
+        &mut self,
+        ki: usize,
+        core: CoreId,
+        tid: Tid,
+        page: PageNo,
+        write: bool,
+        no_vma: bool,
+        at: SimTime,
+    ) {
+        self.note_activity(at);
+        let me = self.kid(ki);
+        let group = self.group_of(ki, tid);
+        let home = group.home();
+        if no_vma {
+            self.no_vma_fault(ki, tid, group, page, at);
+            return;
+        }
+        if self.join_inflight(ki, group, page, write, tid) {
+            let c = self.kernels[ki].block_current(tid, BlockReason::Remote("page"), at);
+            self.kick(ki, c, at);
+            return;
+        }
+        if me == home {
+            // Consult the directory locally. Immediately grantable cases
+            // resolve inline on the faulting core (the fast path the paper
+            // compares against remote retrieval). While the group has no
+            // remote replicas the protocol state is dormant (the paper
+            // instantiates it lazily) and the fault is an ordinary local
+            // one with no serialized directory service.
+            let solo = self
+                .groups
+                .get(&group)
+                .is_none_or(|h| h.remote_replicas().is_empty());
+            let service = if solo {
+                at
+            } else {
+                let dir_cost = SimTime::from_nanos(self.params.page_dir_service_ns);
+                self.serve_page(group, at, dir_cost)
+            };
+            // Probe without registering: first-touch/upgrade are inline.
+            let rpc = self.register_rpc(
+                ki,
+                Pending::Page(PageWait {
+                    group,
+                    page,
+                    write,
+                    started: at,
+                    waiters: vec![(tid, write)],
+                }),
+                at,
+            );
+            let step = match self.groups.get_mut(&group) {
+                Some(h) => h.dir.request(
+                    page,
+                    PageRequest {
+                        rpc,
+                        origin: me,
+                        write,
+                    },
+                ),
+                None => {
+                    self.complete_rpc(ki, rpc);
+                    return;
+                }
+            };
+            match step {
+                DirStep::Grant(g) => {
+                    // Inline local fault service; allocating the backing
+                    // page contends this kernel's allocator lock.
+                    self.complete_rpc(ki, rpc);
+                    self.kernels[ki]
+                        .mm_mut(group)
+                        .apply_grant(page, g.state, g.version, g.contents);
+                    let zone_hold =
+                        SimTime::from_nanos(self.kernels[ki].params().zone_lock_hold_ns);
+                    let machine = self.machine;
+                    let zone = self.zone_locks[ki].acquire(
+                        service,
+                        core,
+                        zone_hold,
+                        machine.interconnect(),
+                    );
+                    let fault_cost =
+                        SimTime::from_nanos(self.kernels[ki].params().fault_service_ns);
+                    let done = zone.released_at + fault_cost;
+                    self.stats.faults_local.incr();
+                    self.stats
+                        .fault_local_lat
+                        .record_time(done.saturating_sub(at));
+                    self.kernels[ki].finish_fault_inline(tid, done);
+                    self.kick(ki, core, done);
+                    self.page_done_at_home(group, page, done);
+                }
+                step @ (DirStep::Fetch { .. } | DirStep::Invalidate { .. }) => {
+                    self.inflight[ki].insert((group, page), InFlight { rpc, write });
+                    let c = self.kernels[ki].block_current(tid, BlockReason::Remote("page"), at);
+                    self.kick(ki, c, at);
+                    self.exec_dir_step(group, page, step, service);
+                }
+                DirStep::Queued => {
+                    self.inflight[ki].insert((group, page), InFlight { rpc, write });
+                    let c = self.kernels[ki].block_current(tid, BlockReason::Remote("page"), at);
+                    self.kick(ki, c, at);
+                }
+            }
+        } else {
+            let rpc = self.start_page_wait(ki, tid, group, page, write, at);
+            self.send(
+                at,
+                ki,
+                home,
+                ProtoMsg::PageReq {
+                    rpc,
+                    origin: me,
+                    group,
+                    page,
+                    write,
+                },
+            );
+        }
+    }
+
+    /// `PageFetch` at a page's current owner: snapshot + downgrade, then
+    /// ship the contents back to the home.
+    pub(super) fn on_page_fetch(
+        &mut self,
+        from: KernelId,
+        ki: usize,
+        group: GroupId,
+        page: PageNo,
+        now: SimTime,
+    ) {
+        let contents = if self.kernels[ki].has_mm(group) {
+            let mm = self.kernels[ki].mm_mut(group);
+            match mm.page_info(page) {
+                Some(info) => {
+                    if info.state == PageState::Exclusive {
+                        mm.set_page_state(page, PageState::ReadShared);
+                    }
+                    mm.snapshot_page(page)
+                }
+                None => PageContents::default(),
+            }
+        } else {
+            PageContents::default()
+        };
+        let cost = SimTime::from_nanos(self.params.page_fetch_service_ns);
+        let done = self.serve_page(group, now, cost);
+        self.send(
+            done,
+            ki,
+            from,
+            ProtoMsg::PageFetched {
+                group,
+                page,
+                contents,
+            },
+        );
+    }
+
+    /// `PageFetched` back at the home: feed the directory and forward the
+    /// resulting grant.
+    pub(super) fn on_page_fetched(
+        &mut self,
+        group: GroupId,
+        page: PageNo,
+        contents: PageContents,
+        now: SimTime,
+    ) {
+        if self.groups.contains_key(&group) {
+            let grant = self
+                .groups
+                .get_mut(&group)
+                .expect("checked")
+                .dir
+                .fetched(page, contents);
+            self.deliver_grant(group, grant, now);
+        }
+    }
+
+    /// `PageInval` at a holder: evict, TLB shootdown, ack with contents.
+    pub(super) fn on_page_inval(
+        &mut self,
+        from: KernelId,
+        ki: usize,
+        group: GroupId,
+        page: PageNo,
+        now: SimTime,
+    ) {
+        let contents = self.evict_local(ki, group, page);
+        let cost = SimTime::from_nanos(self.params.page_inval_service_ns);
+        let cores = self.kernels[ki].cores();
+        let sd = self.machine.shootdown().tlb_shootdown(&cores[1..]);
+        let done = self.serve_page(group, now, cost + sd.initiator_busy);
+        self.send(
+            done,
+            ki,
+            from,
+            ProtoMsg::PageInvalAck {
+                group,
+                page,
+                contents,
+            },
+        );
+    }
+
+    /// `PageInvalAck` back at the home: feed the directory; the last ack
+    /// releases the grant.
+    pub(super) fn on_page_inval_ack(
+        &mut self,
+        from: KernelId,
+        group: GroupId,
+        page: PageNo,
+        contents: Option<PageContents>,
+        now: SimTime,
+    ) {
+        if self.groups.contains_key(&group) {
+            let grant = self
+                .groups
+                .get_mut(&group)
+                .expect("checked")
+                .dir
+                .inval_acked(page, from, contents);
+            if let Some(grant) = grant {
+                self.deliver_grant(group, grant, now);
+            }
+        }
+    }
+}

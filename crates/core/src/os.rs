@@ -191,7 +191,10 @@ impl OsModel for PopcornOs {
         let kernels = self.machine.kernels();
         let mut metrics = osmodel::base_metrics(kernels);
         metrics.extend(self.machine.stats.metrics());
-        metrics.insert("messages".into(), self.machine.fabric().total_sends() as f64);
+        metrics.insert(
+            "messages".into(),
+            self.machine.fabric().total_sends() as f64,
+        );
         metrics.insert(
             "msg_latency_us_mean".into(),
             self.machine.fabric().latency_histogram().mean() / 1_000.0,

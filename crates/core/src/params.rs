@@ -1,5 +1,6 @@
 //! Popcorn-specific protocol cost constants and feature toggles.
 
+use popcorn_msg::RetxPolicy;
 
 /// Costs of Popcorn's migration/consistency protocols (software paths, on
 /// top of the message layer) plus the ablation toggles DESIGN.md calls out.
@@ -95,11 +96,9 @@ impl PopcornParams {
     /// Returns a description of the first violated constraint.
     pub fn validate(&self) -> Result<(), String> {
         if self.eager_page_replication && !self.eager_vma_replication {
-            return Err(
-                "eager page replication requires eager VMA replication \
+            return Err("eager page replication requires eager VMA replication \
                  (pages cannot be mapped without their VMAs)"
-                    .into(),
-            );
+                .into());
         }
         if self.retx_max_attempts == 0 {
             return Err("retx_max_attempts must be at least 1 (the first send)".into());
@@ -127,16 +126,21 @@ impl PopcornParams {
         Ok(())
     }
 
-    /// Backoff before retransmit number `attempt` (1-based: the delay
-    /// scheduled after the `attempt`-th failed transmission).
-    pub fn retx_backoff_ns(&self, attempt: u32) -> u64 {
-        let exp = attempt.saturating_sub(1);
-        // `<<` drops overflowing bits silently (and panics past 63 in
-        // debug), so saturate once the doubling leaves the u64 range.
-        if exp >= self.retx_base_ns.leading_zeros() {
-            return self.retx_cap_ns;
+    /// The retransmission knobs as a [`RetxPolicy`] for the shared
+    /// reliable-delivery endpoint in `popcorn-msg`.
+    pub fn retx_policy(&self) -> RetxPolicy {
+        RetxPolicy {
+            base_ns: self.retx_base_ns,
+            cap_ns: self.retx_cap_ns,
+            max_attempts: self.retx_max_attempts,
         }
-        (self.retx_base_ns << exp).min(self.retx_cap_ns)
+    }
+
+    /// Backoff before retransmit number `attempt` (1-based: the delay
+    /// scheduled after the `attempt`-th failed transmission). Delegates to
+    /// [`RetxPolicy::backoff_ns`] so there is exactly one implementation.
+    pub fn retx_backoff_ns(&self, attempt: u32) -> u64 {
+        self.retx_policy().backoff_ns(attempt)
     }
 }
 

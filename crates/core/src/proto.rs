@@ -11,8 +11,51 @@ use popcorn_kernel::mm::{PageContents, PageState, Vma};
 use popcorn_kernel::program::{FutexOp, Program, RmwOp};
 use popcorn_kernel::task::TaskStats;
 use popcorn_kernel::types::{CpuContext, Errno, GroupId, PageNo, Tid, VAddr};
-use popcorn_msg::{KernelId, RpcId, Wire};
+use popcorn_msg::{KernelId, RpcId, SeqEnvelope, Wire};
 use popcorn_sim::SimTime;
+
+/// The protocol family a message (or parked RPC) belongs to, mirroring the
+/// `machine/` module tree. Used to attribute per-protocol traffic and
+/// service-time statistics.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Protocol {
+    /// Context migration (`TaskMigrate`).
+    Migrate,
+    /// Thread-group membership, creation and exit.
+    Group,
+    /// VMA replication and on-demand retrieval.
+    Vma,
+    /// Page-coherence (directory) protocol.
+    Page,
+    /// Distributed futex and sync-word RMW.
+    Futex,
+    /// Reliability-layer overhead (acks, retransmissions, timers).
+    Transport,
+}
+
+impl Protocol {
+    /// All families, in display order.
+    pub const ALL: [Protocol; 6] = [
+        Protocol::Migrate,
+        Protocol::Group,
+        Protocol::Vma,
+        Protocol::Page,
+        Protocol::Futex,
+        Protocol::Transport,
+    ];
+
+    /// Stable lowercase name for metric keys.
+    pub fn name(self) -> &'static str {
+        match self {
+            Protocol::Migrate => "migrate",
+            Protocol::Group => "group",
+            Protocol::Vma => "vma",
+            Protocol::Page => "page",
+            Protocol::Futex => "futex",
+            Protocol::Transport => "transport",
+        }
+    }
+}
 
 /// A VMA operation requested of the home kernel (the group-wide
 /// serialization point for address-space layout changes).
@@ -388,8 +431,16 @@ impl ProtoMsg {
                 tid: *tid,
                 joined: *joined,
             },
-            CloneResp { rpc, tid } => CloneResp { rpc: *rpc, tid: *tid },
-            VmaOpReq { rpc, origin, group, op } => VmaOpReq {
+            CloneResp { rpc, tid } => CloneResp {
+                rpc: *rpc,
+                tid: *tid,
+            },
+            VmaOpReq {
+                rpc,
+                origin,
+                group,
+                op,
+            } => VmaOpReq {
                 rpc: *rpc,
                 origin: *origin,
                 group: *group,
@@ -408,14 +459,28 @@ impl ProtoMsg {
                 group: *group,
                 token: *token,
             },
-            VmaFetchReq { rpc, origin, group, addr } => VmaFetchReq {
+            VmaFetchReq {
+                rpc,
+                origin,
+                group,
+                addr,
+            } => VmaFetchReq {
                 rpc: *rpc,
                 origin: *origin,
                 group: *group,
                 addr: *addr,
             },
-            VmaFetchResp { rpc, vma } => VmaFetchResp { rpc: *rpc, vma: *vma },
-            PageReq { rpc, origin, group, page, write } => PageReq {
+            VmaFetchResp { rpc, vma } => VmaFetchResp {
+                rpc: *rpc,
+                vma: *vma,
+            },
+            PageReq {
+                rpc,
+                origin,
+                group,
+                page,
+                write,
+            } => PageReq {
                 rpc: *rpc,
                 origin: *origin,
                 group: *group,
@@ -426,7 +491,11 @@ impl ProtoMsg {
                 group: *group,
                 page: *page,
             },
-            PageFetched { group, page, contents } => PageFetched {
+            PageFetched {
+                group,
+                page,
+                contents,
+            } => PageFetched {
                 group: *group,
                 page: *page,
                 contents: contents.clone(),
@@ -435,12 +504,23 @@ impl ProtoMsg {
                 group: *group,
                 page: *page,
             },
-            PageInvalAck { group, page, contents } => PageInvalAck {
+            PageInvalAck {
+                group,
+                page,
+                contents,
+            } => PageInvalAck {
                 group: *group,
                 page: *page,
                 contents: contents.clone(),
             },
-            PageGrant { rpc, group, page, state, version, contents } => PageGrant {
+            PageGrant {
+                rpc,
+                group,
+                page,
+                state,
+                version,
+                contents,
+            } => PageGrant {
                 rpc: *rpc,
                 group: *group,
                 page: *page,
@@ -452,7 +532,13 @@ impl ProtoMsg {
                 group: *group,
                 page: *page,
             },
-            FutexReq { rpc, origin, group, tid, op } => FutexReq {
+            FutexReq {
+                rpc,
+                origin,
+                group,
+                tid,
+                op,
+            } => FutexReq {
                 rpc: *rpc,
                 origin: *origin,
                 group: *group,
@@ -467,19 +553,32 @@ impl ProtoMsg {
                 group: *group,
                 tid: *tid,
             },
-            RmwReq { rpc, origin, group, addr, op } => RmwReq {
+            RmwReq {
+                rpc,
+                origin,
+                group,
+                addr,
+                op,
+            } => RmwReq {
                 rpc: *rpc,
                 origin: *origin,
                 group: *group,
                 addr: *addr,
                 op: *op,
             },
-            RmwResp { rpc, old } => RmwResp { rpc: *rpc, old: *old },
+            RmwResp { rpc, old } => RmwResp {
+                rpc: *rpc,
+                old: *old,
+            },
             TaskExited { group, tid } => TaskExited {
                 group: *group,
                 tid: *tid,
             },
-            GroupExitReq { group, code, killed } => GroupExitReq {
+            GroupExitReq {
+                group,
+                code,
+                killed,
+            } => GroupExitReq {
                 group: *group,
                 code: *code,
                 killed: killed.clone(),
@@ -497,6 +596,59 @@ impl ProtoMsg {
             RetxTimer { token } => RetxTimer { token: *token },
             RpcDeadline { rpc } => RpcDeadline { rpc: *rpc },
         })
+    }
+
+    /// The protocol family handling this message (a [`ProtoMsg::Seq`]
+    /// envelope is classified by its payload).
+    pub fn protocol(&self) -> Protocol {
+        use ProtoMsg::*;
+        match self {
+            TaskMigrate(_) => Protocol::Migrate,
+            MemberAt { .. }
+            | CloneReq { .. }
+            | CloneResp { .. }
+            | TaskExited { .. }
+            | GroupExitReq { .. }
+            | GroupKill { .. }
+            | GroupKillAck { .. }
+            | GroupReap { .. } => Protocol::Group,
+            VmaOpReq { .. }
+            | VmaOpDone { .. }
+            | VmaUpdate { .. }
+            | VmaUpdateAck { .. }
+            | VmaFetchReq { .. }
+            | VmaFetchResp { .. } => Protocol::Vma,
+            PageReq { .. }
+            | PageFetch { .. }
+            | PageFetched { .. }
+            | PageInval { .. }
+            | PageInvalAck { .. }
+            | PageGrant { .. }
+            | PageDone { .. } => Protocol::Page,
+            FutexReq { .. }
+            | FutexResp { .. }
+            | FutexWakeTask { .. }
+            | RmwReq { .. }
+            | RmwResp { .. } => Protocol::Futex,
+            Seq { inner, .. } => inner.protocol(),
+            ChanAck { .. } | RetxTimer { .. } | RpcDeadline { .. } => Protocol::Transport,
+        }
+    }
+}
+
+impl SeqEnvelope for ProtoMsg {
+    fn wrap_seq(seq: u64, inner: Self) -> Self {
+        ProtoMsg::Seq {
+            seq,
+            inner: Box::new(inner),
+        }
+    }
+
+    fn unwrap_seq(self) -> Result<(u64, Self), Self> {
+        match self {
+            ProtoMsg::Seq { seq, inner } => Ok((seq, *inner)),
+            other => Err(other),
+        }
     }
 }
 

@@ -4,6 +4,74 @@ use std::collections::BTreeMap;
 
 use popcorn_sim::{Counter, Histogram};
 
+use crate::proto::Protocol;
+
+/// Traffic and service accounting for one protocol family.
+#[derive(Debug, Default)]
+pub struct ProtoCounters {
+    /// Messages this protocol put on the fabric. For the protocol families
+    /// this counts first transmissions (sequenced or not, delivered or
+    /// lost); retransmissions and channel acks are charged to
+    /// [`Protocol::Transport`], so the sum across all families equals the
+    /// fabric's total send count.
+    pub msgs_out: Counter,
+    /// Messages dispatched to this protocol's handler. For
+    /// [`Protocol::Transport`] this counts channel acks received and
+    /// suppressed duplicates; self-addressed timers never cross the fabric
+    /// and are not counted.
+    pub msgs_in: Counter,
+    /// RPCs registered by this protocol.
+    pub rpcs_issued: Counter,
+    /// RPCs completed (first completion only; deadline failures included).
+    pub rpcs_completed: Counter,
+    /// Serialized service time at this protocol's home-kernel server, per
+    /// served request.
+    pub service: Histogram,
+}
+
+/// Per-protocol counters, indexed by [`Protocol`].
+#[derive(Debug, Default)]
+pub struct ProtoStats {
+    /// Context migration.
+    pub migrate: ProtoCounters,
+    /// Thread-group membership and exit.
+    pub group: ProtoCounters,
+    /// VMA replication.
+    pub vma: ProtoCounters,
+    /// Page coherence.
+    pub page: ProtoCounters,
+    /// Distributed futex / RMW.
+    pub futex: ProtoCounters,
+    /// Reliability-layer overhead.
+    pub transport: ProtoCounters,
+}
+
+impl ProtoStats {
+    /// The counters for `p`.
+    pub fn of(&mut self, p: Protocol) -> &mut ProtoCounters {
+        match p {
+            Protocol::Migrate => &mut self.migrate,
+            Protocol::Group => &mut self.group,
+            Protocol::Vma => &mut self.vma,
+            Protocol::Page => &mut self.page,
+            Protocol::Futex => &mut self.futex,
+            Protocol::Transport => &mut self.transport,
+        }
+    }
+
+    /// Read access to the counters for `p`.
+    pub fn get(&self, p: Protocol) -> &ProtoCounters {
+        match p {
+            Protocol::Migrate => &self.migrate,
+            Protocol::Group => &self.group,
+            Protocol::Vma => &self.vma,
+            Protocol::Page => &self.page,
+            Protocol::Futex => &self.futex,
+            Protocol::Transport => &self.transport,
+        }
+    }
+}
+
 /// Counters and latency histograms for the replicated-kernel protocols.
 #[derive(Debug, Default)]
 pub struct PopStats {
@@ -75,13 +143,20 @@ pub struct PopStats {
     /// Tasks killed because an unrecoverable fault hit a path with no
     /// error return (page faults, sync words).
     pub fault_kills: Counter,
+
+    /// Per-protocol traffic/service accounting (one entry per `machine/`
+    /// protocol module).
+    pub proto: ProtoStats,
 }
 
 impl PopStats {
     /// Flattens into named metrics for [`RunReport`](popcorn_kernel::RunReport).
     pub fn metrics(&self) -> BTreeMap<String, f64> {
         let mut m = BTreeMap::new();
-        m.insert("migrations_first".into(), self.migrations_first.get() as f64);
+        m.insert(
+            "migrations_first".into(),
+            self.migrations_first.get() as f64,
+        );
         m.insert("migrations_back".into(), self.migrations_back.get() as f64);
         m.insert(
             "migration_first_us_mean".into(),
@@ -143,6 +218,15 @@ impl PopStats {
         );
         m.insert("ops_failed".into(), self.ops_failed.get() as f64);
         m.insert("fault_kills".into(), self.fault_kills.get() as f64);
+        for p in Protocol::ALL {
+            let c = self.proto.get(p);
+            let key = |suffix: &str| format!("proto_{}_{suffix}", p.name());
+            m.insert(key("msgs_out"), c.msgs_out.get() as f64);
+            m.insert(key("msgs_in"), c.msgs_in.get() as f64);
+            m.insert(key("rpcs_issued"), c.rpcs_issued.get() as f64);
+            m.insert(key("rpcs_completed"), c.rpcs_completed.get() as f64);
+            m.insert(key("service_us_mean"), c.service.mean() / 1_000.0);
+        }
         m
     }
 }

@@ -136,7 +136,10 @@ impl Harness {
             .iter()
             .filter(|(_, &s)| s == PageState::Exclusive)
             .collect();
-        assert!(writers.len() <= 1, "multiple exclusive holders: {writers:?}");
+        assert!(
+            writers.len() <= 1,
+            "multiple exclusive holders: {writers:?}"
+        );
         // If someone holds Exclusive, nobody else holds anything.
         if writers.len() == 1 && self.local.len() > 1 {
             panic!("exclusive holder coexists with replicas: {:?}", self.local);

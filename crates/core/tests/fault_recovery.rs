@@ -10,9 +10,7 @@
 use popcorn_core::{PopcornOs, PopcornParams};
 use popcorn_hw::Topology;
 use popcorn_kernel::osmodel::{OsModel, RunReport};
-use popcorn_kernel::program::{
-    MigrateTarget, Op, Program, ProgEnv, Resume, SysResult, SyscallReq,
-};
+use popcorn_kernel::program::{MigrateTarget, Op, ProgEnv, Program, Resume, SysResult, SyscallReq};
 use popcorn_kernel::types::VAddr;
 use popcorn_msg::{FaultPlan, KernelId, MsgParams};
 use popcorn_sim::SimTime;
@@ -41,7 +39,10 @@ struct WriteMigrateRead {
 
 impl WriteMigrateRead {
     fn new() -> Self {
-        WriteMigrateRead { state: 0, addr: VAddr(0) }
+        WriteMigrateRead {
+            state: 0,
+            addr: VAddr(0),
+        }
     }
 }
 
@@ -100,8 +101,8 @@ fn first_wedging_ordinal(reliable: bool) -> Option<u64> {
 
 #[test]
 fn lost_response_wedges_without_reliability_layer() {
-    let nth = first_wedging_ordinal(false)
-        .expect("some response loss on 0->1 must wedge the requester");
+    let nth =
+        first_wedging_ordinal(false).expect("some response loss on 0->1 must wedge the requester");
     let plan = FaultPlan::none().with_drop_nth(KernelId(0), KernelId(1), nth);
     let pop = PopcornParams {
         reliable_delivery: false,
@@ -110,7 +111,12 @@ fn lost_response_wedges_without_reliability_layer() {
     let mut os = faulty_os(2, plan, pop);
     os.load(Box::new(WriteMigrateRead::new()));
     let r = os.run();
-    assert_eq!(r.stuck_tasks.len(), 1, "requester wedged: {:?}", r.stuck_tasks);
+    assert_eq!(
+        r.stuck_tasks.len(),
+        1,
+        "requester wedged: {:?}",
+        r.stuck_tasks
+    );
     assert!(!r.is_clean());
     assert_eq!(r.metric("msgs_lost_raw"), 1.0, "exactly the scripted loss");
     assert_eq!(r.metric("retransmits"), 0.0, "raw mode never retransmits");
@@ -142,7 +148,10 @@ fn lost_response_recovers_with_reliability_layer() {
         assert_eq!(r.metric("msgs_abandoned"), 0.0, "nth={nth}");
         saw_retransmit |= r.metric("retransmits") >= 1.0;
     }
-    assert!(saw_retransmit, "some scripted loss must hit a sequenced message");
+    assert!(
+        saw_retransmit,
+        "some scripted loss must hit a sequenced message"
+    );
 }
 
 #[test]
@@ -181,7 +190,11 @@ fn uniform_drop_completes_with_retransmissions() {
     os.load(Box::new(WriteMigrateRead::new()));
     let r = os.run();
     assert!(r.is_clean(), "stuck: {:?}", r.stuck_tasks);
-    assert!(r.metric("drops_injected") >= 1.0, "metrics: {:?}", r.metrics);
+    assert!(
+        r.metric("drops_injected") >= 1.0,
+        "metrics: {:?}",
+        r.metrics
+    );
     // Losses that hit loss-tolerant acks need no retransmit, so the two
     // counters are not equal — but sequenced traffic dominates.
     assert!(r.metric("retransmits") >= 1.0);
@@ -228,7 +241,12 @@ fn migration_to_crashed_kernel_aborts_back_to_origin() {
     let r = os.run();
     assert!(r.is_clean(), "stuck: {:?}", r.stuck_tasks);
     assert_eq!(r.exited_tasks, 1);
-    assert_eq!(r.metric("migrations_aborted"), 3.0, "metrics: {:?}", r.metrics);
+    assert_eq!(
+        r.metric("migrations_aborted"),
+        3.0,
+        "metrics: {:?}",
+        r.metrics
+    );
     assert_eq!(r.metric("migrations_first"), 0.0, "nothing ever arrived");
     assert!(r.metric("msgs_abandoned") >= 3.0);
     assert!(r.metric("crash_drops") > 0.0);
@@ -249,7 +267,11 @@ fn blackout_window_is_ridden_out_by_retries() {
     os.load(Box::new(WriteMigrateRead::new()));
     let r = os.run();
     assert!(r.is_clean(), "stuck: {:?}", r.stuck_tasks);
-    assert!(r.metric("blackout_drops") >= 1.0, "metrics: {:?}", r.metrics);
+    assert!(
+        r.metric("blackout_drops") >= 1.0,
+        "metrics: {:?}",
+        r.metrics
+    );
     assert_eq!(r.metric("msgs_abandoned"), 0.0);
     assert!(r.metric("retransmits") >= 1.0);
 }

@@ -1,0 +1,89 @@
+//! Accounting invariant of the `machine/` module tree: the per-protocol
+//! counters reported by each module must add up to the fabric's
+//! ground-truth totals — on clean runs, and under fault injection (where
+//! retransmissions and channel acks are charged to the transport family).
+
+use popcorn_core::proto::Protocol;
+use popcorn_core::PopcornOs;
+use popcorn_hw::Topology;
+use popcorn_kernel::osmodel::{OsModel, RunReport};
+use popcorn_kernel::program::Placement;
+use popcorn_msg::{FaultPlan, MsgParams};
+use popcorn_workloads::micro;
+use popcorn_workloads::team::{Team, TeamConfig};
+
+/// Sums `proto_<family>_<suffix>` over every protocol family.
+fn family_sum(r: &RunReport, suffix: &str) -> f64 {
+    Protocol::ALL
+        .iter()
+        .map(|p| r.metric(&format!("proto_{}_{suffix}", p.name())))
+        .sum()
+}
+
+#[test]
+fn per_protocol_sends_sum_to_fabric_totals_on_e2_style_run() {
+    // The E2 rig shape: a loaded machine with a migration ping-pong on
+    // top, so migrate, page, vma, futex and group traffic all flow.
+    let mut os = PopcornOs::builder()
+        .topology(Topology::new(2, 4))
+        .kernels(4)
+        .build();
+    let mut cfg = TeamConfig::new(4, 4 * 4096);
+    cfg.placement = Placement::Auto;
+    os.load(Team::boxed(
+        cfg,
+        Box::new(|i, shared| Box::new(micro::PageBounceWorker::new(shared.data, 4, 6, i as u64))),
+    ));
+    os.load(Box::new(micro::MigrationPingPong::new(40)));
+    let r = os.run();
+    assert!(r.is_clean(), "stuck: {:?}", r.stuck_tasks);
+    let msgs = r.metric("messages");
+    assert!(msgs > 0.0, "the run must generate traffic");
+    assert_eq!(
+        family_sum(&r, "msgs_out"),
+        msgs,
+        "every fabric send is attributed to exactly one protocol family"
+    );
+    // Fault-free, every send is delivered and dispatched exactly once.
+    assert_eq!(family_sum(&r, "msgs_in"), msgs);
+    // Every RPC issued by a module completed (none leaked or timed out).
+    assert_eq!(
+        family_sum(&r, "rpcs_issued"),
+        family_sum(&r, "rpcs_completed")
+    );
+    // The workload genuinely exercised several families.
+    assert!(r.metric("proto_migrate_msgs_out") >= 1.0);
+    assert!(r.metric("proto_page_msgs_out") >= 1.0);
+    assert!(r.metric("proto_futex_msgs_out") >= 1.0);
+    assert_eq!(
+        r.metric("proto_transport_msgs_out"),
+        0.0,
+        "no faults, no overhead"
+    );
+}
+
+#[test]
+fn per_protocol_sends_sum_to_fabric_totals_under_faults() {
+    let msg = MsgParams {
+        faults: FaultPlan::uniform_drop(42, 0.05),
+        ..MsgParams::default()
+    };
+    let mut os = PopcornOs::builder()
+        .topology(Topology::new(2, 4))
+        .kernels(4)
+        .msg_params(msg)
+        .build();
+    os.load(Box::new(micro::MigrationPingPong::new(40)));
+    let r = os.run();
+    let msgs = r.metric("messages");
+    assert!(
+        r.metric("acks_sent") + r.metric("retransmits") > 0.0,
+        "the reliability layer must have been exercised: {:?}",
+        r.metrics
+    );
+    assert_eq!(
+        family_sum(&r, "msgs_out"),
+        msgs,
+        "retransmissions and acks are charged to the transport family"
+    );
+}

@@ -8,7 +8,7 @@ use popcorn_core::{PopcornOs, PopcornParams};
 use popcorn_hw::Topology;
 use popcorn_kernel::osmodel::OsModel;
 use popcorn_kernel::program::{
-    MigrateTarget, Op, Placement, Program, ProgEnv, Resume, SysResult, SyscallReq,
+    MigrateTarget, Op, Placement, ProgEnv, Program, Resume, SysResult, SyscallReq,
 };
 use popcorn_kernel::types::VAddr;
 use popcorn_msg::KernelId;
@@ -133,7 +133,11 @@ fn back_migration_is_cheaper_than_first_visit() {
     os.load(Box::new(micro::MigrationPingPong::new(10)));
     let r = os.run();
     assert!(r.is_clean());
-    assert_eq!(r.metric("migrations_first"), 1.0, "one first visit to kernel 1");
+    assert_eq!(
+        r.metric("migrations_first"),
+        1.0,
+        "one first visit to kernel 1"
+    );
     assert_eq!(r.metric("migrations_back"), 9.0);
     let first = os.stats().migration_first_lat.mean();
     let back = os.stats().migration_back_lat.mean();
@@ -299,9 +303,7 @@ fn on_demand_vma_retrieval_serves_remote_threads() {
     let mut os = os(4);
     os.load(Team::boxed(
         cfg,
-        Box::new(|i, shared| {
-            Box::new(micro::PageBounceWorker::new(shared.data, 4, 6, i as u64))
-        }),
+        Box::new(|i, shared| Box::new(micro::PageBounceWorker::new(shared.data, 4, 6, i as u64))),
     ));
     let r = os.run();
     assert!(r.is_clean(), "stuck: {:?}", r.stuck_tasks);
@@ -311,7 +313,10 @@ fn on_demand_vma_retrieval_serves_remote_threads() {
         "remote kernels must fetch VMAs on demand: {:?}",
         r.metrics
     );
-    assert!(r.metric("invalidations") >= 1.0, "writes must bounce ownership");
+    assert!(
+        r.metric("invalidations") >= 1.0,
+        "writes must bounce ownership"
+    );
 }
 
 #[test]
@@ -348,7 +353,10 @@ fn eager_vma_replication_ablation_removes_fetches() {
     }));
     let rl = lazy.run();
     assert!(rl.is_clean());
-    assert!(rl.metric("vma_fetches") >= 1.0, "lazy mode fetches on fault");
+    assert!(
+        rl.metric("vma_fetches") >= 1.0,
+        "lazy mode fetches on fault"
+    );
 }
 
 #[test]

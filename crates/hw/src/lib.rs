@@ -117,10 +117,7 @@ mod tests {
         let m = machine();
         assert_eq!(m.topology().num_cores(), 8);
         assert_eq!(m.interconnect().topology(), m.topology());
-        assert_eq!(
-            m.params().ipi_latency(),
-            m.shootdown().ipi_latency()
-        );
+        assert_eq!(m.params().ipi_latency(), m.shootdown().ipi_latency());
     }
 
     #[test]

@@ -314,7 +314,12 @@ mod tests {
     fn uncontended_acquire_has_no_wait() {
         let (p, ic) = setup();
         let mut l = LockSite::new("t", &p);
-        let a = l.acquire(SimTime::from_micros(1), CoreId(0), SimTime::from_nanos(100), &ic);
+        let a = l.acquire(
+            SimTime::from_micros(1),
+            CoreId(0),
+            SimTime::from_nanos(100),
+            &ic,
+        );
         assert_eq!(a.wait, SimTime::ZERO);
         assert_eq!(l.contended(), 0);
         assert_eq!(l.acquires(), 1);

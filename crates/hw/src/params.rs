@@ -83,7 +83,10 @@ impl HwParams {
     /// Returns a human-readable description of the first violated constraint.
     pub fn validate(&self) -> Result<(), String> {
         if self.clock_ghz <= 0.0 {
-            return Err(format!("clock_ghz must be positive, got {}", self.clock_ghz));
+            return Err(format!(
+                "clock_ghz must be positive, got {}",
+                self.clock_ghz
+            ));
         }
         if self.dram_remote_ns < self.dram_local_ns {
             return Err(format!(
@@ -167,6 +170,9 @@ mod tests {
         assert_eq!(p.atomic_op().as_nanos(), p.atomic_op_ns);
         assert_eq!(p.ipi_latency().as_nanos(), p.ipi_latency_ns);
         assert_eq!(p.ipi_handler().as_nanos(), p.ipi_handler_ns);
-        assert_eq!(p.spinlock_uncontended().as_nanos(), p.spinlock_uncontended_ns);
+        assert_eq!(
+            p.spinlock_uncontended().as_nanos(),
+            p.spinlock_uncontended_ns
+        );
     }
 }

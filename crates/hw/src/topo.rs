@@ -2,12 +2,9 @@
 
 use std::fmt;
 
-
 /// A hardware core (hyperthreading is not modelled; one core = one logical
 /// CPU as in the paper's setup).
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub struct CoreId(pub u16);
 
 impl fmt::Display for CoreId {
@@ -17,9 +14,7 @@ impl fmt::Display for CoreId {
 }
 
 /// A NUMA socket (one memory controller per socket).
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub struct SocketId(pub u16);
 
 impl fmt::Display for SocketId {

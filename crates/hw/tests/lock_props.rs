@@ -43,7 +43,10 @@ fn lock_site_sections_never_overlap() {
             let a = site.acquire(now, CoreId(core), SimTime::from_nanos(hold), &ic);
             assert!(a.acquired_at >= now);
             assert!(a.released_at >= a.acquired_at);
-            assert!(a.acquired_at >= prev_release, "overlapping critical sections");
+            assert!(
+                a.acquired_at >= prev_release,
+                "overlapping critical sections"
+            );
             if now < prev_release {
                 contended_expect += 1;
                 assert_eq!(a.wait, prev_release - now);
@@ -133,6 +136,9 @@ fn denser_arrivals_never_finish_earlier() {
         };
         let wait_dense = total_wait(gap);
         let wait_sparse = total_wait(gap + 300);
-        assert!(wait_sparse <= wait_dense, "sparser arrivals must wait no more");
+        assert!(
+            wait_sparse <= wait_dense,
+            "sparser arrivals must wait no more"
+        );
     }
 }

@@ -176,10 +176,30 @@ mod tests {
     #[test]
     fn cas_succeeds_only_on_match() {
         let mut t = FutexTable::new();
-        assert_eq!(t.rmw(g(), A, RmwOp::Cas { expected: 0, new: 1 }), 0);
+        assert_eq!(
+            t.rmw(
+                g(),
+                A,
+                RmwOp::Cas {
+                    expected: 0,
+                    new: 1
+                }
+            ),
+            0
+        );
         assert_eq!(t.read(g(), A), 1);
         // Mismatch: returns old, leaves value.
-        assert_eq!(t.rmw(g(), A, RmwOp::Cas { expected: 0, new: 9 }), 1);
+        assert_eq!(
+            t.rmw(
+                g(),
+                A,
+                RmwOp::Cas {
+                    expected: 0,
+                    new: 9
+                }
+            ),
+            1
+        );
         assert_eq!(t.read(g(), A), 1);
     }
 
@@ -234,7 +254,9 @@ mod tests {
     fn drop_group_returns_orphans_sorted() {
         let mut t = FutexTable::new();
         t.wait_if(g(), A, 0, w(3)).then_some(()).unwrap();
-        t.wait_if(g(), VAddr(0x8000), 0, w(1)).then_some(()).unwrap();
+        t.wait_if(g(), VAddr(0x8000), 0, w(1))
+            .then_some(())
+            .unwrap();
         let orphans = t.drop_group(g());
         assert_eq!(orphans, vec![w(1), w(3)]);
         assert_eq!(t.read(g(), A), 0);

@@ -705,7 +705,11 @@ impl Kernel {
         tid: Tid,
         to: KernelId,
         now: SimTime,
-    ) -> (Box<dyn crate::program::Program>, crate::types::CpuContext, TaskStats) {
+    ) -> (
+        Box<dyn crate::program::Program>,
+        crate::types::CpuContext,
+        TaskStats,
+    ) {
         let task = self.tasks.get_mut(&tid).expect("task exists");
         assert!(
             matches!(task.state, TaskState::InSyscall),
@@ -743,7 +747,10 @@ impl Kernel {
         stats: TaskStats,
         now: SimTime,
     ) -> (CoreId, bool) {
-        assert!(self.has_mm(group), "migration before mm replica for {group}");
+        assert!(
+            self.has_mm(group),
+            "migration before mm replica for {group}"
+        );
         if let Some(task) = self.tasks.get_mut(&tid) {
             assert!(task.is_shadow(), "{tid} exists here but is not a shadow");
             task.program = Some(program);
@@ -804,10 +811,7 @@ impl Kernel {
             return None;
         }
         let core = task.core;
-        let was_on_core = matches!(
-            task.state,
-            TaskState::Running | TaskState::InSyscall
-        );
+        let was_on_core = matches!(task.state, TaskState::Running | TaskState::InSyscall);
         let was_queued = matches!(task.state, TaskState::Ready);
         task.state = TaskState::Exited(code);
         task.program = None;
@@ -954,7 +958,10 @@ mod tests {
     #[test]
     fn idle_core_reports_idle() {
         let mut k = kernel();
-        assert!(matches!(k.run_core(SimTime::ZERO, CoreId(0)), RunOutcome::Idle));
+        assert!(matches!(
+            k.run_core(SimTime::ZERO, CoreId(0)),
+            RunOutcome::Idle
+        ));
     }
 
     #[test]
@@ -983,17 +990,26 @@ mod tests {
         let g = group(&mut k);
         let addr = k.mm_mut(g).map_anon(4096).unwrap();
         let tid = k.alloc_tid();
-        let core = k.spawn(tid, g, Box::new(Toucher { addr, state: 0 }), None, SimTime::ZERO);
+        let core = k.spawn(
+            tid,
+            g,
+            Box::new(Toucher { addr, state: 0 }),
+            None,
+            SimTime::ZERO,
+        );
         // First store faults (absent page).
         let (page, at) = match k.run_core(SimTime::ZERO, core) {
-            RunOutcome::Fault { page, write, at, .. } => {
+            RunOutcome::Fault {
+                page, write, at, ..
+            } => {
                 assert!(write);
                 (page, at)
             }
             other => panic!("expected fault, got {other:?}"),
         };
         // OS resolves with a zero-fill, task retries inline.
-        k.mm_mut(g).install_zero_page(page, crate::mm::PageState::Exclusive);
+        k.mm_mut(g)
+            .install_zero_page(page, crate::mm::PageState::Exclusive);
         let done = at + SimTime::from_nanos(1_100);
         let kick = k.finish_fault_inline(tid, done);
         assert_eq!(kick, core);
@@ -1020,7 +1036,9 @@ mod tests {
         let tid = k.alloc_tid();
         let core = k.spawn(tid, g, Box::new(Wild), None, SimTime::ZERO);
         let at = match k.run_core(SimTime::ZERO, core) {
-            RunOutcome::Fault { no_vma, write, at, .. } => {
+            RunOutcome::Fault {
+                no_vma, write, at, ..
+            } => {
                 assert!(no_vma);
                 assert!(write);
                 at
@@ -1041,7 +1059,13 @@ mod tests {
         let g = group(&mut k);
         // Queued task.
         let queued = k.alloc_tid();
-        k.spawn(queued, g, Box::new(Spin { chunks: 5 }), Some(CoreId(0)), SimTime::ZERO);
+        k.spawn(
+            queued,
+            g,
+            Box::new(Spin { chunks: 5 }),
+            Some(CoreId(0)),
+            SimTime::ZERO,
+        );
         // Blocked task (spawn on other core, run it into a syscall, block).
         #[derive(Debug)]
         struct Sleepy {
@@ -1057,7 +1081,13 @@ mod tests {
             }
         }
         let blocked = k.alloc_tid();
-        k.spawn(blocked, g, Box::new(Sleepy { asked: false }), Some(CoreId(1)), SimTime::ZERO);
+        k.spawn(
+            blocked,
+            g,
+            Box::new(Sleepy { asked: false }),
+            Some(CoreId(1)),
+            SimTime::ZERO,
+        );
         let at = match k.run_core(SimTime::ZERO, CoreId(1)) {
             RunOutcome::Syscall { at, .. } => at,
             other => panic!("unexpected {other:?}"),
@@ -1112,7 +1142,13 @@ mod tests {
         let mut k = kernel();
         let g = group(&mut k);
         let tid = k.alloc_tid();
-        let core = k.spawn(tid, g, Box::new(Getter { asked: false }), None, SimTime::ZERO);
+        let core = k.spawn(
+            tid,
+            g,
+            Box::new(Getter { asked: false }),
+            None,
+            SimTime::ZERO,
+        );
         let at = match k.run_core(SimTime::ZERO, core) {
             RunOutcome::Syscall { req, at, .. } => {
                 assert!(matches!(req, SyscallReq::GetTid));
@@ -1150,7 +1186,13 @@ mod tests {
         let mut k = kernel();
         let g = group(&mut k);
         let tid = k.alloc_tid();
-        let core = k.spawn(tid, g, Box::new(Adder { asked: false }), None, SimTime::ZERO);
+        let core = k.spawn(
+            tid,
+            g,
+            Box::new(Adder { asked: false }),
+            None,
+            SimTime::ZERO,
+        );
         let at = match k.run_core(SimTime::ZERO, core) {
             RunOutcome::SyncOp { addr, op, at, .. } => {
                 assert_eq!(addr, VAddr(0x1000));
@@ -1174,8 +1216,20 @@ mod tests {
         let t2 = k.alloc_tid();
         // Each spins 3 quanta worth of compute.
         let chunks = 3 * 1_000;
-        k.spawn(t1, g, Box::new(Spin { chunks }), Some(CoreId(0)), SimTime::ZERO);
-        k.spawn(t2, g, Box::new(Spin { chunks }), Some(CoreId(0)), SimTime::ZERO);
+        k.spawn(
+            t1,
+            g,
+            Box::new(Spin { chunks }),
+            Some(CoreId(0)),
+            SimTime::ZERO,
+        );
+        k.spawn(
+            t2,
+            g,
+            Box::new(Spin { chunks }),
+            Some(CoreId(0)),
+            SimTime::ZERO,
+        );
         let mut now = SimTime::ZERO;
         let mut exited = 0;
         let mut preemptions = 0;
@@ -1230,7 +1284,13 @@ mod tests {
         let mut k = kernel();
         let g = group(&mut k);
         let tid = k.alloc_tid();
-        let core = k.spawn(tid, g, Box::new(Sleeper { asked: false }), None, SimTime::ZERO);
+        let core = k.spawn(
+            tid,
+            g,
+            Box::new(Sleeper { asked: false }),
+            None,
+            SimTime::ZERO,
+        );
         let at = match k.run_core(SimTime::ZERO, core) {
             RunOutcome::Syscall { at, .. } => at,
             other => panic!("expected syscall, got {other:?}"),
@@ -1259,9 +1319,9 @@ mod tests {
             fn step(&mut self, _r: Resume, _e: &ProgEnv) -> Op {
                 if !self.asked {
                     self.asked = true;
-                    return Op::Syscall(SyscallReq::Migrate(crate::program::MigrateTarget::Kernel(
-                        KernelId(1),
-                    )));
+                    return Op::Syscall(SyscallReq::Migrate(
+                        crate::program::MigrateTarget::Kernel(KernelId(1)),
+                    ));
                 }
                 Op::Exit(0)
             }
@@ -1269,7 +1329,13 @@ mod tests {
         let mut k = kernel();
         let g = group(&mut k);
         let tid = k.alloc_tid();
-        let core = k.spawn(tid, g, Box::new(Migrator { asked: false }), None, SimTime::ZERO);
+        let core = k.spawn(
+            tid,
+            g,
+            Box::new(Migrator { asked: false }),
+            None,
+            SimTime::ZERO,
+        );
         let at = match k.run_core(SimTime::ZERO, core) {
             RunOutcome::Syscall { at, .. } => at,
             other => panic!("expected syscall, got {other:?}"),
@@ -1312,11 +1378,20 @@ mod tests {
         let mut k = kernel();
         let g = group(&mut k);
         let tid = k.alloc_tid();
-        k.spawn(tid, g, Box::new(Spin { chunks: 1 }), Some(CoreId(0)), SimTime::ZERO);
+        k.spawn(
+            tid,
+            g,
+            Box::new(Spin { chunks: 1 }),
+            Some(CoreId(0)),
+            SimTime::ZERO,
+        );
         k.reassign_core(tid, CoreId(1));
         assert_eq!(k.core_load(CoreId(0)), 0);
         assert_eq!(k.core_load(CoreId(1)), 1);
-        assert!(matches!(k.run_core(SimTime::ZERO, CoreId(0)), RunOutcome::Idle));
+        assert!(matches!(
+            k.run_core(SimTime::ZERO, CoreId(0)),
+            RunOutcome::Idle
+        ));
         assert!(matches!(
             k.run_core(SimTime::ZERO, CoreId(1)),
             RunOutcome::Exited { .. }

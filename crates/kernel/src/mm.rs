@@ -241,7 +241,8 @@ impl Mm {
                     dropped.push(page);
                 }
                 let base = page.base().0;
-                self.words.retain(|&a, _| !(base..base + VAddr::PAGE_SIZE).contains(&a));
+                self.words
+                    .retain(|&a, _| !(base..base + VAddr::PAGE_SIZE).contains(&a));
             }
         }
         Ok(dropped)
@@ -585,7 +586,10 @@ mod tests {
         let r = m.replica_layout();
         assert_eq!(r.vma_count(), 1);
         assert_eq!(r.resident_pages(), 0);
-        assert!(matches!(r.check_access(a, false), AccessCheck::NeedPage { .. }));
+        assert!(matches!(
+            r.check_access(a, false),
+            AccessCheck::NeedPage { .. }
+        ));
     }
 
     #[test]

@@ -57,10 +57,7 @@ pub fn ensure_core_run<X>(
     core: CoreId,
     at: SimTime,
 ) {
-    sched.at(
-        at.max(sched.now()),
-        OsEvent::CoreRun { kernel, core },
-    );
+    sched.at(at.max(sched.now()), OsEvent::CoreRun { kernel, core });
 }
 
 /// Policy hooks an OS model implements; [`dispatch`] routes events to them.
@@ -123,7 +120,12 @@ pub trait OsMachine {
     );
 
     /// Handles a model-specific event.
-    fn handle_custom(&mut self, sched: &mut Scheduler<OsEvent<Self::Msg>>, msg: Self::Msg, now: SimTime);
+    fn handle_custom(
+        &mut self,
+        sched: &mut Scheduler<OsEvent<Self::Msg>>,
+        msg: Self::Msg,
+        now: SimTime,
+    );
 }
 
 /// Runs one core and routes the outcome to the model's hooks. OS models

@@ -24,9 +24,7 @@ const LOCAL_BITS: u32 = 24;
 /// assert_eq!(t.origin(), KernelId(2));
 /// assert_eq!(t.local(), 7);
 /// ```
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub struct Tid(pub u32);
 
 impl Tid {
@@ -59,9 +57,7 @@ impl fmt::Display for Tid {
 
 /// A distributed thread group identity: the group leader's tid, which is
 /// also what `getpid` reports on every kernel (single-system image).
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub struct GroupId(pub Tid);
 
 impl GroupId {
@@ -83,9 +79,7 @@ impl fmt::Display for GroupId {
 }
 
 /// A virtual address within a group's (shared) address space.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub struct VAddr(pub u64);
 
 impl VAddr {
@@ -116,9 +110,7 @@ impl fmt::Display for VAddr {
 }
 
 /// A virtual page number (`address >> 12`).
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub struct PageNo(pub u64);
 
 impl PageNo {

@@ -6,9 +6,7 @@ use popcorn_kernel::kernel::Kernel;
 use popcorn_kernel::mm::{Mm, PageState};
 use popcorn_kernel::osmodel::{self, OsEvent, OsMachine};
 use popcorn_kernel::params::OsParams;
-use popcorn_kernel::program::{
-    Op, Program, ProgEnv, Resume, RmwOp, SysResult, SyscallReq,
-};
+use popcorn_kernel::program::{Op, ProgEnv, Program, Resume, RmwOp, SysResult, SyscallReq};
 use popcorn_kernel::types::{GroupId, PageNo, Tid, VAddr};
 use popcorn_msg::KernelId;
 use popcorn_sim::{Handler, Scheduler, SimTime, Simulator};

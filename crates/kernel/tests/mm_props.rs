@@ -17,10 +17,21 @@ fn fresh() -> Mm {
 /// A random address-space action.
 #[derive(Debug, Clone, Copy)]
 enum Action {
-    Map { pages: u64 },
-    UnmapNth { index: usize },
-    Write { region: usize, offset: u64, value: u64 },
-    Read { region: usize, offset: u64 },
+    Map {
+        pages: u64,
+    },
+    UnmapNth {
+        index: usize,
+    },
+    Write {
+        region: usize,
+        offset: u64,
+        value: u64,
+    },
+    Read {
+        region: usize,
+        offset: u64,
+    },
 }
 
 fn random_action(rng: &mut SimRng) -> Action {

@@ -5,7 +5,7 @@ use popcorn_hw::{CoreId, HwParams, Machine, Topology};
 use popcorn_kernel::kernel::{Kernel, RunOutcome};
 use popcorn_kernel::mm::Mm;
 use popcorn_kernel::params::OsParams;
-use popcorn_kernel::program::{Op, Program, ProgEnv, Resume};
+use popcorn_kernel::program::{Op, ProgEnv, Program, Resume};
 use popcorn_kernel::types::{GroupId, Tid};
 use popcorn_msg::KernelId;
 use popcorn_sim::SimTime;
@@ -79,7 +79,13 @@ fn oversubscribed_core_interleaves_all_tasks() {
     let tids: Vec<Tid> = (0..6)
         .map(|_| {
             let t = k.alloc_tid();
-            k.spawn(t, g, Box::new(Spin::new(per_task, 1_200_000)), None, SimTime::ZERO);
+            k.spawn(
+                t,
+                g,
+                Box::new(Spin::new(per_task, 1_200_000)),
+                None,
+                SimTime::ZERO,
+            );
             t
         })
         .collect();
@@ -100,7 +106,13 @@ fn oversubscribed_core_interleaves_all_tasks() {
         let g2 = group(&mut k2);
         for _ in 0..6 {
             let t = k2.alloc_tid();
-            k2.spawn(t, g2, Box::new(Spin::new(per_task, 1_200_000)), None, SimTime::ZERO);
+            k2.spawn(
+                t,
+                g2,
+                Box::new(Spin::new(per_task, 1_200_000)),
+                None,
+                SimTime::ZERO,
+            );
         }
         let mut now = SimTime::ZERO;
         let mut first = None;
@@ -130,9 +142,21 @@ fn long_compute_is_preempted_at_quantum_granularity() {
     let g = group(&mut k);
     // One hog with a single 50ms compute op; one sprinter with 0.1ms.
     let hog = k.alloc_tid();
-    k.spawn(hog, g, Box::new(Spin::new(120_000_000, 120_000_000)), None, SimTime::ZERO);
+    k.spawn(
+        hog,
+        g,
+        Box::new(Spin::new(120_000_000, 120_000_000)),
+        None,
+        SimTime::ZERO,
+    );
     let sprinter = k.alloc_tid();
-    k.spawn(sprinter, g, Box::new(Spin::new(240_000, 240_000)), None, SimTime::ZERO);
+    k.spawn(
+        sprinter,
+        g,
+        Box::new(Spin::new(240_000, 240_000)),
+        None,
+        SimTime::ZERO,
+    );
     let (_, exits) = drive(&mut k, CoreId(0), 2);
     assert_eq!(
         exits[0], sprinter,
@@ -154,7 +178,13 @@ fn cpu_time_accounting_matches_work() {
     let g = group(&mut k);
     let t = k.alloc_tid();
     let cycles = 7_200_000u64; // 3ms at 2.4GHz
-    k.spawn(t, g, Box::new(Spin::new(cycles, 600_000)), None, SimTime::ZERO);
+    k.spawn(
+        t,
+        g,
+        Box::new(Spin::new(cycles, 600_000)),
+        None,
+        SimTime::ZERO,
+    );
     drive(&mut k, CoreId(0), 1);
     assert_eq!(k.task(t).unwrap().stats.cpu_time, SimTime::from_millis(3));
 }
@@ -164,7 +194,13 @@ fn sole_runner_never_pays_preemption() {
     let mut k = one_core_kernel();
     let g = group(&mut k);
     let t = k.alloc_tid();
-    k.spawn(t, g, Box::new(Spin::new(24_000_000, 24_000_000)), None, SimTime::ZERO);
+    k.spawn(
+        t,
+        g,
+        Box::new(Spin::new(24_000_000, 24_000_000)),
+        None,
+        SimTime::ZERO,
+    );
     drive(&mut k, CoreId(0), 1);
     // One dispatch, zero further switches.
     assert_eq!(k.stats.ctx_switches.get(), 1);

@@ -1,0 +1,558 @@
+//! Reliable delivery and RPC bookkeeping as a reusable substrate.
+//!
+//! Every OS model that talks across kernels needs the same three pieces of
+//! plumbing on top of the raw [`Fabric`]:
+//!
+//! 1. turning a [`SendOutcome`] into scheduled receive events;
+//! 2. (under fault injection) sequence numbers, duplicate suppression and
+//!    retransmission with exponential backoff;
+//! 3. request/response correlation with optional deadlines.
+//!
+//! Historically the Popcorn core and the multikernel baseline each owned a
+//! private copy of this plumbing. This module hosts the shared
+//! implementation:
+//!
+//! - [`ReliableFabric`] wraps a [`Fabric`] and owns the sequence-number /
+//!   retransmit state. Its [`ReliableFabric::send`] returns a [`SendPlan`]
+//!   describing what the *caller* must schedule — the crate stays free of
+//!   any event-type dependency, so models with different event alphabets
+//!   can all use it.
+//! - [`Endpoint`] wraps an [`RpcTable`] and counts registrations and
+//!   completions, so per-protocol observability comes for free.
+//! - [`RetxPolicy`] owns the backoff arithmetic.
+//!
+//! The reliability state is allocated only when the fabric's fault plan is
+//! active *and* the model asked for reliable delivery; zero-fault runs
+//! carry no state and take the plain send path, which keeps their results
+//! byte-identical to a model using the fabric directly.
+
+use std::collections::BTreeMap;
+
+use popcorn_sim::SimTime;
+
+use crate::fabric::{Delivery, Fabric, KernelId, SendOutcome, Wire};
+use crate::rpc::{RpcId, RpcTable};
+
+/// A payload type that can carry a sequence-number envelope.
+///
+/// The reliability layer wraps every payload in a sequence envelope (one
+/// variant of the model's message enum) so the receive side can suppress
+/// injected duplicates. The envelope must account for its own wire
+/// overhead in the payload's [`Wire`] impl.
+pub trait SeqEnvelope: Wire + Sized {
+    /// Wraps `inner` in a sequence envelope carrying `seq`.
+    fn wrap_seq(seq: u64, inner: Self) -> Self;
+
+    /// Unwraps a sequence envelope; `Err` returns a non-envelope payload
+    /// unchanged.
+    fn unwrap_seq(self) -> Result<(u64, Self), Self>;
+}
+
+/// Retransmission policy: exponential backoff from `base_ns`, clamped at
+/// `cap_ns`, giving up after `max_attempts` total transmissions.
+#[derive(Debug, Clone, Copy)]
+pub struct RetxPolicy {
+    /// Backoff before the first retransmission, in ns.
+    pub base_ns: u64,
+    /// Backoff ceiling, in ns.
+    pub cap_ns: u64,
+    /// Total transmissions (first try included) before giving up.
+    pub max_attempts: u32,
+}
+
+impl RetxPolicy {
+    /// Backoff before retransmit number `attempt` (1-based: the delay
+    /// scheduled after the `attempt`-th failed transmission).
+    pub fn backoff_ns(&self, attempt: u32) -> u64 {
+        let exp = attempt.saturating_sub(1);
+        // `<<` drops overflowing bits silently (and panics past 63 in
+        // debug), so saturate once the doubling leaves the u64 range.
+        if exp >= self.base_ns.leading_zeros() {
+            return self.cap_ns;
+        }
+        (self.base_ns << exp).min(self.cap_ns)
+    }
+}
+
+/// A lost message parked in the retransmit buffer.
+#[derive(Debug)]
+struct Stashed<P> {
+    from: KernelId,
+    to: KernelId,
+    /// Transmissions attempted so far (all lost).
+    attempts: u32,
+    payload: P,
+}
+
+/// Sequence-number and retransmit state, allocated only under active fault
+/// injection (see module docs). All maps are ordered: nothing iterates
+/// them today, but a `HashMap` here would be a latent nondeterminism
+/// hazard for any future code that does.
+#[derive(Debug)]
+struct SeqState<P> {
+    /// Next sequence number per directed channel `(sender, receiver)`.
+    next_seq: BTreeMap<(u16, u16), u64>,
+    /// Highest sequence seen per directed channel `(receiver, sender)`.
+    /// Channels are FIFO and retransmissions take *fresh* sequence numbers
+    /// (the receiver never saw the lost original), so arrivals are
+    /// strictly monotone in `seq` and anything at or below the high-water
+    /// mark is an injected duplicate.
+    last_seen: BTreeMap<(u16, u16), u64>,
+    /// Lost messages awaiting their retransmit timer, by token.
+    retx: BTreeMap<u64, Stashed<P>>,
+    next_token: u64,
+}
+
+impl<P> Default for SeqState<P> {
+    fn default() -> Self {
+        SeqState {
+            next_seq: BTreeMap::new(),
+            last_seen: BTreeMap::new(),
+            retx: BTreeMap::new(),
+            next_token: 0,
+        }
+    }
+}
+
+impl<P> SeqState<P> {
+    fn alloc_seq(&mut self, from: KernelId, to: KernelId) -> u64 {
+        let c = self.next_seq.entry((from.0, to.0)).or_insert(0);
+        *c += 1;
+        *c
+    }
+
+    fn stash(&mut self, s: Stashed<P>) -> u64 {
+        self.next_token += 1;
+        self.retx.insert(self.next_token, s);
+        self.next_token
+    }
+}
+
+/// What the caller must do after a send — the endpoint's side of the
+/// bargain that keeps this crate independent of any event type. The OS
+/// model maps each variant onto its own scheduler/event machinery.
+#[derive(Debug)]
+#[must_use = "a send plan describes events the caller must schedule"]
+pub enum SendPlan<P> {
+    /// The fabric delivered: schedule a receive at `delivery.deliver_at`
+    /// (and, if the fault injector produced one, a duplicate at
+    /// `duplicate_at`).
+    Deliver {
+        /// The delivery to schedule.
+        delivery: Delivery<P>,
+        /// Injected-duplicate delivery time, if any.
+        duplicate_at: Option<SimTime>,
+    },
+    /// The message was lost and the reliability layer is off: raw loss,
+    /// nothing to schedule.
+    LostRaw,
+    /// The transmission was lost; the payload is parked in the retransmit
+    /// buffer under `token`. Schedule a retransmit timer at `fire_at` and
+    /// call [`ReliableFabric::retransmit`] when it fires.
+    Backoff {
+        /// Retransmit-buffer token to pass back to `retransmit`.
+        token: u64,
+        /// When the retransmit timer must fire.
+        fire_at: SimTime,
+        /// The backoff delay itself (for accounting).
+        backoff: SimTime,
+    },
+    /// Every transmission attempt was lost; the sender must unwind
+    /// whatever local state expected the send to succeed.
+    Abandoned {
+        /// The sending kernel.
+        from: KernelId,
+        /// The unreachable destination.
+        to: KernelId,
+        /// The undeliverable payload, back in the sender's hands.
+        payload: P,
+    },
+}
+
+/// A [`Fabric`] with reliable delivery layered on top (see module docs).
+#[derive(Debug)]
+pub struct ReliableFabric<P: SeqEnvelope> {
+    fabric: Fabric,
+    policy: RetxPolicy,
+    /// `None` on the plain path (no faults or reliability disabled).
+    seq: Option<SeqState<P>>,
+}
+
+impl<P: SeqEnvelope> ReliableFabric<P> {
+    /// Wraps `fabric`. Reliability state is allocated only when the
+    /// fabric's fault plan is active and `reliable` is set.
+    pub fn new(fabric: Fabric, policy: RetxPolicy, reliable: bool) -> Self {
+        let seq = (fabric.faults_active() && reliable).then(SeqState::default);
+        ReliableFabric {
+            fabric,
+            policy,
+            seq,
+        }
+    }
+
+    /// The wrapped fabric (read access for reports).
+    pub fn fabric(&self) -> &Fabric {
+        &self.fabric
+    }
+
+    /// Mutable access to the wrapped fabric, for sends that must bypass
+    /// sequencing (channel acks) and for fault bookkeeping.
+    pub fn fabric_mut(&mut self) -> &mut Fabric {
+        &mut self.fabric
+    }
+
+    /// True when the reliability layer is active.
+    pub fn is_reliable(&self) -> bool {
+        self.seq.is_some()
+    }
+
+    /// The retransmission policy.
+    pub fn policy(&self) -> RetxPolicy {
+        self.policy
+    }
+
+    /// Sends `payload`, sequenced when the reliability layer is active.
+    pub fn send(&mut self, now: SimTime, from: KernelId, to: KernelId, payload: P) -> SendPlan<P> {
+        if self.seq.is_none() {
+            return match self.fabric.send(now, from, to, payload) {
+                SendOutcome::Delivered {
+                    delivery,
+                    duplicate_at,
+                } => SendPlan::Deliver {
+                    delivery,
+                    duplicate_at,
+                },
+                SendOutcome::Dropped { .. } => SendPlan::LostRaw,
+            };
+        }
+        self.transmit(now, from, to, payload, 1)
+    }
+
+    /// Retransmits the stashed message under `token`; `None` if the token
+    /// is unknown (the stash was already drained). The retransmission
+    /// takes a *fresh* sequence number — see [`SeqState::last_seen`].
+    pub fn retransmit(&mut self, now: SimTime, token: u64) -> Option<SendPlan<P>> {
+        let s = self.seq.as_mut()?.retx.remove(&token)?;
+        Some(self.transmit(now, s.from, s.to, s.payload, s.attempts + 1))
+    }
+
+    /// One sequenced transmission; `attempt` is its 1-based ordinal.
+    fn transmit(
+        &mut self,
+        now: SimTime,
+        from: KernelId,
+        to: KernelId,
+        payload: P,
+        attempt: u32,
+    ) -> SendPlan<P> {
+        let seq = self
+            .seq
+            .as_mut()
+            .expect("sequenced transmit without reliability state")
+            .alloc_seq(from, to);
+        let wrapped = P::wrap_seq(seq, payload);
+        match self.fabric.send(now, from, to, wrapped) {
+            SendOutcome::Delivered {
+                delivery,
+                duplicate_at,
+            } => SendPlan::Deliver {
+                delivery,
+                duplicate_at,
+            },
+            SendOutcome::Dropped { payload, .. } => {
+                let Ok((_, inner)) = payload.unwrap_seq() else {
+                    unreachable!("the fabric returns the payload it was given");
+                };
+                if attempt >= self.policy.max_attempts {
+                    return SendPlan::Abandoned {
+                        from,
+                        to,
+                        payload: inner,
+                    };
+                }
+                let backoff = SimTime::from_nanos(self.policy.backoff_ns(attempt));
+                let token = self.seq.as_mut().expect("present above").stash(Stashed {
+                    from,
+                    to,
+                    attempts: attempt,
+                    payload: inner,
+                });
+                SendPlan::Backoff {
+                    token,
+                    fire_at: now + backoff,
+                    backoff,
+                }
+            }
+        }
+    }
+
+    /// Receive-side duplicate suppression: records `seq` as seen on the
+    /// directed channel `sender → receiver` and returns true when it is
+    /// fresh (deliver + ack) or false for an injected duplicate (drop).
+    pub fn accept_seq(&mut self, receiver: KernelId, sender: KernelId, seq: u64) -> bool {
+        let Some(state) = self.seq.as_mut() else {
+            debug_assert!(false, "sequenced message without reliability state");
+            return false;
+        };
+        let last = state.last_seen.entry((receiver.0, sender.0)).or_insert(0);
+        if seq <= *last {
+            return false;
+        }
+        *last = seq;
+        true
+    }
+}
+
+/// An [`RpcTable`] with issue/completion accounting: the request/response
+/// half of the shared endpoint substrate.
+#[derive(Debug, Clone)]
+pub struct Endpoint<C> {
+    rpcs: RpcTable<C>,
+    issued: u64,
+    completed: u64,
+}
+
+impl<C> Default for Endpoint<C> {
+    fn default() -> Self {
+        Endpoint::new()
+    }
+}
+
+impl<C> Endpoint<C> {
+    /// Creates an empty endpoint.
+    pub fn new() -> Self {
+        Endpoint {
+            rpcs: RpcTable::new(),
+            issued: 0,
+            completed: 0,
+        }
+    }
+
+    /// Allocates a fresh id and parks `continuation` under it.
+    pub fn register(&mut self, continuation: C) -> RpcId {
+        self.issued += 1;
+        self.rpcs.register(continuation)
+    }
+
+    /// Like [`Endpoint::register`], but records a response deadline (see
+    /// [`RpcTable::register_with_deadline`]).
+    pub fn register_with_deadline(&mut self, continuation: C, deadline: SimTime) -> RpcId {
+        self.issued += 1;
+        self.rpcs.register_with_deadline(continuation, deadline)
+    }
+
+    /// Completes a request (idempotent; see [`RpcTable::complete`]).
+    pub fn complete(&mut self, id: RpcId) -> Option<C> {
+        let c = self.rpcs.complete(id);
+        if c.is_some() {
+            self.completed += 1;
+        }
+        c
+    }
+
+    /// Peeks at a pending continuation without completing it.
+    pub fn get(&self, id: RpcId) -> Option<&C> {
+        self.rpcs.get(id)
+    }
+
+    /// Mutable peek (for multi-response protocols).
+    pub fn get_mut(&mut self, id: RpcId) -> Option<&mut C> {
+        self.rpcs.get_mut(id)
+    }
+
+    /// Number of in-flight requests.
+    pub fn outstanding(&self) -> usize {
+        self.rpcs.outstanding()
+    }
+
+    /// Requests registered over the endpoint's lifetime.
+    pub fn issued(&self) -> u64 {
+        self.issued
+    }
+
+    /// Requests completed (first completion only).
+    pub fn completed(&self) -> u64 {
+        self.completed
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fault::FaultPlan;
+    use crate::params::MsgParams;
+    use popcorn_hw::{CoreId, HwParams, Machine, Topology};
+
+    #[derive(Debug, PartialEq)]
+    enum Msg {
+        Ping,
+        Seq { seq: u64, inner: Box<Msg> },
+    }
+
+    impl Wire for Msg {
+        fn wire_size(&self) -> usize {
+            match self {
+                Msg::Ping => 64,
+                Msg::Seq { inner, .. } => 8 + inner.wire_size(),
+            }
+        }
+    }
+
+    impl SeqEnvelope for Msg {
+        fn wrap_seq(seq: u64, inner: Self) -> Self {
+            Msg::Seq {
+                seq,
+                inner: Box::new(inner),
+            }
+        }
+
+        fn unwrap_seq(self) -> Result<(u64, Self), Self> {
+            match self {
+                Msg::Seq { seq, inner } => Ok((seq, *inner)),
+                other => Err(other),
+            }
+        }
+    }
+
+    fn fabric(plan: Option<FaultPlan>) -> Fabric {
+        let machine = Machine::new(Topology::new(2, 4), HwParams::default());
+        let params = MsgParams {
+            faults: plan.unwrap_or_else(FaultPlan::none),
+            ..MsgParams::default()
+        };
+        Fabric::new(&machine, vec![CoreId(0), CoreId(4)], params)
+    }
+
+    fn policy() -> RetxPolicy {
+        RetxPolicy {
+            base_ns: 50_000,
+            cap_ns: 2_000_000,
+            max_attempts: 10,
+        }
+    }
+
+    #[test]
+    fn backoff_doubles_and_clamps() {
+        let p = policy();
+        assert_eq!(p.backoff_ns(1), 50_000);
+        assert_eq!(p.backoff_ns(2), 100_000);
+        assert_eq!(p.backoff_ns(5), 800_000);
+        assert_eq!(p.backoff_ns(7), 2_000_000); // clamped
+        assert_eq!(p.backoff_ns(63), 2_000_000); // shift would overflow
+    }
+
+    #[test]
+    fn plain_path_without_faults() {
+        let mut net: ReliableFabric<Msg> = ReliableFabric::new(fabric(None), policy(), true);
+        assert!(!net.is_reliable());
+        match net.send(SimTime::ZERO, KernelId(0), KernelId(1), Msg::Ping) {
+            SendPlan::Deliver { delivery, .. } => {
+                assert_eq!(delivery.payload, Msg::Ping); // no envelope
+                assert!(delivery.deliver_at > SimTime::ZERO);
+            }
+            other => panic!("expected Deliver, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn sequenced_sends_wrap_with_monotone_seq() {
+        let plan = FaultPlan::uniform_drop(1, 0.0); // active but lossless
+        let mut net: ReliableFabric<Msg> = ReliableFabric::new(fabric(Some(plan)), policy(), true);
+        assert!(net.is_reliable());
+        for expect in 1..=3u64 {
+            match net.send(SimTime::ZERO, KernelId(0), KernelId(1), Msg::Ping) {
+                SendPlan::Deliver { delivery, .. } => match delivery.payload {
+                    Msg::Seq { seq, inner } => {
+                        assert_eq!(seq, expect);
+                        assert_eq!(*inner, Msg::Ping);
+                    }
+                    other => panic!("expected Seq envelope, got {other:?}"),
+                },
+                other => panic!("expected Deliver, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn lost_send_backs_off_then_retransmits_with_fresh_seq() {
+        let plan = FaultPlan::uniform_drop(7, 1.0); // lose everything
+        let mut net: ReliableFabric<Msg> = ReliableFabric::new(fabric(Some(plan)), policy(), true);
+        let now = SimTime::from_nanos(1_000);
+        let SendPlan::Backoff {
+            token,
+            fire_at,
+            backoff,
+        } = net.send(now, KernelId(0), KernelId(1), Msg::Ping)
+        else {
+            panic!("expected Backoff");
+        };
+        assert_eq!(backoff, SimTime::from_nanos(50_000));
+        assert_eq!(fire_at, now + backoff);
+        // Second transmission (also lost) doubles the backoff and consumed
+        // sequence number 2.
+        let SendPlan::Backoff {
+            token: token2,
+            backoff: backoff2,
+            ..
+        } = net.retransmit(fire_at, token).expect("token is stashed")
+        else {
+            panic!("expected Backoff on retransmit");
+        };
+        assert_eq!(backoff2, SimTime::from_nanos(100_000));
+        assert_ne!(token, token2);
+        // The token was consumed: replaying it is a no-op.
+        assert!(net.retransmit(fire_at, token).is_none());
+    }
+
+    #[test]
+    fn abandoned_after_max_attempts() {
+        let plan = FaultPlan::uniform_drop(7, 1.0);
+        let mut net: ReliableFabric<Msg> = ReliableFabric::new(
+            fabric(Some(plan)),
+            RetxPolicy {
+                max_attempts: 2,
+                ..policy()
+            },
+            true,
+        );
+        let SendPlan::Backoff { token, fire_at, .. } =
+            net.send(SimTime::ZERO, KernelId(0), KernelId(1), Msg::Ping)
+        else {
+            panic!("expected Backoff");
+        };
+        match net.retransmit(fire_at, token).expect("stashed") {
+            SendPlan::Abandoned { from, to, payload } => {
+                assert_eq!(from, KernelId(0));
+                assert_eq!(to, KernelId(1));
+                assert_eq!(payload, Msg::Ping); // unwrapped, back in hand
+            }
+            other => panic!("expected Abandoned, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn accept_seq_suppresses_duplicates_per_channel() {
+        let plan = FaultPlan::uniform_drop(1, 0.0);
+        let mut net: ReliableFabric<Msg> = ReliableFabric::new(fabric(Some(plan)), policy(), true);
+        let (a, b) = (KernelId(0), KernelId(1));
+        assert!(net.accept_seq(b, a, 1));
+        assert!(!net.accept_seq(b, a, 1)); // duplicate
+        assert!(net.accept_seq(b, a, 2));
+        assert!(!net.accept_seq(b, a, 1)); // stale duplicate
+                                           // Directions are independent channels.
+        assert!(net.accept_seq(a, b, 1));
+    }
+
+    #[test]
+    fn endpoint_counts_issues_and_completions() {
+        let mut ep: Endpoint<&'static str> = Endpoint::new();
+        let a = ep.register("a");
+        let b = ep.register_with_deadline("b", SimTime::from_nanos(10));
+        assert_eq!(ep.issued(), 2);
+        assert_eq!(ep.outstanding(), 2);
+        assert_eq!(ep.complete(a), Some("a"));
+        assert_eq!(ep.complete(a), None); // idempotent, not double-counted
+        assert_eq!(ep.complete(b), Some("b"));
+        assert_eq!(ep.completed(), 2);
+    }
+}

@@ -11,9 +11,7 @@ use crate::fault::{FaultCounters, FaultRuntime, Verdict};
 use crate::params::MsgParams;
 
 /// Identifier of a kernel instance within one machine.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub struct KernelId(pub u16);
 
 impl fmt::Display for KernelId {
@@ -235,7 +233,10 @@ impl Fabric {
         payload: P,
     ) -> SendOutcome<P> {
         assert_ne!(from, to, "kernel cannot message itself");
-        assert!((from.0 as usize) < self.locations.len(), "{from} out of range");
+        assert!(
+            (from.0 as usize) < self.locations.len(),
+            "{from} out of range"
+        );
         assert!((to.0 as usize) < self.locations.len(), "{to} out of range");
 
         let size = payload.wire_size();
@@ -439,7 +440,10 @@ mod tests {
             .send(SimTime::ZERO, KernelId(0), KernelId(1), Blob(64))
             .expect_delivered();
         let us = d.deliver_at.as_micros_f64();
-        assert!((1.0..10.0).contains(&us), "latency {us}us out of expected band");
+        assert!(
+            (1.0..10.0).contains(&us),
+            "latency {us}us out of expected band"
+        );
     }
 
     #[test]
@@ -479,10 +483,7 @@ mod tests {
             .send(SimTime::ZERO, KernelId(2), KernelId(3), Blob(4096))
             .expect_delivered();
         // Same shape, started simultaneously on disjoint pairs.
-        assert_eq!(
-            d1.deliver_at.as_nanos() > 0,
-            d2.deliver_at.as_nanos() > 0
-        );
+        assert_eq!(d1.deliver_at.as_nanos() > 0, d2.deliver_at.as_nanos() > 0);
         let d3 = f
             .send(SimTime::ZERO, KernelId(1), KernelId(0), Blob(64))
             .expect_delivered();
@@ -512,10 +513,7 @@ mod tests {
     fn broadcast_reaches_all_others() {
         let mut f = fabric(4);
         let ds = f.broadcast(SimTime::ZERO, KernelId(1), B);
-        let tos: Vec<u16> = ds
-            .into_iter()
-            .map(|o| o.expect_delivered().to.0)
-            .collect();
+        let tos: Vec<u16> = ds.into_iter().map(|o| o.expect_delivered().to.0).collect();
         assert_eq!(tos, vec![0, 2, 3]);
         assert_eq!(f.total_sends(), 3);
     }
@@ -619,7 +617,10 @@ mod tests {
             assert_eq!(a.deliver_at, b.deliver_at);
             assert_eq!(a.send_busy, b.send_busy);
         }
-        assert_eq!(plain.latency_histogram().count(), none_plan.latency_histogram().count());
+        assert_eq!(
+            plain.latency_histogram().count(),
+            none_plan.latency_histogram().count()
+        );
     }
 
     #[test]
@@ -666,14 +667,13 @@ mod tests {
             ..MsgParams::default()
         };
         let mut f = fabric_with(2, params);
-        let (first_at, dup_at) =
-            match f.send(SimTime::ZERO, KernelId(0), KernelId(1), Blob(64)) {
-                SendOutcome::Delivered {
-                    delivery,
-                    duplicate_at,
-                } => (delivery.deliver_at, duplicate_at.expect("dup_p = 1")),
-                SendOutcome::Dropped { .. } => panic!("drop_p = 0"),
-            };
+        let (first_at, dup_at) = match f.send(SimTime::ZERO, KernelId(0), KernelId(1), Blob(64)) {
+            SendOutcome::Delivered {
+                delivery,
+                duplicate_at,
+            } => (delivery.deliver_at, duplicate_at.expect("dup_p = 1")),
+            SendOutcome::Dropped { .. } => panic!("drop_p = 0"),
+        };
         assert!(dup_at > first_at);
         // A later message on the channel stays FIFO behind the duplicate.
         let next = f
@@ -697,8 +697,12 @@ mod tests {
             .expect_delivered();
         // After: both directions dead.
         let at = SimTime::from_nanos(2_000);
-        assert!(!f.send(at, KernelId(0), KernelId(1), Blob(64)).was_delivered());
-        assert!(!f.send(at, KernelId(1), KernelId(0), Blob(64)).was_delivered());
+        assert!(!f
+            .send(at, KernelId(0), KernelId(1), Blob(64))
+            .was_delivered());
+        assert!(!f
+            .send(at, KernelId(1), KernelId(0), Blob(64))
+            .was_delivered());
         assert!(f.is_crashed(KernelId(1), at));
         assert!(!f.is_crashed(KernelId(0), at));
         assert_eq!(f.fault_counters().crash_drops, 2);
@@ -714,8 +718,13 @@ mod tests {
             let mut f = fabric_with(2, params.clone());
             (0..200u64)
                 .map(|i| {
-                    f.send(SimTime::from_nanos(i * 911), KernelId(0), KernelId(1), Blob(64))
-                        .was_delivered()
+                    f.send(
+                        SimTime::from_nanos(i * 911),
+                        KernelId(0),
+                        KernelId(1),
+                        Blob(64),
+                    )
+                    .was_delivered()
                 })
                 .collect::<Vec<_>>()
         };

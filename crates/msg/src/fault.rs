@@ -126,7 +126,12 @@ impl FaultPlan {
         start: SimTime,
         end: SimTime,
     ) -> Self {
-        self.blackouts.push(Blackout { from, to, start, end });
+        self.blackouts.push(Blackout {
+            from,
+            to,
+            start,
+            end,
+        });
         self
     }
 
@@ -154,7 +159,9 @@ impl FaultPlan {
 
     /// Whether `kernel` has crashed by virtual time `now`.
     pub fn is_crashed(&self, kernel: KernelId, now: SimTime) -> bool {
-        self.crashes.iter().any(|c| c.kernel == kernel && now >= c.at)
+        self.crashes
+            .iter()
+            .any(|c| c.kernel == kernel && now >= c.at)
     }
 
     /// Fault rates in effect for the directed channel, if any.
@@ -173,7 +180,11 @@ impl FaultPlan {
     /// Returns a description of the first violated constraint.
     pub fn validate(&self) -> Result<(), String> {
         let check = |f: &ChannelFaults, whom: &str| -> Result<(), String> {
-            for (name, p) in [("drop_p", f.drop_p), ("dup_p", f.dup_p), ("delay_p", f.delay_p)] {
+            for (name, p) in [
+                ("drop_p", f.drop_p),
+                ("dup_p", f.dup_p),
+                ("delay_p", f.delay_p),
+            ] {
                 if !(0.0..=1.0).contains(&p) {
                     return Err(format!("{whom}: {name} = {p} outside [0, 1]"));
                 }
@@ -420,8 +431,14 @@ mod tests {
             rt.judge(at(99), KernelId(0), KernelId(1), 1),
             Verdict::Deliver { .. }
         ));
-        assert_eq!(rt.judge(at(100), KernelId(0), KernelId(1), 2), Verdict::Drop);
-        assert_eq!(rt.judge(at(199), KernelId(0), KernelId(1), 3), Verdict::Drop);
+        assert_eq!(
+            rt.judge(at(100), KernelId(0), KernelId(1), 2),
+            Verdict::Drop
+        );
+        assert_eq!(
+            rt.judge(at(199), KernelId(0), KernelId(1), 3),
+            Verdict::Drop
+        );
         assert!(matches!(
             rt.judge(at(200), KernelId(0), KernelId(1), 4),
             Verdict::Deliver { .. }

@@ -12,12 +12,9 @@ use std::fmt;
 
 use popcorn_sim::SimTime;
 
-
 /// Correlation identifier carried inside request/response payloads. Unique
 /// per [`RpcTable`] (i.e. per kernel), never reused within a run.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub struct RpcId(pub u64);
 
 impl fmt::Display for RpcId {

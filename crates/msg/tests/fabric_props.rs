@@ -86,7 +86,12 @@ fn channels_are_independent() {
     for _ in 0..256 {
         let mut busy = fabric(4);
         for _ in 0..rng.range_u64(0, 40) {
-            let _ = busy.send(SimTime::ZERO, KernelId(0), KernelId(1), Blob(rng.index(4096)));
+            let _ = busy.send(
+                SimTime::ZERO,
+                KernelId(0),
+                KernelId(1),
+                Blob(rng.index(4096)),
+            );
         }
         let probe_busy = busy
             .send(SimTime::ZERO, KernelId(2), KernelId(3), Blob(64))

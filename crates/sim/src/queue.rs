@@ -281,10 +281,7 @@ impl<E> CalendarQueue<E> {
         }
         let ring = if self.ring_len > 0 {
             let idx = (self.next_occupied_day() & DAY_MASK) as usize;
-            self.buckets[idx]
-                .iter()
-                .map(|p| (p.at, p.seq))
-                .min()
+            self.buckets[idx].iter().map(|p| (p.at, p.seq)).min()
         } else {
             None
         };
@@ -520,10 +517,7 @@ mod tests {
         assert_eq!(q.pop().map(|(_, _, e)| e), Some(1));
         // Earlier than the window start: forces a retreat.
         q.push(SimTime::from_nanos(7), 2, 3);
-        assert_eq!(
-            drain(&mut q),
-            vec![(7, 2, 3), (5 * span + 8, 1, 2)]
-        );
+        assert_eq!(drain(&mut q), vec![(7, 2, 3), (5 * span + 8, 1, 2)]);
     }
 
     #[test]

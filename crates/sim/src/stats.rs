@@ -8,7 +8,6 @@
 
 use std::fmt;
 
-
 use crate::time::SimTime;
 
 /// A named monotonic counter.

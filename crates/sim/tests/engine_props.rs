@@ -184,11 +184,12 @@ fn calendar_queue_matches_sorted_reference() {
         let mut real: CalendarQueue<u64> = CalendarQueue::new();
         let mut oracle: ReferenceQueue<u64> = ReferenceQueue::new();
         let mut seq = 0u64;
-        let mut push = |real: &mut CalendarQueue<u64>, oracle: &mut ReferenceQueue<u64>, at: u64| {
-            real.push(SimTime::from_nanos(at), seq, seq);
-            oracle.push(at, seq, seq);
-            seq += 1;
-        };
+        let mut push =
+            |real: &mut CalendarQueue<u64>, oracle: &mut ReferenceQueue<u64>, at: u64| {
+                real.push(SimTime::from_nanos(at), seq, seq);
+                oracle.push(at, seq, seq);
+                seq += 1;
+            };
 
         // A same-time tie group larger than one ring of buckets, every
         // eighth case: 1300 events at a single instant (the ring has 1024
@@ -254,7 +255,8 @@ fn calendar_queue_matches_sorted_reference() {
                 break;
             }
         }
-        assert!(real.is_empty() && real.len() == 0);
+        assert!(real.is_empty());
+        assert_eq!(real.len(), 0);
     }
 }
 
@@ -352,7 +354,11 @@ fn engine_matches_reference_executor_on_staged_chains() {
             id += 1;
         }
         let burst_at = rng.range_u64(0, 8_192);
-        let burst_len = if case == 0 { 1_300 } else { rng.range_u64(2, 64) };
+        let burst_len = if case == 0 {
+            1_300
+        } else {
+            rng.range_u64(2, 64)
+        };
         for _ in 0..burst_len {
             initial.push((burst_at, Chained { id, depth: 0 }));
             id += 1;

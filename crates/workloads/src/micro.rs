@@ -4,9 +4,7 @@
 //! [`OsModel::load`](popcorn_kernel::osmodel::OsModel::load); the
 //! experiment harness sweeps their parameters.
 
-use popcorn_kernel::program::{
-    MigrateTarget, Op, Placement, Program, ProgEnv, Resume, SyscallReq,
-};
+use popcorn_kernel::program::{MigrateTarget, Op, Placement, ProgEnv, Program, Resume, SyscallReq};
 use popcorn_kernel::types::VAddr;
 use popcorn_msg::KernelId;
 
@@ -171,7 +169,10 @@ impl Program for MmapWorker {
                         len: self.map_bytes,
                     });
                 }
-                MmapState::Touch { ref mut base, ref mut page } => {
+                MmapState::Touch {
+                    ref mut base,
+                    ref mut page,
+                } => {
                     if *page == 0 && base.0 == 0 {
                         let Resume::Sys(res) = resume else {
                             panic!("expected mmap result, got {resume:?}");
@@ -286,7 +287,11 @@ pub fn futex_contention(threads: usize, iters: u32, critical_cycles: u64) -> Box
     Team::boxed(
         TeamConfig::new(threads, 0),
         Box::new(move |_, shared: Shared| {
-            Box::new(MutexWorker::new(shared.sync_slot(1), iters, critical_cycles))
+            Box::new(MutexWorker::new(
+                shared.sync_slot(1),
+                iters,
+                critical_cycles,
+            ))
         }),
     )
 }
@@ -395,7 +400,10 @@ mod tests {
         }
         let e0b = env();
         assert!(matches!(
-            p.step(Resume::Sys(popcorn_kernel::program::SysResult::Val(0)), &e0b),
+            p.step(
+                Resume::Sys(popcorn_kernel::program::SysResult::Val(0)),
+                &e0b
+            ),
             Op::Exit(0)
         ));
     }
@@ -408,11 +416,17 @@ mod tests {
             Op::Syscall(SyscallReq::GetPid)
         ));
         assert!(matches!(
-            p.step(Resume::Sys(popcorn_kernel::program::SysResult::Val(1)), &env()),
+            p.step(
+                Resume::Sys(popcorn_kernel::program::SysResult::Val(1)),
+                &env()
+            ),
             Op::Syscall(SyscallReq::GetPid)
         ));
         assert!(matches!(
-            p.step(Resume::Sys(popcorn_kernel::program::SysResult::Val(1)), &env()),
+            p.step(
+                Resume::Sys(popcorn_kernel::program::SysResult::Val(1)),
+                &env()
+            ),
             Op::Exit(0)
         ));
     }
@@ -439,7 +453,10 @@ mod tests {
             other => panic!("unexpected {other:?}"),
         }
         assert!(matches!(
-            w.step(Resume::Sys(popcorn_kernel::program::SysResult::Val(0)), &env()),
+            w.step(
+                Resume::Sys(popcorn_kernel::program::SysResult::Val(0)),
+                &env()
+            ),
             Op::Exit(0)
         ));
     }

@@ -18,7 +18,7 @@
 //!   into every other thread's partition — the worst case for
 //!   page-ownership migration.
 
-use popcorn_kernel::program::{Op, Program, ProgEnv, Resume, SyscallReq};
+use popcorn_kernel::program::{Op, ProgEnv, Program, Resume, SyscallReq};
 use popcorn_kernel::types::VAddr;
 
 use crate::team::{Shared, Team, TeamConfig};
@@ -187,7 +187,10 @@ impl Program for IsWorker {
                 }
                 IsState::Computing { scratch } => {
                     let s = *scratch;
-                    self.state = IsState::WriteKeys { scratch: s, page: 0 };
+                    self.state = IsState::WriteKeys {
+                        scratch: s,
+                        page: 0,
+                    };
                     continue;
                 }
                 IsState::WriteKeys { scratch, page } => {
@@ -206,7 +209,10 @@ impl Program for IsWorker {
                     Poll::Op(op) => return op,
                     Poll::Done => {
                         let s = *scratch;
-                        self.state = IsState::ReadNeighbor { scratch: s, page: 0 };
+                        self.state = IsState::ReadNeighbor {
+                            scratch: s,
+                            page: 0,
+                        };
                         continue;
                     }
                 },
@@ -460,7 +466,6 @@ pub fn ft_benchmark(cfg: NpbConfig) -> Box<dyn Program> {
     )
 }
 
-
 // ---------------------------------------------------------------------
 // MG: V-cycle multigrid with nearest-neighbour halo exchange
 // ---------------------------------------------------------------------
@@ -526,7 +531,10 @@ impl Program for MgWorker {
                     let lvl = *level;
                     let p = *page;
                     if p == self.pages_at(lvl) {
-                        self.state = MgState::Halo { level: lvl, side: 0 };
+                        self.state = MgState::Halo {
+                            level: lvl,
+                            side: 0,
+                        };
                         continue;
                     }
                     if let MgState::Smooth { page, .. } = &mut self.state {

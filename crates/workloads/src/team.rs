@@ -5,7 +5,7 @@
 //! finish, and exits. [`Team`] implements the leader; [`SignalingWorker`]
 //! wraps a worker program so its exit signals the leader's join counter.
 
-use popcorn_kernel::program::{Op, Placement, Program, ProgEnv, Resume, SyscallReq};
+use popcorn_kernel::program::{Op, Placement, ProgEnv, Program, Resume, SyscallReq};
 use popcorn_kernel::types::VAddr;
 
 use crate::ulib::{Flow, JoinSignal, JoinWait, Poll};
@@ -265,9 +265,7 @@ impl Program for SignalingWorker {
     }
 
     fn migration_payload(&self) -> usize {
-        self.inner
-            .as_ref()
-            .map_or(4096, |p| p.migration_payload())
+        self.inner.as_ref().map_or(4096, |p| p.migration_payload())
     }
 }
 

@@ -535,8 +535,16 @@ mod tests {
             MiniExec {
                 table: FutexTable::new(),
                 group: GroupId(Tid::new(KernelId(0), 1)),
-                resumes: flows.iter().enumerate().map(|(i, _)| (i as u32, Resume::Start)).collect(),
-                flows: flows.into_iter().enumerate().map(|(i, f)| (i as u32, f)).collect(),
+                resumes: flows
+                    .iter()
+                    .enumerate()
+                    .map(|(i, _)| (i as u32, Resume::Start))
+                    .collect(),
+                flows: flows
+                    .into_iter()
+                    .enumerate()
+                    .map(|(i, f)| (i as u32, f))
+                    .collect(),
                 blocked: HashMap::new(),
                 done: Vec::new(),
             }
@@ -604,8 +612,10 @@ mod tests {
                         if self.table.wait_if(self.group, uaddr, expected, w) {
                             self.blocked.insert(id, uaddr);
                         } else {
-                            self.resumes
-                                .insert(id, Resume::Sys(SysResult::Err(popcorn_kernel::types::Errno::Again)));
+                            self.resumes.insert(
+                                id,
+                                Resume::Sys(SysResult::Err(popcorn_kernel::types::Errno::Again)),
+                            );
                         }
                     }
                     FutexOp::Wake { uaddr, count } => {
@@ -630,8 +640,9 @@ mod tests {
     fn barrier_releases_all_parties() {
         for n in [1u64, 2, 3, 8, 16] {
             let b = Barrier::at(BASE, n);
-            let flows: Vec<Box<dyn Flow>> =
-                (0..n).map(|_| Box::new(BarrierWait::new(b)) as Box<dyn Flow>).collect();
+            let flows: Vec<Box<dyn Flow>> = (0..n)
+                .map(|_| Box::new(BarrierWait::new(b)) as Box<dyn Flow>)
+                .collect();
             let mut exec = MiniExec::new(flows);
             exec.run();
             assert_eq!(exec.done.len(), n as usize, "n={n}");
@@ -647,14 +658,18 @@ mod tests {
         let b = Barrier::at(BASE, n);
         let mut table_gen = 0;
         let mut exec = MiniExec::new(
-            (0..n).map(|_| Box::new(BarrierWait::new(b)) as Box<dyn Flow>).collect(),
+            (0..n)
+                .map(|_| Box::new(BarrierWait::new(b)) as Box<dyn Flow>)
+                .collect(),
         );
         exec.run();
         table_gen += 1;
         assert_eq!(exec.table.read(exec.group, b.gen), table_gen);
         // Second episode reusing the same words.
         let mut exec2 = MiniExec::new(
-            (0..n).map(|_| Box::new(BarrierWait::new(b)) as Box<dyn Flow>).collect(),
+            (0..n)
+                .map(|_| Box::new(BarrierWait::new(b)) as Box<dyn Flow>)
+                .collect(),
         );
         exec2.table = exec.table;
         exec2.run();

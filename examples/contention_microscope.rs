@@ -17,7 +17,10 @@ use popcorn::workloads::team::{Team, TeamConfig};
 fn storm(threads: usize, iters: u32) -> Box<dyn popcorn::kernel::program::Program> {
     let mut cfg = TeamConfig::new(threads, 0);
     cfg.placement = Placement::Local;
-    Team::boxed(cfg, Box::new(move |_, _| Box::new(MmapWorker::new(iters, 4 * 4096))))
+    Team::boxed(
+        cfg,
+        Box::new(move |_, _| Box::new(MmapWorker::new(iters, 4 * 4096))),
+    )
 }
 
 fn main() {

@@ -8,7 +8,7 @@
 use popcorn::core::PopcornOs;
 use popcorn::hw::Topology;
 use popcorn::kernel::osmodel::OsModel;
-use popcorn::kernel::program::{MigrateTarget, Op, Program, ProgEnv, Resume, SyscallReq};
+use popcorn::kernel::program::{MigrateTarget, Op, ProgEnv, Program, Resume, SyscallReq};
 use popcorn::kernel::types::VAddr;
 use popcorn::msg::KernelId;
 
@@ -44,8 +44,7 @@ impl Program for Wanderer {
             3 => {
                 let Resume::Value(v) = r else { panic!("load") };
                 assert_eq!(
-                    v,
-                    self.done as u64,
+                    v, self.done as u64,
                     "counter must survive migration {} intact",
                     self.done
                 );
@@ -61,7 +60,10 @@ impl Program for Wanderer {
                     );
                     return Op::Exit(0);
                 }
-                println!("  hop {:>2}: counter={} on {}", self.done, self.done, env.kernel);
+                println!(
+                    "  hop {:>2}: counter={} on {}",
+                    self.done, self.done, env.kernel
+                );
                 self.state = 2;
                 let target = if env.kernel == KernelId(0) {
                     KernelId(1)
@@ -93,8 +95,14 @@ fn main() {
     assert!(report.is_clean());
 
     println!();
-    println!("first-visit migrations : {}", report.metric("migrations_first"));
-    println!("back-migrations        : {}", report.metric("migrations_back"));
+    println!(
+        "first-visit migrations : {}",
+        report.metric("migrations_first")
+    );
+    println!(
+        "back-migrations        : {}",
+        report.metric("migrations_back")
+    );
     println!(
         "first-visit latency    : {:.1} us (fresh task creation at the target)",
         report.metric("migration_first_us_mean")

@@ -37,13 +37,14 @@ fn main() {
     );
     let smp = run(Box::new(SmpOs::builder().topology(topo).build()), cfg);
     let mk = run(
-        Box::new(
-            MultikernelOs::builder().topology(topo).kernels(2).build(),
-        ),
+        Box::new(MultikernelOs::builder().topology(topo).kernels(2).build()),
         cfg,
     );
 
-    println!("{:<14} {:>12} {:>10} {:>10}", "os", "total_ms", "faults", "ctx_sw");
+    println!(
+        "{:<14} {:>12} {:>10} {:>10}",
+        "os", "total_ms", "faults", "ctx_sw"
+    );
     for r in [&popcorn, &smp, &mk] {
         println!(
             "{:<14} {:>12.3} {:>10} {:>10}",
@@ -56,7 +57,10 @@ fn main() {
 
     println!();
     println!("popcorn-only protocol work for the same application binary:");
-    println!("  remote faults   : {}", popcorn.metric("faults_remote_read") + popcorn.metric("faults_remote_write"));
+    println!(
+        "  remote faults   : {}",
+        popcorn.metric("faults_remote_read") + popcorn.metric("faults_remote_write")
+    );
     println!("  page transfers  : {}", popcorn.metric("page_transfers"));
     println!("  remote futex ops: {}", popcorn.metric("futex_remote"));
     println!("  messages        : {}", popcorn.metric("messages"));

@@ -26,7 +26,12 @@ fn main() {
     os.load(Team::boxed(
         TeamConfig::new(6, 8 * 4096),
         Box::new(|i, shared| {
-            Box::new(micro::PageBounceWorker::new(shared.data, 8, 24, i as u64 * 5))
+            Box::new(micro::PageBounceWorker::new(
+                shared.data,
+                8,
+                24,
+                i as u64 * 5,
+            ))
         }),
     ));
 

@@ -14,9 +14,7 @@ fn all_three() -> Vec<Box<dyn OsModel>> {
     vec![
         Box::new(PopcornOs::builder().topology(topo).kernels(2).build()),
         Box::new(SmpOs::builder().topology(topo).build()),
-        Box::new(
-            MultikernelOs::builder().topology(topo).kernels(2).build(),
-        ),
+        Box::new(MultikernelOs::builder().topology(topo).kernels(2).build()),
     ]
 }
 

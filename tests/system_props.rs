@@ -52,7 +52,12 @@ fn random_teams_complete_everywhere() {
             Team::boxed(
                 TeamConfig::new(threads, pages * 4096),
                 Box::new(move |i, shared| {
-                    Box::new(micro::PageBounceWorker::new(shared.data, pages, iters, i as u64))
+                    Box::new(micro::PageBounceWorker::new(
+                        shared.data,
+                        pages,
+                        iters,
+                        i as u64,
+                    ))
                 }),
             )
         };
@@ -81,7 +86,12 @@ fn popcorn_runs_are_deterministic() {
             Team::boxed(
                 TeamConfig::new(threads, 4 * 4096),
                 Box::new(move |i, shared| {
-                    Box::new(micro::PageBounceWorker::new(shared.data, 4, iters, i as u64))
+                    Box::new(micro::PageBounceWorker::new(
+                        shared.data,
+                        4,
+                        iters,
+                        i as u64,
+                    ))
                 }),
             )
         };
@@ -150,7 +160,11 @@ fn spawn_storms_account_exactly() {
     for _ in 0..24 {
         let children = rng.range_u64(1, 16) as usize;
         let local = rng.chance(0.5);
-        let placement = if local { Placement::Local } else { Placement::Auto };
+        let placement = if local {
+            Placement::Local
+        } else {
+            Placement::Auto
+        };
         let r = run_popcorn(4, micro::spawn_join_storm(children, placement));
         assert!(r.is_clean());
         assert_eq!(r.exited_tasks as usize, children + 1);
