@@ -236,6 +236,51 @@ pub fn check_hier_extension_wins() -> ShapeResult {
     )
 }
 
+/// Claim: the migration-policy framework earns its keep on the E13
+/// adversarial suite — the best-known policy per scenario must keep
+/// winning (regression gate for `results/e13.json`).
+pub fn check_policy_shootout() -> ShapeResult {
+    use crate::experiments::{e13_cell, E13Scenario};
+    use popcorn_kernel::policy::PolicyKind;
+    let cells = vec![
+        (E13Scenario::Straggler, PolicyKind::ScriptedOnly),
+        (E13Scenario::Straggler, PolicyKind::FaultAware),
+        (E13Scenario::Herd, PolicyKind::ScriptedOnly),
+        (E13Scenario::Herd, PolicyKind::FutexWakeLocality),
+        (E13Scenario::Storm, PolicyKind::ScriptedOnly),
+        (E13Scenario::Storm, PolicyKind::LoadThreshold),
+    ];
+    // Cell tuple: (clean, completion_ms, migrations, policy_acts, aborted,
+    // runq_tw).
+    let r = parallel_map(cells, |(sc, pk)| e13_cell(sc, pk));
+    let all_clean = r.iter().all(|c| c.0);
+    let (strag_base, strag_fa) = (&r[0], &r[1]);
+    let (herd_base, herd_fwl) = (&r[2], &r[3]);
+    let (storm_base, storm_lt) = (&r[4], &r[5]);
+    // Fault-aware must dodge the blacked-out kernel: faster than scripted,
+    // no more aborted hops, and actually redirecting.
+    let fa_wins = strag_fa.1 < strag_base.1 && strag_fa.4 <= strag_base.4 && strag_fa.3 > 0.0;
+    // Wake-locality must chase the herd without tanking completion.
+    let fwl_acts = herd_fwl.3 > 0.0 && herd_fwl.1 < herd_base.1 * 1.25;
+    // Load-threshold's hysteresis must not amplify the ping-pong storm.
+    let lt_tame = storm_lt.1 < storm_base.1 * 1.10;
+    result(
+        "policy gate: fault-aware dodges straggler, wake-locality chases, threshold stays tame (E13)",
+        all_clean && fa_wins && fwl_acts && lt_tame,
+        format!(
+            "straggler {:.2}ms -> {:.2}ms ({:.0} acts, aborted {:.0} -> {:.0}); herd {:.0} acts at {:.2}x; storm {:.2}x",
+            strag_base.1,
+            strag_fa.1,
+            strag_fa.3,
+            strag_base.4,
+            strag_fa.4,
+            herd_fwl.3,
+            herd_fwl.1 / herd_base.1,
+            storm_lt.1 / storm_base.1,
+        ),
+    )
+}
+
 /// Runs every shape check (on parallel host threads up to the configured
 /// job count); returns the results in fixed order (all must pass).
 pub fn run_all_checks() -> Vec<ShapeResult> {
@@ -247,6 +292,7 @@ pub fn run_all_checks() -> Vec<ShapeResult> {
         check_local_futex_competitive,
         check_page_protocol_costs,
         check_hier_extension_wins,
+        check_policy_shootout,
     ];
     parallel_map(checks, |check| check())
 }

@@ -11,11 +11,15 @@ type Case = (&'static str, fn() -> Table);
 
 #[test]
 fn parallel_runs_are_byte_identical_to_serial() {
-    // Two experiments with different shapes: E1 sweeps the message
-    // fabric (pure latency math), E4 sweeps full-OS page-protocol sims.
-    let cases: [Case; 2] = [
+    // Three experiments with different shapes: E1 sweeps the message
+    // fabric (pure latency math), E4 sweeps full-OS page-protocol sims,
+    // E13 sweeps the policy × adversarial-scenario matrix (the policy
+    // machinery — telemetry ticks, steals, wake chases — must be exactly
+    // as deterministic as the scripted paths).
+    let cases: [Case; 3] = [
         ("e1", experiments::e1_messaging),
         ("e4", experiments::e4_page_protocol),
+        ("e13", experiments::e13_policies),
     ];
     for (id, f) in cases {
         set_jobs(1);

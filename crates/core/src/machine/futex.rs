@@ -6,8 +6,11 @@
 //! local fast path; everyone else runs a `FutexReq`/`RmwReq` RPC. Waiters
 //! parked remotely are woken with a `FutexWakeTask` one-way message.
 
+use std::collections::BTreeMap;
+
 use popcorn_hw::LockSite;
 use popcorn_kernel::futex::Waiter;
+use popcorn_kernel::policy::{Decision, PolicyView};
 use popcorn_kernel::program::{FutexOp, Resume, RmwOp, SysResult};
 use popcorn_kernel::task::BlockReason;
 use popcorn_kernel::types::{Errno, GroupId, Tid, VAddr};
@@ -67,6 +70,11 @@ impl KernelCtx<'_, '_> {
     /// Serves a futex operation at the word's serving kernel `serve_ki`
     /// (the group origin, or the first-toucher under the extension);
     /// `caller` is where the syscall originated (possibly `serve_ki`).
+    ///
+    /// The third return is the wake-locality hint for the waker's policy:
+    /// the kernel hosting the plurality of the waiters a `Wake` released,
+    /// and how many were woken. Only computed under an active migration
+    /// policy; always `None` (at zero cost) for `ScriptedOnly`.
     pub fn futex_at_home(
         &mut self,
         group: GroupId,
@@ -74,7 +82,7 @@ impl KernelCtx<'_, '_> {
         caller: Waiter,
         serve_ki: usize,
         at: SimTime,
-    ) -> (FutexOutcome, SimTime) {
+    ) -> (FutexOutcome, SimTime, Option<(KernelId, u32)>) {
         let serving = self.kid(serve_ki);
         let base = self.kernels[serve_ki].params().futex_base_ns;
         let extra = if caller.kernel == serving {
@@ -86,14 +94,19 @@ impl KernelCtx<'_, '_> {
         match op {
             FutexOp::Wait { uaddr, expected } => {
                 if self.futex.wait_if(group, uaddr, expected, caller) {
-                    (FutexOutcome::Parked, done)
+                    (FutexOutcome::Parked, done, None)
                 } else {
-                    (FutexOutcome::Mismatch, done)
+                    (FutexOutcome::Mismatch, done, None)
                 }
             }
             FutexOp::Wake { uaddr, count } => {
                 let woken = self.futex.wake(group, uaddr, count);
                 let n = woken.len() as u64;
+                let hint = if self.policy_active() {
+                    Self::wake_majority(&woken)
+                } else {
+                    None
+                };
                 let wakeup = SimTime::from_nanos(self.kernels[serve_ki].params().wakeup_ns);
                 let mut t = done;
                 for w in woken {
@@ -109,9 +122,25 @@ impl KernelCtx<'_, '_> {
                         );
                     }
                 }
-                (FutexOutcome::Woken(n), t)
+                (FutexOutcome::Woken(n), t, hint)
             }
         }
+    }
+
+    /// The kernel hosting the plurality of `woken` waiters (ties broken
+    /// toward the lowest kernel id for determinism), with the woken count.
+    fn wake_majority(woken: &[Waiter]) -> Option<(KernelId, u32)> {
+        if woken.is_empty() {
+            return None;
+        }
+        let mut by_kernel: BTreeMap<u16, u32> = BTreeMap::new();
+        for w in woken {
+            *by_kernel.entry(w.kernel.0).or_insert(0) += 1;
+        }
+        let (&k, _) = by_kernel
+            .iter()
+            .max_by_key(|&(&k, &c)| (c, std::cmp::Reverse(k)))?;
+        Some((KernelId(k), woken.len() as u32))
     }
 
     /// The futex syscall: local fast path at the word's serving kernel,
@@ -133,7 +162,7 @@ impl KernelCtx<'_, '_> {
         let word_home = self.sync_word_home(group, word, me);
         if me == word_home {
             self.stats.futex_local.incr();
-            let (outcome, done) = self.futex_at_home(group, op, caller, ki, at);
+            let (outcome, done, hint) = self.futex_at_home(group, op, caller, ki, at);
             match outcome {
                 FutexOutcome::Parked => {
                     let uaddr = match op {
@@ -148,6 +177,12 @@ impl KernelCtx<'_, '_> {
                     self.kick(ki, core, done);
                 }
                 FutexOutcome::Woken(n) => {
+                    // Wake-locality chase: the waker is still in its futex
+                    // syscall, so it can migrate toward the waiters it
+                    // just woke, carrying the syscall's result with it.
+                    if self.chase_wake(ki, tid, hint, n, done) {
+                        return;
+                    }
                     self.kernels[ki].finish_syscall(tid, SysResult::Val(n), done);
                     self.kick(ki, core, done);
                 }
@@ -247,8 +282,8 @@ impl KernelCtx<'_, '_> {
             kernel: origin,
             tid,
         };
-        let (outcome, done) = self.futex_at_home(group, op, caller, ki, now);
-        self.send(done, ki, origin, ProtoMsg::FutexResp { rpc, outcome });
+        let (outcome, done, hint) = self.futex_at_home(group, op, caller, ki, now);
+        self.send(done, ki, origin, ProtoMsg::FutexResp { rpc, outcome, hint });
     }
 
     /// `FutexResp` at the caller: wake (or keep parked) accordingly.
@@ -257,6 +292,7 @@ impl KernelCtx<'_, '_> {
         ki: usize,
         rpc: RpcId,
         outcome: FutexOutcome,
+        hint: Option<(KernelId, u32)>,
         now: SimTime,
     ) {
         if let Some(Pending::Futex(FutexPending::Futex { tid })) = self.complete_rpc(ki, rpc) {
@@ -266,10 +302,74 @@ impl KernelCtx<'_, '_> {
                     self.wake_with(ki, tid, SysResult::Err(Errno::Again), now);
                 }
                 FutexOutcome::Woken(n) => {
+                    // A remote waker is parked `Blocked(Remote)`; a chase
+                    // moves it unscheduled, carrying `Val(n)` as its
+                    // in-flight resume so it returns from the syscall at
+                    // the destination.
+                    if self.chase_wake(ki, tid, hint, n, now) {
+                        return;
+                    }
                     self.wake_with(ki, tid, SysResult::Val(n), now);
                 }
             }
         }
+    }
+
+    /// Runs the policy's wake-locality hook for a waker that just woke
+    /// `n` waiters; migrates the waker toward them when the policy says
+    /// so. Returns whether the waker was migrated (the caller must then
+    /// not resume it locally).
+    fn chase_wake(
+        &mut self,
+        ki: usize,
+        tid: Tid,
+        hint: Option<(KernelId, u32)>,
+        n: u64,
+        at: SimTime,
+    ) -> bool {
+        let Some((majority, woken)) = hint else {
+            return false;
+        };
+        if !self.policy_active() || !self.task_alive(ki, tid) {
+            return false;
+        }
+        let me = self.kid(ki);
+        if majority == me {
+            return false;
+        }
+        let loads = self.policy_view(ki, at);
+        let view = PolicyView {
+            me,
+            now: at,
+            loads: &loads,
+        };
+        let Decision::Migrate(target) = self.policy.wake_locality(&view, majority, woken) else {
+            return false;
+        };
+        if target == me {
+            return false;
+        }
+        let resume = Resume::Sys(SysResult::Val(n));
+        let migrated = match self.kernels[ki].task(tid).map(|t| &t.state) {
+            // Still on a core inside its futex syscall (local fast path).
+            Some(popcorn_kernel::task::TaskState::InSyscall) => {
+                let at = at + SimTime::from_nanos(self.params.policy_eval_ns);
+                self.migrate_out(ki, tid, target, Some(resume), at);
+                true
+            }
+            // Parked waiting for the remote futex server's response.
+            Some(popcorn_kernel::task::TaskState::Blocked(_)) => {
+                if let Some(task) = self.kernels[ki].task_mut(tid) {
+                    task.resume = resume;
+                }
+                self.policy_migrate_out(ki, tid, target, at)
+            }
+            _ => false,
+        };
+        if migrated {
+            self.stats.wake_chases.incr();
+        }
+        migrated
     }
 
     /// `RmwReq` at the serving kernel: acquire the word's contention site,

@@ -7,6 +7,7 @@
 //! shadow in place and the migrate syscall fails with `EIO`.
 
 use popcorn_kernel::mm::Mm;
+use popcorn_kernel::policy::PolicyView;
 use popcorn_kernel::program::{MigrateTarget, Resume, SysResult};
 use popcorn_kernel::task::BlockReason;
 use popcorn_kernel::types::{Errno, Tid};
@@ -29,7 +30,26 @@ impl KernelCtx<'_, '_> {
         at: SimTime,
     ) {
         let me = self.kid(ki);
-        let (tk, core_hint) = self.resolve_target(target);
+        let (requested, core_hint) = self.resolve_target(target);
+        // An active policy may veto the scripted destination (FaultAware
+        // steers away from crashed or unreachable kernels). Core-pinned
+        // targets are explicit affinity and are never overridden.
+        let (tk, at) = if core_hint.is_none() && self.policy_active() {
+            let at = at + SimTime::from_nanos(self.params.policy_eval_ns);
+            let loads = self.policy_view(ki, at);
+            let view = PolicyView {
+                me,
+                now: at,
+                loads: &loads,
+            };
+            let chosen = self.policy.redirect(&view, requested);
+            if chosen != requested {
+                self.stats.policy_redirects.incr();
+            }
+            (chosen, at)
+        } else {
+            (requested, at)
+        };
         if tk == me {
             match core_hint {
                 Some(c) if c != core => {
@@ -46,13 +66,23 @@ impl KernelCtx<'_, '_> {
                 }
             }
         } else {
-            self.migrate_out(ki, tid, tk, at);
+            self.migrate_out(ki, tid, tk, None, at);
         }
     }
 
     /// Marshals a thread's context into a `TaskMigrate` message, leaving a
-    /// shadow task behind.
-    pub(super) fn migrate_out(&mut self, ki: usize, tid: Tid, target: KernelId, at: SimTime) {
+    /// shadow task behind. `resume` is `None` for the scripted syscall
+    /// path (the thread resumes with the migrate syscall's result); a
+    /// policy-initiated move of a thread that is mid-operation carries its
+    /// in-flight resume value here instead.
+    pub(super) fn migrate_out(
+        &mut self,
+        ki: usize,
+        tid: Tid,
+        target: KernelId,
+        resume: Option<Resume>,
+        at: SimTime,
+    ) {
         let group = self.group_of(ki, tid);
         let (program, ctx, stats) = self.kernels[ki].extract_for_migration(tid, target, at);
         // The old core is free once the context is marshalled.
@@ -77,8 +107,63 @@ impl KernelCtx<'_, '_> {
                 stats,
                 started: at,
                 vmas,
+                resume,
+                pending: None,
             })),
         );
+    }
+
+    /// Policy-initiated migration of a thread that is *not* on a core (a
+    /// queued ready thread, or one parked on a remote operation whose
+    /// completion the caller intercepts). Unlike [`Self::migrate_out`] the
+    /// thread never asked to move, so its in-flight resume value and any
+    /// parked pending op travel with it. A no-op when the thread cannot be
+    /// extracted (already running, exited, or racing another move) — the
+    /// policy's decision was advisory. Returns whether the thread moved.
+    pub(super) fn policy_migrate_out(
+        &mut self,
+        ki: usize,
+        tid: Tid,
+        target: KernelId,
+        at: SimTime,
+    ) -> bool {
+        if target == self.kid(ki) || !self.task_alive(ki, tid) {
+            return false;
+        }
+        let group = self.group_of(ki, tid);
+        let Some((program, ctx, stats, resume, pending)) =
+            self.kernels[ki].extract_unscheduled_for_migration(tid, target)
+        else {
+            return false;
+        };
+        self.stats.policy_migrations.incr();
+        self.note_activity(at);
+        // Marshalling plus the policy's own evaluation cost; no core to
+        // free — the thread was not running.
+        let cost =
+            SimTime::from_nanos(self.params.migration_marshal_ns + self.params.policy_eval_ns);
+        let vmas = if self.params.eager_vma_replication {
+            self.kernels[ki].mm(group).vmas()
+        } else {
+            Vec::new()
+        };
+        self.send(
+            at + cost,
+            ki,
+            target,
+            ProtoMsg::TaskMigrate(Box::new(TaskMigrateMsg {
+                tid,
+                group,
+                program,
+                ctx,
+                stats,
+                started: at,
+                vmas,
+                resume: Some(resume),
+                pending,
+            })),
+        );
+        true
     }
 
     /// `TaskMigrate` at the target kernel: attach the thread (shadow
@@ -92,6 +177,8 @@ impl KernelCtx<'_, '_> {
             stats,
             started,
             vmas,
+            resume,
+            pending,
         } = m;
         // An exiting group kills arrivals on contact.
         let home = group.home();
@@ -105,8 +192,9 @@ impl KernelCtx<'_, '_> {
         for vma in vmas {
             self.kernels[ki].mm_mut(group).install_vma(vma);
         }
-        let (core, was_back) =
-            self.kernels[ki].attach_migrated(tid, group, program, ctx, stats, now);
+        let resume = resume.unwrap_or(Resume::Sys(SysResult::Val(0)));
+        let (core, was_back) = self.kernels[ki]
+            .attach_migrated_with(tid, group, program, ctx, stats, resume, pending, now);
         let attach = if was_back && self.params.shadow_task_reuse {
             SimTime::from_nanos(self.params.migration_revive_ns)
         } else {
@@ -153,6 +241,8 @@ impl KernelCtx<'_, '_> {
             program,
             ctx,
             stats,
+            resume,
+            pending,
             ..
         } = m;
         self.stats.migrations_aborted.incr();
@@ -161,10 +251,13 @@ impl KernelCtx<'_, '_> {
         if !shadow_ok {
             return; // the group died while the migration was in flight
         }
-        let (core, _back) = self.kernels[from].attach_migrated(tid, group, program, ctx, stats, at);
-        if let Some(task) = self.kernels[from].task_mut(tid) {
-            task.resume = Resume::Sys(SysResult::Err(Errno::Io));
-        }
+        // Scripted migrations fail their syscall with `EIO`; a policy move
+        // (resume travels in the message) reinstates the thread exactly as
+        // extracted — it never asked to migrate, so it must not see an
+        // error it has no code to handle.
+        let revived = resume.unwrap_or(Resume::Sys(SysResult::Err(Errno::Io)));
+        let (core, _back) = self.kernels[from]
+            .attach_migrated_with(tid, group, program, ctx, stats, revived, pending, at);
         let ready = at + SimTime::from_nanos(self.params.migration_revive_ns);
         self.kick(from, core, ready);
     }

@@ -59,6 +59,7 @@ pub mod futex;
 pub mod group;
 pub mod migrate;
 pub mod page;
+pub mod policy;
 pub mod transport;
 pub mod vma;
 
@@ -69,6 +70,7 @@ use popcorn_kernel::futex::FutexTable;
 use popcorn_kernel::kernel::Kernel;
 use popcorn_kernel::mm::Mm;
 use popcorn_kernel::osmodel::{ensure_core_run, OsEvent, OsMachine};
+use popcorn_kernel::policy::MigrationPolicy;
 use popcorn_kernel::program::{Program, Resume, SysResult, SyscallReq};
 use popcorn_kernel::task::BlockReason;
 use popcorn_kernel::types::{GroupId, PageNo, Tid, VAddr};
@@ -168,6 +170,12 @@ pub struct PopcornMachine {
     sync_home: BTreeMap<(GroupId, u64), KernelId>,
     /// Rotating tie-breaker for Auto placement across kernels.
     auto_cursor: usize,
+    /// The migration policy (built from [`PopcornParams::policy`]). The
+    /// default [`ScriptedOnly`](popcorn_kernel::policy::ScriptedOnly) runs
+    /// no hooks at all; see [`policy`] for the active-policy machinery.
+    policy: Box<dyn MigrationPolicy>,
+    /// Load-telemetry board and tick state (inert under `ScriptedOnly`).
+    telemetry: policy::Telemetry,
     /// Virtual time of the last event that did real protocol or execution
     /// work. RPC-deadline timers that find their request already completed
     /// (the overwhelmingly common case) do not count, so faulty runs can
@@ -192,6 +200,8 @@ impl PopcornMachine {
             .map(|_| LockSite::new("zone_lock", machine.params()))
             .collect();
         let net = ReliableFabric::new(fabric, params.retx_policy(), params.reliable_delivery);
+        let policy = params.policy.build();
+        let telemetry = policy::Telemetry::new(n);
         PopcornMachine {
             kernels,
             net,
@@ -206,9 +216,21 @@ impl PopcornMachine {
             zone_locks,
             sync_home: BTreeMap::new(),
             auto_cursor: 0,
+            policy,
+            telemetry,
             last_activity: SimTime::ZERO,
             stats: PopStats::default(),
         }
+    }
+
+    /// Whether a migration policy (anything but `ScriptedOnly`) is active.
+    pub fn policy_active(&self) -> bool {
+        !self.policy.is_scripted_only()
+    }
+
+    /// The load-telemetry board (read access for reports).
+    pub fn telemetry(&self) -> &policy::Telemetry {
+        &self.telemetry
     }
 
     /// Virtual time of the last event that did real work (see the field).
@@ -260,6 +282,8 @@ impl PopcornMachine {
             zone_locks: &mut self.zone_locks,
             sync_home: &mut self.sync_home,
             auto_cursor: &mut self.auto_cursor,
+            policy: &mut self.policy,
+            telemetry: &mut self.telemetry,
             last_activity: &mut self.last_activity,
             stats: &mut self.stats,
             sched,
@@ -302,6 +326,10 @@ pub struct KernelCtx<'m, 'e> {
     pub sync_home: &'m mut BTreeMap<(GroupId, u64), KernelId>,
     /// Rotating tie-breaker for Auto placement.
     pub auto_cursor: &'m mut usize,
+    /// The migration policy.
+    pub policy: &'m mut Box<dyn MigrationPolicy>,
+    /// The load-telemetry board.
+    pub telemetry: &'m mut policy::Telemetry,
     /// Virtual time of the last event that did real work.
     pub last_activity: &'m mut SimTime,
     /// Protocol statistics.
@@ -426,8 +454,9 @@ impl KernelCtx<'_, '_> {
             ProtoMsg::Seq { .. }
             | ProtoMsg::ChanAck { .. }
             | ProtoMsg::RetxTimer { .. }
-            | ProtoMsg::RpcDeadline { .. } => {
-                unreachable!("reliability-layer messages are consumed before dispatch")
+            | ProtoMsg::RpcDeadline { .. }
+            | ProtoMsg::PolicyTick => {
+                unreachable!("reliability-layer/timer messages are consumed before dispatch")
             }
             ProtoMsg::TaskMigrate(m) => self.migrate_in(ki, *m, now),
             ProtoMsg::MemberAt { group, tid, joined } => {
@@ -500,7 +529,9 @@ impl KernelCtx<'_, '_> {
                 tid,
                 op,
             } => self.on_futex_req(ki, rpc, origin, group, tid, op, now),
-            ProtoMsg::FutexResp { rpc, outcome } => self.on_futex_resp(ki, rpc, outcome, now),
+            ProtoMsg::FutexResp { rpc, outcome, hint } => {
+                self.on_futex_resp(ki, rpc, outcome, hint, now);
+            }
             ProtoMsg::FutexWakeTask { group: _, tid } => {
                 self.wake_with(ki, tid, SysResult::Val(0), now);
             }
@@ -523,6 +554,8 @@ impl KernelCtx<'_, '_> {
                 self.on_group_kill_ack(from, group, killed, now);
             }
             ProtoMsg::GroupReap { group } => self.on_group_reap(ki, group),
+            ProtoMsg::LoadReport { load } => self.on_load_report(ki, load),
+            ProtoMsg::StealReq { thief } => self.on_steal_req(ki, thief, now),
         }
     }
 }

@@ -26,6 +26,12 @@ impl KernelCtx<'_, '_> {
     /// decides.
     pub fn send(&mut self, at: SimTime, from: usize, to: KernelId, msg: ProtoMsg) {
         let at = at.max(self.sched.now());
+        // Telemetry piggybacks on regular traffic: any send refreshes the
+        // sender's instantaneous load fields for free. Gated so the
+        // default `ScriptedOnly` configuration does no work here at all.
+        if self.policy_active() && !matches!(msg, ProtoMsg::LoadReport { .. }) {
+            self.piggyback_load(from);
+        }
         self.stats.proto.of(msg.protocol()).msgs_out.incr();
         let kid = self.kid(from);
         let plan = self.net.send(at, kid, to, msg);
@@ -256,6 +262,18 @@ impl KernelCtx<'_, '_> {
             // to do on receipt beyond counting it.
             ProtoMsg::ChanAck { .. } => {
                 self.stats.proto.of(Protocol::Transport).msgs_in.incr();
+            }
+            // The policy tick is a self-addressed timer: it must not count
+            // as activity (a trailing tick after the workload drains would
+            // inflate the reported completion time), and like the other
+            // timers it is consumed here, before dispatch.
+            ProtoMsg::PolicyTick => self.on_policy_tick(ki, now),
+            // Telemetry dissemination and advisory steal requests cross
+            // the fabric but are not workload progress either; dispatch
+            // them without noting activity (an actual granted steal notes
+            // activity itself).
+            payload @ (ProtoMsg::LoadReport { .. } | ProtoMsg::StealReq { .. }) => {
+                self.dispatch(from, to, ki, payload, now);
             }
             ProtoMsg::Seq { seq, inner } => {
                 if !self.net.accept_seq(to, from, seq) {

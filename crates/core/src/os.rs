@@ -183,6 +183,11 @@ impl OsModel for PopcornOs {
                 core,
             },
         );
+        // First load under an active policy: start the staggered per-kernel
+        // telemetry/policy ticks (a no-op vec under `ScriptedOnly`).
+        for (at, msg) in self.machine.policy_tick_starts(self.sim.now()) {
+            self.sim.schedule(at, OsEvent::Custom(msg));
+        }
         group
     }
 
@@ -207,12 +212,19 @@ impl OsModel for PopcornOs {
             metrics.insert("blackout_drops".into(), fc.blackout_drops as f64);
             metrics.insert("crash_drops".into(), fc.crash_drops as f64);
         }
+        if self.machine.policy_active() {
+            metrics.insert(
+                "runq_depth_tw_mean".into(),
+                self.machine.telemetry().mean_depth_tw(),
+            );
+        }
         let exited: u64 = kernels.iter().map(|k| k.stats.exited.get()).sum();
         // Under fault injection, moot RPC-deadline timers can trail the real
         // work by up to `rpc_deadline_ns`; report when the workload actually
-        // finished. Fault-free runs keep the raw clock (byte-identical to a
-        // build without the reliability layer).
-        let finished_at = if self.machine.fabric().faults_active() {
+        // finished. The same applies to an active policy's trailing final
+        // tick. Fault-free scripted runs keep the raw clock (byte-identical
+        // to a build without the reliability layer).
+        let finished_at = if self.machine.fabric().faults_active() || self.machine.policy_active() {
             self.machine.last_activity()
         } else {
             self.sim.now()

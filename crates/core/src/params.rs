@@ -1,5 +1,6 @@
 //! Popcorn-specific protocol cost constants and feature toggles.
 
+use popcorn_kernel::policy::PolicyKind;
 use popcorn_msg::RetxPolicy;
 
 /// Costs of Popcorn's migration/consistency protocols (software paths, on
@@ -60,6 +61,20 @@ pub struct PopcornParams {
     /// Must comfortably exceed the worst-case retransmit chain
     /// (`Σ min(retx_base·2ⁱ, retx_cap)` plus service and response time).
     pub rpc_deadline_ns: u64,
+    /// Migration policy. The default, [`PolicyKind::ScriptedOnly`], runs no
+    /// telemetry and no policy hooks at all — scripted experiments stay
+    /// byte-identical. Any other kind turns on per-kernel load-telemetry
+    /// publication and periodic policy ticks.
+    pub policy: PolicyKind,
+    /// Period of the per-kernel telemetry/policy tick. Each tick publishes
+    /// the kernel's load snapshot, forwards it to one peer on the fabric
+    /// (the modeled dissemination cost), and runs the policy's balance and
+    /// steal hooks. Ignored under `ScriptedOnly`.
+    pub telemetry_period_ns: u64,
+    /// Software cost charged for evaluating the policy on a migration it
+    /// initiates (added to the marshalling path). Ignored under
+    /// `ScriptedOnly`.
+    pub policy_eval_ns: u64,
 }
 
 impl Default for PopcornParams {
@@ -84,6 +99,9 @@ impl Default for PopcornParams {
             retx_cap_ns: 2_000_000,
             retx_max_attempts: 10,
             rpc_deadline_ns: 100_000_000,
+            policy: PolicyKind::ScriptedOnly,
+            telemetry_period_ns: 50_000,
+            policy_eval_ns: 400,
         }
     }
 }
@@ -122,6 +140,9 @@ impl PopcornParams {
                  reported as failure",
                 self.rpc_deadline_ns
             ));
+        }
+        if self.policy != PolicyKind::ScriptedOnly && self.telemetry_period_ns == 0 {
+            return Err("telemetry_period_ns must be non-zero when a policy is active".into());
         }
         Ok(())
     }
@@ -196,5 +217,20 @@ mod tests {
             ..PopcornParams::default()
         };
         assert!(p.validate().is_err());
+    }
+
+    #[test]
+    fn active_policy_requires_telemetry_period() {
+        let p = PopcornParams {
+            policy: PolicyKind::LoadThreshold,
+            telemetry_period_ns: 0,
+            ..PopcornParams::default()
+        };
+        assert!(p.validate().is_err());
+        let scripted = PopcornParams {
+            telemetry_period_ns: 0,
+            ..PopcornParams::default()
+        };
+        assert_eq!(scripted.validate(), Ok(()), "ignored under ScriptedOnly");
     }
 }

@@ -8,7 +8,8 @@
 //! simulated contents are, matching the real system.
 
 use popcorn_kernel::mm::{PageContents, PageState, Vma};
-use popcorn_kernel::program::{FutexOp, Program, RmwOp};
+use popcorn_kernel::policy::KernelLoad;
+use popcorn_kernel::program::{FutexOp, Op, Program, Resume, RmwOp};
 use popcorn_kernel::task::TaskStats;
 use popcorn_kernel::types::{CpuContext, Errno, GroupId, PageNo, Tid, VAddr};
 use popcorn_msg::{KernelId, RpcId, SeqEnvelope, Wire};
@@ -125,6 +126,14 @@ pub struct TaskMigrateMsg {
     pub started: SimTime,
     /// VMAs pushed eagerly (ablation; empty = on-demand retrieval).
     pub vmas: Vec<Vma>,
+    /// Resume override at the destination. `None` (scripted migration: the
+    /// thread called `migrate`) resumes with the syscall's success result;
+    /// policy-initiated migrations move a thread that never asked, so its
+    /// in-flight resume value travels here and is reinstated verbatim.
+    pub resume: Option<Resume>,
+    /// Parked pending op travelling with a policy-migrated queued thread
+    /// (e.g. the remainder of a preempted compute burst).
+    pub pending: Option<Op>,
 }
 
 /// The protocol message set.
@@ -314,6 +323,11 @@ pub enum ProtoMsg {
         rpc: RpcId,
         /// What the server did.
         outcome: FutexOutcome,
+        /// Wake-locality hint: the kernel hosting the plurality of the
+        /// waiters this wake released, and how many were woken. Only
+        /// populated when a migration policy is active; `ScriptedOnly`
+        /// runs never compute it.
+        hint: Option<(KernelId, u32)>,
     },
     /// Home wakes a parked remote waiter.
     FutexWakeTask {
@@ -377,6 +391,26 @@ pub enum ProtoMsg {
     GroupReap {
         /// The group.
         group: GroupId,
+    },
+
+    /// Self-addressed telemetry/policy timer: publish this kernel's load
+    /// snapshot, disseminate it, and run the policy's periodic hooks.
+    /// Never crosses the fabric; never scheduled under `ScriptedOnly`.
+    PolicyTick,
+    /// One kernel's load snapshot, forwarded to a peer — the modeled
+    /// fabric cost of telemetry dissemination (the snapshot itself also
+    /// piggybacks on regular traffic at no extra cost).
+    LoadReport {
+        /// The sender's snapshot.
+        load: KernelLoad,
+    },
+    /// A work-stealing policy's pull request: the idle `thief` asks this
+    /// kernel for one queued thread. Advisory — the victim re-checks its
+    /// own load before granting, so stale telemetry (or an injected
+    /// duplicate) cannot over-drain it.
+    StealReq {
+        /// The idle kernel asking for work.
+        thief: KernelId,
     },
 
     /// Reliable-delivery envelope: `seq` orders messages on one directed
@@ -545,9 +579,10 @@ impl ProtoMsg {
                 tid: *tid,
                 op: *op,
             },
-            FutexResp { rpc, outcome } => FutexResp {
+            FutexResp { rpc, outcome, hint } => FutexResp {
                 rpc: *rpc,
                 outcome: *outcome,
+                hint: *hint,
             },
             FutexWakeTask { group, tid } => FutexWakeTask {
                 group: *group,
@@ -592,6 +627,9 @@ impl ProtoMsg {
                 killed: killed.clone(),
             },
             GroupReap { group } => GroupReap { group: *group },
+            PolicyTick => PolicyTick,
+            LoadReport { load } => LoadReport { load: *load },
+            StealReq { thief } => StealReq { thief: *thief },
             ChanAck { seq } => ChanAck { seq: *seq },
             RetxTimer { token } => RetxTimer { token: *token },
             RpcDeadline { rpc } => RpcDeadline { rpc: *rpc },
@@ -603,7 +641,7 @@ impl ProtoMsg {
     pub fn protocol(&self) -> Protocol {
         use ProtoMsg::*;
         match self {
-            TaskMigrate(_) => Protocol::Migrate,
+            TaskMigrate(_) | StealReq { .. } => Protocol::Migrate,
             MemberAt { .. }
             | CloneReq { .. }
             | CloneResp { .. }
@@ -631,7 +669,11 @@ impl ProtoMsg {
             | RmwReq { .. }
             | RmwResp { .. } => Protocol::Futex,
             Seq { inner, .. } => inner.protocol(),
-            ChanAck { .. } | RetxTimer { .. } | RpcDeadline { .. } => Protocol::Transport,
+            ChanAck { .. }
+            | RetxTimer { .. }
+            | RpcDeadline { .. }
+            | PolicyTick
+            | LoadReport { .. } => Protocol::Transport,
         }
     }
 }
@@ -683,6 +725,8 @@ impl Wire for ProtoMsg {
             }
             // Envelope: the inner message plus the sequence-number field.
             ProtoMsg::Seq { inner, .. } => 8 + inner.wire_size(),
+            // Telemetry snapshot: four counters plus two rates.
+            ProtoMsg::LoadReport { .. } => HDR + 32,
             // Small fixed-size control messages.
             _ => HDR + 16,
         }
@@ -733,6 +777,8 @@ mod tests {
             stats: TaskStats::default(),
             started: SimTime::ZERO,
             vmas: vec![],
+            resume: None,
+            pending: None,
         }));
         let fpu_ctx = CpuContext {
             fpu_used: true,
@@ -752,6 +798,8 @@ mod tests {
                 };
                 3
             ],
+            resume: None,
+            pending: None,
         }));
         assert_eq!(heavy.wire_size() - lean.wire_size(), 512 + 3 * 24);
     }
@@ -780,6 +828,8 @@ mod tests {
             stats: TaskStats::default(),
             started: SimTime::ZERO,
             vmas: vec![],
+            resume: None,
+            pending: None,
         }));
         assert!(m.try_clone().is_none());
         let wrapped = ProtoMsg::Seq {

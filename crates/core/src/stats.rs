@@ -144,12 +144,49 @@ pub struct PopStats {
     /// error return (page faults, sync words).
     pub fault_kills: Counter,
 
+    // --- Migration policy (only non-zero when a policy is active) ---
+    /// Policy-initiated migrations (balance moves and granted steals).
+    pub policy_migrations: Counter,
+    /// Steal requests sent by an idle kernel's policy.
+    pub steal_reqs: Counter,
+    /// Steal requests granted by the victim (subset of
+    /// `policy_migrations`).
+    pub policy_steals: Counter,
+    /// Wakers migrated toward the waiters they woke (futex locality).
+    pub wake_chases: Counter,
+    /// Scripted migration targets overridden by the policy's redirect
+    /// hook (e.g. `FaultAware` steering around a crashed kernel).
+    pub policy_redirects: Counter,
+    /// Load snapshots disseminated on the fabric (one per policy tick).
+    pub telemetry_reports: Counter,
+
     /// Per-protocol traffic/service accounting (one entry per `machine/`
     /// protocol module).
     pub proto: ProtoStats,
 }
 
 impl PopStats {
+    /// Total histogram-bucket saturations across every latency/service
+    /// histogram — non-zero means some recorded value exceeded a
+    /// histogram's range and was clamped into its top bucket, i.e. the
+    /// reported tails understate reality (see
+    /// [`Histogram::saturations`](popcorn_sim::Histogram::saturations)).
+    pub fn hist_saturations(&self) -> u64 {
+        let own = [
+            &self.migration_first_lat,
+            &self.migration_back_lat,
+            &self.fault_local_lat,
+            &self.fault_remote_read_lat,
+            &self.fault_remote_write_lat,
+            &self.clone_remote_lat,
+        ];
+        let service: u64 = Protocol::ALL
+            .iter()
+            .map(|&p| self.proto.get(p).service.saturations())
+            .sum();
+        own.iter().map(|h| h.saturations()).sum::<u64>() + service
+    }
+
     /// Flattens into named metrics for [`RunReport`](popcorn_kernel::RunReport).
     pub fn metrics(&self) -> BTreeMap<String, f64> {
         let mut m = BTreeMap::new();
@@ -218,6 +255,22 @@ impl PopStats {
         );
         m.insert("ops_failed".into(), self.ops_failed.get() as f64);
         m.insert("fault_kills".into(), self.fault_kills.get() as f64);
+        m.insert(
+            "policy_migrations".into(),
+            self.policy_migrations.get() as f64,
+        );
+        m.insert("steal_reqs".into(), self.steal_reqs.get() as f64);
+        m.insert("policy_steals".into(), self.policy_steals.get() as f64);
+        m.insert("wake_chases".into(), self.wake_chases.get() as f64);
+        m.insert(
+            "policy_redirects".into(),
+            self.policy_redirects.get() as f64,
+        );
+        m.insert(
+            "telemetry_reports".into(),
+            self.telemetry_reports.get() as f64,
+        );
+        m.insert("hist_saturations".into(), self.hist_saturations() as f64);
         for p in Protocol::ALL {
             let c = self.proto.get(p);
             let key = |suffix: &str| format!("proto_{}_{suffix}", p.name());

@@ -117,6 +117,16 @@ impl FutexTable {
         self.queues.get(&(group, addr.0)).map_or(0, VecDeque::len)
     }
 
+    /// Number of parked waiters (across all words) resident on `kernel` —
+    /// the futex-wait residency signal in the load-telemetry snapshot.
+    pub fn resident_waiters(&self, kernel: KernelId) -> usize {
+        self.queues
+            .values()
+            .flat_map(|q| q.iter())
+            .filter(|w| w.kernel == kernel)
+            .count()
+    }
+
     /// Drops all state of a group (group exit); returns any still-parked
     /// waiters so the caller can fail them.
     pub fn drop_group(&mut self, group: GroupId) -> Vec<Waiter> {

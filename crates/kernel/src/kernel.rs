@@ -729,6 +729,63 @@ impl Kernel {
         (program, ctx, stats)
     }
 
+    /// A queued (ready, not running) thread suitable for policy-initiated
+    /// migration, taken from the tail of the deepest run queue — the thread
+    /// that would wait longest locally loses the least by moving.
+    pub fn pick_queued_task(&self) -> Option<Tid> {
+        self.cores
+            .iter()
+            .max_by_key(|cs| cs.runqueue.len())
+            .filter(|cs| !cs.runqueue.is_empty())
+            .and_then(|cs| cs.runqueue.back().copied())
+    }
+
+    /// Extracts a thread that is *not* on a core for policy-initiated
+    /// migration: a queued ready thread, or one blocked on a remote
+    /// operation whose completion the caller is intercepting. Unlike
+    /// [`Kernel::extract_for_migration`] the thread did not ask to move, so
+    /// its in-flight resume value and parked pending op travel with it and
+    /// are reinstated verbatim at the destination.
+    ///
+    /// Returns `None` when the task is in any other state (running, in a
+    /// syscall, parked on a futex word — whose wait-queue entry pins it
+    /// here — or sleeping with a timer due), which callers treat as "don't
+    /// migrate after all".
+    #[allow(clippy::type_complexity)]
+    pub fn extract_unscheduled_for_migration(
+        &mut self,
+        tid: Tid,
+        to: KernelId,
+    ) -> Option<(
+        Box<dyn crate::program::Program>,
+        crate::types::CpuContext,
+        TaskStats,
+        Resume,
+        Option<Op>,
+    )> {
+        let task = self.tasks.get_mut(&tid)?;
+        match task.state {
+            TaskState::Ready => {
+                let core = task.core;
+                let ci = self.core_index[&core];
+                let pos = self.cores[ci].runqueue.iter().position(|&t| t == tid)?;
+                self.cores[ci].runqueue.remove(pos);
+            }
+            TaskState::Blocked(BlockReason::Remote(_)) => {}
+            _ => return None,
+        }
+        let task = self.tasks.get_mut(&tid).expect("task exists");
+        let program = task.program.take().expect("migrating shadow");
+        let ctx = task.ctx.clone();
+        task.stats.migrations += 1;
+        let stats = task.stats;
+        task.state = TaskState::MigratedAway { to };
+        let resume = std::mem::replace(&mut task.resume, Resume::Start);
+        let pending = self.pending_ops.remove(&tid);
+        self.wake_stamp.remove(&tid);
+        Some((program, ctx, stats, resume, pending))
+    }
+
     /// Installs an arriving migrated thread. If a dormant shadow for `tid`
     /// exists (back-migration), it is revived in place — the cheap path the
     /// paper measures; otherwise a fresh task is created. The thread
@@ -747,17 +804,48 @@ impl Kernel {
         stats: TaskStats,
         now: SimTime,
     ) -> (CoreId, bool) {
+        self.attach_migrated_with(
+            tid,
+            group,
+            program,
+            ctx,
+            stats,
+            Resume::Sys(SysResult::Val(0)),
+            None,
+            now,
+        )
+    }
+
+    /// [`Kernel::attach_migrated`] with an explicit resume value and pending
+    /// op: policy-initiated migrations move threads that never called
+    /// `migrate`, so they resume exactly where they left off instead of
+    /// with the migrate syscall's result.
+    #[allow(clippy::too_many_arguments)]
+    pub fn attach_migrated_with(
+        &mut self,
+        tid: Tid,
+        group: GroupId,
+        program: Box<dyn crate::program::Program>,
+        ctx: crate::types::CpuContext,
+        stats: TaskStats,
+        resume: Resume,
+        pending: Option<Op>,
+        now: SimTime,
+    ) -> (CoreId, bool) {
         assert!(
             self.has_mm(group),
             "migration before mm replica for {group}"
         );
+        if let Some(op) = pending {
+            self.pending_ops.insert(tid, op);
+        }
         if let Some(task) = self.tasks.get_mut(&tid) {
             assert!(task.is_shadow(), "{tid} exists here but is not a shadow");
             task.program = Some(program);
             task.ctx = ctx;
             task.stats = stats;
             task.state = TaskState::Ready;
-            task.resume = Resume::Sys(SysResult::Val(0));
+            task.resume = resume;
             let core = task.core;
             let cs = self.core_state_mut(core);
             cs.runqueue.push_back(tid);
@@ -768,7 +856,7 @@ impl Kernel {
             let mut task = Task::new(tid, group, program, core);
             task.ctx = ctx;
             task.stats = stats;
-            task.resume = Resume::Sys(SysResult::Val(0));
+            task.resume = resume;
             self.tasks.insert(tid, task);
             let cs = self.core_state_mut(core);
             cs.runqueue.push_back(tid);

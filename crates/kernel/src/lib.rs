@@ -14,12 +14,15 @@
 //! - [`kernel`] — the kernel instance: per-core scheduling and the
 //!   execution loop ([`Kernel::run_core`](kernel::Kernel::run_core));
 //! - [`params`] — calibrated software-path costs;
+//! - [`policy`] — migration policies ([`policy::MigrationPolicy`]): *when*
+//!   and where threads move, fed by per-kernel load telemetry;
 //! - [`osmodel`] — the scaffolding OS models plug their policy into, plus
 //!   the harness-facing [`osmodel::OsModel`] interface.
 //!
-//! Cross-kernel *policy* — migration, address-space consistency,
-//! distributed futexes — intentionally lives above this crate, in
-//! `popcorn-core` (the paper's contribution) and `popcorn-baselines`.
+//! Cross-kernel *protocol* — migration mechanics, address-space
+//! consistency, distributed futexes — intentionally lives above this
+//! crate, in `popcorn-core` (the paper's contribution) and
+//! `popcorn-baselines`; [`policy`] only decides, it never moves state.
 //!
 //! # Example: a one-kernel machine running one program
 //!
@@ -53,6 +56,7 @@ pub mod kernel;
 pub mod mm;
 pub mod osmodel;
 pub mod params;
+pub mod policy;
 pub mod program;
 pub mod task;
 pub mod types;
@@ -60,5 +64,6 @@ pub mod types;
 pub use kernel::{Kernel, RunOutcome};
 pub use osmodel::{OsEvent, OsMachine, OsModel, RunReport};
 pub use params::OsParams;
+pub use policy::{Decision, KernelLoad, MigrationPolicy, PolicyKind, PolicyView};
 pub use program::{Op, Program, Resume};
 pub use types::{GroupId, Tid, VAddr};

@@ -1,0 +1,604 @@
+//! Migration policy: *when* (and where) a thread should move.
+//!
+//! The kernel mechanism layer executes migrations ([`crate::kernel::Kernel`]
+//! extracts and attaches thread state); the workloads can script them
+//! (`SyscallReq::Migrate`). This module supplies the missing third piece:
+//! policies that decide on their own, fed by a per-kernel load-telemetry
+//! snapshot ([`KernelLoad`]) that the machine layer refreshes by
+//! piggybacking on fabric traffic plus a periodic tick.
+//!
+//! A policy is machine-global but invoked *from* one kernel at a time
+//! (`view.me`), mirroring the paper's architecture where each kernel runs
+//! its own scheduler over shared (and slightly stale) load information.
+//! Policies must be deterministic: decisions may depend only on the view
+//! and on the policy's own state, never on ambient randomness — the
+//! simulation's byte-identical-results invariant extends to them.
+
+use std::collections::BTreeMap;
+
+use popcorn_msg::KernelId;
+use popcorn_sim::SimTime;
+
+/// One kernel's load-telemetry snapshot, as last published.
+///
+/// `runq` is the instantaneous runnable load (running + queued);
+/// `runq_tw` is the *time-weighted* mean runqueue depth over the published
+/// series (see `TimeSeries::time_weighted_mean` — event-driven samples make
+/// the point-weighted mean misleading); `fault_rate` is page faults per
+/// millisecond over the window since the previous publish; `futex_waiters`
+/// counts parked waiters resident on this kernel; `healthy` is false when
+/// the fault plan says the kernel is crashed or its channel to/from the
+/// observer is blacked out.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct KernelLoad {
+    /// Which kernel this snapshot describes.
+    pub kernel: KernelId,
+    /// Instantaneous runnable load (running + queued threads).
+    pub runq: u32,
+    /// Time-weighted mean runqueue depth over the published series.
+    pub runq_tw: f64,
+    /// Recent page-fault rate, faults per millisecond.
+    pub fault_rate: f64,
+    /// Futex waiters currently parked whose home is this kernel.
+    pub futex_waiters: u32,
+    /// False when crashed or blacked out relative to the observer.
+    pub healthy: bool,
+    /// When this snapshot was published.
+    pub at: SimTime,
+}
+
+impl KernelLoad {
+    /// A zeroed, healthy snapshot for `kernel` (pre-first-publish state).
+    pub fn empty(kernel: KernelId) -> Self {
+        KernelLoad {
+            kernel,
+            runq: 0,
+            runq_tw: 0.0,
+            fault_rate: 0.0,
+            futex_waiters: 0,
+            healthy: true,
+            at: SimTime::ZERO,
+        }
+    }
+}
+
+/// What a policy hook decided.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Decision {
+    /// Do nothing.
+    Stay,
+    /// Move one thread to the given kernel.
+    Migrate(KernelId),
+}
+
+/// The telemetry a policy sees when asked for a decision: who is asking,
+/// when, and the latest published snapshot of every kernel.
+#[derive(Debug)]
+pub struct PolicyView<'a> {
+    /// The kernel invoking the policy.
+    pub me: KernelId,
+    /// Current simulation time.
+    pub now: SimTime,
+    /// Latest snapshot per kernel, indexed by kernel id.
+    pub loads: &'a [KernelLoad],
+}
+
+impl PolicyView<'_> {
+    /// Snapshot of `k`, if known.
+    pub fn of(&self, k: KernelId) -> Option<&KernelLoad> {
+        self.loads.get(k.0 as usize)
+    }
+
+    /// Snapshot of the invoking kernel.
+    pub fn mine(&self) -> Option<&KernelLoad> {
+        self.of(self.me)
+    }
+
+    /// Snapshots of every *other* kernel.
+    pub fn peers(&self) -> impl Iterator<Item = &KernelLoad> {
+        self.loads.iter().filter(move |l| l.kernel != self.me)
+    }
+}
+
+/// A migration policy: decides when threads move between kernels.
+///
+/// All hooks default to "do nothing", so an implementation only overrides
+/// the signals it cares about. Hooks take `&mut self` because real policies
+/// carry hysteresis state (cooldowns, last-move stamps).
+pub trait MigrationPolicy: std::fmt::Debug + Send {
+    /// Short stable name for tables and results files.
+    fn name(&self) -> &'static str;
+
+    /// True only for [`ScriptedOnly`]: the machine layer skips telemetry
+    /// publication, policy ticks, and every other policy hook, keeping
+    /// scripted runs byte-identical to a build without this module.
+    fn is_scripted_only(&self) -> bool {
+        false
+    }
+
+    /// Periodic balance tick on `view.me`: push one queued thread away?
+    fn balance(&mut self, view: &PolicyView<'_>) -> Decision {
+        let _ = view;
+        Decision::Stay
+    }
+
+    /// Periodic steal tick on `view.me`: pull work from which victim?
+    /// Returning `Some(victim)` sends a steal request; the victim re-checks
+    /// its own (fresher) load before granting.
+    fn steal_from(&mut self, view: &PolicyView<'_>) -> Option<KernelId> {
+        let _ = view;
+        None
+    }
+
+    /// After `view.me` served a futex wake that released `woken` waiters,
+    /// the plurality of them resident on `majority`: should the *waker*
+    /// chase the waiters to their kernel?
+    fn wake_locality(&mut self, view: &PolicyView<'_>, majority: KernelId, woken: u32) -> Decision {
+        let _ = (view, majority, woken);
+        Decision::Stay
+    }
+
+    /// A scripted migration from `view.me` asked for `requested`; the
+    /// policy may reroute it (e.g. around a crashed kernel). Returning
+    /// `view.me` turns the migration into a local no-op.
+    fn redirect(&mut self, view: &PolicyView<'_>, requested: KernelId) -> KernelId {
+        let _ = view;
+        requested
+    }
+}
+
+/// The default policy: never initiates or redirects anything. The machine
+/// layer special-cases it to skip telemetry entirely, so every scripted
+/// experiment stays byte-identical.
+#[derive(Debug, Default)]
+pub struct ScriptedOnly;
+
+impl MigrationPolicy for ScriptedOnly {
+    fn name(&self) -> &'static str {
+        "scripted"
+    }
+
+    fn is_scripted_only(&self) -> bool {
+        true
+    }
+}
+
+/// Runqueue-depth threshold with hysteresis (radium-style).
+///
+/// Migrates one queued thread from `me` to the least-loaded healthy peer
+/// only when the depth difference reaches `threshold`, and then not again
+/// from the same kernel until `cooldown` has passed. With `threshold >= 2`
+/// a single migration closes the gap it acted on (source loses one, target
+/// gains one), so two equally loaded kernels can never trade a thread back
+/// and forth.
+#[derive(Debug)]
+pub struct LoadThreshold {
+    threshold: u32,
+    cooldown: SimTime,
+    last_move: BTreeMap<u16, SimTime>,
+}
+
+impl LoadThreshold {
+    /// Policy with the given depth threshold (clamped to >= 2 so hysteresis
+    /// holds) and per-kernel cooldown.
+    pub fn new(threshold: u32, cooldown: SimTime) -> Self {
+        LoadThreshold {
+            threshold: threshold.max(2),
+            cooldown,
+            last_move: BTreeMap::new(),
+        }
+    }
+
+    fn cooled_down(&self, me: KernelId, now: SimTime) -> bool {
+        self.last_move
+            .get(&me.0)
+            .is_none_or(|&t| now >= t + self.cooldown)
+    }
+
+    fn pick_target(&self, view: &PolicyView<'_>) -> Option<KernelId> {
+        let my = view.mine()?;
+        let target = view
+            .peers()
+            .filter(|l| l.healthy)
+            .min_by_key(|l| (l.runq, l.kernel))?;
+        (my.runq >= target.runq + self.threshold).then_some(target.kernel)
+    }
+}
+
+impl Default for LoadThreshold {
+    fn default() -> Self {
+        // Threshold 2 is the smallest hysteresis-safe gap; the 200µs
+        // cooldown spans a few telemetry periods so one imbalance is
+        // corrected by one move, not a volley.
+        Self::new(2, SimTime::from_micros(200))
+    }
+}
+
+impl MigrationPolicy for LoadThreshold {
+    fn name(&self) -> &'static str {
+        "load-threshold"
+    }
+
+    fn balance(&mut self, view: &PolicyView<'_>) -> Decision {
+        if !self.cooled_down(view.me, view.now) {
+            return Decision::Stay;
+        }
+        match self.pick_target(view) {
+            Some(k) => {
+                self.last_move.insert(view.me.0, view.now);
+                Decision::Migrate(k)
+            }
+            None => Decision::Stay,
+        }
+    }
+}
+
+/// Pull-based balancing: an idle kernel asks the busiest peer for work.
+///
+/// The victim is chosen by *time-weighted* mean runqueue depth (ties by
+/// instantaneous depth, then lowest id), so a transient spike does not make
+/// a kernel everyone's victim. The steal request is advisory: the victim
+/// re-checks its own load on receipt and only grants if it still has
+/// surplus, which keeps stale snapshots harmless.
+#[derive(Debug)]
+pub struct WorkStealing {
+    min_victim: u32,
+}
+
+impl WorkStealing {
+    /// Steal only from victims with at least `min_victim` runnable threads.
+    pub fn new(min_victim: u32) -> Self {
+        WorkStealing {
+            min_victim: min_victim.max(2),
+        }
+    }
+}
+
+impl Default for WorkStealing {
+    fn default() -> Self {
+        Self::new(2)
+    }
+}
+
+impl MigrationPolicy for WorkStealing {
+    fn name(&self) -> &'static str {
+        "work-stealing"
+    }
+
+    fn steal_from(&mut self, view: &PolicyView<'_>) -> Option<KernelId> {
+        let my = view.mine()?;
+        if my.runq > 0 {
+            return None;
+        }
+        view.peers()
+            .filter(|l| l.healthy && l.runq >= self.min_victim)
+            .max_by(|a, b| {
+                a.runq_tw
+                    .total_cmp(&b.runq_tw)
+                    .then(a.runq.cmp(&b.runq))
+                    // Prefer the *lowest* id on a full tie.
+                    .then(b.kernel.cmp(&a.kernel))
+            })
+            .map(|l| l.kernel)
+    }
+}
+
+/// Steer a futex waker toward the kernel where most of the threads it just
+/// woke live: the woken threads will immediately contend on the same word,
+/// and a co-located waker turns the next wake round into local operations.
+#[derive(Debug)]
+pub struct FutexWakeLocality {
+    min_waiters: u32,
+}
+
+impl FutexWakeLocality {
+    /// Chase only wakes that released at least `min_waiters` threads.
+    pub fn new(min_waiters: u32) -> Self {
+        FutexWakeLocality {
+            min_waiters: min_waiters.max(1),
+        }
+    }
+}
+
+impl Default for FutexWakeLocality {
+    fn default() -> Self {
+        Self::new(2)
+    }
+}
+
+impl MigrationPolicy for FutexWakeLocality {
+    fn name(&self) -> &'static str {
+        "futex-locality"
+    }
+
+    fn wake_locality(&mut self, view: &PolicyView<'_>, majority: KernelId, woken: u32) -> Decision {
+        if majority == view.me || woken < self.min_waiters {
+            return Decision::Stay;
+        }
+        let ok = view.of(majority).is_some_and(|l| l.healthy);
+        if ok {
+            Decision::Migrate(majority)
+        } else {
+            Decision::Stay
+        }
+    }
+}
+
+/// Load-threshold balancing that additionally consults the fault plan:
+/// never selects a crashed or blacked-out kernel, and reroutes scripted
+/// migrations aimed at one to the healthiest alternative (falling back to
+/// staying home when no healthy peer exists).
+#[derive(Debug, Default)]
+pub struct FaultAware {
+    inner: LoadThreshold,
+}
+
+impl FaultAware {
+    fn healthiest(view: &PolicyView<'_>) -> Option<KernelId> {
+        view.peers()
+            .filter(|l| l.healthy)
+            .min_by_key(|l| (l.runq, l.kernel))
+            .map(|l| l.kernel)
+    }
+}
+
+impl MigrationPolicy for FaultAware {
+    fn name(&self) -> &'static str {
+        "fault-aware"
+    }
+
+    fn balance(&mut self, view: &PolicyView<'_>) -> Decision {
+        // LoadThreshold already filters unhealthy targets.
+        self.inner.balance(view)
+    }
+
+    fn redirect(&mut self, view: &PolicyView<'_>, requested: KernelId) -> KernelId {
+        if requested == view.me || view.of(requested).is_none_or(|l| l.healthy) {
+            return requested;
+        }
+        Self::healthiest(view).unwrap_or(view.me)
+    }
+}
+
+/// Configuration-level selector for a [`MigrationPolicy`], so a policy
+/// choice can travel inside plain-data parameter structs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum PolicyKind {
+    /// Only workload-scripted migrations (the byte-identical default).
+    #[default]
+    ScriptedOnly,
+    /// Runqueue-depth threshold with hysteresis.
+    LoadThreshold,
+    /// Idle kernels pull work from the busiest peer.
+    WorkStealing,
+    /// Wakers chase the waiters they released.
+    FutexWakeLocality,
+    /// Threshold balancing that routes around crashed/blacked-out kernels.
+    FaultAware,
+}
+
+impl PolicyKind {
+    /// Every selectable policy, scripted first.
+    pub const ALL: [PolicyKind; 5] = [
+        PolicyKind::ScriptedOnly,
+        PolicyKind::LoadThreshold,
+        PolicyKind::WorkStealing,
+        PolicyKind::FutexWakeLocality,
+        PolicyKind::FaultAware,
+    ];
+
+    /// Instantiates the policy with its default tuning.
+    pub fn build(self) -> Box<dyn MigrationPolicy> {
+        match self {
+            PolicyKind::ScriptedOnly => Box::new(ScriptedOnly),
+            PolicyKind::LoadThreshold => Box::<LoadThreshold>::default(),
+            PolicyKind::WorkStealing => Box::<WorkStealing>::default(),
+            PolicyKind::FutexWakeLocality => Box::<FutexWakeLocality>::default(),
+            PolicyKind::FaultAware => Box::<FaultAware>::default(),
+        }
+    }
+
+    /// The policy's stable name (matches [`MigrationPolicy::name`]).
+    pub fn name(self) -> &'static str {
+        match self {
+            PolicyKind::ScriptedOnly => "scripted",
+            PolicyKind::LoadThreshold => "load-threshold",
+            PolicyKind::WorkStealing => "work-stealing",
+            PolicyKind::FutexWakeLocality => "futex-locality",
+            PolicyKind::FaultAware => "fault-aware",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn view_from(loads: &[KernelLoad], me: u16, now_ns: u64) -> PolicyView<'_> {
+        PolicyView {
+            me: KernelId(me),
+            now: SimTime::from_nanos(now_ns),
+            loads,
+        }
+    }
+
+    fn loads(runqs: &[u32]) -> Vec<KernelLoad> {
+        runqs
+            .iter()
+            .enumerate()
+            .map(|(i, &q)| KernelLoad {
+                runq: q,
+                runq_tw: q as f64,
+                ..KernelLoad::empty(KernelId(i as u16))
+            })
+            .collect()
+    }
+
+    /// Tiny deterministic LCG for property-style tests.
+    struct Lcg(u64);
+    impl Lcg {
+        fn next(&mut self) -> u64 {
+            self.0 = self.0.wrapping_mul(6364136223846793005).wrapping_add(1);
+            self.0 >> 33
+        }
+    }
+
+    #[test]
+    fn names_match_kinds() {
+        for kind in PolicyKind::ALL {
+            assert_eq!(kind.build().name(), kind.name());
+        }
+    }
+
+    #[test]
+    fn scripted_only_is_inert() {
+        let mut p = ScriptedOnly;
+        assert!(p.is_scripted_only());
+        let ls = loads(&[9, 0, 0, 0]);
+        let v = view_from(&ls, 0, 1_000);
+        assert_eq!(p.balance(&v), Decision::Stay);
+        assert_eq!(p.steal_from(&v), None);
+        assert_eq!(p.wake_locality(&v, KernelId(1), 10), Decision::Stay);
+        assert_eq!(p.redirect(&v, KernelId(3)), KernelId(3));
+    }
+
+    /// Property: FaultAware never selects a crashed/blacked-out kernel, in
+    /// any hook, over randomized views.
+    #[test]
+    fn fault_aware_never_selects_unhealthy() {
+        let mut rng = Lcg(0xFA17_0A3E);
+        let mut p = FaultAware::default();
+        for round in 0..2_000 {
+            let n = 2 + (rng.next() % 7) as usize;
+            let ls: Vec<KernelLoad> = (0..n)
+                .map(|i| KernelLoad {
+                    runq: (rng.next() % 10) as u32,
+                    runq_tw: (rng.next() % 10) as f64,
+                    fault_rate: (rng.next() % 5) as f64,
+                    futex_waiters: (rng.next() % 8) as u32,
+                    healthy: !rng.next().is_multiple_of(3),
+                    ..KernelLoad::empty(KernelId(i as u16))
+                })
+                .collect();
+            let me = (rng.next() % n as u64) as u16;
+            let v = view_from(&ls, me, round * 10_000);
+            if let Decision::Migrate(k) = p.balance(&v) {
+                assert!(ls[k.0 as usize].healthy, "balance picked unhealthy {k}");
+                assert_ne!(k, v.me);
+            }
+            let requested = KernelId((rng.next() % n as u64) as u16);
+            let got = p.redirect(&v, requested);
+            // Either the (healthy) requested target, or a healthy reroute,
+            // or home as the last resort.
+            assert!(
+                got == v.me || ls[got.0 as usize].healthy,
+                "redirect picked unhealthy {got}"
+            );
+            if requested != v.me && ls[requested.0 as usize].healthy {
+                assert_eq!(got, requested, "healthy request must not be rerouted");
+            }
+        }
+    }
+
+    #[test]
+    fn fault_aware_redirect_falls_back_home_when_all_unhealthy() {
+        let mut ls = loads(&[1, 1, 1]);
+        for l in &mut ls[1..] {
+            l.healthy = false;
+        }
+        let v = view_from(&ls, 0, 0);
+        let mut p = FaultAware::default();
+        assert_eq!(p.redirect(&v, KernelId(2)), KernelId(0));
+    }
+
+    /// Property: LoadThreshold hysteresis cannot ping-pong a thread between
+    /// two equally loaded kernels — simulate decisions being applied and
+    /// check the system reaches a fixed point with at most one move per
+    /// initial imbalance.
+    #[test]
+    fn load_threshold_cannot_ping_pong() {
+        // Equal loads: no move, ever.
+        let mut p = LoadThreshold::default();
+        let mut runqs = vec![3u32, 3];
+        for tick in 0..100u64 {
+            let ls = loads(&runqs);
+            let me = (tick % 2) as u16;
+            let v = view_from(&ls, me, tick * 1_000_000);
+            assert_eq!(p.balance(&v), Decision::Stay, "equal loads must stay");
+        }
+        // Off-by-one: still inside the hysteresis band.
+        runqs = vec![4, 3];
+        for tick in 0..100u64 {
+            let ls = loads(&runqs);
+            let v = view_from(&ls, (tick % 2) as u16, tick * 1_000_000);
+            assert_eq!(p.balance(&v), Decision::Stay, "gap < threshold must stay");
+        }
+        // A real imbalance: exactly one corrective move, then quiescence.
+        let mut p = LoadThreshold::default();
+        runqs = vec![5, 3];
+        let mut moves = 0;
+        for tick in 0..100u64 {
+            let ls = loads(&runqs);
+            let me = (tick % 2) as u16;
+            let v = view_from(&ls, me, tick * 1_000_000);
+            if let Decision::Migrate(k) = p.balance(&v) {
+                runqs[me as usize] -= 1;
+                runqs[k.0 as usize] += 1;
+                moves += 1;
+            }
+        }
+        assert_eq!(moves, 1, "one imbalance, one move");
+        assert_eq!(runqs, vec![4, 4]);
+    }
+
+    #[test]
+    fn load_threshold_ignores_unhealthy_targets() {
+        let mut ls = loads(&[6, 0, 5]);
+        ls[1].healthy = false;
+        let v = view_from(&ls, 0, 0);
+        let mut p = LoadThreshold::default();
+        // kernel1 is the least loaded but unhealthy; kernel2's gap (1) is
+        // inside the band, so the right answer is Stay, not kernel1.
+        assert_eq!(p.balance(&v), Decision::Stay);
+    }
+
+    #[test]
+    fn work_stealing_prefers_time_weighted_victim() {
+        let mut ls = loads(&[0, 4, 4]);
+        // kernel1 spiked just now; kernel2 has been deep for a while.
+        ls[1].runq_tw = 0.5;
+        ls[2].runq_tw = 3.5;
+        let v = view_from(&ls, 0, 0);
+        let mut p = WorkStealing::default();
+        assert_eq!(p.steal_from(&v), Some(KernelId(2)));
+        // A busy kernel does not steal.
+        let busy = loads(&[2, 8, 8]);
+        let v = view_from(&busy, 0, 0);
+        assert_eq!(p.steal_from(&v), None);
+    }
+
+    #[test]
+    fn wake_locality_chases_majority_only() {
+        let ls = loads(&[1, 5, 1]);
+        let v = view_from(&ls, 0, 0);
+        let mut p = FutexWakeLocality::default();
+        assert_eq!(
+            p.wake_locality(&v, KernelId(1), 6),
+            Decision::Migrate(KernelId(1))
+        );
+        assert_eq!(
+            p.wake_locality(&v, KernelId(0), 6),
+            Decision::Stay,
+            "already home"
+        );
+        assert_eq!(
+            p.wake_locality(&v, KernelId(1), 1),
+            Decision::Stay,
+            "too few woken"
+        );
+        let mut sick = loads(&[1, 5, 1]);
+        sick[1].healthy = false;
+        let v = view_from(&sick, 0, 0);
+        assert_eq!(p.wake_locality(&v, KernelId(1), 6), Decision::Stay);
+    }
+}

@@ -403,6 +403,14 @@ impl Fabric {
             .as_ref()
             .is_some_and(|rt| rt.plan.is_crashed(kernel, now))
     }
+
+    /// Whether the fault plan blacks out the directed channel `from → to`
+    /// at `now`. Always false without an active plan.
+    pub fn is_blacked_out(&self, from: KernelId, to: KernelId, now: SimTime) -> bool {
+        self.faults
+            .as_ref()
+            .is_some_and(|rt| rt.plan.is_blacked_out(from, to, now))
+    }
 }
 
 #[cfg(test)]

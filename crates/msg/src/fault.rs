@@ -141,6 +141,12 @@ impl FaultPlan {
         self
     }
 
+    /// Overrides fault rates on the directed channel `from → to`.
+    pub fn with_channel(mut self, from: KernelId, to: KernelId, faults: ChannelFaults) -> Self {
+        self.channels.push(((from, to), faults));
+        self
+    }
+
     /// Adds a scripted drop of the `nth` send (1-based) on `from → to`.
     pub fn with_drop_nth(mut self, from: KernelId, to: KernelId, nth: u64) -> Self {
         self.drop_nth.push((from, to, nth));
@@ -162,6 +168,14 @@ impl FaultPlan {
         self.crashes
             .iter()
             .any(|c| c.kernel == kernel && now >= c.at)
+    }
+
+    /// Whether the directed channel `from → to` is inside a blackout window
+    /// at `now` (windows are half-open, `[start, end)`).
+    pub fn is_blacked_out(&self, from: KernelId, to: KernelId, now: SimTime) -> bool {
+        self.blackouts
+            .iter()
+            .any(|b| b.from == from && b.to == to && now >= b.start && now < b.end)
     }
 
     /// Fault rates in effect for the directed channel, if any.
@@ -310,12 +324,7 @@ impl FaultRuntime {
             self.counters.crash_drops += 1;
             return Verdict::Drop;
         }
-        if self
-            .plan
-            .blackouts
-            .iter()
-            .any(|b| b.from == from && b.to == to && now >= b.start && now < b.end)
-        {
+        if self.plan.is_blacked_out(from, to, now) {
             self.counters.blackout_drops += 1;
             return Verdict::Drop;
         }

@@ -81,6 +81,7 @@ pub struct Histogram {
     sum: u128,
     min: u64,
     max: u64,
+    saturated: u64,
 }
 
 impl Default for Histogram {
@@ -90,14 +91,27 @@ impl Default for Histogram {
 }
 
 impl Histogram {
-    /// Creates an empty histogram.
+    /// Creates an empty histogram spanning the full `u64` range.
     pub fn new() -> Self {
+        Self::with_groups(BUCKET_GROUPS)
+    }
+
+    /// Creates an empty histogram covering only the first `groups` powers of
+    /// two. Samples above the covered range fold into the top bucket and are
+    /// counted as saturations (see [`Histogram::saturations`]); the full-range
+    /// [`Histogram::new`] never saturates.
+    pub fn with_groups(groups: usize) -> Self {
+        assert!(
+            (1..=BUCKET_GROUPS).contains(&groups),
+            "groups must be in 1..={BUCKET_GROUPS}"
+        );
         Histogram {
-            counts: vec![0; BUCKET_GROUPS * SUB_BUCKETS],
+            counts: vec![0; groups * SUB_BUCKETS],
             count: 0,
             sum: 0,
             min: u64::MAX,
             max: 0,
+            saturated: 0,
         }
     }
 
@@ -123,9 +137,15 @@ impl Histogram {
         ((SUB_BUCKETS as u64) + sub) << shift
     }
 
-    /// Records one sample.
+    /// Records one sample. Samples beyond the bucketed range clamp into the
+    /// top bucket and increment the saturation counter instead of silently
+    /// flattening the tail.
     pub fn record(&mut self, value: u64) {
-        let idx = Self::bucket_of(value).min(self.counts.len() - 1);
+        let raw = Self::bucket_of(value);
+        if raw >= self.counts.len() {
+            self.saturated += 1;
+        }
+        let idx = raw.min(self.counts.len() - 1);
         self.counts[idx] += 1;
         self.count += 1;
         self.sum += value as u128;
@@ -155,6 +175,13 @@ impl Histogram {
     /// Exact largest recorded sample (0 if empty).
     pub fn max(&self) -> u64 {
         self.max
+    }
+
+    /// Number of samples that overflowed the bucketed range. Nonzero means
+    /// the upper quantiles are clamped and the histogram (or the cost model
+    /// feeding it) needs a wider range.
+    pub fn saturations(&self) -> u64 {
+        self.saturated
     }
 
     /// Exact mean of recorded samples (0.0 if empty).
@@ -191,6 +218,7 @@ impl Histogram {
         }
         self.count += other.count;
         self.sum += other.sum;
+        self.saturated += other.saturated;
         if other.count > 0 {
             self.min = self.min.min(other.min);
             self.max = self.max.max(other.max);
@@ -207,6 +235,7 @@ impl Histogram {
             p95: self.quantile(0.95),
             p99: self.quantile(0.99),
             max: self.max(),
+            saturated: self.saturations(),
         }
     }
 }
@@ -228,6 +257,8 @@ pub struct Summary {
     pub p99: u64,
     /// Exact maximum.
     pub max: u64,
+    /// Samples that overflowed the bucketed range (upper quantiles clamped).
+    pub saturated: u64,
 }
 
 impl fmt::Display for Summary {
@@ -236,7 +267,11 @@ impl fmt::Display for Summary {
             f,
             "n={} mean={:.0} min={} p50={} p95={} p99={} max={}",
             self.count, self.mean, self.min, self.p50, self.p95, self.p99, self.max
-        )
+        )?;
+        if self.saturated > 0 {
+            write!(f, " sat={}", self.saturated)?;
+        }
+        Ok(())
     }
 }
 
@@ -256,26 +291,44 @@ impl fmt::Display for Summary {
 #[derive(Debug, Clone, Default)]
 pub struct TimeSeries {
     points: Vec<(SimTime, f64)>,
+    disorder: u64,
 }
 
 impl TimeSeries {
     /// Creates an empty series.
     pub fn new() -> Self {
-        TimeSeries { points: Vec::new() }
+        TimeSeries {
+            points: Vec::new(),
+            disorder: 0,
+        }
     }
 
     /// Appends a point.
     ///
-    /// # Panics
-    ///
-    /// Panics (in debug builds) if `at` is earlier than the last point:
-    /// series are sampled on the monotonic simulation clock.
+    /// Series are sampled on the monotonic simulation clock, so `at` must not
+    /// be earlier than the last point. An out-of-order append panics in debug
+    /// builds; in release builds it is clamped to the last timestamp (keeping
+    /// the series monotonic so [`TimeSeries::time_weighted_mean`] stays
+    /// well-defined) and counted in [`TimeSeries::disorder`].
     pub fn push(&mut self, at: SimTime, value: f64) {
         debug_assert!(
             self.points.last().is_none_or(|&(t, _)| at >= t),
             "time series must be appended in time order"
         );
+        let at = match self.points.last() {
+            Some(&(t, _)) if at < t => {
+                self.disorder += 1;
+                t
+            }
+            _ => at,
+        };
         self.points.push((at, value));
+    }
+
+    /// Number of out-of-order appends that were clamped (always 0 in debug
+    /// builds, which panic instead).
+    pub fn disorder(&self) -> u64 {
+        self.disorder
     }
 
     /// Number of points.
@@ -288,12 +341,44 @@ impl TimeSeries {
         self.points.is_empty()
     }
 
-    /// Mean of the recorded values (0.0 if empty).
+    /// Point-weighted mean of the recorded values (0.0 if empty).
+    ///
+    /// Every sample counts equally regardless of how long it was in effect,
+    /// so this is only meaningful for *evenly* sampled series. Event-driven
+    /// series (runqueue depth sampled on scheduling events, occupancy
+    /// sampled on arrivals) over-weight bursty intervals — use
+    /// [`TimeSeries::time_weighted_mean`] for those.
     pub fn mean(&self) -> f64 {
         if self.points.is_empty() {
             return 0.0;
         }
         self.points.iter().map(|&(_, v)| v).sum::<f64>() / self.points.len() as f64
+    }
+
+    /// Time-weighted mean, treating the series as a step function: each
+    /// value holds from its timestamp until the next point's timestamp.
+    ///
+    /// This is the correct average for event-driven samples (load, queue
+    /// depth, occupancy), where [`TimeSeries::mean`] would over-weight
+    /// bursts of closely spaced samples. The final point carries no weight
+    /// (its holding interval is unknown). Falls back to the point-weighted
+    /// mean when the series spans zero time.
+    pub fn time_weighted_mean(&self) -> f64 {
+        let (first, last) = match (self.points.first(), self.points.last()) {
+            (Some(&(f, _)), Some(&(l, _))) => (f, l),
+            _ => return 0.0,
+        };
+        let span = last.saturating_sub(first).as_nanos();
+        if span == 0 {
+            return self.mean();
+        }
+        let mut acc = 0.0;
+        for w in self.points.windows(2) {
+            let (t0, v) = w[0];
+            let (t1, _) = w[1];
+            acc += v * t1.saturating_sub(t0).as_nanos() as f64;
+        }
+        acc / span as f64
     }
 
     /// Largest recorded value (0.0 if empty).
@@ -408,6 +493,45 @@ mod tests {
     }
 
     #[test]
+    fn full_range_histogram_never_saturates() {
+        let mut h = Histogram::new();
+        h.record(u64::MAX);
+        h.record(1);
+        debug_assert_eq!(h.saturations(), 0);
+        assert_eq!(h.saturations(), 0);
+        assert_eq!(h.summary().saturated, 0);
+    }
+
+    #[test]
+    fn bounded_histogram_counts_saturations() {
+        // 8 groups cover values up to 2^11 - 1; anything above folds into
+        // the top bucket and must be counted, not silently clamped.
+        let mut h = Histogram::with_groups(8);
+        h.record(100);
+        h.record(1 << 20);
+        h.record(u64::MAX);
+        assert_eq!(h.count(), 3);
+        assert_eq!(h.saturations(), 2);
+        assert_eq!(h.summary().saturated, 2);
+        assert!(h.summary().to_string().contains("sat=2"));
+        // Exact stats are unaffected by bucketing.
+        assert_eq!(h.max(), u64::MAX);
+        assert_eq!(h.min(), 100);
+    }
+
+    #[test]
+    fn histogram_merge_carries_saturations() {
+        let mut a = Histogram::with_groups(8);
+        let mut b = Histogram::with_groups(8);
+        a.record(1 << 30);
+        b.record(1 << 40);
+        b.record(7);
+        a.merge(&b);
+        assert_eq!(a.saturations(), 2);
+        assert_eq!(a.count(), 3);
+    }
+
+    #[test]
     fn bucket_roundtrip_floor_below_value() {
         for &v in &[0u64, 1, 15, 16, 17, 100, 1_000, 123_456, u64::MAX / 2] {
             let idx = Histogram::bucket_of(v);
@@ -449,5 +573,44 @@ mod tests {
         assert_eq!(ts.max(), 3.0);
         assert_eq!(ts.iter().count(), 3);
         assert!(!ts.is_empty());
+    }
+
+    #[test]
+    fn time_weighted_mean_weights_by_holding_interval() {
+        // Value 10 holds for 1ns, value 0 holds for 9ns: the point-weighted
+        // mean says 5 (3 with the terminal point), but the step function
+        // spends 90% of the span at 0.
+        let mut ts = TimeSeries::new();
+        ts.push(SimTime::from_nanos(0), 10.0);
+        ts.push(SimTime::from_nanos(1), 0.0);
+        ts.push(SimTime::from_nanos(10), 7.0);
+        assert_eq!(ts.time_weighted_mean(), 1.0);
+        assert!((ts.mean() - 17.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn time_weighted_mean_degenerate_series() {
+        assert_eq!(TimeSeries::new().time_weighted_mean(), 0.0);
+        let mut one = TimeSeries::new();
+        one.push(SimTime::from_nanos(5), 3.0);
+        assert_eq!(one.time_weighted_mean(), 3.0, "zero span → point mean");
+        let mut same = TimeSeries::new();
+        same.push(SimTime::from_nanos(5), 2.0);
+        same.push(SimTime::from_nanos(5), 4.0);
+        assert_eq!(same.time_weighted_mean(), 3.0, "zero span → point mean");
+    }
+
+    #[test]
+    #[cfg_attr(debug_assertions, should_panic(expected = "time order"))]
+    fn time_series_out_of_order_push_is_caught() {
+        let mut ts = TimeSeries::new();
+        ts.push(SimTime::from_nanos(10), 1.0);
+        // Debug builds panic; release builds clamp to the last timestamp
+        // and count the violation.
+        ts.push(SimTime::from_nanos(5), 2.0);
+        assert_eq!(ts.disorder(), 1);
+        let pts: Vec<_> = ts.iter().collect();
+        assert_eq!(pts[1].0, SimTime::from_nanos(10), "clamped, not reordered");
+        assert_eq!(ts.time_weighted_mean(), 1.0);
     }
 }

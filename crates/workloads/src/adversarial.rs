@@ -1,0 +1,361 @@
+//! Adversarial workloads: scenarios built to punish a migration policy.
+//!
+//! Where [`micro`](crate::micro) probes protocol *costs*, these programs
+//! probe policy *judgment*. Each one embodies a trap a naive policy walks
+//! into:
+//!
+//! - [`thundering_herd`] — one waker repeatedly releases a herd of futex
+//!   waiters parked across every kernel. A wake-locality policy should
+//!   chase the waiters; a load policy sees almost no runnable load
+//!   (parked waiters don't run) and must not thrash.
+//! - [`pingpong_storm`] — scripted migration ping-pong plus a pile of
+//!   compute ballast on one kernel. The load imbalance is real, but a
+//!   threshold policy without hysteresis amplifies the ping-pong instead
+//!   of fixing the skew.
+//! - [`hot_page_skew`] — every worker hammers the *same* page sequence,
+//!   so ownership bounces and threads spend their lives blocked on page
+//!   RPCs. Blocked threads don't count as runnable load — telemetry that
+//!   only reads runqueue depth sees idle kernels and migrates into the
+//!   fire.
+//! - [`straggler_ring`] — error-tolerant hoppers ride the kernel ring
+//!   while a fault plan makes one kernel slow or unreachable. A
+//!   fault-aware policy reroutes the scripted hops; everyone else keeps
+//!   dutifully migrating into the straggler.
+//!
+//! All four run unchanged under every policy (including `ScriptedOnly`),
+//! so E13 can sweep the full policies × scenarios matrix.
+
+use popcorn_kernel::program::{
+    FutexOp, MigrateTarget, Op, Placement, ProgEnv, Program, Resume, RmwOp, SysResult, SyscallReq,
+};
+use popcorn_kernel::types::VAddr;
+use popcorn_msg::KernelId;
+
+use crate::micro::{compute_worker, MigrationPingPong, PageBounceWorker};
+use crate::team::{Shared, Team, TeamConfig};
+
+/// A herd waiter: for each round `r`, parks on the round word until the
+/// waker has bumped it to at least `r`.
+///
+/// The wait is value-gated exactly like the ulib barrier: the waiter
+/// re-reads the word and only parks if it is unchanged, so a wake racing
+/// the park turns into a harmless `EAGAIN` and the waiter can never sleep
+/// past the final round.
+#[derive(Debug)]
+pub struct HerdWaiter {
+    word: VAddr,
+    rounds: u64,
+    round: u64,
+    parked: bool,
+}
+
+impl HerdWaiter {
+    /// Waits on `word` for `rounds` rounds.
+    pub fn new(word: VAddr, rounds: u64) -> Self {
+        HerdWaiter {
+            word,
+            rounds,
+            round: 1,
+            parked: false,
+        }
+    }
+}
+
+impl Program for HerdWaiter {
+    fn step(&mut self, resume: Resume, _env: &ProgEnv) -> Op {
+        if self.round > self.rounds {
+            return Op::Exit(0);
+        }
+        // A wait just returned (woken or EAGAIN); either way, re-read.
+        if self.parked {
+            self.parked = false;
+            return Op::AtomicRmw(self.word, RmwOp::Add(0));
+        }
+        match resume {
+            Resume::Value(v) => {
+                if v >= self.round {
+                    // Round reached; advance (possibly past several).
+                    self.round = v.min(self.rounds) + 1;
+                    if self.round > self.rounds {
+                        return Op::Exit(0);
+                    }
+                    Op::AtomicRmw(self.word, RmwOp::Add(0))
+                } else {
+                    self.parked = true;
+                    Op::Syscall(SyscallReq::Futex(FutexOp::Wait {
+                        uaddr: self.word,
+                        expected: v,
+                    }))
+                }
+            }
+            _ => Op::AtomicRmw(self.word, RmwOp::Add(0)),
+        }
+    }
+}
+
+/// The herd's waker: `rounds` times, compute for `work_ns`, bump the round
+/// word, and wake everyone parked on it.
+#[derive(Debug)]
+pub struct HerdWaker {
+    word: VAddr,
+    rounds: u64,
+    work_ns: u64,
+    state: u8, // 0 = compute, 1 = bump, 2 = wake
+    done: u64,
+}
+
+impl HerdWaker {
+    /// Wakes the herd on `word` for `rounds` rounds, computing `work_ns`
+    /// before each wake so the waiters have time to pile up.
+    pub fn new(word: VAddr, rounds: u64, work_ns: u64) -> Self {
+        HerdWaker {
+            word,
+            rounds,
+            work_ns,
+            state: 0,
+            done: 0,
+        }
+    }
+}
+
+impl Program for HerdWaker {
+    fn step(&mut self, _resume: Resume, _env: &ProgEnv) -> Op {
+        match self.state {
+            0 => {
+                if self.done == self.rounds {
+                    return Op::Exit(0);
+                }
+                self.state = 1;
+                Op::Compute(self.work_ns)
+            }
+            1 => {
+                self.state = 2;
+                Op::AtomicRmw(self.word, RmwOp::Add(1))
+            }
+            _ => {
+                self.state = 0;
+                self.done += 1;
+                Op::Syscall(SyscallReq::Futex(FutexOp::Wake {
+                    uaddr: self.word,
+                    count: u32::MAX,
+                }))
+            }
+        }
+    }
+}
+
+/// Thundering-herd futex: worker 0 is the waker, the rest park across the
+/// machine (`Placement::Auto`) and stampede on every round.
+pub fn thundering_herd(waiters: usize, rounds: u64, work_ns: u64) -> Box<dyn Program> {
+    Team::boxed(
+        TeamConfig::new(waiters + 1, 0),
+        Box::new(move |i, shared: Shared| {
+            let word = shared.sync_slot(1);
+            if i == 0 {
+                Box::new(HerdWaker::new(word, rounds, work_ns))
+            } else {
+                Box::new(HerdWaiter::new(word, rounds))
+            }
+        }),
+    )
+}
+
+/// Pathological migration ping-pong with a real load skew underneath:
+/// `pairs` workers bounce between kernels 0 and 1 on every step, while
+/// `ballast` compute workers sit on the leader's kernel
+/// (`Placement::Local`). A threshold policy is baited twice — the bouncers
+/// make runqueue depth flap, and the ballast makes kernel 0 genuinely
+/// overloaded.
+pub fn pingpong_storm(
+    pairs: usize,
+    hops: u32,
+    compute_ns: u64,
+    ballast: usize,
+    ballast_ns: u64,
+) -> Box<dyn Program> {
+    let mut cfg = TeamConfig::new(pairs + ballast, 0);
+    cfg.placement = Placement::Local;
+    Team::boxed(
+        cfg,
+        Box::new(move |i, _shared| {
+            if i < pairs {
+                Box::new(
+                    MigrationPingPong::between(hops, KernelId(0), KernelId(1))
+                        .with_compute(compute_ns),
+                )
+            } else {
+                compute_worker(ballast_ns)
+            }
+        }),
+    )
+}
+
+/// Skewed hot-page ownership: every worker strides over the same window
+/// *from the same starting offset*, so each write steals ownership of the
+/// same hot page back and forth. Most threads are blocked in page RPCs at
+/// any instant — runnable-load telemetry reads near-idle kernels.
+pub fn hot_page_skew(threads: usize, pages: u64, iters: u32) -> Box<dyn Program> {
+    Team::boxed(
+        TeamConfig::new(threads, pages * VAddr::PAGE_SIZE),
+        Box::new(move |_i, shared: Shared| {
+            Box::new(PageBounceWorker::new(shared.data, pages, iters, 0))
+        }),
+    )
+}
+
+/// Migrates around the kernel ring with compute between hops, tolerating
+/// a failed hop (a blacked-out or crashed target aborts the migration
+/// back to the origin with `EIO`). The straggler scenario's building
+/// block: scripted hops keep steering into the slow kernel unless a
+/// fault-aware policy redirects them.
+#[derive(Debug)]
+pub struct TolerantRingHopper {
+    hops_left: u32,
+    kernels: u16,
+    compute_ns: u64,
+    migrating: bool,
+    /// Hops that failed with an error and were skipped.
+    pub hops_failed: u32,
+}
+
+impl TolerantRingHopper {
+    /// `hops` ring hops over `kernels` kernels, computing `compute_ns`
+    /// between hops.
+    pub fn new(hops: u32, kernels: u16, compute_ns: u64) -> Self {
+        TolerantRingHopper {
+            hops_left: hops,
+            kernels,
+            compute_ns,
+            migrating: false,
+            hops_failed: 0,
+        }
+    }
+}
+
+impl Program for TolerantRingHopper {
+    fn step(&mut self, r: Resume, env: &ProgEnv) -> Op {
+        if self.migrating {
+            self.migrating = false;
+            if matches!(r, Resume::Sys(SysResult::Err(_))) {
+                self.hops_failed += 1;
+            }
+            return Op::Compute(self.compute_ns);
+        }
+        if self.hops_left == 0 {
+            return Op::Exit(0);
+        }
+        self.hops_left -= 1;
+        self.migrating = true;
+        let next = KernelId((env.kernel.0 + 1) % self.kernels);
+        Op::Syscall(SyscallReq::Migrate(MigrateTarget::Kernel(next)))
+    }
+}
+
+/// One straggler-ring hopper (load several as independent processes; the
+/// harness pairs them with a fault plan that delays or blacks out one
+/// kernel).
+pub fn straggler_hopper(hops: u32, kernels: u16, compute_ns: u64) -> Box<dyn Program> {
+    Box::new(TolerantRingHopper::new(hops, kernels, compute_ns))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn env() -> ProgEnv {
+        ProgEnv {
+            tid: popcorn_kernel::types::Tid::new(KernelId(0), 1),
+            core: popcorn_hw::CoreId(0),
+            kernel: KernelId(0),
+            now: popcorn_sim::SimTime::ZERO,
+        }
+    }
+
+    const W: VAddr = VAddr(0x1040);
+
+    #[test]
+    fn herd_waiter_parks_only_on_stale_round() {
+        let mut w = HerdWaiter::new(W, 2);
+        // First step: read the word.
+        assert!(matches!(w.step(Resume::Start, &env()), Op::AtomicRmw(a, RmwOp::Add(0)) if a == W));
+        // Word is 0 < round 1: park, gated on the value just read.
+        match w.step(Resume::Value(0), &env()) {
+            Op::Syscall(SyscallReq::Futex(FutexOp::Wait { uaddr, expected })) => {
+                assert_eq!(uaddr, W);
+                assert_eq!(expected, 0);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        // Woken: re-read; word now 2 >= both rounds: exit without parking.
+        assert!(matches!(
+            w.step(Resume::Sys(SysResult::Val(0)), &env()),
+            Op::AtomicRmw(_, _)
+        ));
+        assert!(matches!(w.step(Resume::Value(2), &env()), Op::Exit(0)));
+    }
+
+    #[test]
+    fn herd_waiter_eagain_rereads_instead_of_wedging() {
+        let mut w = HerdWaiter::new(W, 1);
+        w.step(Resume::Start, &env());
+        w.step(Resume::Value(0), &env()); // parks
+                                          // The word changed between read and park: EAGAIN → re-read.
+        let op = w.step(
+            Resume::Sys(SysResult::Err(popcorn_kernel::types::Errno::Again)),
+            &env(),
+        );
+        assert!(matches!(op, Op::AtomicRmw(_, RmwOp::Add(0))));
+        assert!(matches!(w.step(Resume::Value(1), &env()), Op::Exit(0)));
+    }
+
+    #[test]
+    fn herd_waker_computes_bumps_wakes_each_round() {
+        let mut w = HerdWaker::new(W, 1, 500);
+        assert!(matches!(w.step(Resume::Start, &env()), Op::Compute(500)));
+        assert!(matches!(
+            w.step(Resume::Done, &env()),
+            Op::AtomicRmw(a, RmwOp::Add(1)) if a == W
+        ));
+        assert!(matches!(
+            w.step(Resume::Value(0), &env()),
+            Op::Syscall(SyscallReq::Futex(FutexOp::Wake {
+                count: u32::MAX,
+                ..
+            }))
+        ));
+        assert!(matches!(
+            w.step(Resume::Sys(SysResult::Val(3)), &env()),
+            Op::Exit(0)
+        ));
+    }
+
+    #[test]
+    fn tolerant_hopper_counts_failed_hops_and_continues() {
+        let mut h = TolerantRingHopper::new(2, 4, 1_000);
+        assert!(matches!(
+            h.step(Resume::Start, &env()),
+            Op::Syscall(SyscallReq::Migrate(MigrateTarget::Kernel(KernelId(1))))
+        ));
+        // The hop failed (aborted back to the origin): skip and compute.
+        assert!(matches!(
+            h.step(
+                Resume::Sys(SysResult::Err(popcorn_kernel::types::Errno::Io)),
+                &env()
+            ),
+            Op::Compute(1_000)
+        ));
+        assert_eq!(h.hops_failed, 1);
+        // Second hop succeeds, then exit.
+        assert!(matches!(
+            h.step(Resume::Done, &env()),
+            Op::Syscall(SyscallReq::Migrate(_))
+        ));
+        let mut e1 = env();
+        e1.kernel = KernelId(1);
+        assert!(matches!(
+            h.step(Resume::Sys(SysResult::Val(0)), &e1),
+            Op::Compute(1_000)
+        ));
+        assert!(matches!(h.step(Resume::Done, &e1), Op::Exit(0)));
+    }
+}

@@ -7,7 +7,10 @@
 //! - [`micro`] — the paper's microbenchmark probes (migration ping-pong,
 //!   clone storms, mmap storms, futex contention, page bouncing, null
 //!   syscalls);
-//! - [`npb`] — NPB-class macro-benchmark skeletons (IS, CG, FT).
+//! - [`npb`] — NPB-class macro-benchmark skeletons (IS, CG, FT);
+//! - [`adversarial`] — policy-stress scenarios (thundering-herd futex,
+//!   migration ping-pong storms, hot-page ownership skew, straggler
+//!   rings) built to trap naive migration policies.
 //!
 //! Every workload is a [`Program`](popcorn_kernel::program::Program) and
 //! runs unchanged on all three OS models, exactly as the paper runs the
@@ -16,6 +19,7 @@
 //! cross-kernel shared memory — is enforced by *placement*, see
 //! `popcorn-baselines`.)
 
+pub mod adversarial;
 pub mod micro;
 pub mod npb;
 pub mod team;
