@@ -1,10 +1,13 @@
 //! The tentpole guarantee of the parallel harness: running experiments
-//! with host-thread parallelism produces byte-identical table JSON to a
-//! fully serial run. One test function (not several) because the jobs
-//! knob is process-global and tests in one binary run concurrently.
+//! with host-thread parallelism — across simulations (`--jobs`) and
+//! *inside* opted-in simulations (`--sim-threads`) — produces
+//! byte-identical table JSON to a fully serial run. One test function
+//! (not several) because both knobs are process-global and tests in one
+//! binary run concurrently.
 
 use popcorn_bench::experiments;
 use popcorn_bench::{set_jobs, Table};
+use popcorn_sim::set_sim_threads;
 
 /// A named experiment entry point.
 type Case = (&'static str, fn() -> Table);
@@ -36,5 +39,34 @@ fn parallel_runs_are_byte_identical_to_serial() {
         let again = f().to_json_pretty();
         set_jobs(0);
         assert_eq!(parallel, again, "{id}: parallel run not reproducible");
+    }
+
+    // The partitioned engine: E5 is the experiment opted into
+    // `--sim-threads` partitioning (four kernel-pinned processes). Sweep
+    // the full --sim-threads × --jobs matrix; every cell must render the
+    // same bytes as the serial baseline. E13 rides along as the
+    // gate-refusal case: its policy-driven cells fall back to the serial
+    // engine under the partition gate, so `--sim-threads` must be a no-op.
+    let partitioned: [Case; 2] = [
+        ("e5", experiments::e5_mmap_storm),
+        ("e13", experiments::e13_policies),
+    ];
+    for (id, f) in partitioned {
+        set_jobs(1);
+        set_sim_threads(1);
+        let baseline = f().to_json_pretty();
+        for jobs in [1usize, 4] {
+            for sim_threads in [2usize, 4] {
+                set_jobs(jobs);
+                set_sim_threads(sim_threads);
+                let got = f().to_json_pretty();
+                assert_eq!(
+                    got, baseline,
+                    "{id}: --jobs {jobs} --sim-threads {sim_threads} diverged from serial"
+                );
+            }
+        }
+        set_jobs(0);
+        set_sim_threads(1);
     }
 }

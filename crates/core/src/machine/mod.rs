@@ -59,6 +59,7 @@ pub mod futex;
 pub mod group;
 pub mod migrate;
 pub mod page;
+pub mod partition;
 pub mod policy;
 pub mod transport;
 pub mod vma;
@@ -182,6 +183,9 @@ pub struct PopcornMachine {
     /// report when the workload actually finished rather than when the
     /// last moot deadline drained from the queue.
     last_activity: SimTime,
+    /// Partition link when this machine is one partition of a parallel
+    /// run (`None` in serial runs — see [`partition`]).
+    part: Option<partition::PartitionCtl>,
     /// Protocol statistics.
     pub stats: PopStats,
 }
@@ -219,6 +223,7 @@ impl PopcornMachine {
             policy,
             telemetry,
             last_activity: SimTime::ZERO,
+            part: None,
             stats: PopStats::default(),
         }
     }
@@ -285,6 +290,7 @@ impl PopcornMachine {
             policy: &mut self.policy,
             telemetry: &mut self.telemetry,
             last_activity: &mut self.last_activity,
+            part: self.part.as_mut(),
             stats: &mut self.stats,
             sched,
         }
@@ -332,6 +338,8 @@ pub struct KernelCtx<'m, 'e> {
     pub telemetry: &'m mut policy::Telemetry,
     /// Virtual time of the last event that did real work.
     pub last_activity: &'m mut SimTime,
+    /// Partition link when running as one partition of a parallel run.
+    pub part: Option<&'m mut partition::PartitionCtl>,
     /// Protocol statistics.
     pub stats: &'m mut PopStats,
     /// The event scheduler of the running simulation.

@@ -1,0 +1,410 @@
+//! Partitioned execution of one Popcorn simulation across host threads.
+//!
+//! The replicated-kernel design is what makes this possible: kernels share
+//! no memory and interact only through fabric messages with a positive
+//! minimum latency ([`Fabric::lookahead`]). Each simulated kernel therefore
+//! becomes one [`Partition`] of the conservative barrier-epoch engine in
+//! `popcorn_sim::parallel`: a full [`PopcornMachine`] whose foreign kernel
+//! slots hold inert placeholders, driven by its own event queue, with
+//! cross-kernel deliveries buffered into the epoch mailboxes instead of
+//! the local queue (see [`PartitionCtl`] and the hook in
+//! `transport::schedule_delivery`).
+//!
+//! # What partitions cleanly — and what doesn't
+//!
+//! Per-kernel state (the `Kernel`, its RPC endpoint, in-flight pages, zone
+//! lock) moves wholly into its partition. Per-*group* state (home
+//! bookkeeping, futex words, sync sites, protocol servers) is placed at
+//! the group's home kernel, which is exact only while every kernel that
+//! touches it *is* the home: a group spanning kernels serializes replica
+//! TLB shootdowns and page fetches on the same per-group [`Server`]s from
+//! several kernels, which no partitioning along kernel lines can
+//! reproduce. Partitioned runs are therefore restricted to configurations
+//! where group state stays kernel-local ([`PopcornMachine::partition_safe`]
+//! plus a per-experiment opt-in in the bench harness), and every
+//! assumption is enforced loudly: dispatch asserts event ownership,
+//! `least_loaded_kernel` refuses Auto placement, and merge-back panics on
+//! any key produced by two partitions.
+//!
+//! Determinism: partitions and their tie-break sequences are fixed by the
+//! kernel count, never by `--sim-threads`, so any thread count ≥ 2 yields
+//! the same bytes. Equality with the *serial* engine additionally needs
+//! the per-kernel event interleaving to be semantics-preserving, which the
+//! safety gate guarantees and `tests` + the bench determinism sweep verify
+//! byte-for-byte.
+
+use std::collections::BTreeMap;
+
+use popcorn_kernel::kernel::Kernel;
+use popcorn_kernel::osmodel::{self, OsEvent};
+use popcorn_kernel::types::GroupId;
+use popcorn_sim::parallel::{run_partitioned, ParallelOutcome, Partition};
+use popcorn_sim::{Handler, Scheduler, SimTime, Simulator, StopCondition};
+
+use crate::group::GroupHome;
+use crate::machine::{PopEvent, PopcornMachine};
+
+/// The partition link carried by a [`PopcornMachine`] running as one
+/// partition of a parallel simulation (`None` in serial runs, which keeps
+/// the serial path byte-identical and branch-cheap).
+#[derive(Debug)]
+pub struct PartitionCtl {
+    /// The kernel index this partition owns.
+    pub ki: usize,
+    /// Cross-partition deliveries buffered during the current epoch
+    /// window, in send order: (destination partition, fire time, event).
+    pub outbox: Vec<(usize, SimTime, PopEvent)>,
+}
+
+/// The kernel index an event is addressed to.
+fn event_kernel(ev: &PopEvent) -> usize {
+    match ev {
+        OsEvent::CoreRun { kernel, .. } | OsEvent::TimerWake { kernel, .. } => *kernel as usize,
+        OsEvent::Custom(d) => d.to.0 as usize,
+    }
+}
+
+/// One partition: a machine owning one kernel, plus its private queue.
+#[derive(Debug)]
+pub struct PartMachine {
+    ki: usize,
+    machine: PopcornMachine,
+    sim: Simulator<PopEvent>,
+    /// Fire time of the last event processed — the partition's local clock
+    /// (`sim.now()` is clamped to window horizons and can't serve).
+    last_fire: SimTime,
+}
+
+/// Handler wrapper enforcing the ownership invariant on every dispatch.
+struct PartHandler<'a> {
+    ki: usize,
+    machine: &'a mut PopcornMachine,
+    last_fire: &'a mut SimTime,
+}
+
+impl Handler<PopEvent> for PartHandler<'_> {
+    fn handle(&mut self, now: SimTime, event: PopEvent, sched: &mut Scheduler<'_, PopEvent>) {
+        let owner = event_kernel(&event);
+        assert_eq!(
+            owner, self.ki,
+            "partition {} dispatched an event addressed to kernel {owner}: \
+             a handler scheduled foreign kernel state locally instead of \
+             sending a fabric message",
+            self.ki
+        );
+        *self.last_fire = now;
+        osmodel::dispatch(self.machine, now, event, sched);
+    }
+}
+
+impl Partition for PartMachine {
+    type Event = PopEvent;
+
+    fn next_time(&mut self) -> Option<SimTime> {
+        self.sim.next_time()
+    }
+
+    fn enqueue(&mut self, at: SimTime, event: PopEvent) {
+        debug_assert_eq!(event_kernel(&event), self.ki);
+        self.sim.schedule(at, event);
+    }
+
+    fn run_window(&mut self, upto: SimTime, cross: &mut Vec<(usize, SimTime, PopEvent)>) -> u64 {
+        let before = self.sim.events_processed();
+        let mut h = PartHandler {
+            ki: self.ki,
+            machine: &mut self.machine,
+            last_fire: &mut self.last_fire,
+        };
+        // The engine's horizon is inclusive; the epoch window is exclusive.
+        let stop = self
+            .sim
+            .run_until(&mut h, SimTime::from_nanos(upto.as_nanos() - 1), u64::MAX);
+        debug_assert!(
+            matches!(
+                stop,
+                StopCondition::QueueEmpty | StopCondition::HorizonReached
+            ),
+            "protocol code must not stop a partitioned window"
+        );
+        let ctl = self
+            .machine
+            .part
+            .as_mut()
+            .expect("partitioned machine has a partition link");
+        cross.append(&mut ctl.outbox);
+        self.sim.events_processed() - before
+    }
+
+    fn now(&self) -> SimTime {
+        self.last_fire
+    }
+}
+
+impl PopcornMachine {
+    /// Whether this machine's configuration can be partitioned without
+    /// changing results: every source of cross-kernel shared state must be
+    /// inert. Active policies read global telemetry, fault plans perturb
+    /// delivery (and zero the lookahead floor), first-touch homing races
+    /// word placement on arrival order, and pre-populated group-shared
+    /// maps would need splitting along lines that don't exist. Single-
+    /// kernel machines have nothing to parallelize.
+    pub(crate) fn partition_safe(&self) -> bool {
+        self.kernels.len() >= 2
+            && !self.policy_active()
+            && !self.net.fabric().faults_active()
+            && !self.params.sync_first_touch_homing
+            && self.futex.is_empty()
+            && self.sync_sites.is_empty()
+            && self.sync_home.is_empty()
+            && self.servers.is_empty()
+            && self.net.fabric().total_sends() == 0
+            && self.part.is_none()
+    }
+
+    /// Runs this machine to `horizon` on the partitioned parallel engine:
+    /// split into one partition per kernel, drive them on `threads` host
+    /// threads under the fabric's lookahead, then reassemble in place.
+    /// `initial` is the pending event queue of the (drained) serial
+    /// simulator. The caller must have checked
+    /// [`partition_safe`](Self::partition_safe).
+    pub(crate) fn run_parallel(
+        &mut self,
+        initial: Vec<(SimTime, PopEvent)>,
+        horizon: SimTime,
+        event_budget: u64,
+        threads: usize,
+    ) -> ParallelOutcome {
+        let lookahead = self.net.fabric().lookahead();
+        let dummy = PopcornMachine::new(
+            Vec::new(),
+            self.net.fabric().clone(),
+            self.machine.clone(),
+            self.params.clone(),
+        );
+        let whole = std::mem::replace(self, dummy);
+        let mut parts = whole.split_for_parallel(initial);
+        let outcome = run_partitioned(&mut parts, lookahead, horizon, event_budget, threads);
+        *self = PopcornMachine::merge_parallel(parts);
+        outcome
+    }
+
+    /// Splits the machine into one partition per kernel, dealing `initial`
+    /// events (in firing order) to their owning partitions.
+    ///
+    /// Per-kernel state moves; per-group state goes to the group's home;
+    /// everything lazily populated must be empty (checked by
+    /// [`partition_safe`](Self::partition_safe), asserted here).
+    pub(crate) fn split_for_parallel(
+        mut self,
+        initial: Vec<(SimTime, PopEvent)>,
+    ) -> Vec<PartMachine> {
+        assert!(self.partition_safe(), "machine is not partition-safe");
+        let n = self.kernels.len();
+        let kernels = std::mem::take(&mut self.kernels);
+        let groups = std::mem::take(&mut self.groups);
+        let rpcs = std::mem::take(&mut self.rpcs);
+        let inflight = std::mem::take(&mut self.inflight);
+        let zone_locks = std::mem::take(&mut self.zone_locks);
+
+        let mut groups_by_home: Vec<BTreeMap<GroupId, GroupHome>> =
+            (0..n).map(|_| BTreeMap::new()).collect();
+        for (g, h) in groups {
+            groups_by_home[g.home().0 as usize].insert(g, h);
+        }
+
+        // Foreign slots hold placeholders with the real core layout (core→
+        // kernel placement lookups read it) but no tasks: any attempt to
+        // run them trips the ownership assert in dispatch.
+        let shape: Vec<_> = kernels
+            .iter()
+            .map(|k| (k.id(), k.cores(), k.params().clone()))
+            .collect();
+
+        let mut parts: Vec<PartMachine> = kernels
+            .into_iter()
+            .zip(rpcs)
+            .zip(inflight.into_iter().zip(zone_locks))
+            .enumerate()
+            .map(|(ki, ((kernel, rpc), (infl, zlock)))| {
+                let placeholders: Vec<Kernel> = shape
+                    .iter()
+                    .map(|(id, cores, os)| {
+                        Kernel::new(*id, cores.clone(), os.clone(), self.machine.clone())
+                    })
+                    .collect();
+                let mut m = PopcornMachine::new(
+                    placeholders,
+                    self.net.fabric().clone(),
+                    self.machine.clone(),
+                    self.params.clone(),
+                );
+                m.kernels[ki] = kernel;
+                m.groups = std::mem::take(&mut groups_by_home[ki]);
+                m.rpcs[ki] = rpc;
+                m.inflight[ki] = infl;
+                m.zone_locks[ki] = zlock;
+                m.part = Some(PartitionCtl {
+                    ki,
+                    outbox: Vec::new(),
+                });
+                PartMachine {
+                    ki,
+                    machine: m,
+                    sim: Simulator::new(),
+                    last_fire: SimTime::ZERO,
+                }
+            })
+            .collect();
+        for (at, ev) in initial {
+            parts[event_kernel(&ev)].enqueue(at, ev);
+        }
+        parts
+    }
+
+    /// Reassembles a whole machine from partitions after a parallel run.
+    /// Each per-kernel slot comes from its owner; group-keyed maps are
+    /// unioned, panicking if two partitions produced the same key (a
+    /// violated ownership assumption — results would be wrong).
+    pub(crate) fn merge_parallel(parts: Vec<PartMachine>) -> PopcornMachine {
+        let mut parts = parts.into_iter();
+        let first = parts.next().expect("at least one partition");
+        assert_eq!(first.ki, 0);
+        let mut base = first.machine;
+        base.part = None;
+        for part in parts {
+            let ki = part.ki;
+            let mut m = part.machine;
+            assert!(m.part.as_ref().map(|c| c.outbox.is_empty()).unwrap_or(true));
+            // Vec::swap_remove moves the wanted element out without
+            // cloning; the vec is discarded afterwards.
+            base.kernels[ki] = m.kernels.swap_remove(ki);
+            base.rpcs[ki] = m.rpcs.swap_remove(ki);
+            base.inflight[ki] = m.inflight.swap_remove(ki);
+            base.zone_locks[ki] = m.zone_locks.swap_remove(ki);
+            for (g, h) in m.groups {
+                let clash = base.groups.insert(g, h);
+                assert!(clash.is_none(), "group {g:?} homed at two partitions");
+            }
+            for (k, s) in m.servers {
+                let clash = base.servers.insert(k, s);
+                assert!(
+                    clash.is_none(),
+                    "servers for group {k:?} created at two partitions"
+                );
+            }
+            for (k, s) in m.sync_sites {
+                let clash = base.sync_sites.insert(k, s);
+                assert!(clash.is_none(), "sync site created at two partitions");
+            }
+            assert!(
+                m.sync_home.is_empty(),
+                "first-touch homing is gated off in partitioned runs"
+            );
+            assert_eq!(
+                m.auto_cursor, 0,
+                "Auto placement is refused when partitioned"
+            );
+            base.futex.absorb(m.futex);
+            base.stats.absorb(&m.stats);
+            base.net.fabric_mut().absorb_shard(m.net.into_fabric());
+            base.last_activity = base.last_activity.max(m.last_activity);
+        }
+        base
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::params::PopcornParams;
+    use popcorn_hw::{HwParams, Machine, Topology};
+    use popcorn_kernel::params::OsParams;
+    use popcorn_msg::{Fabric, KernelId, MsgParams};
+
+    fn machine(kernels: u16) -> PopcornMachine {
+        let topo = Topology::new(2, 4);
+        let hw = Machine::new(topo, HwParams::default());
+        let parts = topo.partition(kernels);
+        let locations: Vec<_> = parts.iter().map(|p| p[0]).collect();
+        let fabric = Fabric::new(&hw, locations, MsgParams::default());
+        let ks = parts
+            .into_iter()
+            .enumerate()
+            .map(|(i, cores)| {
+                Kernel::new(KernelId(i as u16), cores, OsParams::default(), hw.clone())
+            })
+            .collect();
+        PopcornMachine::new(ks, fabric, hw, PopcornParams::default())
+    }
+
+    #[test]
+    fn fresh_multi_kernel_machine_is_partition_safe() {
+        assert!(machine(2).partition_safe());
+        assert!(machine(4).partition_safe());
+    }
+
+    #[test]
+    fn single_kernel_has_nothing_to_partition() {
+        assert!(!machine(1).partition_safe());
+    }
+
+    #[test]
+    fn first_touch_homing_defeats_the_gate() {
+        let mut m = machine(2);
+        m.params.sync_first_touch_homing = true;
+        assert!(!m.partition_safe());
+    }
+
+    #[test]
+    fn a_partition_cannot_be_split_again() {
+        let mut m = machine(2);
+        m.part = Some(PartitionCtl {
+            ki: 0,
+            outbox: Vec::new(),
+        });
+        assert!(!m.partition_safe());
+    }
+
+    #[test]
+    fn split_deals_state_and_initial_events_by_owner() {
+        let mut m = machine(2);
+        let (_g0, c0) = m.create_group(
+            0,
+            popcorn_workloads::micro::compute_worker(1),
+            SimTime::ZERO,
+        );
+        let (_g1, c1) = m.create_group(
+            1,
+            popcorn_workloads::micro::compute_worker(1),
+            SimTime::ZERO,
+        );
+        let initial = vec![
+            (
+                SimTime::ZERO,
+                OsEvent::CoreRun {
+                    kernel: 0,
+                    core: c0,
+                },
+            ),
+            (
+                SimTime::ZERO,
+                OsEvent::CoreRun {
+                    kernel: 1,
+                    core: c1,
+                },
+            ),
+        ];
+        let mut parts = m.split_for_parallel(initial);
+        assert_eq!(parts.len(), 2);
+        for (ki, p) in parts.iter_mut().enumerate() {
+            assert_eq!(p.ki, ki);
+            assert_eq!(p.machine.groups.len(), 1, "one group homed per kernel");
+            assert_eq!(p.next_time(), Some(SimTime::ZERO), "initial event dealt");
+            assert_eq!(p.machine.part.as_ref().unwrap().ki, ki);
+        }
+        let merged = PopcornMachine::merge_parallel(parts);
+        assert_eq!(merged.groups.len(), 2);
+        assert!(merged.part.is_none());
+    }
+}

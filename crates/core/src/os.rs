@@ -40,6 +40,7 @@ pub struct PopcornOsBuilder {
     os: OsParams,
     msg: MsgParams,
     pop: PopcornParams,
+    parallel: bool,
 }
 
 impl Default for PopcornOsBuilder {
@@ -51,6 +52,7 @@ impl Default for PopcornOsBuilder {
             os: OsParams::default(),
             msg: MsgParams::default(),
             pop: PopcornParams::default(),
+            parallel: false,
         }
     }
 }
@@ -93,6 +95,17 @@ impl PopcornOsBuilder {
         self
     }
 
+    /// Opts this model into the partitioned parallel engine. The run only
+    /// actually parallelizes when `popcorn_sim::sim_threads() > 1` and the
+    /// configuration passes the partition-safety gate (see
+    /// `machine::partition`); otherwise the serial engine runs as always.
+    /// Callers opting in assert that the workload keeps per-group state
+    /// kernel-local (no spanning groups touching remote page/VMA service).
+    pub fn parallel_sim(mut self, on: bool) -> Self {
+        self.parallel = on;
+        self
+    }
+
     /// Builds the OS model.
     ///
     /// # Panics
@@ -120,6 +133,7 @@ impl PopcornOsBuilder {
             machine: PopcornMachine::new(kernels, fabric, machine, self.pop),
             topology: self.topology,
             next_home: 0,
+            parallel: self.parallel,
         }
     }
 }
@@ -133,6 +147,7 @@ pub struct PopcornOs {
     machine: PopcornMachine,
     topology: Topology,
     next_home: usize,
+    parallel: bool,
 }
 
 impl PopcornOs {
@@ -192,7 +207,22 @@ impl OsModel for PopcornOs {
     }
 
     fn run_with(&mut self, horizon: SimTime, event_budget: u64) -> RunReport {
-        let stop = self.sim.run_until(&mut self.machine, horizon, event_budget);
+        let threads = popcorn_sim::sim_threads();
+        let (stop, events, now) = if self.parallel && threads > 1 && self.machine.partition_safe() {
+            let threads = popcorn_sim::effective_sim_threads();
+            let initial = self.sim.drain();
+            let outcome = self
+                .machine
+                .run_parallel(initial, horizon, event_budget, threads);
+            (
+                outcome.stop,
+                self.sim.events_processed() + outcome.events,
+                outcome.now,
+            )
+        } else {
+            let stop = self.sim.run_until(&mut self.machine, horizon, event_budget);
+            (stop, self.sim.events_processed(), self.sim.now())
+        };
         let kernels = self.machine.kernels();
         let mut metrics = osmodel::base_metrics(kernels);
         metrics.extend(self.machine.stats.metrics());
@@ -227,14 +257,14 @@ impl OsModel for PopcornOs {
         let finished_at = if self.machine.fabric().faults_active() || self.machine.policy_active() {
             self.machine.last_activity()
         } else {
-            self.sim.now()
+            now
         };
         RunReport {
             os: self.name(),
             finished_at,
             exited_tasks: exited,
             stuck_tasks: osmodel::stuck_tasks(kernels),
-            events: self.sim.events_processed(),
+            events,
             stop,
             metrics,
         }

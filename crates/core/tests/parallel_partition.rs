@@ -1,0 +1,147 @@
+//! Serial-vs-partitioned equivalence for the parallel engine.
+//!
+//! The hard invariant of `machine::partition` is that an opted-in,
+//! partition-safe run produces *identical* results on the serial engine
+//! and on the partitioned engine at any thread count. These tests compare
+//! entire `RunReport`s (every metric, clock and counter) via their `Debug`
+//! rendering, which formats `f64`s exactly.
+//!
+//! The thread-count knob is process-global, so everything lives in one
+//! `#[test]` function to keep the sweep sequential under the parallel
+//! test runner.
+
+use popcorn_core::PopcornOs;
+use popcorn_hw::Topology;
+use popcorn_kernel::osmodel::{OsModel, RunReport};
+use popcorn_kernel::program::{MigrateTarget, Op, ProgEnv, Program, Resume, SyscallReq};
+use popcorn_kernel::types::VAddr;
+use popcorn_msg::KernelId;
+use popcorn_sim::set_sim_threads;
+use popcorn_workloads::micro;
+
+/// A single-threaded worker that exercises VMA, paging and compute on its
+/// home kernel only — the kernel-disjoint shape the partition gate is for.
+#[derive(Debug)]
+struct LocalChurn {
+    state: u32,
+    addr: VAddr,
+    rounds: u32,
+}
+
+impl Program for LocalChurn {
+    fn step(&mut self, r: Resume, _env: &ProgEnv) -> Op {
+        match self.state {
+            0 => {
+                self.state = 1;
+                Op::Syscall(SyscallReq::Mmap { len: 16 * 4096 })
+            }
+            1 => {
+                let Resume::Sys(res) = r else { panic!("mmap") };
+                self.addr = VAddr(res.expect_val("mmap"));
+                self.state = 2;
+                Op::Compute(200)
+            }
+            s if s < 2 + 3 * self.rounds => {
+                self.state += 1;
+                let i = (s - 2) as u64;
+                match (s - 2) % 3 {
+                    0 => Op::Store(VAddr(self.addr.0 + (i % 16) * 4096), i),
+                    1 => Op::Load(VAddr(self.addr.0 + (i % 16) * 4096)),
+                    _ => Op::Compute(300),
+                }
+            }
+            _ => Op::Exit(0),
+        }
+    }
+}
+
+/// Migrates to a peer kernel, naps, migrates home, exits — cross-partition
+/// traffic (TaskMigrate / TimerWake / the exit protocol) with no memory
+/// operations, so it is partition-safe even though it spans kernels.
+#[derive(Debug)]
+struct NomadNap {
+    state: u32,
+    peer: KernelId,
+    home: KernelId,
+}
+
+impl Program for NomadNap {
+    fn step(&mut self, _r: Resume, _env: &ProgEnv) -> Op {
+        self.state += 1;
+        match self.state {
+            1 => Op::Syscall(SyscallReq::Migrate(MigrateTarget::Kernel(self.peer))),
+            2 => Op::Syscall(SyscallReq::Nanosleep { ns: 50_000 }),
+            3 => Op::Syscall(SyscallReq::Migrate(MigrateTarget::Kernel(self.home))),
+            4 => Op::Compute(100),
+            _ => Op::Exit(0),
+        }
+    }
+}
+
+fn workload(parallel: bool) -> PopcornOs {
+    let mut os = PopcornOs::builder()
+        .topology(Topology::new(2, 8))
+        .kernels(4)
+        .parallel_sim(parallel)
+        .build();
+    // Four single-kernel churners land round-robin on kernels 0..4.
+    for _ in 0..4 {
+        os.load(Box::new(LocalChurn {
+            state: 0,
+            addr: VAddr(0),
+            rounds: 40,
+        }));
+    }
+    // Two nomads criss-cross partitions while the churners run.
+    os.load(Box::new(NomadNap {
+        state: 0,
+        peer: KernelId(3),
+        home: KernelId(0),
+    }));
+    os.load(Box::new(NomadNap {
+        state: 0,
+        peer: KernelId(0),
+        home: KernelId(1),
+    }));
+    os
+}
+
+fn run(parallel: bool) -> RunReport {
+    let mut os = workload(parallel);
+    let r = os.run();
+    assert!(r.is_clean(), "stuck: {:?}", r.stuck_tasks);
+    assert_eq!(r.exited_tasks, 6);
+    r
+}
+
+#[test]
+fn partitioned_runs_match_serial_at_every_thread_count() {
+    let serial = format!("{:?}", run(false));
+
+    // Opted in but one thread: takes the serial path, trivially identical.
+    set_sim_threads(1);
+    assert_eq!(format!("{:?}", run(true)), serial);
+
+    // Partitioned at 2, 3 (uneven chunks) and 8 (more threads than
+    // partitions): every report must render byte-identically.
+    for threads in [2, 3, 8] {
+        set_sim_threads(threads);
+        let parallel = format!("{:?}", run(true));
+        assert_eq!(
+            parallel, serial,
+            "partitioned run at {threads} threads diverged from serial"
+        );
+    }
+
+    // A config the gate rejects (single kernel) still runs — serially.
+    set_sim_threads(4);
+    let mut solo = PopcornOs::builder()
+        .topology(Topology::new(1, 4))
+        .kernels(1)
+        .parallel_sim(true)
+        .build();
+    solo.load(micro::compute_worker(10_000));
+    assert!(solo.run().is_clean());
+
+    set_sim_threads(1);
+}

@@ -1,0 +1,656 @@
+//! Conservative barrier-epoch parallel engine.
+//!
+//! One simulation is decomposed into fixed *partitions* (one per simulated
+//! kernel in the OS models) that advance in lock-step epochs across host
+//! threads. Safety comes from a *lookahead* `L`: the model guarantees that
+//! an event handled at time `t` in one partition can only affect another
+//! partition at `t + L` or later (in the replicated-kernel models, `L` is
+//! the minimum cross-kernel fabric delivery latency — kernels share nothing
+//! and only interact through messages). Each epoch:
+//!
+//! 1. All partitions agree on `T_min`, the earliest pending event anywhere.
+//! 2. Every partition independently runs its events with fire time strictly
+//!    below `epoch_end = T_min + L`, buffering cross-partition sends into
+//!    per-(sender, receiver) outboxes.
+//! 3. At a barrier, each receiver drains its outboxes in fixed sender order
+//!    and the loop repeats.
+//!
+//! Any cross send originates at some `t ≥ T_min` and therefore arrives at
+//! `t + L ≥ epoch_end` — always in a *later* window than the one being
+//! executed, so no partition can ever receive an event in its past and no
+//! rollback is needed (classic conservative synchronization, cf. the
+//! Chandy–Misra–Bryant family; the barrier-epoch variant trades null
+//! messages for a global reduction).
+//!
+//! Determinism does not depend on the thread count: the partition structure
+//! is fixed by the model (never by `--sim-threads`), each partition's queue
+//! breaks ties by its own local sequence numbers, and outbox drain order is
+//! (sender partition index, send order) — all of which are functions of the
+//! simulation alone. Threads only decide *which host core* runs a
+//! partition's next window.
+
+use std::cell::RefCell;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+use crate::engine::{current_event_sink, with_event_sink, StopCondition};
+use crate::time::SimTime;
+
+/// Process-global worker-thread count for partitioned runs, set once by the
+/// CLI (`repro --sim-threads N`). `1` means the serial engine everywhere;
+/// values above one let partition-safe models run one simulation across
+/// threads. Mirrors the `JOBS` knob in the bench harness.
+static SIM_THREADS: AtomicUsize = AtomicUsize::new(1);
+
+/// Sets the process-global worker-thread count for partitioned simulation
+/// (clamped to at least 1).
+pub fn set_sim_threads(n: usize) {
+    SIM_THREADS.store(n.max(1), Ordering::Relaxed);
+}
+
+/// The process-global worker-thread count for partitioned simulation.
+pub fn sim_threads() -> usize {
+    SIM_THREADS.load(Ordering::Relaxed).max(1)
+}
+
+/// The worker count a partitioned run should actually spawn: the
+/// [`sim_threads`] knob capped by the host's available parallelism.
+/// Results never depend on the worker count, so the cap is free — but
+/// oversubscribing spin-barrier workers onto fewer cores serializes the
+/// simulation *and* burns the productive worker's timeslices (measured ~9×
+/// slower at 4 workers on 1 core). The knob still selects the partitioned
+/// engine; the cap only limits how many OS threads drive it.
+pub fn effective_sim_threads() -> usize {
+    sim_threads().min(
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1),
+    )
+}
+
+/// Aggregated scheduling overhead of partitioned runs, credited to the
+/// thread-local meter installed via [`with_parallel_meter`] — the same
+/// pattern as the event-count sink, so the bench harness can attribute
+/// epochs and barrier time to individual experiments even under `--jobs`.
+#[derive(Debug, Default)]
+pub struct ParallelMeter {
+    /// Partitioned runs completed.
+    pub runs: AtomicU64,
+    /// Barrier epochs executed across all partitioned runs.
+    pub epochs: AtomicU64,
+    /// Host nanoseconds workers spent waiting at epoch barriers, summed
+    /// over all workers (divide by `epochs × threads` for a per-crossing
+    /// figure).
+    pub barrier_wait_nanos: AtomicU64,
+}
+
+thread_local! {
+    static PARALLEL_METER: RefCell<Option<Arc<ParallelMeter>>> = const { RefCell::new(None) };
+}
+
+/// Runs `f` with `meter` installed as this thread's parallel-run meter;
+/// every [`run_partitioned`] on this thread credits its epoch and barrier
+/// statistics to it. Scopes nest; the previous meter is restored on return.
+pub fn with_parallel_meter<T>(meter: Arc<ParallelMeter>, f: impl FnOnce() -> T) -> T {
+    struct Guard(Option<Arc<ParallelMeter>>);
+    impl Drop for Guard {
+        fn drop(&mut self) {
+            PARALLEL_METER.with(|s| *s.borrow_mut() = self.0.take());
+        }
+    }
+    let prev = PARALLEL_METER.with(|s| s.borrow_mut().replace(meter));
+    let _guard = Guard(prev);
+    f()
+}
+
+/// The meter currently installed on this thread, if any. Worker-spawning
+/// code propagates it the same way as [`current_event_sink`].
+pub fn current_parallel_meter() -> Option<Arc<ParallelMeter>> {
+    PARALLEL_METER.with(|s| s.borrow().clone())
+}
+
+/// One shard of a partitioned simulation: a private event queue plus the
+/// slice of model state it owns.
+pub trait Partition: Send {
+    /// The event type exchanged between partitions.
+    type Event: Send;
+
+    /// Fire time of this partition's earliest pending event, if any.
+    fn next_time(&mut self) -> Option<SimTime>;
+
+    /// Accepts an event sent by another partition. Called only between
+    /// epochs, in deterministic (sender partition, send order); the
+    /// implementation assigns its own local tie-break sequence in call
+    /// order.
+    fn enqueue(&mut self, at: SimTime, event: Self::Event);
+
+    /// Runs every pending event with fire time strictly below `upto`.
+    /// Cross-partition sends are pushed onto `cross` as
+    /// `(destination partition, fire time, event)` in send order; each fire
+    /// time must be `≥ upto` (guaranteed by a positive lookahead). Returns
+    /// the number of events processed.
+    fn run_window(&mut self, upto: SimTime, cross: &mut Vec<(usize, SimTime, Self::Event)>) -> u64;
+
+    /// The fire time of the last event this partition processed (its local
+    /// clock). Used to report the simulation's final time once the queues
+    /// drain: the global clock is the max over partitions.
+    fn now(&self) -> SimTime;
+}
+
+/// Why a partitioned run stopped, plus its aggregate statistics.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ParallelOutcome {
+    /// Terminal condition ([`StopCondition::QueueEmpty`] or
+    /// [`StopCondition::HorizonReached`]).
+    pub stop: StopCondition,
+    /// Final virtual time: the horizon when it was reached, otherwise the
+    /// latest event fire time across partitions.
+    pub now: SimTime,
+    /// Total events processed across all partitions.
+    pub events: u64,
+    /// Barrier epochs executed.
+    pub epochs: u64,
+    /// Host nanoseconds spent waiting at barriers, summed over workers.
+    pub barrier_wait_nanos: u64,
+}
+
+/// A sense-reversing spin barrier. Epochs are microseconds of host work, so
+/// a mutex+condvar barrier (park/unpark per crossing) would dominate the
+/// schedule; workers instead spin briefly and fall back to `yield_now` so
+/// an oversubscribed host still makes progress.
+struct SpinBarrier {
+    total: usize,
+    arrived: AtomicUsize,
+    generation: AtomicUsize,
+}
+
+impl SpinBarrier {
+    fn new(total: usize) -> Self {
+        SpinBarrier {
+            total,
+            arrived: AtomicUsize::new(0),
+            generation: AtomicUsize::new(0),
+        }
+    }
+
+    /// Waits for all workers. `poisoned` breaks the barrier when a sibling
+    /// worker aborted (panic or budget overrun): waiters would otherwise
+    /// spin forever on a generation that can no longer advance. Returns
+    /// early without synchronizing in that case; callers must check the
+    /// flag and bail out.
+    fn wait(&self, poisoned: &AtomicBool) {
+        let gen = self.generation.load(Ordering::Acquire);
+        if self.arrived.fetch_add(1, Ordering::AcqRel) + 1 == self.total {
+            self.arrived.store(0, Ordering::Relaxed);
+            // Releasing the new generation publishes every pre-barrier
+            // write (all workers' fetch_adds synchronize with this store's
+            // thread via AcqRel on `arrived`).
+            self.generation
+                .store(gen.wrapping_add(1), Ordering::Release);
+        } else {
+            let mut spins = 0u32;
+            while self.generation.load(Ordering::Acquire) == gen {
+                if poisoned.load(Ordering::Relaxed) {
+                    return;
+                }
+                spins = spins.saturating_add(1);
+                if spins < 1 << 14 {
+                    std::hint::spin_loop();
+                } else {
+                    std::thread::yield_now();
+                }
+            }
+        }
+    }
+}
+
+/// Encoding of `Option<SimTime>` in an atomic slot: `u64::MAX` = no event.
+const NO_EVENT: u64 = u64::MAX;
+
+/// Runs `partitions` to completion (or `horizon`, inclusive — matching
+/// [`Simulator::run_until`](crate::Simulator::run_until)) on up to
+/// `threads` host threads, synchronizing on `lookahead` windows.
+///
+/// The result is independent of `threads`: partitions, tie-breaking, and
+/// outbox drain order are all fixed by the model. `event_budget` is
+/// enforced at epoch granularity as a livelock guard.
+///
+/// # Panics
+///
+/// Panics if `partitions` is empty, if `lookahead` is zero (epochs could
+/// never advance), or if the event budget is exhausted — a partitioned run
+/// cannot truncate cleanly the way the serial engine's
+/// [`StopCondition::EventBudgetExhausted`] does, because partitions have
+/// already run ahead of the budget point when the overrun is detected.
+pub fn run_partitioned<P: Partition>(
+    partitions: &mut [P],
+    lookahead: SimTime,
+    horizon: SimTime,
+    event_budget: u64,
+    threads: usize,
+) -> ParallelOutcome {
+    assert!(!partitions.is_empty(), "cannot run zero partitions");
+    assert!(
+        !lookahead.is_zero(),
+        "conservative parallel simulation requires a positive lookahead"
+    );
+    let n = partitions.len();
+    let threads = threads.clamp(1, n);
+
+    // Shared epoch state. `next_times[p]` is partition p's earliest pending
+    // fire time (NO_EVENT when drained); every worker reads all slots after
+    // the exchange barrier and computes the same epoch window. `outbox` is
+    // an n×n matrix of (sender, receiver) cells; cell locks are never
+    // contended (one writer during windows, one reader during drains) and
+    // exist only to satisfy the borrow checker across workers.
+    type MailCell<E> = Mutex<Vec<(SimTime, E)>>;
+    let next_times: Vec<AtomicU64> = (0..n).map(|_| AtomicU64::new(NO_EVENT)).collect();
+    let outbox: Vec<MailCell<P::Event>> = (0..n * n).map(|_| Mutex::new(Vec::new())).collect();
+    let events_total = AtomicU64::new(0);
+    let epochs = AtomicU64::new(0);
+    let barrier_wait = AtomicU64::new(0);
+    // `chunks_mut(chunk)` can produce fewer chunks than `threads` (e.g.
+    // 4 partitions on 3 threads → two chunks of two) — size the barrier by
+    // the worker count actually spawned or it never opens.
+    let chunk = n.div_ceil(threads);
+    let workers = n.div_ceil(chunk);
+    let barrier = SpinBarrier::new(workers);
+    let poisoned = AtomicBool::new(false);
+    let budget_hit = AtomicBool::new(false);
+    // Events at exactly `horizon` still fire: windows are bounded by
+    // min(T_min + lookahead, horizon + 1ns) exclusive.
+    let horizon_bound = if horizon == SimTime::MAX {
+        u64::MAX
+    } else {
+        horizon.as_nanos().saturating_add(1)
+    };
+
+    let sink = current_event_sink();
+    std::thread::scope(|scope| {
+        for (w, parts) in partitions.chunks_mut(chunk).enumerate() {
+            let base = w * chunk;
+            let (next_times, outbox) = (&next_times, &outbox);
+            let (events_total, epochs, barrier_wait, barrier, poisoned, budget_hit) = (
+                &events_total,
+                &epochs,
+                &barrier_wait,
+                &barrier,
+                &poisoned,
+                &budget_hit,
+            );
+            let sink = sink.clone();
+            let mut body = move || {
+                // On unwind, release any siblings parked at the barrier.
+                struct Poison<'a>(&'a AtomicBool);
+                impl Drop for Poison<'_> {
+                    fn drop(&mut self) {
+                        if std::thread::panicking() {
+                            self.0.store(true, Ordering::Relaxed);
+                        }
+                    }
+                }
+                let _poison = Poison(poisoned);
+                let mut cross: Vec<(usize, SimTime, P::Event)> = Vec::new();
+                let mut waited = 0u64;
+                let mut my_epochs = 0u64;
+                for (i, p) in parts.iter_mut().enumerate() {
+                    publish_next_time(next_times, base + i, p);
+                }
+                let t = Instant::now();
+                barrier.wait(poisoned);
+                waited += t.elapsed().as_nanos() as u64;
+                loop {
+                    if poisoned.load(Ordering::Relaxed) {
+                        break;
+                    }
+                    // Every worker computes the same window from the same
+                    // published slots; no leader needed.
+                    let t_min = next_times
+                        .iter()
+                        .map(|s| s.load(Ordering::Relaxed))
+                        .min()
+                        .expect("at least one partition");
+                    if t_min == NO_EVENT || t_min >= horizon_bound {
+                        break;
+                    }
+                    let upto = SimTime::from_nanos(
+                        t_min
+                            .saturating_add(lookahead.as_nanos())
+                            .min(horizon_bound),
+                    );
+                    my_epochs += 1;
+                    let mut window_events = 0u64;
+                    for (i, part) in parts.iter_mut().enumerate() {
+                        let src = base + i;
+                        window_events += part.run_window(upto, &mut cross);
+                        for (dest, at, ev) in cross.drain(..) {
+                            debug_assert!(
+                                at >= upto,
+                                "cross-partition event beat the lookahead window"
+                            );
+                            outbox[src * n + dest]
+                                .lock()
+                                .expect("outbox cell poisoned")
+                                .push((at, ev));
+                        }
+                    }
+                    let total =
+                        events_total.fetch_add(window_events, Ordering::AcqRel) + window_events;
+                    if total > event_budget {
+                        // Cooperative abort: the panic itself is raised on
+                        // the calling thread after the scope joins, so the
+                        // budget message survives (a panic inside a scoped
+                        // thread is replaced by a generic one on join).
+                        budget_hit.store(true, Ordering::Relaxed);
+                        poisoned.store(true, Ordering::Relaxed);
+                        break;
+                    }
+                    let t = Instant::now();
+                    barrier.wait(poisoned);
+                    waited += t.elapsed().as_nanos() as u64;
+                    if poisoned.load(Ordering::Relaxed) {
+                        break;
+                    }
+                    // Exchange: each receiver drains its column in sender
+                    // order, then republishes its next-event time.
+                    for (i, part) in parts.iter_mut().enumerate() {
+                        let dest = base + i;
+                        for src in 0..n {
+                            let mut cell =
+                                outbox[src * n + dest].lock().expect("outbox cell poisoned");
+                            for (at, ev) in cell.drain(..) {
+                                part.enqueue(at, ev);
+                            }
+                        }
+                        publish_next_time(next_times, dest, part);
+                    }
+                    let t = Instant::now();
+                    barrier.wait(poisoned);
+                    waited += t.elapsed().as_nanos() as u64;
+                }
+                barrier_wait.fetch_add(waited, Ordering::Relaxed);
+                if base == 0 {
+                    epochs.store(my_epochs, Ordering::Relaxed);
+                }
+            };
+            scope.spawn(move || match sink {
+                // Satellite: child workers re-install the spawner's sink so
+                // events they process are credited to the same experiment.
+                Some(s) => with_event_sink(s, body),
+                None => body(),
+            });
+        }
+    });
+
+    assert!(
+        !budget_hit.load(Ordering::Relaxed),
+        "event budget exhausted (> {event_budget}) in partitioned run"
+    );
+    let t_min = next_times
+        .iter()
+        .map(|s| s.load(Ordering::Relaxed))
+        .min()
+        .expect("at least one partition");
+    let (stop, now) = if t_min == NO_EVENT {
+        let last = partitions
+            .iter()
+            .map(|p| p.now())
+            .max()
+            .expect("at least one partition");
+        (StopCondition::QueueEmpty, last)
+    } else {
+        (StopCondition::HorizonReached, horizon)
+    };
+    let outcome = ParallelOutcome {
+        stop,
+        now,
+        events: events_total.load(Ordering::Relaxed),
+        epochs: epochs.load(Ordering::Relaxed),
+        barrier_wait_nanos: barrier_wait.load(Ordering::Relaxed),
+    };
+    if let Some(meter) = current_parallel_meter() {
+        meter.runs.fetch_add(1, Ordering::Relaxed);
+        meter.epochs.fetch_add(outcome.epochs, Ordering::Relaxed);
+        meter
+            .barrier_wait_nanos
+            .fetch_add(outcome.barrier_wait_nanos, Ordering::Relaxed);
+    }
+    outcome
+}
+
+fn publish_next_time<P: Partition>(slots: &[AtomicU64], idx: usize, p: &mut P) {
+    let v = p.next_time().map_or(NO_EVENT, |t| t.as_nanos());
+    slots[idx].store(v, Ordering::Relaxed);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::{Handler, Scheduler, Simulator};
+
+    const HOP: u64 = 50;
+
+    /// A toy partitioned model: partitions pass a decrementing token around
+    /// a ring with `HOP` ns of cross-partition latency, each hop also
+    /// spawning a purely local echo event. Exercises local scheduling,
+    /// cross sends, and drained-queue termination.
+    struct ToyPart {
+        idx: usize,
+        n: usize,
+        sim: Simulator<u64>,
+        trace: Vec<(u64, u64)>,
+        last_fire: SimTime,
+    }
+
+    struct ToyHandler<'a> {
+        idx: usize,
+        n: usize,
+        trace: &'a mut Vec<(u64, u64)>,
+        cross: &'a mut Vec<(usize, SimTime, u64)>,
+        last_fire: &'a mut SimTime,
+    }
+
+    impl Handler<u64> for ToyHandler<'_> {
+        fn handle(&mut self, now: SimTime, token: u64, sched: &mut Scheduler<'_, u64>) {
+            *self.last_fire = now;
+            self.trace.push((now.as_nanos(), token));
+            if token >= 1000 {
+                return; // local echo, no forwarding
+            }
+            if token > 0 {
+                self.cross.push((
+                    (self.idx + 1) % self.n,
+                    now + SimTime::from_nanos(HOP),
+                    token - 1,
+                ));
+                sched.after(SimTime::from_nanos(7), 1000 + token);
+            }
+        }
+    }
+
+    impl Partition for ToyPart {
+        type Event = u64;
+        fn next_time(&mut self) -> Option<SimTime> {
+            self.sim.next_time()
+        }
+        fn enqueue(&mut self, at: SimTime, event: u64) {
+            self.sim.schedule(at, event);
+        }
+        fn run_window(&mut self, upto: SimTime, cross: &mut Vec<(usize, SimTime, u64)>) -> u64 {
+            let before = self.sim.events_processed();
+            let mut h = ToyHandler {
+                idx: self.idx,
+                n: self.n,
+                trace: &mut self.trace,
+                cross,
+                last_fire: &mut self.last_fire,
+            };
+            // `run_until` horizons are inclusive; the window bound is
+            // exclusive.
+            self.sim
+                .run_until(&mut h, SimTime::from_nanos(upto.as_nanos() - 1), u64::MAX);
+            self.sim.events_processed() - before
+        }
+        fn now(&self) -> SimTime {
+            self.last_fire
+        }
+    }
+
+    fn make_ring(n: usize) -> Vec<ToyPart> {
+        (0..n)
+            .map(|idx| {
+                let mut sim = Simulator::new();
+                // Stagger starts so no two partitions tick at the same time.
+                sim.schedule(SimTime::from_nanos(idx as u64 * 3), 13 + idx as u64);
+                ToyPart {
+                    idx,
+                    n,
+                    sim,
+                    trace: Vec::new(),
+                    last_fire: SimTime::ZERO,
+                }
+            })
+            .collect()
+    }
+
+    /// Serial oracle: the same ring in one queue, events tagged with their
+    /// partition.
+    fn serial_ring(n: usize, horizon: SimTime) -> (Vec<Vec<(u64, u64)>>, SimTime, u64) {
+        struct Ref {
+            n: usize,
+            traces: Vec<Vec<(u64, u64)>>,
+        }
+        impl Handler<(usize, u64)> for Ref {
+            fn handle(
+                &mut self,
+                now: SimTime,
+                (k, token): (usize, u64),
+                sched: &mut Scheduler<'_, (usize, u64)>,
+            ) {
+                self.traces[k].push((now.as_nanos(), token));
+                if token >= 1000 {
+                    return;
+                }
+                if token > 0 {
+                    sched.at(
+                        now + SimTime::from_nanos(HOP),
+                        ((k + 1) % self.n, token - 1),
+                    );
+                    sched.after(SimTime::from_nanos(7), (k, 1000 + token));
+                }
+            }
+        }
+        let mut sim = Simulator::new();
+        for idx in 0..n {
+            sim.schedule(SimTime::from_nanos(idx as u64 * 3), (idx, 13 + idx as u64));
+        }
+        let mut r = Ref {
+            n,
+            traces: vec![Vec::new(); n],
+        };
+        sim.run_until(&mut r, horizon, u64::MAX);
+        (r.traces, sim.now(), sim.events_processed())
+    }
+
+    #[test]
+    fn matches_serial_oracle_at_every_thread_count() {
+        let (want, want_now, want_events) = serial_ring(4, SimTime::MAX);
+        for threads in [1, 2, 3, 4, 8] {
+            let mut parts = make_ring(4);
+            let out = run_partitioned(
+                &mut parts,
+                SimTime::from_nanos(HOP),
+                SimTime::MAX,
+                u64::MAX,
+                threads,
+            );
+            assert_eq!(out.stop, StopCondition::QueueEmpty);
+            assert_eq!(out.events, want_events, "threads={threads}");
+            assert_eq!(out.now, want_now, "threads={threads}");
+            for (k, p) in parts.iter().enumerate() {
+                assert_eq!(p.trace, want[k], "partition {k} at threads={threads}");
+            }
+            assert!(out.epochs > 1, "ring must take multiple epochs");
+        }
+    }
+
+    #[test]
+    fn horizon_is_inclusive_like_the_serial_engine() {
+        // Pick a horizon landing exactly on a known event time: partition 0
+        // starts at t=0 and echoes at t=7.
+        let horizon = SimTime::from_nanos(7);
+        let (want, _, want_events) = serial_ring(3, horizon);
+        let mut parts = make_ring(3);
+        let out = run_partitioned(&mut parts, SimTime::from_nanos(HOP), horizon, u64::MAX, 2);
+        assert_eq!(out.stop, StopCondition::HorizonReached);
+        assert_eq!(out.now, horizon);
+        assert_eq!(out.events, want_events);
+        for (k, p) in parts.iter().enumerate() {
+            assert_eq!(p.trace, want[k], "partition {k}");
+        }
+    }
+
+    #[test]
+    fn worker_threads_inherit_the_event_sink() {
+        let sink = Arc::new(AtomicU64::new(0));
+        let events = with_event_sink(sink.clone(), || {
+            let mut parts = make_ring(4);
+            run_partitioned(
+                &mut parts,
+                SimTime::from_nanos(HOP),
+                SimTime::MAX,
+                u64::MAX,
+                4,
+            )
+            .events
+        });
+        assert!(events > 0);
+        assert_eq!(sink.load(Ordering::Relaxed), events);
+    }
+
+    #[test]
+    fn meter_records_epochs_and_barrier_time() {
+        let meter = Arc::new(ParallelMeter::default());
+        let out = with_parallel_meter(meter.clone(), || {
+            let mut parts = make_ring(2);
+            run_partitioned(
+                &mut parts,
+                SimTime::from_nanos(HOP),
+                SimTime::MAX,
+                u64::MAX,
+                2,
+            )
+        });
+        assert_eq!(meter.runs.load(Ordering::Relaxed), 1);
+        assert_eq!(meter.epochs.load(Ordering::Relaxed), out.epochs);
+        assert_eq!(
+            meter.barrier_wait_nanos.load(Ordering::Relaxed),
+            out.barrier_wait_nanos
+        );
+        assert!(current_parallel_meter().is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "positive lookahead")]
+    fn zero_lookahead_is_rejected() {
+        let mut parts = make_ring(2);
+        run_partitioned(&mut parts, SimTime::ZERO, SimTime::MAX, u64::MAX, 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "event budget exhausted")]
+    fn budget_overrun_panics() {
+        let mut parts = make_ring(4);
+        run_partitioned(&mut parts, SimTime::from_nanos(HOP), SimTime::MAX, 3, 2);
+    }
+
+    #[test]
+    fn sim_threads_knob_clamps_to_one() {
+        set_sim_threads(0);
+        assert_eq!(sim_threads(), 1);
+        set_sim_threads(4);
+        assert_eq!(sim_threads(), 4);
+        set_sim_threads(1);
+    }
+}
