@@ -281,6 +281,70 @@ pub fn check_policy_shootout() -> ShapeResult {
     )
 }
 
+/// Claim (tentpole): kernel-crash failover recovers every protocol
+/// window — survivors declare the victim at the ack-silence deadline,
+/// orphans are killed, the directory is rebuilt under a dead home,
+/// parked sleepers are swept with `EOWNERDEAD`, and goodput degrades
+/// without ever wedging (regression gate for `results/e14.json`).
+pub fn check_recovery() -> ShapeResult {
+    use crate::e14::{run_cell, CellResult, Scenario};
+    let cells: Vec<(Scenario, bool)> = Scenario::ALL
+        .iter()
+        .flat_map(|&s| [(s, false), (s, true)])
+        .collect();
+    let r = parallel_map(cells, |(s, crash)| run_cell(s, crash));
+    // Every cell drained its queue and passed the global invariant audit
+    // (run_cell would have panicked otherwise).
+    let all_clean = r.iter().all(|c| c.clean);
+    // Fault-free baselines must not engage recovery at all.
+    let inert = r
+        .iter()
+        .step_by(2)
+        .all(|c| c.declared == 0.0 && c.killed == 0.0);
+    // Every crash cell: all three survivors declare the victim, and the
+    // declaration lands at the detection window (12 ms of ack silence).
+    let detected = r
+        .iter()
+        .skip(1)
+        .step_by(2)
+        .all(|c| c.declared == 3.0 && (11.9..13.0).contains(&c.recovery_ms));
+    // Each window's recovery mechanism must actually fire, and goodput
+    // must degrade without collapsing to zero.
+    let partial = |b: &CellResult, c: &CellResult| c.units > 0 && c.units < b.units;
+    let pair = |i: usize| (&r[2 * i], &r[2 * i + 1]);
+    let (hand_b, hand_c) = pair(0);
+    let (page_b, page_c) = pair(1);
+    let (futx_b, futx_c) = pair(2);
+    let (barr_b, barr_c) = pair(3);
+    let hand_ok = hand_c.aborted >= 1.0 && hand_c.killed >= 1.0 && partial(hand_b, hand_c);
+    let page_ok =
+        page_c.promoted + page_c.lost >= 1.0 && page_c.killed >= 2.0 && partial(page_b, page_c);
+    let futx_ok = futx_c.futex_recovered >= 1.0 && partial(futx_b, futx_c);
+    let barr_ok = barr_c.futex_recovered >= 1.0 && partial(barr_b, barr_c);
+    result(
+        "crash gate: detection on time, orphans killed, directory rebuilt, sleepers swept (E14)",
+        all_clean && inert && detected && hand_ok && page_ok && futx_ok && barr_ok,
+        format!(
+            "handoff {} -> {} units ({:.0} aborted); pages {} -> {} ({:.0} promoted, {:.0} lost); \
+             futex {} -> {} ({:.0} swept); barrier {} -> {} ({:.0} swept); recovery {:.1}ms",
+            hand_b.units,
+            hand_c.units,
+            hand_c.aborted,
+            page_b.units,
+            page_c.units,
+            page_c.promoted,
+            page_c.lost,
+            futx_b.units,
+            futx_c.units,
+            futx_c.futex_recovered,
+            barr_b.units,
+            barr_c.units,
+            barr_c.futex_recovered,
+            hand_c.recovery_ms,
+        ),
+    )
+}
+
 /// Runs every shape check (on parallel host threads up to the configured
 /// job count); returns the results in fixed order (all must pass).
 pub fn run_all_checks() -> Vec<ShapeResult> {
@@ -293,6 +357,7 @@ pub fn run_all_checks() -> Vec<ShapeResult> {
         check_page_protocol_costs,
         check_hier_extension_wins,
         check_policy_shootout,
+        check_recovery,
     ];
     parallel_map(checks, |check| check())
 }

@@ -1,0 +1,708 @@
+//! E14 — crash-timing sweep: a kernel dies in the middle of each
+//! protocol's critical window (migration handoff, page transfer, futex
+//! sleep, group barrier) and the survivors must detect the death, recover
+//! the orphaned state, and finish the workload.
+//!
+//! Each scenario runs twice — fault-free and with a planned crash — and
+//! the table reports recovery latency (crash instant to declaration),
+//! work lost (progress units the baseline achieved but the crashed run
+//! did not), and goodput (crashed progress as a percent of baseline).
+//!
+//! Progress is counted by the programs themselves through a shared host
+//! counter: a worker bumps it once per completed work unit (a successful
+//! hop, a finished memory access, an observed rendezvous, a completed
+//! barrier round). The counter lives outside simulated memory, so the
+//! instrumentation cannot perturb virtual time.
+//!
+//! The workloads are written the way robust applications must be written
+//! on a crash-surviving OS: the launcher never joins (a dead worker can
+//! never signal), sleepers revalidate on `EOWNERDEAD` instead of assuming
+//! forward progress, and the barrier poisons its arrival counter so that
+//! an episode some participants will never reach drains instead of
+//! wedging. The global invariant audit (`popcorn_core::invariants`) runs
+//! on every cell and would panic the experiment on any lost thread,
+//! stale directory entry, or wedged waiter.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use popcorn_hw::Topology;
+use popcorn_kernel::osmodel::OsModel;
+use popcorn_kernel::program::{
+    FutexOp, MigrateTarget, Op, Placement, ProgEnv, Program, Resume, RmwOp, SysResult, SyscallReq,
+};
+use popcorn_kernel::types::{Errno, VAddr};
+use popcorn_msg::{FaultPlan, KernelId, MsgParams};
+use popcorn_sim::SimTime;
+
+use crate::rig::parallel_map;
+use crate::table::Table;
+
+/// Host-side progress counter shared between the harness and the
+/// programs it loads (it migrates with them).
+type Progress = Arc<AtomicU64>;
+
+/// Barrier arrival counts at or above this mark mean a participant died
+/// mid-episode and the barrier can never fill again: arrivals drain out
+/// instead of parking.
+const POISON: u64 = 1 << 32;
+
+/// What each spawned worker runs; built by the leader once the shared
+/// addresses exist.
+#[derive(Debug, Clone)]
+enum WorkerSpec {
+    /// Ring migration with compute between hops (the handoff window).
+    Hop {
+        /// Hops each worker attempts.
+        hops: u32,
+        /// Compute between hops.
+        compute: u64,
+    },
+    /// Strided load/store traffic over a shared pool (the page-transfer
+    /// window).
+    Bounce {
+        /// Pages in the shared pool.
+        pages: u64,
+        /// Memory accesses per worker.
+        iters: u32,
+    },
+    /// Park on the stamp word until the leader's wake (the futex-sleep
+    /// window).
+    Sleep,
+    /// Rounds of a poison-tolerant counter barrier (the group-barrier
+    /// window). Worker 0 is the sentinel: it arrives almost instantly
+    /// each round and spends the episode parked, so a crash-time sweep
+    /// always finds a waiter to turn into the poisoner.
+    Barrier {
+        /// Barrier width (all workers participate).
+        n: u64,
+        /// Rounds each worker attempts.
+        rounds: u32,
+        /// Per-index compute stagger (worker i computes i × this).
+        stagger: u64,
+    },
+}
+
+impl WorkerSpec {
+    fn build(&self, i: usize, sync: VAddr, data: VAddr, progress: &Progress) -> Box<dyn Program> {
+        match *self {
+            WorkerSpec::Hop { hops, compute } => Box::new(HopWorker {
+                hops_left: hops,
+                compute,
+                kernels: 4,
+                dead: None,
+                last_target: 0,
+                migrating: false,
+                credit: false,
+                progress: progress.clone(),
+            }),
+            WorkerSpec::Bounce { pages, iters } => Box::new(BounceWorker {
+                data,
+                pages,
+                stride: 2 * i as u64 + 1,
+                iters,
+                seq: 0,
+                started: false,
+                progress: progress.clone(),
+            }),
+            WorkerSpec::Sleep => Box::new(SleepWorker {
+                word: sync,
+                progress: progress.clone(),
+            }),
+            WorkerSpec::Barrier { n, rounds, stagger } => Box::new(BarrierWorker {
+                count: sync.add(64),
+                gen: sync.add(72),
+                n,
+                rounds_left: rounds,
+                compute: if i == 0 { 5_000 } else { i as u64 * stagger },
+                my_gen: 0,
+                dying: false,
+                state: BarState::Init,
+                progress: progress.clone(),
+            }),
+        }
+    }
+}
+
+/// Maps the shared areas, spawns the fleet, and exits **without
+/// joining**: recovery may kill any worker, and a robust launcher must
+/// not wedge on a join counter a dead thread can never bump. With
+/// `wake_after` set it instead computes, stamps the sync word, and
+/// wakes every sleeper before exiting (the futex-rendezvous shape).
+#[derive(Debug)]
+struct FleetLeader {
+    spec: WorkerSpec,
+    workers: usize,
+    data_pages: u64,
+    wake_after: u64,
+    progress: Progress,
+    state: u8,
+    sync: VAddr,
+    data: VAddr,
+    spawned: usize,
+}
+
+impl FleetLeader {
+    /// Builds the leader plus the shared progress cell its fleet reports to.
+    fn launch(
+        spec: WorkerSpec,
+        workers: usize,
+        data_pages: u64,
+        wake_after: u64,
+    ) -> (Box<dyn Program>, Progress) {
+        let progress = Progress::new(AtomicU64::new(0));
+        let leader = FleetLeader {
+            spec,
+            workers,
+            data_pages,
+            wake_after,
+            progress: progress.clone(),
+            state: 0,
+            sync: VAddr(0),
+            data: VAddr(0),
+            spawned: 0,
+        };
+        (Box::new(leader), progress)
+    }
+
+    fn spawn_next(&mut self) -> Op {
+        if self.spawned < self.workers {
+            let child = self
+                .spec
+                .build(self.spawned, self.sync, self.data, &self.progress);
+            self.spawned += 1;
+            return Op::Syscall(SyscallReq::Clone {
+                child,
+                placement: Placement::Auto,
+            });
+        }
+        if self.wake_after > 0 {
+            self.state = 4;
+            return Op::Compute(self.wake_after);
+        }
+        Op::Exit(0)
+    }
+}
+
+impl Program for FleetLeader {
+    fn step(&mut self, r: Resume, _env: &ProgEnv) -> Op {
+        match self.state {
+            0 => {
+                self.state = 1;
+                Op::Syscall(SyscallReq::Mmap { len: 4096 })
+            }
+            1 => {
+                let Resume::Sys(res) = r else { panic!("mmap") };
+                self.sync = VAddr(res.expect_val("sync mmap"));
+                if self.data_pages > 0 {
+                    self.state = 2;
+                    Op::Syscall(SyscallReq::Mmap {
+                        len: self.data_pages * 4096,
+                    })
+                } else {
+                    self.state = 3;
+                    self.spawn_next()
+                }
+            }
+            2 => {
+                let Resume::Sys(res) = r else { panic!("mmap") };
+                self.data = VAddr(res.expect_val("data mmap"));
+                self.state = 3;
+                self.spawn_next()
+            }
+            3 => self.spawn_next(),
+            4 => {
+                // Rendezvous epilogue: stamp the word, then wake everyone.
+                self.state = 5;
+                Op::AtomicRmw(self.sync, RmwOp::Xchg(1))
+            }
+            5 => {
+                self.state = 6;
+                Op::Syscall(SyscallReq::Futex(FutexOp::Wake {
+                    uaddr: self.sync,
+                    count: u32::MAX,
+                }))
+            }
+            _ => Op::Exit(0),
+        }
+    }
+}
+
+/// Migrates around the kernel ring with compute between hops, crediting
+/// one unit per successful hop. A failed hop (`EIO` after the target
+/// died) marks the target dead and the ring routes around it from then
+/// on — application-level ring repair.
+#[derive(Debug)]
+struct HopWorker {
+    hops_left: u32,
+    compute: u64,
+    kernels: u16,
+    dead: Option<u16>,
+    last_target: u16,
+    migrating: bool,
+    credit: bool,
+    progress: Progress,
+}
+
+impl Program for HopWorker {
+    fn step(&mut self, r: Resume, env: &ProgEnv) -> Op {
+        if self.migrating {
+            self.migrating = false;
+            if matches!(r, Resume::Sys(SysResult::Err(_))) {
+                self.dead = Some(self.last_target);
+            } else {
+                self.credit = true;
+            }
+            return Op::Compute(self.compute);
+        }
+        if self.credit {
+            self.credit = false;
+            self.progress.fetch_add(1, Ordering::Relaxed);
+        }
+        if self.hops_left == 0 {
+            return Op::Exit(0);
+        }
+        self.hops_left -= 1;
+        let mut next = (env.kernel.0 + 1) % self.kernels;
+        if Some(next) == self.dead {
+            next = (next + 1) % self.kernels;
+        }
+        self.last_target = next;
+        self.migrating = true;
+        Op::Syscall(SyscallReq::Migrate(MigrateTarget::Kernel(KernelId(next))))
+    }
+}
+
+/// Strided load/store traffic over a shared page pool, crediting one
+/// unit per completed access. A worker that faults on a page whose only
+/// copy died is killed by the kernel (SIGBUS) — its partial credit
+/// stands.
+#[derive(Debug)]
+struct BounceWorker {
+    data: VAddr,
+    pages: u64,
+    stride: u64,
+    iters: u32,
+    seq: u64,
+    started: bool,
+    progress: Progress,
+}
+
+impl Program for BounceWorker {
+    fn step(&mut self, _r: Resume, _env: &ProgEnv) -> Op {
+        if self.started {
+            self.progress.fetch_add(1, Ordering::Relaxed);
+        } else {
+            self.started = true;
+        }
+        if self.iters == 0 {
+            return Op::Exit(0);
+        }
+        self.iters -= 1;
+        let page = (self.seq * self.stride) % self.pages;
+        self.seq += 1;
+        let addr = self.data.add(page * 4096);
+        if self.seq.is_multiple_of(2) {
+            Op::Load(addr)
+        } else {
+            Op::Store(addr, self.seq)
+        }
+    }
+}
+
+/// Parks on the stamp word until the leader's wake, crediting one unit
+/// when the rendezvous is observed. On `EOWNERDEAD` (the crash-recovery
+/// sweep) it revalidates by re-waiting: the expected-value gate catches
+/// a stamp that landed while it was being swept, and the leader — which
+/// recovery never kills here — still owes the wake.
+#[derive(Debug)]
+struct SleepWorker {
+    word: VAddr,
+    progress: Progress,
+}
+
+impl Program for SleepWorker {
+    fn step(&mut self, r: Resume, _env: &ProgEnv) -> Op {
+        match r {
+            Resume::Start | Resume::Sys(SysResult::Err(Errno::OwnerDead)) => {
+                Op::Syscall(SyscallReq::Futex(FutexOp::Wait {
+                    uaddr: self.word,
+                    expected: 0,
+                }))
+            }
+            Resume::Sys(SysResult::Val(_)) | Resume::Sys(SysResult::Err(Errno::Again)) => {
+                self.progress.fetch_add(1, Ordering::Relaxed);
+                Op::Exit(0)
+            }
+            _ => Op::Exit(1),
+        }
+    }
+}
+
+/// Which op a [`BarrierWorker`] just issued (its resume is `r`).
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum BarState {
+    Init,
+    Computing,
+    ReadingGen,
+    Arriving,
+    Resetting,
+    Restoring,
+    Bumping,
+    Waking,
+    Parking,
+    Rechecking,
+}
+
+/// One participant of a poison-tolerant counter barrier, crediting one
+/// unit per completed round.
+///
+/// The fault-free protocol is the classic generation barrier (read gen,
+/// add to count, last arrival resets the count, bumps gen and wakes).
+/// Crash tolerance adds one rule: a waiter woken with `EOWNERDEAD` (the
+/// recovery sweep — some participant died parked) stamps `POISON` into
+/// the arrival counter, bumps the generation, wakes everyone, and exits.
+/// Every later arrival sees the poison in its fetch-add result and takes
+/// the same release-and-exit path, so an episode that can never fill
+/// drains instead of wedging. Parking is always gated on the generation
+/// word (`FutexOp::Wait`'s expected-value check), so an arrival racing
+/// the poisoner's bump can never sleep through the wake.
+#[derive(Debug)]
+struct BarrierWorker {
+    count: VAddr,
+    gen: VAddr,
+    n: u64,
+    rounds_left: u32,
+    compute: u64,
+    my_gen: u64,
+    dying: bool,
+    state: BarState,
+    progress: Progress,
+}
+
+impl BarrierWorker {
+    fn finish_round(&mut self) -> Op {
+        self.progress.fetch_add(1, Ordering::Relaxed);
+        self.rounds_left -= 1;
+        if self.rounds_left == 0 {
+            return Op::Exit(0);
+        }
+        self.state = BarState::Computing;
+        Op::Compute(self.compute)
+    }
+
+    fn value(r: Resume) -> u64 {
+        let Resume::Value(v) = r else {
+            panic!("barrier expected a value, got {r:?}")
+        };
+        v
+    }
+}
+
+impl Program for BarrierWorker {
+    fn step(&mut self, r: Resume, _env: &ProgEnv) -> Op {
+        match self.state {
+            BarState::Init => {
+                self.state = BarState::Computing;
+                Op::Compute(self.compute)
+            }
+            BarState::Computing => {
+                self.state = BarState::ReadingGen;
+                Op::AtomicRmw(self.gen, RmwOp::Add(0))
+            }
+            BarState::ReadingGen => {
+                self.my_gen = Self::value(r);
+                self.state = BarState::Arriving;
+                Op::AtomicRmw(self.count, RmwOp::Add(1))
+            }
+            BarState::Arriving => {
+                let old = Self::value(r);
+                if old >= POISON {
+                    // A participant died mid-episode; release and drain.
+                    self.dying = true;
+                    self.state = BarState::Bumping;
+                    Op::AtomicRmw(self.gen, RmwOp::Add(1))
+                } else if old == self.n - 1 {
+                    self.state = BarState::Resetting;
+                    Op::AtomicRmw(self.count, RmwOp::Xchg(0))
+                } else {
+                    self.state = BarState::Parking;
+                    Op::Syscall(SyscallReq::Futex(FutexOp::Wait {
+                        uaddr: self.gen,
+                        expected: self.my_gen,
+                    }))
+                }
+            }
+            BarState::Resetting => {
+                let prev = Self::value(r);
+                if prev >= POISON {
+                    // The reset swallowed a racing poison stamp: restore
+                    // it before releasing, then exit like any aborter.
+                    self.dying = true;
+                    self.state = BarState::Restoring;
+                    Op::AtomicRmw(self.count, RmwOp::Add(POISON))
+                } else {
+                    self.state = BarState::Bumping;
+                    Op::AtomicRmw(self.gen, RmwOp::Add(1))
+                }
+            }
+            BarState::Restoring => {
+                self.state = BarState::Bumping;
+                Op::AtomicRmw(self.gen, RmwOp::Add(1))
+            }
+            BarState::Bumping => {
+                self.state = BarState::Waking;
+                Op::Syscall(SyscallReq::Futex(FutexOp::Wake {
+                    uaddr: self.gen,
+                    count: u32::MAX,
+                }))
+            }
+            BarState::Waking => {
+                if self.dying {
+                    Op::Exit(1)
+                } else {
+                    self.finish_round()
+                }
+            }
+            BarState::Parking => {
+                if matches!(r, Resume::Sys(SysResult::Err(Errno::OwnerDead))) {
+                    // The recovery sweep woke us: poison the counter so
+                    // arrivals drain, release any co-waiters, and die.
+                    self.dying = true;
+                    self.state = BarState::Restoring;
+                    Op::AtomicRmw(self.count, RmwOp::Add(POISON))
+                } else {
+                    self.state = BarState::Rechecking;
+                    Op::AtomicRmw(self.gen, RmwOp::Add(0))
+                }
+            }
+            BarState::Rechecking => {
+                if Self::value(r) != self.my_gen {
+                    self.finish_round()
+                } else {
+                    self.state = BarState::Parking;
+                    Op::Syscall(SyscallReq::Futex(FutexOp::Wait {
+                        uaddr: self.gen,
+                        expected: self.my_gen,
+                    }))
+                }
+            }
+        }
+    }
+}
+
+/// The four crash windows E14 sweeps.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Scenario {
+    /// Crash while threads are mid-migration around the kernel ring.
+    Handoff,
+    /// Crash the **home** kernel under page traffic: the successor must
+    /// adopt the group and rebuild the directory from survivor scans.
+    Pages,
+    /// Crash while sleepers are parked on a futex the leader will only
+    /// wake after recovery has run.
+    Futex,
+    /// Crash while a thread group cycles a barrier.
+    Barrier,
+}
+
+impl Scenario {
+    /// All four, in table order.
+    pub const ALL: [Scenario; 4] = [
+        Scenario::Handoff,
+        Scenario::Pages,
+        Scenario::Futex,
+        Scenario::Barrier,
+    ];
+
+    /// Row label.
+    pub fn name(self) -> &'static str {
+        match self {
+            Scenario::Handoff => "migration handoff",
+            Scenario::Pages => "page transfer (home dies)",
+            Scenario::Futex => "futex sleep",
+            Scenario::Barrier => "group barrier",
+        }
+    }
+
+    /// The kernel the crash cell kills.
+    pub fn victim(self) -> KernelId {
+        match self {
+            // The pages scenario kills the group's HOME kernel, forcing
+            // successor adoption and directory rebuild; the others kill a
+            // worker kernel.
+            Scenario::Pages => KernelId(0),
+            _ => KernelId(3),
+        }
+    }
+
+    /// When the crash cell kills it.
+    pub fn crash_at(self) -> SimTime {
+        match self {
+            Scenario::Handoff | Scenario::Pages => SimTime::from_millis(1),
+            Scenario::Futex | Scenario::Barrier => SimTime::from_millis(2),
+        }
+    }
+
+    fn program(self) -> (Box<dyn Program>, Progress) {
+        match self {
+            Scenario::Handoff => FleetLeader::launch(
+                WorkerSpec::Hop {
+                    hops: 60,
+                    compute: 150_000,
+                },
+                8,
+                0,
+                0,
+            ),
+            Scenario::Pages => FleetLeader::launch(
+                WorkerSpec::Bounce {
+                    pages: 24,
+                    iters: 400,
+                },
+                8,
+                24,
+                0,
+            ),
+            // The wake lands *after* the ~14 ms detection sweep, so the
+            // crash cell catches every surviving sleeper parked.
+            Scenario::Futex => FleetLeader::launch(WorkerSpec::Sleep, 12, 0, 40_000_000),
+            Scenario::Barrier => FleetLeader::launch(
+                WorkerSpec::Barrier {
+                    n: 8,
+                    rounds: 40,
+                    stagger: 60_000,
+                },
+                8,
+                0,
+                0,
+            ),
+        }
+    }
+}
+
+/// One E14 cell reduced to its table columns (also consumed by the
+/// `check_recovery` shape gate).
+#[derive(Debug, Clone)]
+pub struct CellResult {
+    /// Run completed with no stuck tasks (the invariant audit panics on
+    /// violation, so a returned result also passed the audit).
+    pub clean: bool,
+    /// Workload completion, virtual ms.
+    pub ms: f64,
+    /// Mean crash-to-declaration latency at the successor, ms (0 with no
+    /// crash).
+    pub recovery_ms: f64,
+    /// Progress units the workload completed.
+    pub units: u64,
+    /// Tasks recovery killed: orphans on the dead kernel plus survivors
+    /// hitting unrecoverable state (lost pages, dead-home VMA fetches).
+    pub killed: f64,
+    /// Crash declarations recorded (survivors × victims).
+    pub declared: f64,
+    /// Migrations aborted back to their origin.
+    pub aborted: f64,
+    /// Directory entries re-owned from a surviving copy.
+    pub promoted: f64,
+    /// Directory entries whose only copy died.
+    pub lost: f64,
+    /// Futex waiters swept with `EOWNERDEAD`.
+    pub futex_recovered: f64,
+    /// Outstanding RPCs re-driven or failed over at detection.
+    pub rpcs_failed_over: f64,
+}
+
+/// Runs one scenario, with or without its planned crash.
+pub fn run_cell(scenario: Scenario, crash: bool) -> CellResult {
+    let plan = if crash {
+        FaultPlan::none().with_crash(scenario.victim(), scenario.crash_at())
+    } else {
+        FaultPlan::none()
+    };
+    let mut os = popcorn_core::PopcornOs::builder()
+        .topology(Topology::paper_default())
+        .kernels(4)
+        .msg_params(MsgParams {
+            faults: plan,
+            ..MsgParams::default()
+        })
+        .build();
+    let (leader, progress) = scenario.program();
+    os.load(leader);
+    let r = os.run();
+    CellResult {
+        clean: r.is_clean(),
+        ms: r.finished_at.as_millis_f64(),
+        recovery_ms: r.metric("recovery_ms_mean"),
+        units: progress.load(Ordering::Relaxed),
+        killed: r.metric("orphans_killed") + r.metric("fault_kills"),
+        declared: r.metric("kernels_declared_dead"),
+        aborted: r.metric("migrations_aborted"),
+        promoted: r.metric("pages_promoted"),
+        lost: r.metric("pages_lost"),
+        futex_recovered: r.metric("futex_recovered"),
+        rpcs_failed_over: r.metric("rpcs_failed_over"),
+    }
+}
+
+/// E14 — the crash-timing sweep table.
+pub fn e14_crash_recovery() -> Table {
+    let mut t = Table::new(
+        "E14",
+        "kernel-crash failover: recovery latency, work lost, and goodput per crash window",
+        [
+            "scenario",
+            "fault",
+            "clean",
+            "completion_ms",
+            "recovery_ms",
+            "units",
+            "work_lost",
+            "goodput_pct",
+            "killed",
+        ],
+    );
+    let cells: Vec<(Scenario, bool)> = Scenario::ALL
+        .iter()
+        .flat_map(|&s| [(s, false), (s, true)])
+        .collect();
+    let results = parallel_map(cells.clone(), |(s, crash)| run_cell(s, crash));
+    for (i, &s) in Scenario::ALL.iter().enumerate() {
+        let base = &results[2 * i];
+        let crashed = &results[2 * i + 1];
+        t.row([
+            s.name().to_string(),
+            "none".to_string(),
+            base.clean.to_string(),
+            format!("{:.3}", base.ms),
+            "-".to_string(),
+            base.units.to_string(),
+            "0".to_string(),
+            "100.0".to_string(),
+            format!("{:.0}", base.killed),
+        ]);
+        let lost = base.units.saturating_sub(crashed.units);
+        let goodput = if base.units > 0 {
+            100.0 * crashed.units as f64 / base.units as f64
+        } else {
+            0.0
+        };
+        t.row([
+            s.name().to_string(),
+            format!(
+                "kernel {} crash @{:.0}ms",
+                s.victim().0,
+                s.crash_at().as_millis_f64()
+            ),
+            crashed.clean.to_string(),
+            format!("{:.3}", crashed.ms),
+            format!("{:.3}", crashed.recovery_ms),
+            crashed.units.to_string(),
+            lost.to_string(),
+            format!("{goodput:.1}"),
+            format!("{:.0}", crashed.killed),
+        ]);
+    }
+    t.note("expected: every cell completes cleanly and passes the global invariant audit; recovery_ms tracks the ack-silence detection window (12 ms); goodput degrades by roughly the dead kernel's share of threads plus work stranded behind the detection window; the home-death cell (pages) additionally exercises successor adoption and directory rebuild");
+    t
+}

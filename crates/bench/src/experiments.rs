@@ -1305,6 +1305,7 @@ pub fn all_experiments() -> Vec<Experiment> {
         ("e11", e11_npb_mg),
         ("e12", e12_fault_tolerance),
         ("e13", e13_policies),
+        ("e14", crate::e14::e14_crash_recovery),
         ("ablate-shadow", ablate_shadow),
         ("ablate-vma", ablate_vma),
         ("ablate-futex", ablate_futex),

@@ -26,6 +26,7 @@
 
 pub mod check;
 pub mod cli;
+pub mod e14;
 pub mod experiments;
 pub mod rig;
 pub mod table;

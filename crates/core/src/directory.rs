@@ -16,7 +16,7 @@
 
 use std::collections::{BTreeSet, HashMap, VecDeque};
 
-use popcorn_kernel::mm::{PageContents, PageState};
+use popcorn_kernel::mm::{PageContents, PageInfo, PageState};
 use popcorn_kernel::types::PageNo;
 use popcorn_msg::{KernelId, RpcId};
 
@@ -87,6 +87,10 @@ struct DirEntry {
     busy: bool,
     collecting: Option<Collection>,
     waiting: VecDeque<PageRequest>,
+    /// While `busy` with no collection in flight: the kernel whose
+    /// `PageDone` the directory is waiting for. Crash recovery needs this
+    /// to tell a transfer stuck on a dead grantee from a live one.
+    debtor: Option<KernelId>,
 }
 
 /// Snapshot of a page's directory state (for tests and invariant checks).
@@ -136,6 +140,7 @@ impl Directory {
                         busy: true,
                         collecting: None,
                         waiting: VecDeque::new(),
+                        debtor: Some(req.origin),
                     },
                 );
                 DirStep::Grant(Grant {
@@ -168,6 +173,7 @@ impl Directory {
                     if holders.is_empty() {
                         // Sole holder upgrading in place.
                         debug_assert!(upgrading, "write fault with empty copyset");
+                        e.debtor = Some(req.origin);
                         DirStep::Grant(Grant {
                             req,
                             page,
@@ -176,6 +182,7 @@ impl Directory {
                             contents: None,
                         })
                     } else {
+                        e.debtor = None;
                         e.collecting = Some(Collection {
                             req,
                             awaiting_fetch: false,
@@ -191,6 +198,7 @@ impl Directory {
                         // queued request satisfied by an earlier transfer
                         // to the same kernel. Refresh-grant without data.
                         let version = e.version;
+                        e.debtor = Some(req.origin);
                         return DirStep::Grant(Grant {
                             req,
                             page,
@@ -203,6 +211,7 @@ impl Directory {
                     // downgrades to read-shared).
                     let owner = e.owner;
                     e.copyset.insert(req.origin);
+                    e.debtor = None;
                     e.collecting = Some(Collection {
                         req,
                         awaiting_fetch: true,
@@ -228,6 +237,7 @@ impl Directory {
         c.awaiting_fetch = false;
         c.data = Some(contents);
         let c = e.collecting.take().expect("just present");
+        e.debtor = Some(c.req.origin);
         Grant {
             req: c.req,
             page,
@@ -268,6 +278,7 @@ impl Directory {
             !c.needs_data || c.data.is_some(),
             "collection finished without owner data"
         );
+        e.debtor = Some(c.req.origin);
         Some(Grant {
             req: c.req,
             page,
@@ -283,6 +294,7 @@ impl Directory {
         let e = self.entries.get_mut(&page)?;
         debug_assert!(e.busy, "done on a non-busy page");
         e.busy = false;
+        e.debtor = None;
         let next = e.waiting.pop_front()?;
         Some((next, self.request(page, next)))
     }
@@ -327,6 +339,194 @@ impl Directory {
             .flat_map(|e| e.copyset.iter().copied())
             .collect()
     }
+
+    /// All tracked pages in ascending order (deterministic iteration over
+    /// the backing hash map, for recovery and invariant checks).
+    pub fn pages(&self) -> Vec<PageNo> {
+        let mut v: Vec<PageNo> = self.entries.keys().copied().collect();
+        v.sort_unstable();
+        v
+    }
+
+    /// Whether a read fetch is still outstanding for `page` (recovery uses
+    /// this to tolerate a straggler `PageFetched` from a live old owner
+    /// after the collection it answered was unwound).
+    pub fn fetch_pending(&self, page: PageNo) -> bool {
+        self.entries
+            .get(&page)
+            .and_then(|e| e.collecting.as_ref())
+            .is_some_and(|c| c.awaiting_fetch)
+    }
+
+    /// Whether an invalidation ack from `from` is still expected for
+    /// `page` (recovery straggler tolerance, mirroring
+    /// [`Self::fetch_pending`]).
+    pub fn expects_inval_ack(&self, page: PageNo, from: KernelId) -> bool {
+        self.entries
+            .get(&page)
+            .and_then(|e| e.collecting.as_ref())
+            .is_some_and(|c| c.awaiting_acks.contains(&from))
+    }
+
+    /// Excises a crashed kernel from every entry: in-flight exchanges it
+    /// was party to are unwound, its copies are dropped, pages it alone
+    /// held the data for are declared lost, and surviving readers are
+    /// promoted to owner where possible. Pages are processed in ascending
+    /// order so recovery is deterministic.
+    pub fn reclaim_dead(&mut self, dead: KernelId) -> DirReclaim {
+        let mut out = DirReclaim::default();
+        for page in self.pages() {
+            let e = self.entries.get_mut(&page).expect("listed above");
+            let mut redo_req = None;
+            // Queued requests from the dead kernel must never pop later —
+            // a grant shipped to a frozen kernel wedges the page busy.
+            e.waiting.retain(|w| w.origin != dead);
+            let involved = e.collecting.as_ref().is_some_and(|c| {
+                c.req.origin == dead
+                    || (c.awaiting_fetch && e.owner == dead)
+                    || c.awaiting_acks.contains(&dead)
+            });
+            if involved {
+                let c = e.collecting.as_mut().expect("checked above");
+                if c.req.origin == dead {
+                    if c.awaiting_fetch {
+                        // Dead requester's read fetch: undo its optimistic
+                        // copyset entry and forget the exchange. The live
+                        // owner's late `PageFetched` is tolerated by
+                        // `fetch_pending` turning false.
+                        e.copyset.remove(&dead);
+                        e.collecting = None;
+                        e.busy = false;
+                    } else {
+                        // Dead requester's write invalidation: the
+                        // optimistic transition already named it sole
+                        // owner and holders may have discarded their
+                        // copies, so the current bytes cannot be located
+                        // with certainty. Conservative loss.
+                        let entry = self.entries.remove(&page).expect("present");
+                        out.lost.push(page);
+                        out.nacks
+                            .extend(entry.waiting.into_iter().map(|w| (page, w)));
+                        continue;
+                    }
+                } else if c.awaiting_fetch {
+                    // The fetch target (the owner) died: undo the live
+                    // requester's optimistic copyset entry and re-drive
+                    // its request once the prune below picks a successor.
+                    let req = c.req;
+                    e.copyset.remove(&req.origin);
+                    e.collecting = None;
+                    e.busy = false;
+                    redo_req = Some(req);
+                } else {
+                    // The dead kernel owes an invalidation ack that will
+                    // never come.
+                    c.awaiting_acks.remove(&dead);
+                    if c.awaiting_acks.is_empty() {
+                        let c = e.collecting.take().expect("just present");
+                        if c.needs_data && c.data.is_none() {
+                            // The dead kernel was the sole data provider.
+                            let entry = self.entries.remove(&page).expect("present");
+                            out.lost.push(page);
+                            out.nacks.push((page, c.req));
+                            out.nacks
+                                .extend(entry.waiting.into_iter().map(|w| (page, w)));
+                            continue;
+                        }
+                        e.debtor = Some(c.req.origin);
+                        out.grants.push(Grant {
+                            req: c.req,
+                            page,
+                            state: PageState::Exclusive,
+                            version: e.version,
+                            contents: if c.needs_data { c.data } else { None },
+                        });
+                        // `busy` stays set; the requester's `PageDone`
+                        // drains the waiters as usual.
+                    }
+                }
+            }
+            // A grant whose `PageDone` debtor died leaves the page busy
+            // forever; release it and re-drive the head waiter.
+            let e = self.entries.get_mut(&page).expect("still present");
+            if e.busy && e.collecting.is_none() && e.debtor == Some(dead) {
+                e.busy = false;
+                e.debtor = None;
+                if let Some(next) = e.waiting.pop_front() {
+                    debug_assert!(redo_req.is_none());
+                    redo_req = Some(next);
+                }
+            }
+            // Generic membership prune.
+            e.copyset.remove(&dead);
+            if e.owner == dead {
+                match e.copyset.iter().next().copied() {
+                    Some(successor) => {
+                        e.owner = successor;
+                        out.promoted += 1;
+                        out.redo.extend(redo_req.map(|r| (page, r)));
+                    }
+                    None => {
+                        let entry = self.entries.remove(&page).expect("present");
+                        out.lost.push(page);
+                        out.nacks.extend(redo_req.map(|r| (page, r)));
+                        out.nacks
+                            .extend(entry.waiting.into_iter().map(|w| (page, w)));
+                    }
+                }
+            } else {
+                out.redo.extend(redo_req.map(|r| (page, r)));
+            }
+        }
+        out
+    }
+
+    /// Rebuilds a directory from surviving kernels' page-table scans after
+    /// the home itself died. `scans` must be in ascending kernel order;
+    /// the lowest kernel holding a page becomes its owner unless another
+    /// survivor holds it exclusively. All in-flight transfer state is
+    /// gone — the protocol restarts from the rebuilt map.
+    pub fn rebuild(scans: &[(KernelId, Vec<(PageNo, PageInfo)>)]) -> Directory {
+        let mut d = Directory::new();
+        debug_assert!(scans.windows(2).all(|w| w[0].0 < w[1].0));
+        for (k, pages) in scans {
+            for &(page, info) in pages {
+                let e = d.entries.entry(page).or_insert_with(|| DirEntry {
+                    owner: *k,
+                    copyset: BTreeSet::new(),
+                    version: info.version,
+                    busy: false,
+                    collecting: None,
+                    waiting: VecDeque::new(),
+                    debtor: None,
+                });
+                e.copyset.insert(*k);
+                e.version = e.version.max(info.version);
+                if info.state == PageState::Exclusive {
+                    e.owner = *k;
+                }
+            }
+        }
+        d
+    }
+}
+
+/// What [`Directory::reclaim_dead`] found and decided (all page lists in
+/// ascending-page order).
+#[derive(Debug, Default)]
+pub struct DirReclaim {
+    /// Pages whose dead owner had a surviving reader promoted in place.
+    pub promoted: u64,
+    /// Pages whose only copy (or only certain copy) died with the kernel.
+    pub lost: Vec<PageNo>,
+    /// Grants released by discounting the dead kernel's outstanding
+    /// invalidation ack (ship these to their requesters).
+    pub grants: Vec<Grant>,
+    /// Live requests whose exchange was unwound and must be re-driven
+    /// through [`Directory::request`].
+    pub redo: Vec<(PageNo, PageRequest)>,
+    /// Live requests for pages that are gone; fail them back explicitly.
+    pub nacks: Vec<(PageNo, PageRequest)>,
 }
 
 #[cfg(test)]
@@ -542,5 +742,177 @@ mod tests {
         d.done(p2);
         let all: Vec<KernelId> = d.all_holders().into_iter().collect();
         assert_eq!(all, vec![K0, K2]);
+    }
+
+    #[test]
+    fn reclaim_promotes_surviving_reader() {
+        let mut d = Directory::new();
+        d.request(P, req(1, K2, true));
+        d.done(P);
+        d.request(P, req(2, K0, false));
+        d.fetched(P, data());
+        d.done(P);
+        // K2 owns, K0 shares. K2 dies: K0 is promoted.
+        let r = d.reclaim_dead(K2);
+        assert_eq!(r.promoted, 1);
+        assert!(r.lost.is_empty() && r.grants.is_empty());
+        let v = d.view(P).unwrap();
+        assert_eq!(v.owner, K0);
+        assert_eq!(v.copyset, vec![K0]);
+    }
+
+    #[test]
+    fn reclaim_declares_sole_copy_lost_and_nacks_waiters() {
+        let mut d = Directory::new();
+        d.request(P, req(1, K2, true));
+        d.done(P);
+        // K0 queues behind a fresh transfer to K2...
+        d.request(P, req(2, K2, true));
+        assert_eq!(d.request(P, req(3, K0, false)), DirStep::Queued);
+        // ...then K2 (sole holder and PageDone debtor) dies.
+        let r = d.reclaim_dead(K2);
+        assert_eq!(r.lost, vec![P]);
+        assert_eq!(r.promoted, 0);
+        assert_eq!(r.nacks, vec![(P, req(3, K0, false))]);
+        assert!(d.view(P).is_none());
+    }
+
+    #[test]
+    fn reclaim_releases_grant_blocked_on_dead_acker() {
+        let mut d = Directory::new();
+        d.request(P, req(1, K0, true));
+        d.done(P);
+        d.request(P, req(2, K1, false));
+        d.fetched(P, data());
+        d.done(P);
+        // K1 upgrades its read copy to write: only K0's ack is pending,
+        // and K1 already holds the bytes.
+        match d.request(P, req(3, K1, true)) {
+            DirStep::Invalidate { holders } => assert_eq!(holders, vec![K0]),
+            other => panic!("unexpected {other:?}"),
+        }
+        // K0 dies before acking: the upgrade grant is released without it.
+        let r = d.reclaim_dead(K0);
+        assert_eq!(r.grants.len(), 1);
+        let g = &r.grants[0];
+        assert_eq!(g.req, req(3, K1, true));
+        assert_eq!(g.state, PageState::Exclusive);
+        assert!(g.contents.is_none(), "upgrade needs no data");
+        assert!(d.view(P).unwrap().busy, "PageDone still owed by K1");
+    }
+
+    #[test]
+    fn reclaim_loses_page_when_dead_acker_held_the_data() {
+        let mut d = Directory::new();
+        d.request(P, req(1, K0, true));
+        d.done(P);
+        // K1 writes: K0 must ship the data with its ack, but dies first.
+        match d.request(P, req(2, K1, true)) {
+            DirStep::Invalidate { holders } => assert_eq!(holders, vec![K0]),
+            other => panic!("unexpected {other:?}"),
+        }
+        let r = d.reclaim_dead(K0);
+        assert_eq!(r.lost, vec![P]);
+        assert_eq!(r.nacks, vec![(P, req(2, K1, true))]);
+        assert!(d.view(P).is_none());
+    }
+
+    #[test]
+    fn reclaim_redrives_fetch_aimed_at_dead_owner() {
+        let mut d = Directory::new();
+        d.request(P, req(1, K0, true));
+        d.done(P);
+        d.request(P, req(2, K1, false));
+        d.fetched(P, data());
+        d.done(P);
+        // K2 reads from owner K0; K0 dies mid-fetch. K1's read copy
+        // survives, so K2's request is re-driven against promoted K1.
+        assert_eq!(
+            d.request(P, req(3, K2, false)),
+            DirStep::Fetch { owner: K0 }
+        );
+        let r = d.reclaim_dead(K0);
+        assert_eq!(r.promoted, 1);
+        assert_eq!(r.redo, vec![(P, req(3, K2, false))]);
+        let v = d.view(P).unwrap();
+        assert_eq!(v.owner, K1);
+        assert!(!v.busy, "exchange unwound; redo restarts it");
+        assert!(!d.fetch_pending(P), "straggler PageFetched now tolerated");
+    }
+
+    #[test]
+    fn reclaim_unwinds_dead_requesters_fetch() {
+        let mut d = Directory::new();
+        d.request(P, req(1, K0, true));
+        d.done(P);
+        // K2 reads from K0, then dies before the fetch completes.
+        assert_eq!(
+            d.request(P, req(2, K2, false)),
+            DirStep::Fetch { owner: K0 }
+        );
+        assert!(d.fetch_pending(P));
+        let r = d.reclaim_dead(K2);
+        assert!(r.redo.is_empty() && r.lost.is_empty());
+        let v = d.view(P).unwrap();
+        assert_eq!(v.copyset, vec![K0], "optimistic insert undone");
+        assert!(!v.busy);
+    }
+
+    #[test]
+    fn reclaim_conservatively_loses_dead_writers_collection() {
+        let mut d = Directory::new();
+        d.request(P, req(1, K0, true));
+        d.done(P);
+        // K2 writes (invalidating K0), then dies mid-collection: the
+        // bytes' location is ambiguous, so the page is declared lost.
+        match d.request(P, req(2, K2, true)) {
+            DirStep::Invalidate { holders } => assert_eq!(holders, vec![K0]),
+            other => panic!("unexpected {other:?}"),
+        }
+        let r = d.reclaim_dead(K2);
+        assert_eq!(r.lost, vec![P]);
+        assert!(d.view(P).is_none());
+    }
+
+    #[test]
+    fn reclaim_releases_busy_held_by_dead_grantee() {
+        let mut d = Directory::new();
+        d.request(P, req(1, K0, true));
+        d.done(P);
+        d.request(P, req(2, K2, false));
+        d.fetched(P, data());
+        // Grant shipped to K2 (PageDone debtor); K1 queues behind it.
+        assert_eq!(d.request(P, req(3, K1, false)), DirStep::Queued);
+        let r = d.reclaim_dead(K2);
+        assert_eq!(r.redo, vec![(P, req(3, K1, false))]);
+        let v = d.view(P).unwrap();
+        assert!(!v.busy);
+        assert_eq!(v.copyset, vec![K0]);
+    }
+
+    #[test]
+    fn rebuild_reconstructs_owner_copyset_and_version() {
+        let info = |state, version| PageInfo { state, version };
+        let p2 = PageNo(0x7f001);
+        let scans = vec![
+            (K0, vec![(P, info(PageState::ReadShared, 3))]),
+            (
+                K1,
+                vec![
+                    (P, info(PageState::Exclusive, 3)),
+                    (p2, info(PageState::Exclusive, 0)),
+                ],
+            ),
+        ];
+        let d = Directory::rebuild(&scans);
+        let v = d.view(P).unwrap();
+        assert_eq!(v.owner, K1, "exclusive holder wins ownership");
+        assert_eq!(v.copyset, vec![K0, K1]);
+        assert_eq!(v.version, 3);
+        assert!(!v.busy);
+        let v2 = d.view(p2).unwrap();
+        assert_eq!(v2.owner, K1);
+        assert_eq!(v2.copyset, vec![K1]);
+        assert_eq!(d.pages(), vec![P, p2]);
     }
 }

@@ -38,6 +38,12 @@ pub enum ExitPhase {
 pub struct GroupHome {
     group: GroupId,
     members: BTreeMap<Tid, KernelId>,
+    /// Members that already exited. Tids are never reused, so this is a
+    /// tombstone set: the reliable transport retransmits lost messages with
+    /// fresh sequence numbers, so a join or location notification whose
+    /// first transmission was lost can arrive *after* the member's
+    /// `TaskExited` — and must not resurrect the retired member.
+    retired: BTreeSet<Tid>,
     replicas: BTreeSet<KernelId>,
     /// The page-consistency directory.
     pub dir: Directory,
@@ -60,6 +66,7 @@ impl GroupHome {
         GroupHome {
             group,
             members,
+            retired: BTreeSet::new(),
             replicas,
             dir: Directory::new(),
             next_token: 1,
@@ -97,10 +104,37 @@ impl GroupHome {
 
     /// Replica kernels other than the home.
     pub fn remote_replicas(&self) -> Vec<KernelId> {
+        self.replicas_except(self.group.home())
+    }
+
+    /// Replica kernels other than `kernel`. Crash recovery re-homes a
+    /// group away from its origin kernel, so the serving kernel passes its
+    /// own id instead of assuming `group.home()`.
+    pub fn replicas_except(&self, kernel: KernelId) -> Vec<KernelId> {
         self.replicas
             .iter()
             .copied()
-            .filter(|&k| k != self.group.home())
+            .filter(|&k| k != kernel)
+            .collect()
+    }
+
+    /// Whether `kernel` holds a replica.
+    pub fn has_replica(&self, kernel: KernelId) -> bool {
+        self.replicas.contains(&kernel)
+    }
+
+    /// Forgets `kernel`'s replica (crash recovery: the replica died with
+    /// the kernel). Returns true if it was present.
+    pub fn remove_replica(&mut self, kernel: KernelId) -> bool {
+        self.replicas.remove(&kernel)
+    }
+
+    /// Members currently located on `kernel`, in tid order.
+    pub fn members_at(&self, kernel: KernelId) -> Vec<Tid> {
+        self.members
+            .iter()
+            .filter(|&(_, &k)| k == kernel)
+            .map(|(&t, _)| t)
             .collect()
     }
 
@@ -109,9 +143,15 @@ impl GroupHome {
         self.replicas.insert(kernel)
     }
 
-    /// Records a new member created on `kernel`.
+    /// Records a new member created on `kernel`. A join for a tid already
+    /// retired is the late half of a join/exit race (the join notification
+    /// lost its first transmission and its retransmit arrived after the
+    /// member's `TaskExited`) and is ignored.
     pub fn member_joined(&mut self, tid: Tid, kernel: KernelId) {
         self.replicas.insert(kernel);
+        if self.retired.contains(&tid) {
+            return;
+        }
         let prev = self.members.insert(tid, kernel);
         debug_assert!(prev.is_none(), "{tid} joined twice");
     }
@@ -119,12 +159,15 @@ impl GroupHome {
     /// Records that an existing member moved to `kernel` (migration).
     pub fn member_at(&mut self, tid: Tid, kernel: KernelId) {
         self.replicas.insert(kernel);
-        self.members.insert(tid, kernel);
+        if !self.retired.contains(&tid) {
+            self.members.insert(tid, kernel);
+        }
     }
 
     /// Records a member exit; returns the number of members remaining.
     pub fn member_exited(&mut self, tid: Tid) -> usize {
         self.members.remove(&tid);
+        self.retired.insert(tid);
         self.members.len()
     }
 
@@ -178,6 +221,23 @@ impl GroupHome {
         } else {
             None
         }
+    }
+
+    /// Treats `kernel` as having acked every unmap it was awaited on
+    /// (crash recovery: a dead replica will never answer, and its mappings
+    /// died with it — morally an ack). Returns the `(rpc, origin)` pairs of
+    /// barriers this released, in token order.
+    pub fn fail_unmap_acker(&mut self, kernel: KernelId) -> Vec<(RpcId, KernelId)> {
+        let mut released = Vec::new();
+        let tokens: Vec<u64> = self.pending_unmaps.keys().copied().collect();
+        for token in tokens {
+            let p = self.pending_unmaps.get_mut(&token).expect("listed above");
+            if p.awaiting.remove(&kernel) && p.awaiting.is_empty() {
+                let p = self.pending_unmaps.remove(&token).expect("just present");
+                released.push((p.rpc, p.origin));
+            }
+        }
+        released
     }
 
     /// Completes an unmap that needed no acks (single-replica fast path).
@@ -308,6 +368,28 @@ mod tests {
         assert!(!h.kill_acked(KernelId(0), &[Tid::new(KernelId(0), 1)]));
         assert!(h.kill_acked(KernelId(2), &[t3]));
         assert_eq!(h.live_members(), 0);
+    }
+
+    #[test]
+    fn recovery_accessors_cover_dead_kernel_state() {
+        let mut h = home();
+        let (t2, t3) = (Tid::new(KernelId(1), 1), Tid::new(KernelId(1), 2));
+        h.member_joined(t2, KernelId(1));
+        h.member_joined(t3, KernelId(1));
+        assert_eq!(h.members_at(KernelId(1)), vec![t2, t3]);
+        assert_eq!(h.replicas_except(KernelId(1)), vec![KernelId(0)]);
+        assert!(h.has_replica(KernelId(1)));
+        assert!(h.remove_replica(KernelId(1)));
+        assert!(!h.remove_replica(KernelId(1)));
+        // An unmap barrier waiting only on the dead kernel releases.
+        let (_, complete) = h.begin_unmap(RpcId(4), KernelId(0), [KernelId(1)]);
+        assert!(!complete);
+        let released = h.fail_unmap_acker(KernelId(1));
+        assert_eq!(released, vec![(RpcId(4), KernelId(0))]);
+        // One still awaiting a live kernel stays pending.
+        let (token, _) = h.begin_unmap(RpcId(5), KernelId(0), [KernelId(1), KernelId(2)]);
+        assert!(h.fail_unmap_acker(KernelId(1)).is_empty());
+        assert!(h.unmap_acked(token, KernelId(2)).is_some());
     }
 
     #[test]

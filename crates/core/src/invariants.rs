@@ -1,0 +1,155 @@
+//! Global liveness and consistency invariants, checked after every
+//! completed run.
+//!
+//! A completed run means the event queue fully drained: everything still
+//! inconsistent at that point is permanent damage, not work in flight. The
+//! checker is wired into [`crate::os::PopcornOs::run_with`] (gated by
+//! [`crate::params::PopcornParams::check_invariants`]) so every experiment
+//! — fault-free, faulty, and crash-recovery — ends with a machine-wide
+//! audit rather than trusting per-path cleanup:
+//!
+//! 1. **No thread lost or duplicated** — a tid has at most one live
+//!    (non-shadow, non-exited) instance across all kernels.
+//! 2. **Membership is truthful** — every recorded group member is a live
+//!    task at its recorded location, and (under crashes) that location is
+//!    a live kernel.
+//! 3. **The directory names no dead kernel** — no live entry's owner or
+//!    copyset member is a crashed kernel, and no transfer is wedged busy.
+//! 4. **No futex waiter resides on a dead kernel** — recovery swept them.
+//! 5. **No RPC wedged past its deadline** — with the reliability layer
+//!    active, a drained queue means every deadline fired, so live kernels
+//!    hold no outstanding requests and no blocked tasks.
+//!
+//! Checks 2's kernel-liveness clause, 3's dead-kernel clauses and 4 only
+//! apply when crash recovery actually engaged; 5 only when the
+//! reliability layer ran (raw-loss ablations wedge by design — that loss
+//! is the measurement). Structural checks 1–3 (self-consistency) hold
+//! unconditionally.
+
+use popcorn_msg::KernelId;
+use popcorn_sim::SimTime;
+
+use crate::machine::PopcornMachine;
+
+/// Audits the machine's terminal state; `Err` carries one line per
+/// violation (deterministic order).
+pub fn check(m: &PopcornMachine, now: SimTime) -> Result<(), Vec<String>> {
+    let mut bad = Vec::new();
+    let fabric = m.fabric();
+    let recovery = m.recovery().scheduled;
+    let reliable = m.params().reliable_delivery && fabric.faults_active();
+    // Raw-loss ablations (faults without the reliability layer) lose
+    // threads and wedge conversations *by design* — demonstrating that is
+    // their purpose — so truthful membership is only demanded when the
+    // substrate actually promises it.
+    let lossless = !fabric.faults_active() || m.params().reliable_delivery;
+    let crashed = |k: KernelId| recovery && fabric.is_crashed(k, now);
+
+    // 1. No thread lost or duplicated.
+    let mut seen: std::collections::BTreeMap<popcorn_kernel::types::Tid, usize> =
+        std::collections::BTreeMap::new();
+    for (ki, k) in m.kernels().iter().enumerate() {
+        for tid in k.task_ids() {
+            let live = k
+                .task(tid)
+                .is_some_and(|t| !t.is_exited() && !t.is_shadow());
+            if live {
+                if let Some(&other) = seen.get(&tid) {
+                    bad.push(format!(
+                        "{tid} is live on kernel {other} and kernel {ki} at once"
+                    ));
+                }
+                seen.insert(tid, ki);
+            }
+        }
+    }
+
+    // 2. Membership is truthful.
+    for (&group, h) in m.groups() {
+        for tid in h.member_tids() {
+            let Some(loc) = h.member_location(tid) else {
+                continue;
+            };
+            if crashed(loc) {
+                bad.push(format!(
+                    "{group:?} records member {tid} on dead kernel {loc:?}"
+                ));
+                continue;
+            }
+            let ki = loc.0 as usize;
+            let live = m.kernels()[ki]
+                .task(tid)
+                .is_some_and(|t| !t.is_exited() && !t.is_shadow());
+            if lossless && !live {
+                bad.push(format!(
+                    "{group:?} records member {tid} on kernel {ki} but no live task exists there"
+                ));
+            }
+        }
+
+        // 3. The directory names no dead kernel and holds no wedged
+        // transfer.
+        for page in h.dir.pages() {
+            let Some(v) = h.dir.view(page) else { continue };
+            if crashed(v.owner) {
+                bad.push(format!(
+                    "{group:?} {page} owned by dead kernel {:?}",
+                    v.owner
+                ));
+            }
+            for &c in &v.copyset {
+                if crashed(c) {
+                    bad.push(format!("{group:?} {page} copyset names dead kernel {c:?}"));
+                }
+            }
+            if reliable && v.busy {
+                bad.push(format!(
+                    "{group:?} {page} transfer still busy after the queue drained"
+                ));
+            }
+        }
+    }
+
+    // 4. No futex waiter resides on a dead kernel.
+    if recovery {
+        for ki in 0..m.kernels().len() {
+            let k = KernelId(ki as u16);
+            if !fabric.is_crashed(k, now) {
+                continue;
+            }
+            let n = m.futex_table().resident_waiters(k);
+            if n != 0 {
+                bad.push(format!("{n} futex waiter(s) still parked on dead {k:?}"));
+            }
+        }
+    }
+
+    // 5. No RPC wedged past its deadline, no task blocked forever.
+    if reliable {
+        for (ki, ep) in m.rpcs().iter().enumerate() {
+            if crashed(KernelId(ki as u16)) {
+                continue; // frozen state died with the kernel
+            }
+            let n = ep.outstanding();
+            if n != 0 {
+                bad.push(format!(
+                    "kernel {ki} holds {n} outstanding RPC(s) after every deadline passed"
+                ));
+            }
+        }
+        for (ki, k) in m.kernels().iter().enumerate() {
+            if crashed(KernelId(ki as u16)) {
+                continue;
+            }
+            for tid in k.blocked_tasks() {
+                bad.push(format!("{tid} still blocked on kernel {ki} at queue drain"));
+            }
+        }
+    }
+
+    if bad.is_empty() {
+        Ok(())
+    } else {
+        Err(bad)
+    }
+}

@@ -54,6 +54,7 @@
 
 pub mod directory;
 pub mod group;
+pub mod invariants;
 pub mod machine;
 pub mod os;
 pub mod params;

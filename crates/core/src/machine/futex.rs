@@ -47,7 +47,7 @@ impl KernelCtx<'_, '_> {
         requester: KernelId,
     ) -> KernelId {
         if !self.params.sync_first_touch_homing {
-            return group.home();
+            return self.home_of(group);
         }
         *self.sync_home.entry((group, addr.0)).or_insert(requester)
     }
@@ -189,7 +189,12 @@ impl KernelCtx<'_, '_> {
             }
         } else {
             self.stats.futex_remote.incr();
-            let rpc = self.register_rpc(ki, Pending::Futex(FutexPending::Futex { tid }), at);
+            let rpc = self.register_rpc(
+                ki,
+                Pending::Futex(FutexPending::Futex { tid }),
+                at,
+                word_home,
+            );
             let reason = match op {
                 FutexOp::Wait { uaddr, .. } => BlockReason::Futex(uaddr),
                 FutexOp::Wake { .. } => BlockReason::Remote("futex"),
@@ -249,7 +254,7 @@ impl KernelCtx<'_, '_> {
             self.kick(ki, core, done);
         } else {
             self.stats.rmw_remote.incr();
-            let rpc = self.register_rpc(ki, Pending::Futex(FutexPending::Rmw { tid }), at);
+            let rpc = self.register_rpc(ki, Pending::Futex(FutexPending::Rmw { tid }), at, home);
             let c = self.kernels[ki].block_current(tid, BlockReason::Remote("rmw"), at);
             self.kick(ki, c, at);
             self.send(

@@ -42,7 +42,7 @@ impl KernelCtx<'_, '_> {
         at: SimTime,
     ) {
         let me = self.kid(ki);
-        let home = group.home();
+        let home = self.home_of(group);
         let (target_ki, core_hint) = match placement {
             Placement::Local => (ki, None),
             Placement::Core(c) => {
@@ -78,10 +78,15 @@ impl KernelCtx<'_, '_> {
             }
         } else {
             self.stats.clone_remote.incr();
-            let rpc = self.register_rpc(ki, Pending::Clone(CloneWait { tid, started: at }), at);
+            let target = self.kid(target_ki);
+            let rpc = self.register_rpc(
+                ki,
+                Pending::Clone(CloneWait { tid, started: at }),
+                at,
+                target,
+            );
             let c = self.kernels[ki].block_current(tid, BlockReason::Remote("clone"), at);
             self.kick(ki, c, at);
-            let target = self.kid(target_ki);
             let vmas = if self.params.eager_vma_replication {
                 self.kernels[ki].mm(group).vmas()
             } else {
@@ -106,7 +111,7 @@ impl KernelCtx<'_, '_> {
     /// the group-wide kill barrier at the home.
     pub(super) fn exit_group_syscall(&mut self, ki: usize, group: GroupId, code: i32, at: SimTime) {
         let me = self.kid(ki);
-        let home = group.home();
+        let home = self.home_of(group);
         let killed = self.kill_local_members(ki, group, code, at);
         if me == home {
             let targets = match self.groups.get_mut(&group) {
@@ -138,7 +143,7 @@ impl KernelCtx<'_, '_> {
     /// `TaskExited` message from a replica); the last exit reaps the
     /// group.
     pub(super) fn note_task_exited(&mut self, ki: usize, group: GroupId, tid: Tid, at: SimTime) {
-        let home = group.home();
+        let home = self.home_of(group);
         if self.kid(ki) == home {
             let finished = match self.groups.get_mut(&group) {
                 Some(h) => h.member_exited(tid) == 0 && h.phase() == ExitPhase::Running,
@@ -152,15 +157,21 @@ impl KernelCtx<'_, '_> {
         }
     }
 
-    /// Tears the group down everywhere (run at the home kernel).
+    /// Tears the group down everywhere (run at the group's effective home
+    /// kernel).
     pub(super) fn reap_group(&mut self, group: GroupId, at: SimTime) {
+        let home = self.home_of(group);
         let Some(mut h) = self.groups.remove(&group) else {
             return;
         };
         h.mark_reaped();
-        let home_ki = self.ki(group.home());
-        for r in h.remote_replicas() {
+        let home_ki = self.ki(home);
+        for r in h.replicas_except(home) {
             self.send(at, home_ki, r, ProtoMsg::GroupReap { group });
+        }
+        if self.recovery.scheduled {
+            self.recovery.home_override.remove(&group);
+            self.recovery.lost_pages.retain(|&(g, _)| g != group);
         }
         self.kernels[home_ki].reap_group(group);
         self.kernels[home_ki].drop_mm(group);
@@ -244,7 +255,7 @@ impl KernelCtx<'_, '_> {
                 tid: child_tid,
             },
         );
-        let home = group.home();
+        let home = self.home_of(group);
         if to == home {
             if let Some(h) = self.groups.get_mut(&group) {
                 h.member_joined(child_tid, to);

@@ -84,7 +84,8 @@ impl KernelCtx<'_, '_> {
         at: SimTime,
     ) {
         let group = self.group_of(ki, tid);
-        let (program, ctx, stats) = self.kernels[ki].extract_for_migration(tid, target, at);
+        let (program, ctx, stats, pending) =
+            self.kernels[ki].extract_for_migration(tid, target, at);
         // The old core is free once the context is marshalled.
         let marshal = SimTime::from_nanos(self.params.migration_marshal_ns);
         let freed_at = at + marshal;
@@ -108,7 +109,7 @@ impl KernelCtx<'_, '_> {
                 started: at,
                 vmas,
                 resume,
-                pending: None,
+                pending,
             })),
         );
     }
@@ -181,7 +182,7 @@ impl KernelCtx<'_, '_> {
             pending,
         } = m;
         // An exiting group kills arrivals on contact.
-        let home = group.home();
+        let home = self.home_of(group);
         let group_dead = self.kid(ki) == home && !self.groups.contains_key(&group);
         if group_dead {
             return;

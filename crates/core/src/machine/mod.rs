@@ -61,6 +61,7 @@ pub mod migrate;
 pub mod page;
 pub mod partition;
 pub mod policy;
+pub mod recovery;
 pub mod transport;
 pub mod vma;
 
@@ -74,7 +75,7 @@ use popcorn_kernel::osmodel::{ensure_core_run, OsEvent, OsMachine};
 use popcorn_kernel::policy::MigrationPolicy;
 use popcorn_kernel::program::{Program, Resume, SysResult, SyscallReq};
 use popcorn_kernel::task::BlockReason;
-use popcorn_kernel::types::{GroupId, PageNo, Tid, VAddr};
+use popcorn_kernel::types::{Errno, GroupId, PageNo, Tid, VAddr};
 use popcorn_msg::{Delivery, Endpoint, Fabric, KernelId, ReliableFabric};
 use popcorn_sim::{Scheduler, SimTime};
 
@@ -186,6 +187,9 @@ pub struct PopcornMachine {
     /// Partition link when this machine is one partition of a parallel
     /// run (`None` in serial runs — see [`partition`]).
     part: Option<partition::PartitionCtl>,
+    /// Crash-recovery state (dormant unless crashes are planned — see
+    /// [`recovery`]).
+    recovery: recovery::RecoveryCtl,
     /// Protocol statistics.
     pub stats: PopStats,
 }
@@ -224,6 +228,7 @@ impl PopcornMachine {
             telemetry,
             last_activity: SimTime::ZERO,
             part: None,
+            recovery: recovery::RecoveryCtl::new(n),
             stats: PopStats::default(),
         }
     }
@@ -291,9 +296,36 @@ impl PopcornMachine {
             telemetry: &mut self.telemetry,
             last_activity: &mut self.last_activity,
             part: self.part.as_mut(),
+            recovery: &mut self.recovery,
             stats: &mut self.stats,
             sched,
         }
+    }
+
+    /// The per-group home state (read access for the invariant checker).
+    pub fn groups(&self) -> &BTreeMap<GroupId, GroupHome> {
+        &self.groups
+    }
+
+    /// The futex wait queues (read access for the invariant checker).
+    pub fn futex_table(&self) -> &FutexTable {
+        &self.futex
+    }
+
+    /// The per-kernel RPC endpoints (read access for the invariant
+    /// checker).
+    pub fn rpcs(&self) -> &[Endpoint<Pending>] {
+        &self.rpcs
+    }
+
+    /// The crash-recovery state (read access for the invariant checker).
+    pub fn recovery(&self) -> &recovery::RecoveryCtl {
+        &self.recovery
+    }
+
+    /// The protocol parameters (read access for reports and checks).
+    pub fn params(&self) -> &PopcornParams {
+        &self.params
     }
 }
 
@@ -340,6 +372,8 @@ pub struct KernelCtx<'m, 'e> {
     pub last_activity: &'m mut SimTime,
     /// Partition link when running as one partition of a parallel run.
     pub part: Option<&'m mut partition::PartitionCtl>,
+    /// Crash-recovery state (see [`recovery`]).
+    pub recovery: &'m mut recovery::RecoveryCtl,
     /// Protocol statistics.
     pub stats: &'m mut PopStats,
     /// The event scheduler of the running simulation.
@@ -463,7 +497,8 @@ impl KernelCtx<'_, '_> {
             | ProtoMsg::ChanAck { .. }
             | ProtoMsg::RetxTimer { .. }
             | ProtoMsg::RpcDeadline { .. }
-            | ProtoMsg::PolicyTick => {
+            | ProtoMsg::PolicyTick
+            | ProtoMsg::CrashDetect { .. } => {
                 unreachable!("reliability-layer/timer messages are consumed before dispatch")
             }
             ProtoMsg::TaskMigrate(m) => self.migrate_in(ki, *m, now),
@@ -530,6 +565,9 @@ impl KernelCtx<'_, '_> {
                 contents,
             } => self.apply_grant(ki, group, page, state, version, contents, rpc, now),
             ProtoMsg::PageDone { group, page } => self.page_done_at_home(group, page, now),
+            ProtoMsg::PageNack { rpc, group, page } => {
+                self.on_page_nack(ki, rpc, group, page, now);
+            }
             ProtoMsg::FutexReq {
                 rpc,
                 origin,
@@ -542,6 +580,9 @@ impl KernelCtx<'_, '_> {
             }
             ProtoMsg::FutexWakeTask { group: _, tid } => {
                 self.wake_with(ki, tid, SysResult::Val(0), now);
+            }
+            ProtoMsg::FutexWakeErr { group: _, tid } => {
+                self.wake_with(ki, tid, SysResult::Err(Errno::OwnerDead), now);
             }
             ProtoMsg::RmwReq {
                 rpc,

@@ -94,6 +94,7 @@ impl KernelCtx<'_, '_> {
         group: GroupId,
         page: PageNo,
         write: bool,
+        home: KernelId,
         at: SimTime,
     ) -> RpcId {
         let rpc = self.register_rpc(
@@ -106,6 +107,7 @@ impl KernelCtx<'_, '_> {
                 waiters: vec![(tid, write)],
             }),
             at,
+            home,
         );
         self.inflight[ki].insert((group, page), InFlight { rpc, write });
         let core = self.kernels[ki].block_current(tid, BlockReason::Remote("page"), at);
@@ -121,7 +123,7 @@ impl KernelCtx<'_, '_> {
         step: DirStep,
         at: SimTime,
     ) {
-        let home = group.home();
+        let home = self.home_of(group);
         let home_ki = self.ki(home);
         match step {
             DirStep::Grant(g) => self.deliver_grant(group, g, at),
@@ -188,7 +190,7 @@ impl KernelCtx<'_, '_> {
 
     /// Routes a completed grant to its requester.
     pub(super) fn deliver_grant(&mut self, group: GroupId, g: Grant, at: SimTime) {
-        let home = group.home();
+        let home = self.home_of(group);
         let home_ki = self.ki(home);
         if g.contents.is_some() && g.req.origin != home {
             self.stats.page_transfers.incr();
@@ -271,7 +273,7 @@ impl KernelCtx<'_, '_> {
             }
         }
         // Confirm so the directory can serve queued requests.
-        let home = group.home();
+        let home = self.home_of(group);
         if self.kid(ki) == home {
             self.page_done_at_home(group, page, at);
         } else {
@@ -284,6 +286,12 @@ impl KernelCtx<'_, '_> {
         let Some(h) = self.groups.get_mut(&group) else {
             return;
         };
+        // After a crash, a bounced grant and the requester's own `PageDone`
+        // can both try to release the same entry; the second must not fire
+        // on an idle (or reclaimed) page.
+        if self.recovery.scheduled && !h.dir.view(page).is_some_and(|v| v.busy) {
+            return;
+        }
         if let Some((_req, step)) = h.dir.done(page) {
             let cost = SimTime::from_nanos(self.params.page_dir_service_ns);
             let done = self.serve_page(group, at, cost);
@@ -302,6 +310,12 @@ impl KernelCtx<'_, '_> {
         let Some(h) = self.groups.get_mut(&group) else {
             return; // group already reaped; requester was killed too
         };
+        // A page whose only copy died with a crashed kernel: explicit
+        // negative reply, never a silent zero-fill resurrection.
+        if self.recovery.scheduled && self.recovery.lost_pages.contains(&(group, page)) {
+            self.nack_page(group, page, req, at);
+            return;
+        }
         h.add_replica(req.origin);
         let cost = SimTime::from_nanos(self.params.page_dir_service_ns);
         let done = self.serve_page(group, at, cost);
@@ -330,7 +344,7 @@ impl KernelCtx<'_, '_> {
         self.note_activity(at);
         let me = self.kid(ki);
         let group = self.group_of(ki, tid);
-        let home = group.home();
+        let home = self.home_of(group);
         if no_vma {
             self.no_vma_fault(ki, tid, group, page, at);
             return;
@@ -341,6 +355,12 @@ impl KernelCtx<'_, '_> {
             return;
         }
         if me == home {
+            // A locally faulted page whose only copy died with a crashed
+            // kernel fails like any other unrecoverable memory error.
+            if self.recovery.scheduled && self.recovery.lost_pages.contains(&(group, page)) {
+                self.fail_task(ki, tid, at);
+                return;
+            }
             // Consult the directory locally. Immediately grantable cases
             // resolve inline on the faulting core (the fast path the paper
             // compares against remote retrieval). While the group has no
@@ -368,6 +388,7 @@ impl KernelCtx<'_, '_> {
                     waiters: vec![(tid, write)],
                 }),
                 at,
+                me,
             );
             let step = match self.groups.get_mut(&group) {
                 Some(h) => h.dir.request(
@@ -424,7 +445,7 @@ impl KernelCtx<'_, '_> {
                 }
             }
         } else {
-            let rpc = self.start_page_wait(ki, tid, group, page, write, at);
+            let rpc = self.start_page_wait(ki, tid, group, page, write, home, at);
             self.send(
                 at,
                 ki,
@@ -487,6 +508,16 @@ impl KernelCtx<'_, '_> {
         contents: PageContents,
         now: SimTime,
     ) {
+        // A fetch answered after recovery already unwound the collection
+        // (the directory no longer expects it) must be dropped, not fed in.
+        if self.recovery.scheduled
+            && !self
+                .groups
+                .get(&group)
+                .is_some_and(|h| h.dir.fetch_pending(page))
+        {
+            return;
+        }
         if self.groups.contains_key(&group) {
             let grant = self
                 .groups
@@ -534,6 +565,16 @@ impl KernelCtx<'_, '_> {
         contents: Option<PageContents>,
         now: SimTime,
     ) {
+        // Same late-answer hazard as `on_page_fetched`: only feed acks the
+        // (possibly recovered) directory still expects.
+        if self.recovery.scheduled
+            && !self
+                .groups
+                .get(&group)
+                .is_some_and(|h| h.dir.expects_inval_ack(page, from))
+        {
+            return;
+        }
         if self.groups.contains_key(&group) {
             let grant = self
                 .groups

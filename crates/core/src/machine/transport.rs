@@ -32,9 +32,22 @@ impl KernelCtx<'_, '_> {
         if self.policy_active() && !matches!(msg, ProtoMsg::LoadReport { .. }) {
             self.piggyback_load(from);
         }
-        self.stats.proto.of(msg.protocol()).msgs_out.incr();
+        let family = msg.protocol();
+        self.stats.proto.of(family).msgs_out.incr();
         let kid = self.kid(from);
+        // Attribute crash drops (sends into a dead kernel) to the family
+        // that suffered them; the fabric only knows the aggregate.
+        let faults = self.net.fabric().faults_active();
+        let before = if faults {
+            self.net.fabric().fault_counters().crash_drops
+        } else {
+            0
+        };
         let plan = self.net.send(at, kid, to, msg);
+        if faults {
+            let after = self.net.fabric().fault_counters().crash_drops;
+            self.stats.proto.of(family).crash_drops.add(after - before);
+        }
         self.apply_plan(from, at, plan);
     }
 
@@ -125,7 +138,13 @@ impl KernelCtx<'_, '_> {
     /// issue to its protocol family. Under active fault injection a
     /// response deadline is attached and a timeout event scheduled, so a
     /// lost conversation fails its caller cleanly instead of wedging it.
-    pub(super) fn register_rpc(&mut self, ki: usize, pending: Pending, at: SimTime) -> RpcId {
+    pub(super) fn register_rpc(
+        &mut self,
+        ki: usize,
+        pending: Pending,
+        at: SimTime,
+        dest: KernelId,
+    ) -> RpcId {
         self.stats.proto.of(pending.protocol()).rpcs_issued.incr();
         if !self.net.is_reliable() {
             return self.rpcs[ki].register(pending);
@@ -133,6 +152,11 @@ impl KernelCtx<'_, '_> {
         let deadline = at + SimTime::from_nanos(self.params.rpc_deadline_ns);
         let rpc = self.rpcs[ki].register_with_deadline(pending, deadline);
         self.schedule_self(ki, deadline, ProtoMsg::RpcDeadline { rpc });
+        // Under planned crashes, remember who each conversation is with so
+        // detection can fail over exactly the ones aimed at the victim.
+        if self.recovery.scheduled {
+            self.recovery.rpc_dest[ki].insert(rpc, dest);
+        }
         rpc
     }
 
@@ -140,6 +164,9 @@ impl KernelCtx<'_, '_> {
     /// its protocol family.
     pub(super) fn complete_rpc(&mut self, ki: usize, rpc: RpcId) -> Option<Pending> {
         let pending = self.rpcs[ki].complete(rpc)?;
+        if self.recovery.scheduled {
+            self.recovery.rpc_dest[ki].remove(&rpc);
+        }
         self.stats
             .proto
             .of(pending.protocol())
@@ -237,9 +264,23 @@ impl KernelCtx<'_, '_> {
                     }
                 }
             }
-            // Responses and one-way notifications: nothing to unwind at the
-            // sender; any blocked remote party is covered by its deadline.
-            _ => {}
+            // Home-addressed notifications carry state transitions the home
+            // must eventually observe (a member's exit, its new location, a
+            // barrier ack): losing one to an exhausted retransmit chain
+            // would leave the group's bookkeeping wrong forever — the
+            // invariant audit catches exactly this. Restart the chain
+            // toward the *current* home: if the destination is a crashed
+            // kernel awaiting detection the new chain abandons again after
+            // the home has moved, and the resend converges on the
+            // successor.
+            msg => {
+                if let Some(g) = super::recovery::home_notification_group(&msg) {
+                    let home = self.home_of(g);
+                    self.send(at, from, home, msg);
+                }
+                // Responses: nothing to unwind at the sender; the blocked
+                // requester is covered by its own deadline.
+            }
         }
     }
 
@@ -250,16 +291,31 @@ impl KernelCtx<'_, '_> {
         let from = msg.from;
         let to = msg.to;
         let ki = self.ki(to);
+        // Epoch fence: once this kernel has declared the sender dead, late
+        // traffic from it belongs to a previous membership epoch and must
+        // not touch recovered state.
+        if self.recovery.scheduled && from != to && self.recovery.declared[ki].contains(&from) {
+            self.stats.fenced_msgs.incr();
+            return;
+        }
         match msg.payload {
             ProtoMsg::RetxTimer { token } => {
+                let before = self.net.fabric().fault_counters().crash_drops;
                 let Some(plan) = self.net.retransmit(now, token) else {
                     return; // already drained (e.g. the channel recovered)
                 };
                 self.note_activity(now);
                 self.stats.retransmits.incr();
-                self.stats.proto.of(Protocol::Transport).msgs_out.incr();
+                let proto = self.stats.proto.of(Protocol::Transport);
+                proto.msgs_out.incr();
+                proto
+                    .crash_drops
+                    .add(self.net.fabric().fault_counters().crash_drops - before);
                 self.apply_plan(ki, now, plan);
             }
+            // Detection timers are consumed here, before dispatch, like
+            // every other self-addressed timer.
+            ProtoMsg::CrashDetect { victim } => self.on_crash_detect(ki, victim, now),
             ProtoMsg::RpcDeadline { rpc } => {
                 // Only fires for requests still pending at their deadline;
                 // `complete` is None when the response arrived in time (the
@@ -299,6 +355,7 @@ impl KernelCtx<'_, '_> {
                 // harmless — see the ChanAck arm above).
                 self.stats.acks_sent.incr();
                 self.stats.proto.of(Protocol::Transport).msgs_out.incr();
+                let before = self.net.fabric().fault_counters().crash_drops;
                 match self
                     .net
                     .fabric_mut()
@@ -310,6 +367,11 @@ impl KernelCtx<'_, '_> {
                     } => self.schedule_delivery(delivery, duplicate_at),
                     SendOutcome::Dropped { .. } => {}
                 }
+                self.stats
+                    .proto
+                    .of(Protocol::Transport)
+                    .crash_drops
+                    .add(self.net.fabric().fault_counters().crash_drops - before);
                 self.dispatch(from, to, ki, *inner, now);
             }
             payload => {

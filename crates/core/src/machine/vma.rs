@@ -51,8 +51,8 @@ impl KernelCtx<'_, '_> {
     /// Starts a VMA operation from kernel `ki` (routing to the home).
     pub fn start_vma_op(&mut self, ki: usize, tid: Tid, group: GroupId, op: VmaOp, at: SimTime) {
         let me = self.kid(ki);
-        let home = group.home();
-        let rpc = self.register_rpc(ki, Pending::Vma(VmaPending::Op { tid }), at);
+        let home = self.home_of(group);
+        let rpc = self.register_rpc(ki, Pending::Vma(VmaPending::Op { tid }), at, home);
         let c = self.kernels[ki].block_current(tid, BlockReason::Remote("vma"), at);
         self.kick(ki, c, at);
         if me == home {
@@ -85,7 +85,7 @@ impl KernelCtx<'_, '_> {
         origin: KernelId,
         at: SimTime,
     ) {
-        let home = group.home();
+        let home = self.home_of(group);
         let home_ki = self.ki(home);
         if !self.groups.contains_key(&group) {
             self.finish_vma_op(group, rpc, origin, Err(Errno::Srch), at);
@@ -209,8 +209,9 @@ impl KernelCtx<'_, '_> {
         result: Result<u64, Errno>,
         at: SimTime,
     ) {
-        let home_ki = self.ki(group.home());
-        if origin == group.home() {
+        let home = self.home_of(group);
+        let home_ki = self.ki(home);
+        if origin == home {
             self.complete_vma_pending(home_ki, rpc, result, at);
         } else {
             self.send(at, home_ki, origin, ProtoMsg::VmaOpDone { rpc, result });
@@ -246,14 +247,15 @@ impl KernelCtx<'_, '_> {
         at: SimTime,
     ) {
         let me = self.kid(ki);
-        let home = group.home();
+        let home = self.home_of(group);
         if me == home {
             let c = self.kernels[ki].force_exit_current(tid, 139, at);
             self.kick(ki, c, at);
             self.note_task_exited(ki, group, tid, at);
         } else {
             self.stats.vma_fetches.incr();
-            let rpc = self.register_rpc(ki, Pending::Vma(VmaPending::Fetch { tid, group }), at);
+            let rpc =
+                self.register_rpc(ki, Pending::Vma(VmaPending::Fetch { tid, group }), at, home);
             let c = self.kernels[ki].block_current(tid, BlockReason::Remote("vma"), at);
             self.kick(ki, c, at);
             self.send(

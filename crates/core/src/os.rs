@@ -7,14 +7,19 @@ use popcorn_kernel::params::OsParams;
 use popcorn_kernel::program::Program;
 use popcorn_kernel::types::GroupId;
 use popcorn_msg::{Fabric, KernelId, MsgParams};
-use popcorn_sim::{Handler, Scheduler, SimTime, Simulator};
+use popcorn_sim::{Handler, Scheduler, SimTime, Simulator, StopCondition};
 
 use crate::machine::{PopEvent, PopcornMachine};
 use crate::params::PopcornParams;
 
 impl Handler<PopEvent> for PopcornMachine {
     fn handle(&mut self, now: SimTime, event: PopEvent, sched: &mut Scheduler<PopEvent>) {
-        osmodel::dispatch(self, now, event, sched);
+        // Under planned crashes, events addressed to a dead kernel are
+        // frozen at the front door (see `machine::recovery`); a fault-free
+        // run takes one boolean branch here.
+        if let Some(event) = self.intercept_crashed(now, event, sched) {
+            osmodel::dispatch(self, now, event, sched);
+        }
     }
 }
 
@@ -117,6 +122,21 @@ impl PopcornOsBuilder {
         self.os.validate().expect("invalid OS parameters");
         self.msg.validate().expect("invalid message parameters");
         self.pop.validate().expect("invalid Popcorn parameters");
+        // Crash detection infers death from ack silence: the window must
+        // outlast the worst-case retransmit chain or survivors would
+        // declare a congested peer dead.
+        if !self.msg.faults.crashes.is_empty()
+            && self.pop.crash_recovery
+            && self.pop.reliable_delivery
+        {
+            assert!(
+                self.pop.crash_detect_ns > self.pop.worst_retx_chain_ns(),
+                "crash_detect_ns ({}) must exceed the worst-case retransmit \
+                 chain ({}) or a congested kernel could be declared dead",
+                self.pop.crash_detect_ns,
+                self.pop.worst_retx_chain_ns()
+            );
+        }
         let machine = Machine::new(self.topology, self.hw);
         let parts = self.topology.partition(self.kernels);
         let locations: Vec<_> = parts.iter().map(|p| p[0]).collect();
@@ -203,6 +223,11 @@ impl OsModel for PopcornOs {
         for (at, msg) in self.machine.policy_tick_starts(self.sim.now()) {
             self.sim.schedule(at, OsEvent::Custom(msg));
         }
+        // Likewise the crash-detection timers when crashes are planned (a
+        // no-op vec for every fault-free configuration).
+        for (at, msg) in self.machine.crash_detect_starts() {
+            self.sim.schedule(at, OsEvent::Custom(msg));
+        }
         group
     }
 
@@ -223,6 +248,16 @@ impl OsModel for PopcornOs {
             let stop = self.sim.run_until(&mut self.machine, horizon, event_budget);
             (stop, self.sim.events_processed(), self.sim.now())
         };
+        // Global invariant check on every completed run (the queue fully
+        // drained, so any inconsistency is permanent, not in flight).
+        if self.machine.params().check_invariants && stop == StopCondition::QueueEmpty {
+            if let Err(violations) = crate::invariants::check(&self.machine, now) {
+                panic!(
+                    "global invariants violated at {now:?}:\n  {}",
+                    violations.join("\n  ")
+                );
+            }
+        }
         let kernels = self.machine.kernels();
         let mut metrics = osmodel::base_metrics(kernels);
         metrics.extend(self.machine.stats.metrics());

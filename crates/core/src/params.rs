@@ -75,6 +75,24 @@ pub struct PopcornParams {
     /// initiates (added to the marshalling path). Ignored under
     /// `ScriptedOnly`.
     pub policy_eval_ns: u64,
+    /// Crash recovery: survivors detect a scripted kernel crash, fence the
+    /// dead kernel behind a membership epoch, and a deterministic successor
+    /// re-homes its groups, directory entries and futex waiters. Only
+    /// engaged when the fault plan scripts a crash *and* reliable delivery
+    /// is on — with no planned crash every path is untouched and results
+    /// stay byte-identical with this on or off.
+    pub crash_recovery: bool,
+    /// Ack-silence window before survivors declare a crashed peer dead,
+    /// measured from the crash instant. Models the paper fleet's heartbeat
+    /// timeout; must exceed the worst-case retransmit chain so a message
+    /// still being retried cannot arrive after its sender was declared
+    /// dead (validated at build time when a crash is planned).
+    pub crash_detect_ns: u64,
+    /// Run the global invariant checker (`crate::invariants`) at the end of
+    /// every completed run: no thread lost or duplicated, no directory
+    /// entry naming a dead owner, no RPC wedged. Panics on violation.
+    /// Opt-out exists for tests that deliberately wedge the machine.
+    pub check_invariants: bool,
 }
 
 impl Default for PopcornParams {
@@ -102,6 +120,11 @@ impl Default for PopcornParams {
             policy: PolicyKind::ScriptedOnly,
             telemetry_period_ns: 50_000,
             policy_eval_ns: 400,
+            crash_recovery: true,
+            // Worst-case retransmit chain at the default policy is
+            // Σ min(50µs·2ⁱ, 2ms) ≈ 11.55ms; 12ms clears it.
+            crash_detect_ns: 12_000_000,
+            check_invariants: true,
         }
     }
 }
@@ -118,21 +141,17 @@ impl PopcornParams {
                  (pages cannot be mapped without their VMAs)"
                 .into());
         }
-        if self.retx_max_attempts == 0 {
-            return Err("retx_max_attempts must be at least 1 (the first send)".into());
-        }
-        if self.retx_base_ns == 0 || self.retx_cap_ns < self.retx_base_ns {
-            return Err("retransmit backoff needs 0 < retx_base_ns <= retx_cap_ns".into());
-        }
+        // The retransmit bounds live in `RetxPolicy` (popcorn-msg), which
+        // owns their validation; surface its verdict here so a bad knob is
+        // caught at build time instead of misbehaving silently.
+        self.retx_policy().validate()?;
         if self.rpc_deadline_ns == 0 {
             return Err("rpc_deadline_ns must be non-zero".into());
         }
         // The deadline exists to catch *unrecoverable* loss; if a healthy
         // retransmit chain can outlive it, transient faults get misreported
         // as failures.
-        let worst_chain: u64 = (1..=self.retx_max_attempts)
-            .map(|a| self.retx_backoff_ns(a))
-            .sum();
+        let worst_chain = self.worst_retx_chain_ns();
         if self.rpc_deadline_ns < 2 * worst_chain {
             return Err(format!(
                 "rpc_deadline_ns ({}) must be at least twice the worst-case \
@@ -162,6 +181,16 @@ impl PopcornParams {
     /// [`RetxPolicy::backoff_ns`] so there is exactly one implementation.
     pub fn retx_backoff_ns(&self, attempt: u32) -> u64 {
         self.retx_policy().backoff_ns(attempt)
+    }
+
+    /// Total backoff of a maximally unlucky retransmit chain, in ns — the
+    /// longest a message can still legitimately be in flight (being
+    /// retried) after its first transmission. The crash-detection window
+    /// must exceed this so no straggler outlives its sender's obituary.
+    pub fn worst_retx_chain_ns(&self) -> u64 {
+        (1..=self.retx_max_attempts)
+            .map(|a| self.retx_backoff_ns(a))
+            .sum()
     }
 }
 
@@ -217,6 +246,35 @@ mod tests {
             ..PopcornParams::default()
         };
         assert!(p.validate().is_err());
+    }
+
+    #[test]
+    fn retx_bounds_delegate_to_retx_policy_validation() {
+        // Inverted base/cap and zero base are now caught by
+        // RetxPolicy::validate, surfaced through PopcornParams::validate.
+        let inverted = PopcornParams {
+            retx_base_ns: 3_000_000,
+            retx_cap_ns: 2_000_000,
+            ..PopcornParams::default()
+        };
+        assert!(inverted.validate().unwrap_err().contains("cap_ns"));
+        let zero_base = PopcornParams {
+            retx_base_ns: 0,
+            ..PopcornParams::default()
+        };
+        assert!(zero_base.validate().is_err());
+    }
+
+    #[test]
+    fn worst_retx_chain_matches_backoff_sum() {
+        let p = PopcornParams::default();
+        let by_hand: u64 = (1..=p.retx_max_attempts)
+            .map(|a| p.retx_backoff_ns(a))
+            .sum();
+        assert_eq!(p.worst_retx_chain_ns(), by_hand);
+        // Defaults: 50µs doubling to the 2ms cap over 10 attempts ≈ 11.55ms,
+        // which the default crash_detect_ns (12ms) must clear.
+        assert!(p.crash_detect_ns > p.worst_retx_chain_ns());
     }
 
     #[test]

@@ -445,6 +445,37 @@ pub enum ProtoMsg {
         /// The request to check.
         rpc: RpcId,
     },
+    /// Self-addressed crash-detection timer, scheduled at load time for
+    /// every scripted crash × surviving kernel at `crash.at +
+    /// crash_detect_ns` (the modeled ack-silence window). When it fires the
+    /// kernel declares `victim` dead, advances its membership epoch, and
+    /// runs recovery for every group it is (now) responsible for. Never
+    /// crosses the fabric.
+    CrashDetect {
+        /// The kernel to declare dead.
+        victim: KernelId,
+    },
+    /// Home's negative reply to a [`ProtoMsg::PageReq`]: the page's only
+    /// copy died with a crashed kernel, so the fault cannot be served. The
+    /// requester fails the faulting threads with an explicit error instead
+    /// of silently resurrecting a zero page.
+    PageNack {
+        /// The request being answered.
+        rpc: RpcId,
+        /// The faulting group.
+        group: GroupId,
+        /// The unrecoverable page.
+        page: PageNo,
+    },
+    /// Crash recovery's robust-futex sweep waking a remote survivor: the
+    /// waiter's wait is completed with `EOWNERDEAD` (programs treat it as a
+    /// spurious wake and revalidate the word).
+    FutexWakeErr {
+        /// The swept group.
+        group: GroupId,
+        /// The waiter to wake with the error.
+        tid: Tid,
+    },
 }
 
 impl ProtoMsg {
@@ -633,6 +664,16 @@ impl ProtoMsg {
             ChanAck { seq } => ChanAck { seq: *seq },
             RetxTimer { token } => RetxTimer { token: *token },
             RpcDeadline { rpc } => RpcDeadline { rpc: *rpc },
+            CrashDetect { victim } => CrashDetect { victim: *victim },
+            PageNack { rpc, group, page } => PageNack {
+                rpc: *rpc,
+                group: *group,
+                page: *page,
+            },
+            FutexWakeErr { group, tid } => FutexWakeErr {
+                group: *group,
+                tid: *tid,
+            },
         })
     }
 
@@ -662,17 +703,20 @@ impl ProtoMsg {
             | PageInval { .. }
             | PageInvalAck { .. }
             | PageGrant { .. }
-            | PageDone { .. } => Protocol::Page,
+            | PageDone { .. }
+            | PageNack { .. } => Protocol::Page,
             FutexReq { .. }
             | FutexResp { .. }
             | FutexWakeTask { .. }
             | RmwReq { .. }
-            | RmwResp { .. } => Protocol::Futex,
+            | RmwResp { .. }
+            | FutexWakeErr { .. } => Protocol::Futex,
             Seq { inner, .. } => inner.protocol(),
             ChanAck { .. }
             | RetxTimer { .. }
             | RpcDeadline { .. }
             | PolicyTick
+            | CrashDetect { .. }
             | LoadReport { .. } => Protocol::Transport,
         }
     }

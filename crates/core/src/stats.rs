@@ -24,6 +24,11 @@ pub struct ProtoCounters {
     pub rpcs_issued: Counter,
     /// RPCs completed (first completion only; deadline failures included).
     pub rpcs_completed: Counter,
+    /// Messages this protocol lost because an endpoint had crashed — the
+    /// per-family breakdown of the fabric's `FaultCounters::crash_drops`,
+    /// attributed at the sender (first transmissions and abandoned
+    /// retransmit chains to/from a dead kernel).
+    pub crash_drops: Counter,
     /// Serialized service time at this protocol's home-kernel server, per
     /// served request.
     pub service: Histogram,
@@ -160,6 +165,33 @@ pub struct PopStats {
     /// Load snapshots disseminated on the fabric (one per policy tick).
     pub telemetry_reports: Counter,
 
+    // --- Crash recovery (only non-zero when a crash is planned) ---
+    /// Crash declarations: one per (survivor, victim) detection timer that
+    /// found the victim not yet declared.
+    pub kernels_declared_dead: Counter,
+    /// Deliveries dropped because the sender was already declared dead at
+    /// the receiver (epoch fencing).
+    pub fenced_msgs: Counter,
+    /// Threads that died with their hosting kernel and were reaped from
+    /// group membership by recovery (killed with 128+SIGKILL).
+    pub orphans_killed: Counter,
+    /// Directory entries whose dead owner was replaced by promoting a
+    /// surviving copy.
+    pub pages_promoted: Counter,
+    /// Directory entries whose only copy died with the kernel — faults on
+    /// them now fail explicitly instead of resurrecting zeroes.
+    pub pages_lost: Counter,
+    /// Futex waiters swept by recovery: woken locally or remotely with
+    /// `EOWNERDEAD` so they can revalidate instead of sleeping forever.
+    pub futex_recovered: Counter,
+    /// Outstanding RPCs aimed at the dead kernel that recovery failed over
+    /// (page waits re-driven at the new home; others completed with
+    /// `EOWNERDEAD`).
+    pub rpcs_failed_over: Counter,
+    /// Detection-to-declaration latency per declaration, in ns (recorded at
+    /// the successor kernel only: crash instant → its CrashDetect firing).
+    pub recovery_latency: Histogram,
+
     /// Per-protocol traffic/service accounting (one entry per `machine/`
     /// protocol module).
     pub proto: ProtoStats,
@@ -172,6 +204,7 @@ impl ProtoCounters {
         self.msgs_in.add(other.msgs_in.get());
         self.rpcs_issued.add(other.rpcs_issued.get());
         self.rpcs_completed.add(other.rpcs_completed.get());
+        self.crash_drops.add(other.crash_drops.get());
         self.service.merge(&other.service);
     }
 }
@@ -224,6 +257,15 @@ impl PopStats {
         self.wake_chases.add(other.wake_chases.get());
         self.policy_redirects.add(other.policy_redirects.get());
         self.telemetry_reports.add(other.telemetry_reports.get());
+        self.kernels_declared_dead
+            .add(other.kernels_declared_dead.get());
+        self.fenced_msgs.add(other.fenced_msgs.get());
+        self.orphans_killed.add(other.orphans_killed.get());
+        self.pages_promoted.add(other.pages_promoted.get());
+        self.pages_lost.add(other.pages_lost.get());
+        self.futex_recovered.add(other.futex_recovered.get());
+        self.rpcs_failed_over.add(other.rpcs_failed_over.get());
+        self.recovery_latency.merge(&other.recovery_latency);
         for &p in Protocol::ALL.iter() {
             self.proto.of(p).absorb(other.proto.get(p));
         }
@@ -334,6 +376,23 @@ impl PopStats {
             self.telemetry_reports.get() as f64,
         );
         m.insert("hist_saturations".into(), self.hist_saturations() as f64);
+        m.insert(
+            "kernels_declared_dead".into(),
+            self.kernels_declared_dead.get() as f64,
+        );
+        m.insert("fenced_msgs".into(), self.fenced_msgs.get() as f64);
+        m.insert("orphans_killed".into(), self.orphans_killed.get() as f64);
+        m.insert("pages_promoted".into(), self.pages_promoted.get() as f64);
+        m.insert("pages_lost".into(), self.pages_lost.get() as f64);
+        m.insert("futex_recovered".into(), self.futex_recovered.get() as f64);
+        m.insert(
+            "rpcs_failed_over".into(),
+            self.rpcs_failed_over.get() as f64,
+        );
+        m.insert(
+            "recovery_ms_mean".into(),
+            self.recovery_latency.mean() / 1e6,
+        );
         for p in Protocol::ALL {
             let c = self.proto.get(p);
             let key = |suffix: &str| format!("proto_{}_{suffix}", p.name());
@@ -341,6 +400,7 @@ impl PopStats {
             m.insert(key("msgs_in"), c.msgs_in.get() as f64);
             m.insert(key("rpcs_issued"), c.rpcs_issued.get() as f64);
             m.insert(key("rpcs_completed"), c.rpcs_completed.get() as f64);
+            m.insert(key("crash_drops"), c.crash_drops.get() as f64);
             m.insert(key("service_us_mean"), c.service.mean() / 1_000.0);
         }
         m

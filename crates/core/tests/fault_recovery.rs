@@ -10,10 +10,12 @@
 use popcorn_core::{PopcornOs, PopcornParams};
 use popcorn_hw::Topology;
 use popcorn_kernel::osmodel::{OsModel, RunReport};
-use popcorn_kernel::program::{MigrateTarget, Op, ProgEnv, Program, Resume, SysResult, SyscallReq};
-use popcorn_kernel::types::VAddr;
-use popcorn_msg::{FaultPlan, KernelId, MsgParams};
-use popcorn_sim::SimTime;
+use popcorn_kernel::program::{
+    FutexOp, MigrateTarget, Op, Placement, ProgEnv, Program, Resume, RmwOp, SysResult, SyscallReq,
+};
+use popcorn_kernel::types::{Errno, VAddr};
+use popcorn_msg::{ChannelFaults, FaultPlan, KernelId, MsgParams};
+use popcorn_sim::{SimTime, StopCondition};
 use popcorn_workloads::micro;
 
 fn faulty_os(kernels: u16, plan: FaultPlan, pop: PopcornParams) -> PopcornOs {
@@ -304,6 +306,201 @@ fn fault_injection_is_fully_deterministic() {
     // that the plan is actually doing something).
     let c = run_fingerprint(FaultPlan { seed: 100, ..plan });
     assert_ne!(a.1, c.1, "different seed should perturb timing");
+}
+
+/// Parks on a word and revalidates on `EOWNERDEAD` (the crash-recovery
+/// sweep) by re-waiting — the expected-value gate catches a stamp that
+/// landed while it was being swept. Exits 0 once the rendezvous is
+/// observed.
+#[derive(Debug)]
+struct RobustSleeper {
+    word: VAddr,
+}
+
+impl Program for RobustSleeper {
+    fn step(&mut self, r: Resume, _env: &ProgEnv) -> Op {
+        match r {
+            Resume::Start | Resume::Sys(SysResult::Err(Errno::OwnerDead)) => {
+                Op::Syscall(SyscallReq::Futex(FutexOp::Wait {
+                    uaddr: self.word,
+                    expected: 0,
+                }))
+            }
+            Resume::Sys(SysResult::Val(_)) | Resume::Sys(SysResult::Err(Errno::Again)) => {
+                Op::Exit(0)
+            }
+            _ => Op::Exit(1),
+        }
+    }
+}
+
+/// Maps a word, spawns `n` sleepers round-robin, computes past the
+/// crash-detection window, then stamps the word and wakes everyone.
+#[derive(Debug)]
+struct RendezvousLeader {
+    state: u8,
+    word: VAddr,
+    spawned: u32,
+    n: u32,
+}
+
+impl Program for RendezvousLeader {
+    fn step(&mut self, r: Resume, _env: &ProgEnv) -> Op {
+        match self.state {
+            0 => {
+                self.state = 1;
+                Op::Syscall(SyscallReq::Mmap { len: 4096 })
+            }
+            1 => {
+                let Resume::Sys(res) = r else { panic!("mmap") };
+                self.word = VAddr(res.expect_val("mmap"));
+                self.state = 2;
+                self.step(Resume::Done, _env)
+            }
+            2 => {
+                if self.spawned < self.n {
+                    self.spawned += 1;
+                    return Op::Syscall(SyscallReq::Clone {
+                        child: Box::new(RobustSleeper { word: self.word }),
+                        placement: Placement::Auto,
+                    });
+                }
+                self.state = 3;
+                // Past the 12 ms detection window, so the sweep runs
+                // while every surviving sleeper is still parked.
+                Op::Compute(40_000_000)
+            }
+            3 => {
+                self.state = 4;
+                Op::AtomicRmw(self.word, RmwOp::Xchg(1))
+            }
+            4 => {
+                self.state = 5;
+                Op::Syscall(SyscallReq::Futex(FutexOp::Wake {
+                    uaddr: self.word,
+                    count: u32::MAX,
+                }))
+            }
+            _ => Op::Exit(0),
+        }
+    }
+}
+
+#[test]
+fn crash_during_futex_wait_sweeps_and_rewaits() {
+    // Two sleepers park on kernels 0 and 1; kernel 1 dies while both are
+    // asleep. Recovery must kill the orphaned sleeper, sweep the
+    // survivor with EOWNERDEAD (it re-waits), and the leader's late wake
+    // must still complete the rendezvous — nobody sleeps forever.
+    let plan = FaultPlan::none().with_crash(KernelId(1), SimTime::from_millis(1));
+    let mut os = faulty_os(2, plan, PopcornParams::default());
+    os.load(Box::new(RendezvousLeader {
+        state: 0,
+        word: VAddr(0),
+        spawned: 0,
+        n: 2,
+    }));
+    let r = os.run();
+    assert!(r.is_clean(), "stuck: {:?}", r.stuck_tasks);
+    assert_eq!(r.metric("kernels_declared_dead"), 1.0, "{:?}", r.metrics);
+    assert_eq!(r.metric("orphans_killed"), 1.0, "the kernel-1 sleeper");
+    assert!(
+        r.metric("futex_recovered") >= 1.0,
+        "survivor must be swept: {:?}",
+        r.metrics
+    );
+    // Leader and the surviving sleeper ran to completion; the orphan
+    // retires too (killed with 137), so nobody is left parked.
+    assert_eq!(r.exited_tasks, 3);
+}
+
+#[test]
+fn crash_drops_partition_by_protocol_family() {
+    // The fabric's crash_drops total must equal the sum of the
+    // per-protocol-family breakdown — no drop is unattributed or
+    // double-counted.
+    let plan = FaultPlan::none().with_crash(KernelId(1), SimTime::ZERO);
+    let mut os = faulty_os(2, plan, PopcornParams::default());
+    os.load(Box::new(FaultTolerantHopper {
+        hops_left: 3,
+        target: KernelId(1),
+        hops_failed: 0,
+    }));
+    let r = os.run();
+    assert!(r.is_clean(), "stuck: {:?}", r.stuck_tasks);
+    let total = r.metric("crash_drops");
+    assert!(total > 0.0, "metrics: {:?}", r.metrics);
+    let families = ["migrate", "group", "vma", "page", "futex", "transport"];
+    let sum: f64 = families
+        .iter()
+        .map(|f| r.metric(&format!("proto_{f}_crash_drops")))
+        .sum();
+    assert_eq!(sum, total, "metrics: {:?}", r.metrics);
+}
+
+#[test]
+fn invariants_hold_under_random_fault_plans() {
+    // Property test: 64 seeded-random fault plans (loss, duplication,
+    // delay, and on every fourth plan a kernel crash) over the E12
+    // workload mix. The global invariant audit runs after every one of
+    // these (it is on by default) and panics on any lost thread, stale
+    // directory entry, or wedged waiter; the assertion below adds that
+    // the event queue fully drained — no plan may wedge the machine.
+    let mut state: u64 = 0xE14_5EED;
+    let mut next = move || {
+        state = state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        state
+    };
+    for case in 0..64u64 {
+        let x = next();
+        let drop_p = ((x >> 8) % 1000) as f64 / 10_000.0; // 0..10%
+        let dup_p = ((x >> 24) % 500) as f64 / 10_000.0; // 0..5%
+        let delay_p = ((x >> 40) % 2000) as f64 / 10_000.0; // 0..20%
+        let mut plan = FaultPlan {
+            seed: x | 1,
+            uniform: Some(ChannelFaults {
+                drop_p,
+                dup_p,
+                delay_p,
+                delay_max_ns: 20_000,
+            }),
+            ..FaultPlan::none()
+        };
+        let crash = case % 4 == 3;
+        if crash {
+            let victim = KernelId((next() % 4) as u16);
+            let at = SimTime::from_micros(200 + next() % 2_000);
+            plan = plan.with_crash(victim, at);
+        }
+        let mut os = PopcornOs::builder()
+            .topology(Topology::paper_default())
+            .kernels(4)
+            .msg_params(MsgParams {
+                faults: plan,
+                ..MsgParams::default()
+            })
+            .build();
+        // MigrationPingPong never reads its resume, so a failed hop is
+        // just a skipped hop; WriteMigrateRead asserts its payload and
+        // rides along only when no kernel dies (its migrate panics on
+        // EIO by design). Classic join-based teams wedge when a member
+        // dies — the crash-aware idiom is E14's — so the page-bounce
+        // team also stays on the crash-free plans.
+        os.load(Box::new(micro::MigrationPingPong::new(30)));
+        if !crash {
+            os.load(Box::new(WriteMigrateRead::new()));
+            os.load(micro::page_bounce(4, 2, 30));
+        }
+        let r = os.run();
+        assert_eq!(
+            r.stop,
+            StopCondition::QueueEmpty,
+            "case {case} (crash={crash}) did not drain: {:?}",
+            r.stop
+        );
+    }
 }
 
 #[test]

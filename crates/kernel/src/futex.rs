@@ -151,6 +151,26 @@ impl FutexTable {
             .count()
     }
 
+    /// Removes every wait queue of `group` but keeps its word values
+    /// (crash recovery: a member kernel died and the authoritative table is
+    /// being swept). Returns the parked waiters sorted by tid so the caller
+    /// can wake survivors with an `EOWNERDEAD`-style error and skip waiters
+    /// that were resident on the dead kernel. Words survive because the
+    /// group lives on — its mutexes and barriers keep their state.
+    pub fn sweep_group(&mut self, group: GroupId) -> Vec<Waiter> {
+        let mut orphans = Vec::new();
+        self.queues.retain(|&(g, _), q| {
+            if g == group {
+                orphans.extend(q.iter().copied());
+                false
+            } else {
+                true
+            }
+        });
+        orphans.sort_unstable_by_key(|w| w.tid);
+        orphans
+    }
+
     /// Drops all state of a group (group exit); returns any still-parked
     /// waiters so the caller can fail them.
     pub fn drop_group(&mut self, group: GroupId) -> Vec<Waiter> {
@@ -282,6 +302,21 @@ mod tests {
         assert!(t.wait_if(g2, A, 0, w(9)));
         assert!(t.wake(g(), A, u32::MAX).is_empty());
         assert_eq!(t.waiters(g2, A), 1);
+    }
+
+    #[test]
+    fn sweep_group_keeps_words_drops_queues() {
+        let mut t = FutexTable::new();
+        let g2 = GroupId(Tid::new(KernelId(1), 1));
+        t.rmw(g(), A, RmwOp::Xchg(7));
+        assert!(t.wait_if(g(), A, 7, w(4)));
+        assert!(t.wait_if(g(), VAddr(0x8000), 0, w(2)));
+        assert!(t.wait_if(g2, A, 0, w(9)));
+        let swept = t.sweep_group(g());
+        assert_eq!(swept, vec![w(2), w(4)]); // sorted by tid
+        assert_eq!(t.read(g(), A), 7, "word values survive the sweep");
+        assert_eq!(t.waiters(g(), A), 0);
+        assert_eq!(t.waiters(g2, A), 1, "other groups untouched");
     }
 
     #[test]

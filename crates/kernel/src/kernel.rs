@@ -699,7 +699,11 @@ impl Kernel {
     /// mechanism for cheap back-migration). The task must be `InSyscall`
     /// (it called `migrate`) and current on its core.
     ///
-    /// Returns `(program, context, pending_op, stats)`.
+    /// Returns `(program, context, stats, pending_op)`. The pending op (if
+    /// any) travels with the thread so an aborted migration can reinstate
+    /// it verbatim at the origin — same carry mechanism as
+    /// [`Kernel::extract_unscheduled_for_migration`].
+    #[allow(clippy::type_complexity)]
     pub fn extract_for_migration(
         &mut self,
         tid: Tid,
@@ -709,6 +713,7 @@ impl Kernel {
         Box<dyn crate::program::Program>,
         crate::types::CpuContext,
         TaskStats,
+        Option<Op>,
     ) {
         let task = self.tasks.get_mut(&tid).expect("task exists");
         assert!(
@@ -725,8 +730,8 @@ impl Kernel {
         assert_eq!(cs.current, Some(tid));
         cs.current = None;
         cs.busy_until = cs.busy_until.max(now);
-        self.pending_ops.remove(&tid);
-        (program, ctx, stats)
+        let pending = self.pending_ops.remove(&tid);
+        (program, ctx, stats, pending)
     }
 
     /// A queued (ready, not running) thread suitable for policy-initiated
@@ -1428,7 +1433,8 @@ mod tests {
             RunOutcome::Syscall { at, .. } => at,
             other => panic!("expected syscall, got {other:?}"),
         };
-        let (program, ctx, stats) = k.extract_for_migration(tid, KernelId(1), at);
+        let (program, ctx, stats, pending) = k.extract_for_migration(tid, KernelId(1), at);
+        assert!(pending.is_none(), "a plain migrate carries no parked op");
         assert!(k.task(tid).unwrap().is_shadow());
         assert_eq!(k.live_tasks(), 0);
         // Back-migration revives the shadow in place.

@@ -144,6 +144,11 @@ pub enum Errno {
     /// I/O error: a remote operation was given up on after the message
     /// layer exhausted its retries (or its response deadline expired).
     Io,
+    /// The kernel owning the resource (futex word, page, group home) died
+    /// and crash recovery completed the operation on the caller's behalf —
+    /// the robust-futex `EOWNERDEAD` convention. The caller's state may be
+    /// inconsistent; programs treat it as a spurious wake and revalidate.
+    OwnerDead,
 }
 
 impl fmt::Display for Errno {
@@ -156,6 +161,7 @@ impl fmt::Display for Errno {
             Errno::NoSys => "ENOSYS",
             Errno::NoMem => "ENOMEM",
             Errno::Io => "EIO",
+            Errno::OwnerDead => "EOWNERDEAD",
         };
         f.write_str(s)
     }

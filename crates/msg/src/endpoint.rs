@@ -61,6 +61,30 @@ pub struct RetxPolicy {
 }
 
 impl RetxPolicy {
+    /// Validates the policy's bounds: a zero base backoff, an inverted
+    /// `base_ns > cap_ns` range, or zero `max_attempts` would all make the
+    /// retransmit loop silently misbehave (hot-spin, non-monotone backoff,
+    /// or a "reliable" layer that never transmits at all).
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first violated constraint.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.base_ns == 0 {
+            return Err("retx base_ns must be positive".into());
+        }
+        if self.base_ns > self.cap_ns {
+            return Err(format!(
+                "retx base_ns ({}) exceeds cap_ns ({})",
+                self.base_ns, self.cap_ns
+            ));
+        }
+        if self.max_attempts == 0 {
+            return Err("retx max_attempts must be at least 1".into());
+        }
+        Ok(())
+    }
+
     /// Backoff before retransmit number `attempt` (1-based: the delay
     /// scheduled after the `attempt`-th failed transmission).
     pub fn backoff_ns(&self, attempt: u32) -> u64 {
@@ -292,6 +316,31 @@ impl<P: SeqEnvelope> ReliableFabric<P> {
                 }
             }
         }
+    }
+
+    /// Drains every stashed retransmission on the directed channel
+    /// `from → to`, returning the payloads in stash order (monotone tokens,
+    /// so oldest first). Pending retransmit timers for the drained tokens
+    /// become no-ops ([`ReliableFabric::retransmit`] returns `None`).
+    ///
+    /// A crash-recovery layer calls this when `to` is declared dead: the
+    /// messages would never be acknowledged, and the sender must unwind the
+    /// state that expected them to arrive (exactly as for
+    /// [`SendPlan::Abandoned`]).
+    pub fn abandon_to(&mut self, from: KernelId, to: KernelId) -> Vec<P> {
+        let Some(state) = self.seq.as_mut() else {
+            return Vec::new();
+        };
+        let tokens: Vec<u64> = state
+            .retx
+            .iter()
+            .filter(|(_, s)| s.from == from && s.to == to)
+            .map(|(&t, _)| t)
+            .collect();
+        tokens
+            .into_iter()
+            .map(|t| state.retx.remove(&t).expect("token listed above").payload)
+            .collect()
     }
 
     /// Receive-side duplicate suppression: records `seq` as seen on the
@@ -536,6 +585,59 @@ mod tests {
             }
             other => panic!("expected Abandoned, got {other:?}"),
         }
+    }
+
+    #[test]
+    fn retx_policy_validation_rejects_degenerate_bounds() {
+        assert_eq!(policy().validate(), Ok(()));
+        let zero_base = RetxPolicy {
+            base_ns: 0,
+            ..policy()
+        };
+        assert!(zero_base.validate().is_err());
+        let inverted = RetxPolicy {
+            base_ns: 3_000_000,
+            cap_ns: 2_000_000,
+            max_attempts: 10,
+        };
+        assert!(inverted.validate().unwrap_err().contains("exceeds cap_ns"));
+        let no_attempts = RetxPolicy {
+            max_attempts: 0,
+            ..policy()
+        };
+        assert!(no_attempts.validate().is_err());
+        // Degenerate-but-legal: base == cap is a constant backoff.
+        let flat = RetxPolicy {
+            base_ns: 2_000_000,
+            cap_ns: 2_000_000,
+            max_attempts: 1,
+        };
+        assert_eq!(flat.validate(), Ok(()));
+    }
+
+    #[test]
+    fn abandon_to_drains_only_the_dead_channel() {
+        let plan = FaultPlan::uniform_drop(7, 1.0); // lose everything
+        let mut net: ReliableFabric<Msg> = ReliableFabric::new(fabric(Some(plan)), policy(), true);
+        let (a, b) = (KernelId(0), KernelId(1));
+        // Two stashed a→b losses and one b→a loss.
+        let SendPlan::Backoff { token, .. } = net.send(SimTime::ZERO, a, b, Msg::Ping) else {
+            panic!("expected Backoff");
+        };
+        assert!(matches!(
+            net.send(SimTime::ZERO, a, b, Msg::Ping),
+            SendPlan::Backoff { .. }
+        ));
+        let SendPlan::Backoff { token: rev, .. } = net.send(SimTime::ZERO, b, a, Msg::Ping) else {
+            panic!("expected Backoff");
+        };
+        let drained = net.abandon_to(a, b);
+        assert_eq!(drained, vec![Msg::Ping, Msg::Ping]);
+        // The drained tokens' timers are now no-ops …
+        assert!(net.retransmit(SimTime::from_nanos(1), token).is_none());
+        // … while the reverse channel's stash is untouched.
+        assert!(net.retransmit(SimTime::from_nanos(1), rev).is_some());
+        assert!(net.abandon_to(a, b).is_empty());
     }
 
     #[test]

@@ -7,7 +7,7 @@ use popcorn_hw::{CoreId, Machine};
 use popcorn_sim::stats::Summary;
 use popcorn_sim::{Counter, Histogram, SimTime};
 
-use crate::fault::{FaultCounters, FaultRuntime, Verdict};
+use crate::fault::{Crash, FaultCounters, FaultRuntime, Verdict};
 use crate::params::MsgParams;
 
 /// Identifier of a kernel instance within one machine.
@@ -479,6 +479,14 @@ impl Fabric {
         self.faults
             .as_ref()
             .is_some_and(|rt| rt.plan.is_crashed(kernel, now))
+    }
+
+    /// The fault plan's scripted kernel crashes (empty without an active
+    /// plan). Recovery layers use this to schedule detection timers.
+    pub fn planned_crashes(&self) -> &[Crash] {
+        self.faults
+            .as_ref()
+            .map_or(&[], |rt| rt.plan.crashes.as_slice())
     }
 
     /// Whether the fault plan blacks out the directed channel `from → to`
