@@ -1084,9 +1084,20 @@ pub fn e13_policies() -> Table {
             "vs_scripted",
         ],
     );
+    // Explicitly the five replication-free policies — NOT `PolicyKind::ALL`,
+    // which also carries `ReplicaAware`. That one needs
+    // `page_table_replication` on (validation rejects it otherwise) and is
+    // swept in E15 instead; keeping this list fixed keeps e13.json stable.
+    let policies = [
+        PolicyKind::ScriptedOnly,
+        PolicyKind::LoadThreshold,
+        PolicyKind::WorkStealing,
+        PolicyKind::FutexWakeLocality,
+        PolicyKind::FaultAware,
+    ];
     let mut cells: Vec<(E13Scenario, PolicyKind)> = Vec::new();
     for sc in E13Scenario::ALL {
-        for pk in PolicyKind::ALL {
+        for pk in policies {
             cells.push((sc, pk));
         }
     }
@@ -1306,6 +1317,7 @@ pub fn all_experiments() -> Vec<Experiment> {
         ("e12", e12_fault_tolerance),
         ("e13", e13_policies),
         ("e14", crate::e14::e14_crash_recovery),
+        ("e15", crate::e15::e15_replication),
         ("ablate-shadow", ablate_shadow),
         ("ablate-vma", ablate_vma),
         ("ablate-futex", ablate_futex),

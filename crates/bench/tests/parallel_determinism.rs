@@ -14,15 +14,18 @@ type Case = (&'static str, fn() -> Table);
 
 #[test]
 fn parallel_runs_are_byte_identical_to_serial() {
-    // Three experiments with different shapes: E1 sweeps the message
+    // Four experiments with different shapes: E1 sweeps the message
     // fabric (pure latency math), E4 sweeps full-OS page-protocol sims,
     // E13 sweeps the policy × adversarial-scenario matrix (the policy
     // machinery — telemetry ticks, steals, wake chases — must be exactly
-    // as deterministic as the scripted paths).
-    let cases: [Case; 3] = [
+    // as deterministic as the scripted paths), and E15 sweeps the
+    // page-table replication ablation (walk charges, update pushes and
+    // the replica-aware policy included).
+    let cases: [Case; 4] = [
         ("e1", experiments::e1_messaging),
         ("e4", experiments::e4_page_protocol),
         ("e13", experiments::e13_policies),
+        ("e15", popcorn_bench::e15::e15_replication),
     ];
     for (id, f) in cases {
         set_jobs(1);
@@ -47,9 +50,13 @@ fn parallel_runs_are_byte_identical_to_serial() {
     // same bytes as the serial baseline. E13 rides along as the
     // gate-refusal case: its policy-driven cells fall back to the serial
     // engine under the partition gate, so `--sim-threads` must be a no-op.
-    let partitioned: [Case; 2] = [
+    // E15 is the newest gate-refusal case: its replica-active cells write
+    // holder shadows through the shared group state, so `partition_safe`
+    // rejects them and the serial fallback must not change a byte.
+    let partitioned: [Case; 3] = [
         ("e5", experiments::e5_mmap_storm),
         ("e13", experiments::e13_policies),
+        ("e15", popcorn_bench::e15::e15_replication),
     ];
     for (id, f) in partitioned {
         set_jobs(1);

@@ -9,7 +9,7 @@
 
 use std::collections::{BTreeMap, BTreeSet};
 
-use popcorn_kernel::types::{GroupId, Tid};
+use popcorn_kernel::types::{GroupId, PageNo, Tid};
 use popcorn_msg::{KernelId, RpcId};
 
 use crate::directory::Directory;
@@ -45,6 +45,16 @@ pub struct GroupHome {
     /// `TaskExited` — and must not resurrect the retired member.
     retired: BTreeSet<Tid>,
     replicas: BTreeSet<KernelId>,
+    /// Kernels holding a *page-table* replica of this group (the home's
+    /// authoritative tables count as one), only populated when
+    /// `page_table_replication` is on. Distinct from `replicas`, which
+    /// tracks address-space (task/VMA) replicas: a kernel can host threads
+    /// without replicating the translation structures.
+    pt_holders: BTreeSet<KernelId>,
+    /// Each holder's shadow of the directory's per-page versions, kept
+    /// consistent by pushed `PtReplicaUpdate`s over the reliable fabric.
+    /// The invariant audit demands shadow == directory at queue drain.
+    pt_shadow: BTreeMap<(KernelId, PageNo), u64>,
     /// The page-consistency directory.
     pub dir: Directory,
     next_token: u64,
@@ -63,11 +73,15 @@ impl GroupHome {
         members.insert(leader, home);
         let mut replicas = BTreeSet::new();
         replicas.insert(home);
+        let mut pt_holders = BTreeSet::new();
+        pt_holders.insert(home);
         GroupHome {
             group,
             members,
             retired: BTreeSet::new(),
             replicas,
+            pt_holders,
+            pt_shadow: BTreeMap::new(),
             dir: Directory::new(),
             next_token: 1,
             pending_unmaps: BTreeMap::new(),
@@ -143,17 +157,79 @@ impl GroupHome {
         self.replicas.insert(kernel)
     }
 
+    /// Kernels holding a page-table replica, ascending (home included).
+    pub fn pt_holders(&self) -> Vec<KernelId> {
+        self.pt_holders.iter().copied().collect()
+    }
+
+    /// Whether `kernel` holds a page-table replica.
+    pub fn has_pt_replica(&self, kernel: KernelId) -> bool {
+        self.pt_holders.contains(&kernel)
+    }
+
+    /// Registers a page-table replica at `kernel`. Returns true if new.
+    pub fn add_pt_holder(&mut self, kernel: KernelId) -> bool {
+        self.pt_holders.insert(kernel)
+    }
+
+    /// Drops `kernel`'s page-table replica and its shadow entries (crash
+    /// recovery: the replica died with the kernel). Returns true if held.
+    pub fn remove_pt_holder(&mut self, kernel: KernelId) -> bool {
+        self.pt_shadow.retain(|&(k, _), _| k != kernel);
+        self.pt_holders.remove(&kernel)
+    }
+
+    /// Applies a pushed page-table update at `kernel`'s shadow. Monotonic:
+    /// a stale push (reordered behind a newer one by retransmission) is
+    /// ignored, so shadows never move backwards.
+    pub fn observe_pt(&mut self, kernel: KernelId, page: PageNo, version: u64) {
+        let slot = self.pt_shadow.entry((kernel, page)).or_insert(0);
+        if version > *slot {
+            *slot = version;
+        }
+    }
+
+    /// The version `kernel`'s shadow holds for `page`, if any.
+    pub fn pt_version(&self, kernel: KernelId, page: PageNo) -> Option<u64> {
+        self.pt_shadow.get(&(kernel, page)).copied()
+    }
+
+    /// Overwrites `kernel`'s whole shadow from an authoritative page list
+    /// (replica grant, or post-crash directory rebuild — where the rebuilt
+    /// versions may be *lower* than a pre-crash push, so this is not
+    /// monotonic on purpose).
+    pub fn reseed_pt(&mut self, kernel: KernelId, pages: &[(PageNo, u64)]) {
+        self.pt_shadow.retain(|&(k, _), _| k != kernel);
+        for &(page, version) in pages {
+            self.pt_shadow.insert((kernel, page), version);
+        }
+    }
+
+    /// `kernel`'s shadow as a sorted page→version list (invariant audit).
+    pub fn pt_shadow_of(&self, kernel: KernelId) -> Vec<(PageNo, u64)> {
+        self.pt_shadow
+            .range((kernel, PageNo(0))..)
+            .take_while(|(&(k, _), _)| k == kernel)
+            .map(|(&(_, p), &v)| (p, v))
+            .collect()
+    }
+
     /// Records a new member created on `kernel`. A join for a tid already
     /// retired is the late half of a join/exit race (the join notification
     /// lost its first transmission and its retransmit arrived after the
-    /// member's `TaskExited`) and is ignored.
+    /// member's `TaskExited`) and is ignored. A join for a tid already
+    /// *present* is the re-driven duplicate of a delivered-but-unacked
+    /// notification (the ack died with the old home kernel, so crash
+    /// failover re-sends the join to a successor that shares this board)
+    /// — also ignored, keeping the current location: the member may have
+    /// migrated since the original join was applied, and the duplicate
+    /// carries the stale birth kernel.
     pub fn member_joined(&mut self, tid: Tid, kernel: KernelId) {
         self.replicas.insert(kernel);
-        if self.retired.contains(&tid) {
+        if self.retired.contains(&tid) || self.members.contains_key(&tid) {
             return;
         }
-        let prev = self.members.insert(tid, kernel);
-        debug_assert!(prev.is_none(), "{tid} joined twice");
+        self.members.insert(tid, kernel);
     }
 
     /// Records that an existing member moved to `kernel` (migration).
@@ -325,6 +401,22 @@ mod tests {
     }
 
     #[test]
+    fn redriven_duplicate_join_keeps_current_location() {
+        // The delivered-but-unacked crash race: a join is applied at the
+        // old home, the ack dies with it, and failover re-drives the
+        // join to a successor sharing this board. The duplicate must not
+        // double-count the member or roll its location back to the birth
+        // kernel it names.
+        let mut h = home();
+        let t2 = Tid::new(KernelId(1), 1);
+        h.member_joined(t2, KernelId(1));
+        h.member_at(t2, KernelId(2)); // migrated since
+        h.member_joined(t2, KernelId(1)); // the re-driven duplicate
+        assert_eq!(h.live_members(), 2);
+        assert_eq!(h.member_location(t2), Some(KernelId(2)));
+    }
+
+    #[test]
     fn unmap_ack_protocol_completes_on_last_ack() {
         let mut h = home();
         let (token, complete) = h.begin_unmap(RpcId(9), KernelId(1), [KernelId(1), KernelId(2)]);
@@ -390,6 +482,54 @@ mod tests {
         let (token, _) = h.begin_unmap(RpcId(5), KernelId(0), [KernelId(1), KernelId(2)]);
         assert!(h.fail_unmap_acker(KernelId(1)).is_empty());
         assert!(h.unmap_acked(token, KernelId(2)).is_some());
+    }
+
+    #[test]
+    fn pt_holders_start_with_home_and_track_adds_removes() {
+        let mut h = home();
+        assert_eq!(h.pt_holders(), vec![KernelId(0)]);
+        assert!(h.has_pt_replica(KernelId(0)));
+        assert!(h.add_pt_holder(KernelId(2)));
+        assert!(!h.add_pt_holder(KernelId(2)));
+        assert_eq!(h.pt_holders(), vec![KernelId(0), KernelId(2)]);
+        h.observe_pt(KernelId(2), PageNo(7), 3);
+        assert!(h.remove_pt_holder(KernelId(2)));
+        assert!(!h.remove_pt_holder(KernelId(2)));
+        assert!(h.pt_shadow_of(KernelId(2)).is_empty());
+    }
+
+    #[test]
+    fn observe_pt_is_monotonic_but_reseed_overwrites() {
+        let mut h = home();
+        h.add_pt_holder(KernelId(1));
+        h.observe_pt(KernelId(1), PageNo(4), 2);
+        h.observe_pt(KernelId(1), PageNo(4), 1); // stale push: ignored
+        assert_eq!(h.pt_version(KernelId(1), PageNo(4)), Some(2));
+        h.observe_pt(KernelId(1), PageNo(4), 6);
+        assert_eq!(h.pt_version(KernelId(1), PageNo(4)), Some(6));
+        // Post-crash rebuild may legitimately go backwards.
+        h.reseed_pt(KernelId(1), &[(PageNo(4), 5), (PageNo(9), 1)]);
+        assert_eq!(h.pt_version(KernelId(1), PageNo(4)), Some(5));
+        assert_eq!(
+            h.pt_shadow_of(KernelId(1)),
+            vec![(PageNo(4), 5), (PageNo(9), 1)]
+        );
+        assert_eq!(h.pt_version(KernelId(1), PageNo(5)), None);
+    }
+
+    #[test]
+    fn pt_shadow_of_isolates_kernels() {
+        let mut h = home();
+        h.add_pt_holder(KernelId(1));
+        h.add_pt_holder(KernelId(2));
+        h.observe_pt(KernelId(1), PageNo(1), 1);
+        h.observe_pt(KernelId(2), PageNo(2), 4);
+        h.observe_pt(KernelId(1), PageNo(3), 2);
+        assert_eq!(
+            h.pt_shadow_of(KernelId(1)),
+            vec![(PageNo(1), 1), (PageNo(3), 2)]
+        );
+        assert_eq!(h.pt_shadow_of(KernelId(2)), vec![(PageNo(2), 4)]);
     }
 
     #[test]

@@ -19,6 +19,10 @@
 //! 5. **No RPC wedged past its deadline** — with the reliability layer
 //!    active, a drained queue means every deadline fired, so live kernels
 //!    hold no outstanding requests and no blocked tasks.
+//! 6. **Page-table replicas agree with the directory** — with replication
+//!    on, every holder's shadow entry matches the directory's version for
+//!    every page both still track (lossless, crash-free runs), and no
+//!    holder is a crashed kernel.
 //!
 //! Checks 2's kernel-liveness clause, 3's dead-kernel clauses and 4 only
 //! apply when crash recovery actually engaged; 5 only when the
@@ -106,6 +110,41 @@ pub fn check(m: &PopcornMachine, now: SimTime) -> Result<(), Vec<String>> {
                 bad.push(format!(
                     "{group:?} {page} transfer still busy after the queue drained"
                 ));
+            }
+        }
+
+        // 6. Page-table replicas agree with the directory. At drain every
+        // pushed update has been applied, so a holder's shadow must match
+        // the directory version for every page both still track (shadow-
+        // only entries are stale mappings awaiting the next push — legal;
+        // dir-only entries are pages the holder never observed). Lossy
+        // runs drop pushes by design, and a post-crash rebuild can
+        // legitimately disagree with pre-crash pushes still in flight at
+        // the instant of death, so both are excluded. Holders must also
+        // never name a dead kernel once recovery engaged.
+        if m.params().page_table_replication {
+            for k in h.pt_holders() {
+                if crashed(k) {
+                    bad.push(format!("{group:?} page-table holder {k:?} is dead"));
+                }
+            }
+            if lossless && !recovery {
+                let home = h.group().home();
+                for k in h.pt_holders() {
+                    if k == home {
+                        continue; // the home's tables are the directory
+                    }
+                    for (page, shadow_v) in h.pt_shadow_of(k) {
+                        if let Some(v) = h.dir.view(page) {
+                            if v.version != shadow_v {
+                                bad.push(format!(
+                                    "{group:?} {page} replica at {k:?} holds v{shadow_v}, directory holds v{}",
+                                    v.version
+                                ));
+                            }
+                        }
+                    }
+                }
             }
         }
     }

@@ -19,6 +19,8 @@
 //! - [`vma`] — address-space layout: home-serialized VMA operations,
 //!   replica updates, unmap barriers and on-demand retrieval;
 //! - [`page`] — page coherence against the home kernel's directory;
+//! - [`replica`] — page-table replica maintenance (pushed updates and
+//!   bulk grants) when `page_table_replication` is on;
 //! - [`futex`] — distributed futexes and remote sync-word RMWs.
 //!
 //! No module touches `PopcornMachine` directly: every handler runs on a
@@ -62,6 +64,7 @@ pub mod page;
 pub mod partition;
 pub mod policy;
 pub mod recovery;
+pub mod replica;
 pub mod transport;
 pub mod vma;
 
@@ -567,6 +570,17 @@ impl KernelCtx<'_, '_> {
             ProtoMsg::PageDone { group, page } => self.page_done_at_home(group, page, now),
             ProtoMsg::PageNack { rpc, group, page } => {
                 self.on_page_nack(ki, rpc, group, page, now);
+            }
+            ProtoMsg::PtReplicaUpdate {
+                group,
+                page,
+                version,
+            } => self.on_pt_replica_update(to, group, page, version, now),
+            ProtoMsg::PtReplicaReq { origin, group } => {
+                self.on_pt_replica_req(origin, group, now);
+            }
+            ProtoMsg::PtReplicaGrant { group, pages } => {
+                self.on_pt_replica_grant(to, ki, group, pages, now);
             }
             ProtoMsg::FutexReq {
                 rpc,

@@ -47,7 +47,7 @@ pub struct InFlight {
 impl KernelCtx<'_, '_> {
     /// Serializes a request behind the group's page server, recording the
     /// service time against the page protocol.
-    fn serve_page(&mut self, group: GroupId, now: SimTime, cost: SimTime) -> SimTime {
+    pub(super) fn serve_page(&mut self, group: GroupId, now: SimTime, cost: SimTime) -> SimTime {
         self.stats
             .proto
             .of(Protocol::Page)
@@ -195,6 +195,9 @@ impl KernelCtx<'_, '_> {
         if g.contents.is_some() && g.req.origin != home {
             self.stats.page_transfers.incr();
         }
+        // Every grant re-maps the page: push the new version to the other
+        // page-table replica holders (no-op with replication off).
+        self.push_pt_updates(group, g.page, g.version, g.req.origin, at);
         if g.req.origin == home {
             // A (queued) local request at the home kernel.
             self.apply_grant(
@@ -235,6 +238,7 @@ impl KernelCtx<'_, '_> {
             self.kernels[ki]
                 .mm_mut(group)
                 .apply_grant(page, state, version, contents);
+            self.note_pt_grant(ki, group, page, version);
             // Installing needs a local page frame: the kernel's allocator
             // lock (partitioned counterpart of SMP's global zone lock).
             let zone_hold = SimTime::from_nanos(self.kernels[ki].params().zone_lock_hold_ns);
@@ -317,6 +321,12 @@ impl KernelCtx<'_, '_> {
             return;
         }
         h.add_replica(req.origin);
+        // Mitosis-style eager acquisition: a kernel's first fault into the
+        // group also installs a page-table replica there (a no-op once it
+        // holds one).
+        if self.params.replicate_on_first_fault {
+            self.on_pt_replica_req(req.origin, group, at);
+        }
         let cost = SimTime::from_nanos(self.params.page_dir_service_ns);
         let done = self.serve_page(group, at, cost);
         let step = self
@@ -345,6 +355,10 @@ impl KernelCtx<'_, '_> {
         let me = self.kid(ki);
         let group = self.group_of(ki, tid);
         let home = self.home_of(group);
+        // The hardware walk that raised this fault traverses table levels
+        // living either in a local page-table replica or in the home's
+        // memory (extension; no-op when `page_table_replication` is off).
+        let at = self.charge_page_walk(group, me, at);
         if no_vma {
             self.no_vma_fault(ki, tid, group, page, at);
             return;
@@ -408,6 +422,7 @@ impl KernelCtx<'_, '_> {
                 DirStep::Grant(g) => {
                     // Inline local fault service; allocating the backing
                     // page contends this kernel's allocator lock.
+                    let version = g.version;
                     self.complete_rpc(ki, rpc);
                     self.kernels[ki]
                         .mm_mut(group)
@@ -430,6 +445,9 @@ impl KernelCtx<'_, '_> {
                         .record_time(done.saturating_sub(at));
                     self.kernels[ki].finish_fault_inline(tid, done);
                     self.kick(ki, core, done);
+                    // This grant bypassed `deliver_grant`: push the new
+                    // version to the replica holders from here.
+                    self.push_pt_updates(group, page, version, me, done);
                     self.page_done_at_home(group, page, done);
                 }
                 step @ (DirStep::Fetch { .. } | DirStep::Invalidate { .. }) => {

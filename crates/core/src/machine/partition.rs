@@ -146,14 +146,17 @@ impl PopcornMachine {
     /// changing results: every source of cross-kernel shared state must be
     /// inert. Active policies read global telemetry, fault plans perturb
     /// delivery (and zero the lookahead floor), first-touch homing races
-    /// word placement on arrival order, and pre-populated group-shared
-    /// maps would need splitting along lines that don't exist. Single-
-    /// kernel machines have nothing to parallelize.
+    /// word placement on arrival order, page-table replication maintains
+    /// cross-kernel holder shadows through the shared group state, and
+    /// pre-populated group-shared maps would need splitting along lines
+    /// that don't exist. Single-kernel machines have nothing to
+    /// parallelize.
     pub(crate) fn partition_safe(&self) -> bool {
         self.kernels.len() >= 2
             && !self.policy_active()
             && !self.net.fabric().faults_active()
             && !self.params.sync_first_touch_homing
+            && !self.params.page_table_replication
             && self.futex.is_empty()
             && self.sync_sites.is_empty()
             && self.sync_home.is_empty()
@@ -354,6 +357,19 @@ mod tests {
         let mut m = machine(2);
         m.params.sync_first_touch_homing = true;
         assert!(!m.partition_safe());
+    }
+
+    #[test]
+    fn page_table_replication_defeats_the_gate() {
+        // Replica holders and shadows live in the shared group state and
+        // are written from both sides of any partition cut, so a
+        // replica-active config must refuse partitioning (it still runs,
+        // serially).
+        let mut m = machine(2);
+        m.params.page_table_replication = true;
+        assert!(!m.partition_safe());
+        m.params.page_table_replication = false;
+        assert!(m.partition_safe());
     }
 
     #[test]

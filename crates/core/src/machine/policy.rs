@@ -20,7 +20,7 @@
 //! ever scheduled, no snapshot published, no message sent — scripted
 //! experiments stay byte-identical with builds that predate this module.
 
-use popcorn_kernel::policy::{Decision, KernelLoad, PolicyView};
+use popcorn_kernel::policy::{Decision, KernelLoad, PolicyView, ReplicaDecision};
 use popcorn_msg::KernelId;
 use popcorn_sim::{SimTime, TimeSeries};
 
@@ -208,6 +208,47 @@ impl KernelCtx<'_, '_> {
             if victim != me {
                 self.stats.steal_reqs.incr();
                 self.send(now, ki, victim, ProtoMsg::StealReq { thief: me });
+            }
+        }
+        // Replica-aware co-placement (extension): for each group with live
+        // members here, ask the policy whether to pull a page-table
+        // replica toward the threads or push a thread toward a replica.
+        // The holder set is read off the shared group state — the same
+        // kind of board shortcut as the telemetry above, and equally
+        // advisory (a duplicate replica request is ignored at the home).
+        if self.params.page_table_replication {
+            for g in self.kernels[ki].live_groups() {
+                let Some(h) = self.groups.get(&g) else {
+                    continue;
+                };
+                let holders = h.pt_holders();
+                let local_threads = self.kernels[ki].group_members(g).len() as u32;
+                match self.policy.co_place(&view, local_threads, &holders) {
+                    ReplicaDecision::Stay => {}
+                    ReplicaDecision::Replicate => {
+                        let home = self.home_of(g);
+                        if me == home {
+                            self.on_pt_replica_req(me, g, now);
+                        } else {
+                            self.send(
+                                now,
+                                ki,
+                                home,
+                                ProtoMsg::PtReplicaReq {
+                                    origin: me,
+                                    group: g,
+                                },
+                            );
+                        }
+                    }
+                    ReplicaDecision::MigrateToward(k) => {
+                        if k != me {
+                            if let Some(tid) = self.kernels[ki].pick_queued_task_in(g) {
+                                self.policy_migrate_out(ki, tid, k, now);
+                            }
+                        }
+                    }
+                }
             }
         }
         // Keep ticking while any kernel still has live work; otherwise let

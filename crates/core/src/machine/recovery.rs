@@ -83,6 +83,26 @@ pub struct RecoveryCtl {
     pub rpc_dest: Vec<BTreeMap<RpcId, KernelId>>,
 }
 
+/// Counter snapshot delimiting one detection's recovery work (see
+/// [`KernelCtx::recovery_work_snapshot`]).
+struct RecoveryWork {
+    orphans: u64,
+    pages: u64,
+    futex: u64,
+    rpcs: u64,
+}
+
+impl RecoveryWork {
+    /// Modeled cost, in ns, of the work performed between `before` and
+    /// this snapshot, priced by the `recovery_*_ns` knobs.
+    fn cost_since(&self, before: &RecoveryWork, p: &crate::params::PopcornParams) -> u64 {
+        (self.orphans - before.orphans) * p.recovery_task_kill_ns
+            + (self.pages - before.pages) * p.recovery_page_scan_ns
+            + (self.futex - before.futex) * p.recovery_futex_sweep_ns
+            + (self.rpcs - before.rpcs) * p.recovery_rpc_failover_ns
+    }
+}
+
 impl RecoveryCtl {
     /// Dormant recovery state for `n` kernels.
     pub fn new(n: usize) -> Self {
@@ -265,19 +285,24 @@ impl KernelCtx<'_, '_> {
         } else {
             Vec::new()
         };
-        if me == successor {
-            if let Some(c) = self
-                .net
+        // The successor reports crash-to-recovery-complete latency: the
+        // detection window plus the modeled cost of the work below. The
+        // counters it increments are snapshotted here and diffed after
+        // failover so the charge follows what actually happened (a home
+        // death that forces a directory rebuild costs more than sweeping
+        // two futex waiters). Accounting only — no events are scheduled,
+        // so virtual time is untouched.
+        let crash_at = if me == successor {
+            self.net
                 .fabric()
                 .planned_crashes()
                 .iter()
                 .find(|c| c.kernel == victim)
-            {
-                self.stats
-                    .recovery_latency
-                    .record_time(now.saturating_sub(c.at));
-            }
-        }
+                .map(|c| c.at)
+        } else {
+            None
+        };
+        let work_before = crash_at.map(|_| self.recovery_work_snapshot());
         for &g in &adopted {
             self.recovery.home_override.insert(g, me);
         }
@@ -324,6 +349,27 @@ impl KernelCtx<'_, '_> {
             }
         }
         self.failover_rpcs(ki, victim, now);
+        if let (Some(at), Some(before)) = (crash_at, work_before) {
+            let work = SimTime::from_nanos(
+                self.recovery_work_snapshot()
+                    .cost_since(&before, self.params),
+            );
+            self.stats
+                .recovery_latency
+                .record_time(now.saturating_sub(at) + work);
+        }
+    }
+
+    /// Snapshot of the counters recovery work increments, taken before and
+    /// after a detection so the successor can charge the modeled cost of
+    /// exactly the work it performed.
+    fn recovery_work_snapshot(&self) -> RecoveryWork {
+        RecoveryWork {
+            orphans: self.stats.orphans_killed.get(),
+            pages: self.stats.recovery_pages_scanned.get(),
+            futex: self.stats.futex_recovered.get(),
+            rpcs: self.stats.rpcs_failed_over.get(),
+        }
     }
 
     /// Per-group recovery at the group's (possibly just-adopted) home.
@@ -390,6 +436,10 @@ impl KernelCtx<'_, '_> {
         }
         if let Some(h) = self.groups.get_mut(&group) {
             h.remove_replica(victim);
+            // Any page-table replica died with the kernel holding it.
+            if self.params.page_table_replication {
+                h.remove_pt_holder(victim);
+            }
         }
         // Directory recovery.
         if rebuild {
@@ -409,6 +459,9 @@ impl KernelCtx<'_, '_> {
                 }
                 scans.push((kid, k.mm(group).pages_sorted()));
             }
+            for (_, scan) in &scans {
+                self.stats.recovery_pages_scanned.add(scan.len() as u64);
+            }
             let dir = Directory::rebuild(&scans);
             for p in old_pages {
                 if dir.view(p).is_none() {
@@ -419,7 +472,39 @@ impl KernelCtx<'_, '_> {
             if let Some(h) = self.groups.get_mut(&group) {
                 h.dir = dir;
             }
+            // Page-table replicas survive the home's death, but their
+            // shadows can run ahead of the rebuilt directory (a pre-crash
+            // push may carry a version higher than any survivor's table).
+            // Re-seed every surviving holder from the rebuilt directory by
+            // overwrite — deliberately not monotonic — and install the
+            // successor, the new authority, as a holder.
+            if self.params.page_table_replication {
+                let mut reseeded = 0u64;
+                if let Some(h) = self.groups.get_mut(&group) {
+                    h.add_pt_holder(me);
+                    let pages: Vec<(PageNo, u64)> = h
+                        .dir
+                        .pages()
+                        .into_iter()
+                        .map(|p| (p, h.dir.view(p).expect("listed above").version))
+                        .collect();
+                    for k in h.pt_holders() {
+                        if k == me {
+                            continue;
+                        }
+                        h.reseed_pt(k, &pages);
+                        reseeded += pages.len() as u64;
+                    }
+                }
+                self.stats.recovery_pages_scanned.add(reseeded);
+            }
         } else {
+            let scanned = self
+                .groups
+                .get(&group)
+                .map(|h| h.dir.pages().len())
+                .unwrap_or(0);
+            self.stats.recovery_pages_scanned.add(scanned as u64);
             let reclaim = self
                 .groups
                 .get_mut(&group)

@@ -88,6 +88,39 @@ pub struct PopcornParams {
     /// still being retried cannot arrive after its sender was declared
     /// dead (validated at build time when a crash is planned).
     pub crash_detect_ns: u64,
+    /// Modeled cost per orphaned task the successor reaps during crash
+    /// recovery (teardown + membership bookkeeping). Feeds the
+    /// `recovery_latency` accounting only — it schedules no events, so it
+    /// cannot perturb virtual time.
+    pub recovery_task_kill_ns: u64,
+    /// Modeled cost per directory/page-table entry walked during recovery
+    /// (survivor scans for a rebuild, reclaimed entries otherwise).
+    pub recovery_page_scan_ns: u64,
+    /// Modeled cost per futex waiter swept with `EOWNERDEAD`.
+    pub recovery_futex_sweep_ns: u64,
+    /// Modeled cost per outstanding RPC failed over (re-driven or errored).
+    pub recovery_rpc_failover_ns: u64,
+    /// Per-kernel page-table replicas: the master gate for the
+    /// walk-locality model. When on, every page fault is charged a walk by
+    /// replica locality (`HwParams::local_replica_walk_ns` at a kernel
+    /// holding a replica of the group's tables,
+    /// `HwParams::remote_page_walk_ns` otherwise), and the home pushes
+    /// replica updates to holders over the reliable fabric as the
+    /// directory changes. `false` (the default) takes a single boolean
+    /// branch everywhere and leaves every result byte-identical.
+    pub page_table_replication: bool,
+    /// Replica acquisition: seed a page-table replica at a kernel on its
+    /// first page request reaching the home (Mitosis-style eager
+    /// self-replication). `false` leaves acquisition to the policy's
+    /// co-placement hook (or nobody — only the home walks locally).
+    /// Requires `page_table_replication`.
+    pub replicate_on_first_fault: bool,
+    /// Software cost of applying one pushed replica update at a holder (on
+    /// top of the hardware `HwParams::pt_replica_update_ns`).
+    pub replica_update_service_ns: u64,
+    /// Per-entry cost of seeding a freshly granted replica from the home's
+    /// directory (charged at the new holder, scaled by directory size).
+    pub replica_install_page_ns: u64,
     /// Run the global invariant checker (`crate::invariants`) at the end of
     /// every completed run: no thread lost or duplicated, no directory
     /// entry naming a dead owner, no RPC wedged. Panics on violation.
@@ -124,6 +157,14 @@ impl Default for PopcornParams {
             // Worst-case retransmit chain at the default policy is
             // Σ min(50µs·2ⁱ, 2ms) ≈ 11.55ms; 12ms clears it.
             crash_detect_ns: 12_000_000,
+            recovery_task_kill_ns: 40_000,
+            recovery_page_scan_ns: 800,
+            recovery_futex_sweep_ns: 3_000,
+            recovery_rpc_failover_ns: 5_000,
+            page_table_replication: false,
+            replicate_on_first_fault: false,
+            replica_update_service_ns: 500,
+            replica_install_page_ns: 150,
             check_invariants: true,
         }
     }
@@ -162,6 +203,16 @@ impl PopcornParams {
         }
         if self.policy != PolicyKind::ScriptedOnly && self.telemetry_period_ns == 0 {
             return Err("telemetry_period_ns must be non-zero when a policy is active".into());
+        }
+        if self.replicate_on_first_fault && !self.page_table_replication {
+            return Err("replicate_on_first_fault requires page_table_replication \
+                 (there are no replicas to seed without the walk-locality model)"
+                .into());
+        }
+        if self.policy == PolicyKind::ReplicaAware && !self.page_table_replication {
+            return Err("the replica-aware policy requires page_table_replication \
+                 (its co-placement hook has nothing to act on without replicas)"
+                .into());
         }
         Ok(())
     }
@@ -275,6 +326,27 @@ mod tests {
         // Defaults: 50µs doubling to the 2ms cap over 10 attempts ≈ 11.55ms,
         // which the default crash_detect_ns (12ms) must clear.
         assert!(p.crash_detect_ns > p.worst_retx_chain_ns());
+    }
+
+    #[test]
+    fn replication_knobs_validate() {
+        let eager_without_model = PopcornParams {
+            replicate_on_first_fault: true,
+            ..PopcornParams::default()
+        };
+        assert!(eager_without_model.validate().is_err());
+        let policy_without_model = PopcornParams {
+            policy: PolicyKind::ReplicaAware,
+            ..PopcornParams::default()
+        };
+        assert!(policy_without_model.validate().is_err());
+        let ok = PopcornParams {
+            page_table_replication: true,
+            replicate_on_first_fault: true,
+            policy: PolicyKind::ReplicaAware,
+            ..PopcornParams::default()
+        };
+        assert_eq!(ok.validate(), Ok(()));
     }
 
     #[test]

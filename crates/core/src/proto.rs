@@ -304,6 +304,37 @@ pub enum ProtoMsg {
         page: PageNo,
     },
 
+    /// Per-page page-table update pushed by the serving home to every
+    /// page-table replica holder (page-table replication on). Carries the
+    /// new directory version so holders' shadows converge; applied
+    /// monotonically at the receiver (a retransmission-reordered stale
+    /// push is ignored).
+    PtReplicaUpdate {
+        /// The group.
+        group: GroupId,
+        /// The re-mapped page.
+        page: PageNo,
+        /// Its new directory version.
+        version: u64,
+    },
+    /// A kernel asks the group's home for a page-table replica (the
+    /// replica-aware policy's "replicate toward the threads" arm).
+    PtReplicaReq {
+        /// The requesting kernel.
+        origin: KernelId,
+        /// The group whose tables to replicate.
+        group: GroupId,
+    },
+    /// Home's bulk answer: the full page→version map, installed as the
+    /// requester's initial shadow (the requester pays a per-page install
+    /// cost on receipt).
+    PtReplicaGrant {
+        /// The group.
+        group: GroupId,
+        /// Every page the directory currently tracks, with its version.
+        pages: Vec<(PageNo, u64)>,
+    },
+
     /// Futex operation forwarded to the group's home (futex server).
     FutexReq {
         /// Correlation id at the origin.
@@ -597,6 +628,23 @@ impl ProtoMsg {
                 group: *group,
                 page: *page,
             },
+            PtReplicaUpdate {
+                group,
+                page,
+                version,
+            } => PtReplicaUpdate {
+                group: *group,
+                page: *page,
+                version: *version,
+            },
+            PtReplicaReq { origin, group } => PtReplicaReq {
+                origin: *origin,
+                group: *group,
+            },
+            PtReplicaGrant { group, pages } => PtReplicaGrant {
+                group: *group,
+                pages: pages.clone(),
+            },
             FutexReq {
                 rpc,
                 origin,
@@ -704,7 +752,10 @@ impl ProtoMsg {
             | PageInvalAck { .. }
             | PageGrant { .. }
             | PageDone { .. }
-            | PageNack { .. } => Protocol::Page,
+            | PageNack { .. }
+            | PtReplicaUpdate { .. }
+            | PtReplicaReq { .. }
+            | PtReplicaGrant { .. } => Protocol::Page,
             FutexReq { .. }
             | FutexResp { .. }
             | FutexWakeTask { .. }
@@ -767,6 +818,8 @@ impl Wire for ProtoMsg {
             ProtoMsg::GroupExitReq { killed, .. } | ProtoMsg::GroupKillAck { killed, .. } => {
                 HDR + killed.len() * 8
             }
+            // Bulk shadow install: (page, version) pairs.
+            ProtoMsg::PtReplicaGrant { pages, .. } => HDR + pages.len() * 8,
             // Envelope: the inner message plus the sequence-number field.
             ProtoMsg::Seq { inner, .. } => 8 + inner.wire_size(),
             // Telemetry snapshot: four counters plus two rates.

@@ -188,9 +188,28 @@ pub struct PopStats {
     /// (page waits re-driven at the new home; others completed with
     /// `EOWNERDEAD`).
     pub rpcs_failed_over: Counter,
-    /// Detection-to-declaration latency per declaration, in ns (recorded at
-    /// the successor kernel only: crash instant → its CrashDetect firing).
+    /// Directory/page-table entries walked by crash recovery: survivor
+    /// page-table scans feeding a directory rebuild, reclaimed entries when
+    /// the home survived, and replica reseeding after a rebuild.
+    pub recovery_pages_scanned: Counter,
+    /// Crash-to-recovery-complete latency, in ns, recorded at the successor
+    /// kernel per declaration: the ack-silence detection window plus the
+    /// modeled cost of the recovery work it then performed (orphan reaping,
+    /// directory rebuild or reclaim, futex sweep, RPC failover) — not just
+    /// the constant detection window.
     pub recovery_latency: Histogram,
+
+    // --- Page-table replication (only non-zero when enabled) ---
+    /// Faults whose page walk hit a local page-table replica.
+    pub replica_local_walks: Counter,
+    /// Faults that had to walk the home's page tables across the fabric
+    /// (no local replica).
+    pub replica_remote_walks: Counter,
+    /// Page-table replicas seeded at a kernel (eager first-fault or
+    /// policy-requested).
+    pub replica_installs: Counter,
+    /// Replica page-table-entry updates applied at holder kernels.
+    pub replica_updates: Counter,
 
     /// Per-protocol traffic/service accounting (one entry per `machine/`
     /// protocol module).
@@ -265,7 +284,15 @@ impl PopStats {
         self.pages_lost.add(other.pages_lost.get());
         self.futex_recovered.add(other.futex_recovered.get());
         self.rpcs_failed_over.add(other.rpcs_failed_over.get());
+        self.recovery_pages_scanned
+            .add(other.recovery_pages_scanned.get());
         self.recovery_latency.merge(&other.recovery_latency);
+        self.replica_local_walks
+            .add(other.replica_local_walks.get());
+        self.replica_remote_walks
+            .add(other.replica_remote_walks.get());
+        self.replica_installs.add(other.replica_installs.get());
+        self.replica_updates.add(other.replica_updates.get());
         for &p in Protocol::ALL.iter() {
             self.proto.of(p).absorb(other.proto.get(p));
         }
@@ -273,8 +300,8 @@ impl PopStats {
 
     /// Total histogram-bucket saturations across every latency/service
     /// histogram — non-zero means some recorded value exceeded a
-    /// histogram's range and was clamped into its top bucket, i.e. the
-    /// reported tails understate reality (see
+    /// histogram's range; such samples are kept out of quantile
+    /// interpolation and the reported tail clamps to the exact max (see
     /// [`Histogram::saturations`](popcorn_sim::Histogram::saturations)).
     pub fn hist_saturations(&self) -> u64 {
         let own = [
@@ -390,9 +417,26 @@ impl PopStats {
             self.rpcs_failed_over.get() as f64,
         );
         m.insert(
+            "recovery_pages_scanned".into(),
+            self.recovery_pages_scanned.get() as f64,
+        );
+        m.insert(
             "recovery_ms_mean".into(),
             self.recovery_latency.mean() / 1e6,
         );
+        m.insert(
+            "replica_local_walks".into(),
+            self.replica_local_walks.get() as f64,
+        );
+        m.insert(
+            "replica_remote_walks".into(),
+            self.replica_remote_walks.get() as f64,
+        );
+        m.insert(
+            "replica_installs".into(),
+            self.replica_installs.get() as f64,
+        );
+        m.insert("replica_updates".into(), self.replica_updates.get() as f64);
         for p in Protocol::ALL {
             let c = self.proto.get(p);
             let key = |suffix: &str| format!("proto_{}_{suffix}", p.name());

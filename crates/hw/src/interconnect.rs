@@ -29,6 +29,9 @@ pub struct Interconnect {
     dram_remote: SimTime,
     page_copy_same: SimTime,
     page_copy_cross: SimTime,
+    local_replica_walk: SimTime,
+    remote_page_walk: SimTime,
+    pt_replica_update: SimTime,
 }
 
 impl Interconnect {
@@ -42,6 +45,9 @@ impl Interconnect {
             dram_remote: SimTime::from_nanos(params.dram_remote_ns),
             page_copy_same: SimTime::from_nanos(params.page_copy_same_socket_ns),
             page_copy_cross: SimTime::from_nanos(params.page_copy_cross_socket_ns),
+            local_replica_walk: SimTime::from_nanos(params.local_replica_walk_ns),
+            remote_page_walk: SimTime::from_nanos(params.remote_page_walk_ns),
+            pt_replica_update: SimTime::from_nanos(params.pt_replica_update_ns),
         }
     }
 
@@ -74,6 +80,22 @@ impl Interconnect {
         } else {
             self.page_copy_cross
         }
+    }
+
+    /// A page-table walk, charged by replica locality: against a local
+    /// replica of the tables, or against tables living on another kernel's
+    /// memory (every level a remote access).
+    pub fn page_walk(&self, local_replica: bool) -> SimTime {
+        if local_replica {
+            self.local_replica_walk
+        } else {
+            self.remote_page_walk
+        }
+    }
+
+    /// Applying one pushed page-table-entry update at a replica holder.
+    pub fn pt_replica_update(&self) -> SimTime {
+        self.pt_replica_update
     }
 
     /// The topology this model was built for.
@@ -129,5 +151,15 @@ mod tests {
     fn page_copy_tiers() {
         let ic = ic();
         assert!(ic.page_copy(SocketId(0), SocketId(1)) > ic.page_copy(SocketId(0), SocketId(0)));
+    }
+
+    #[test]
+    fn page_walk_tiers_match_params() {
+        let p = HwParams::default();
+        let ic = Interconnect::new(Topology::new(2, 4), &p);
+        assert_eq!(ic.page_walk(true).as_nanos(), p.local_replica_walk_ns);
+        assert_eq!(ic.page_walk(false).as_nanos(), p.remote_page_walk_ns);
+        assert!(ic.page_walk(false) > ic.page_walk(true));
+        assert_eq!(ic.pt_replica_update().as_nanos(), p.pt_replica_update_ns);
     }
 }

@@ -51,6 +51,20 @@ pub struct HwParams {
     pub page_copy_same_socket_ns: u64,
     /// Copying one 4 KiB page across sockets.
     pub page_copy_cross_socket_ns: u64,
+    /// A page-table walk against a local replica of the tables (all four
+    /// levels in local DRAM or cache). Only charged when the walk-locality
+    /// model is on (`page_table_replication`).
+    pub local_replica_walk_ns: u64,
+    /// A page-table walk when the tables live on another kernel's memory
+    /// domain: four dependent pointer chases, each a full cross-fabric
+    /// round trip that cannot overlap with the next (the walker needs
+    /// level N's entry to find level N+1). Mitosis measures 3–4× per
+    /// level just for NUMA-remote tables; cross-kernel adds the
+    /// fabric hop on top.
+    pub remote_page_walk_ns: u64,
+    /// Applying one pushed page-table-entry update at a replica holder
+    /// (write the PTE, invalidate the local TLB entry).
+    pub pt_replica_update_ns: u64,
 }
 
 impl Default for HwParams {
@@ -71,6 +85,12 @@ impl Default for HwParams {
             tlb_invalidate_local_ns: 120,
             page_copy_same_socket_ns: 550,
             page_copy_cross_socket_ns: 1_100,
+            // ~4 levels of local DRAM/cache vs 4 dependent cross-fabric
+            // round trips (~575 ns each: remote DRAM + cross-socket
+            // transfer + coherence, serialized by the pointer chase).
+            local_replica_walk_ns: 120,
+            remote_page_walk_ns: 2_300,
+            pt_replica_update_ns: 210,
         }
     }
 }
@@ -104,6 +124,12 @@ impl HwParams {
             return Err(format!(
                 "cross-socket page copy ({}) faster than same-socket ({})",
                 self.page_copy_cross_socket_ns, self.page_copy_same_socket_ns
+            ));
+        }
+        if self.remote_page_walk_ns < self.local_replica_walk_ns {
+            return Err(format!(
+                "remote page walk ({}) faster than local replica walk ({})",
+                self.remote_page_walk_ns, self.local_replica_walk_ns
             ));
         }
         Ok(())
@@ -159,6 +185,15 @@ mod tests {
     fn validation_catches_inverted_line_transfer() {
         let p = HwParams {
             line_transfer_cross_socket_ns: 1,
+            ..HwParams::default()
+        };
+        assert!(p.validate().is_err());
+    }
+
+    #[test]
+    fn validation_catches_inverted_page_walk() {
+        let p = HwParams {
+            remote_page_walk_ns: 1,
             ..HwParams::default()
         };
         assert!(p.validate().is_err());

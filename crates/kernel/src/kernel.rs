@@ -962,6 +962,30 @@ impl Kernel {
         v
     }
 
+    /// Distinct groups with live members hosted here, ascending.
+    pub fn live_groups(&self) -> Vec<GroupId> {
+        let mut v: Vec<GroupId> = self
+            .tasks
+            .values()
+            .filter(|t| !t.is_exited() && !t.is_shadow())
+            .map(|t| t.group)
+            .collect();
+        v.sort_unstable();
+        v.dedup();
+        v
+    }
+
+    /// A queued ready thread belonging to `group`, if any (replica-aware
+    /// co-placement migrates members of a specific group; contrast
+    /// [`Kernel::pick_queued_task`], which picks regardless of group).
+    pub fn pick_queued_task_in(&self, group: GroupId) -> Option<Tid> {
+        self.cores
+            .iter()
+            .flat_map(|cs| cs.runqueue.iter().rev())
+            .copied()
+            .find(|&tid| self.tasks.get(&tid).is_some_and(|t| t.group == group))
+    }
+
     /// Number of tasks in any non-exited, non-shadow state.
     pub fn live_tasks(&self) -> usize {
         self.tasks

@@ -71,6 +71,21 @@ pub enum Decision {
     Migrate(KernelId),
 }
 
+/// What the co-placement hook decided for one (kernel, group) pair when
+/// page-table replication is enabled: the Phoenix trade-off between moving
+/// the computation and moving the translation structures.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReplicaDecision {
+    /// Leave things where they are.
+    Stay,
+    /// Pull a replica of the group's page tables to this kernel
+    /// ("replicate toward the threads").
+    Replicate,
+    /// Move one of the group's threads to the given replica-holding kernel
+    /// ("migrate the threads toward their replica").
+    MigrateToward(KernelId),
+}
+
 /// The telemetry a policy sees when asked for a decision: who is asking,
 /// when, and the latest published snapshot of every kernel.
 #[derive(Debug)]
@@ -144,6 +159,22 @@ pub trait MigrationPolicy: std::fmt::Debug + Send {
     fn redirect(&mut self, view: &PolicyView<'_>, requested: KernelId) -> KernelId {
         let _ = view;
         requested
+    }
+
+    /// Co-placement hook, invoked per (kernel, group) at the policy tick
+    /// *only* when page-table replication is enabled: `view.me` hosts
+    /// `local_threads` of the group's threads and `replica_holders` are the
+    /// kernels (home included, ascending) holding a replica of its page
+    /// tables. The machine layer executes the returned decision: seeding a
+    /// replica, or moving one queued thread of that group toward a holder.
+    fn co_place(
+        &mut self,
+        view: &PolicyView<'_>,
+        local_threads: u32,
+        replica_holders: &[KernelId],
+    ) -> ReplicaDecision {
+        let _ = (view, local_threads, replica_holders);
+        ReplicaDecision::Stay
     }
 }
 
@@ -360,6 +391,93 @@ impl MigrationPolicy for FaultAware {
     }
 }
 
+/// Phoenix-style thread/page-table co-placement, built on the PR-6
+/// telemetry: a kernel faulting hard on a group whose page tables it does
+/// not replicate either pulls a replica to itself (when enough of the
+/// group's threads run here to amortize the replica's update traffic) or
+/// sends one thread to an existing replica holder (when the thread is the
+/// cheaper thing to move). Hysteresis mirrors [`LoadThreshold`]: a
+/// fault-rate floor keeps cold groups untouched, and a per-kernel cooldown
+/// ensures one pressure signal triggers one action, not a volley.
+#[derive(Debug)]
+pub struct ReplicaAware {
+    /// Act only when the recent fault rate (faults/ms) reaches this floor.
+    min_fault_rate: f64,
+    /// At least this many group threads here → replicate toward them;
+    /// fewer → migrate a thread toward the replica.
+    replicate_min_threads: u32,
+    cooldown: SimTime,
+    last_act: BTreeMap<u16, SimTime>,
+}
+
+impl ReplicaAware {
+    /// Policy with the given fault-rate floor, replicate-vs-migrate thread
+    /// threshold (clamped to >= 1), and per-kernel cooldown.
+    pub fn new(min_fault_rate: f64, replicate_min_threads: u32, cooldown: SimTime) -> Self {
+        ReplicaAware {
+            min_fault_rate,
+            replicate_min_threads: replicate_min_threads.max(1),
+            cooldown,
+            last_act: BTreeMap::new(),
+        }
+    }
+
+    fn cooled_down(&self, me: KernelId, now: SimTime) -> bool {
+        self.last_act
+            .get(&me.0)
+            .is_none_or(|&t| now >= t + self.cooldown)
+    }
+}
+
+impl Default for ReplicaAware {
+    fn default() -> Self {
+        // One fault per millisecond is already a remote-walk-dominated
+        // group; the 200µs cooldown spans a few telemetry periods, the
+        // same pacing LoadThreshold uses.
+        Self::new(1.0, 2, SimTime::from_micros(200))
+    }
+}
+
+impl MigrationPolicy for ReplicaAware {
+    fn name(&self) -> &'static str {
+        "replica-aware"
+    }
+
+    fn co_place(
+        &mut self,
+        view: &PolicyView<'_>,
+        local_threads: u32,
+        replica_holders: &[KernelId],
+    ) -> ReplicaDecision {
+        if local_threads == 0 || replica_holders.contains(&view.me) {
+            return ReplicaDecision::Stay; // already co-placed
+        }
+        let faulting = view
+            .mine()
+            .is_some_and(|l| l.fault_rate >= self.min_fault_rate);
+        if !faulting || !self.cooled_down(view.me, view.now) {
+            return ReplicaDecision::Stay;
+        }
+        if local_threads >= self.replicate_min_threads {
+            self.last_act.insert(view.me.0, view.now);
+            return ReplicaDecision::Replicate;
+        }
+        // Few threads: the thread is cheaper to move than the tables.
+        // Lowest healthy holder, for determinism.
+        let target = replica_holders
+            .iter()
+            .find(|&&k| view.of(k).is_none_or(|l| l.healthy))
+            .copied();
+        match target {
+            Some(k) => {
+                self.last_act.insert(view.me.0, view.now);
+                ReplicaDecision::MigrateToward(k)
+            }
+            None => ReplicaDecision::Stay,
+        }
+    }
+}
+
 /// Configuration-level selector for a [`MigrationPolicy`], so a policy
 /// choice can travel inside plain-data parameter structs.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -375,16 +493,20 @@ pub enum PolicyKind {
     FutexWakeLocality,
     /// Threshold balancing that routes around crashed/blacked-out kernels.
     FaultAware,
+    /// Phoenix-style thread/page-table co-placement (requires
+    /// `page_table_replication`; its hook is otherwise never invoked).
+    ReplicaAware,
 }
 
 impl PolicyKind {
     /// Every selectable policy, scripted first.
-    pub const ALL: [PolicyKind; 5] = [
+    pub const ALL: [PolicyKind; 6] = [
         PolicyKind::ScriptedOnly,
         PolicyKind::LoadThreshold,
         PolicyKind::WorkStealing,
         PolicyKind::FutexWakeLocality,
         PolicyKind::FaultAware,
+        PolicyKind::ReplicaAware,
     ];
 
     /// Instantiates the policy with its default tuning.
@@ -395,6 +517,7 @@ impl PolicyKind {
             PolicyKind::WorkStealing => Box::<WorkStealing>::default(),
             PolicyKind::FutexWakeLocality => Box::<FutexWakeLocality>::default(),
             PolicyKind::FaultAware => Box::<FaultAware>::default(),
+            PolicyKind::ReplicaAware => Box::<ReplicaAware>::default(),
         }
     }
 
@@ -406,6 +529,7 @@ impl PolicyKind {
             PolicyKind::WorkStealing => "work-stealing",
             PolicyKind::FutexWakeLocality => "futex-locality",
             PolicyKind::FaultAware => "fault-aware",
+            PolicyKind::ReplicaAware => "replica-aware",
         }
     }
 }
@@ -575,6 +699,66 @@ mod tests {
         let busy = loads(&[2, 8, 8]);
         let v = view_from(&busy, 0, 0);
         assert_eq!(p.steal_from(&v), None);
+    }
+
+    #[test]
+    fn replica_aware_replicates_or_chases_by_thread_count() {
+        let mut ls = loads(&[2, 1, 1]);
+        ls[0].fault_rate = 5.0; // hot group on kernel 0
+        let v = view_from(&ls, 0, 1_000_000);
+        let holders = [KernelId(2)];
+        let mut p = ReplicaAware::default();
+        // Many local threads: pull the tables here.
+        assert_eq!(p.co_place(&v, 3, &holders), ReplicaDecision::Replicate);
+        // Cooldown: the very next tick must not act again.
+        let v2 = view_from(&ls, 0, 1_050_000);
+        assert_eq!(p.co_place(&v2, 3, &holders), ReplicaDecision::Stay);
+        // One lone thread on a fresh kernel: chase the replica instead.
+        let mut ls1 = loads(&[2, 1, 1]);
+        ls1[1].fault_rate = 5.0;
+        let v3 = view_from(&ls1, 1, 1_000_000);
+        assert_eq!(
+            p.co_place(&v3, 1, &holders),
+            ReplicaDecision::MigrateToward(KernelId(2))
+        );
+    }
+
+    #[test]
+    fn replica_aware_stays_when_cold_or_co_placed() {
+        let ls = loads(&[2, 1]); // fault_rate 0 everywhere
+        let v = view_from(&ls, 0, 1_000_000);
+        let mut p = ReplicaAware::default();
+        assert_eq!(
+            p.co_place(&v, 4, &[KernelId(1)]),
+            ReplicaDecision::Stay,
+            "cold group must not trigger placement"
+        );
+        let mut hot = loads(&[2, 1]);
+        hot[0].fault_rate = 9.0;
+        let v = view_from(&hot, 0, 1_000_000);
+        assert_eq!(
+            p.co_place(&v, 4, &[KernelId(0), KernelId(1)]),
+            ReplicaDecision::Stay,
+            "a holder is already co-placed"
+        );
+        assert_eq!(
+            p.co_place(&v, 0, &[KernelId(1)]),
+            ReplicaDecision::Stay,
+            "no local threads, nothing to co-place"
+        );
+    }
+
+    #[test]
+    fn replica_aware_skips_unhealthy_holders() {
+        let mut ls = loads(&[1, 1, 1]);
+        ls[0].fault_rate = 9.0;
+        ls[1].healthy = false;
+        let v = view_from(&ls, 0, 1_000_000);
+        let mut p = ReplicaAware::default();
+        assert_eq!(
+            p.co_place(&v, 1, &[KernelId(1), KernelId(2)]),
+            ReplicaDecision::MigrateToward(KernelId(2))
+        );
     }
 
     #[test]

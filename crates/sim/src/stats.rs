@@ -97,9 +97,10 @@ impl Histogram {
     }
 
     /// Creates an empty histogram covering only the first `groups` powers of
-    /// two. Samples above the covered range fold into the top bucket and are
-    /// counted as saturations (see [`Histogram::saturations`]); the full-range
-    /// [`Histogram::new`] never saturates.
+    /// two. Samples above the covered range are counted as saturations (see
+    /// [`Histogram::saturations`]) and excluded from the bucket counts so
+    /// they cannot drag upper quantiles down to the covered range's ceiling;
+    /// the full-range [`Histogram::new`] never saturates.
     pub fn with_groups(groups: usize) -> Self {
         assert!(
             (1..=BUCKET_GROUPS).contains(&groups),
@@ -137,16 +138,18 @@ impl Histogram {
         ((SUB_BUCKETS as u64) + sub) << shift
     }
 
-    /// Records one sample. Samples beyond the bucketed range clamp into the
-    /// top bucket and increment the saturation counter instead of silently
-    /// flattening the tail.
+    /// Records one sample. Samples beyond the bucketed range are tallied as
+    /// saturations and kept *out* of the bucket counts (they still update
+    /// the exact count/sum/min/max), so quantile interpolation never treats
+    /// overflow mass as if it had landed in the top covered bucket — that
+    /// would silently flatten the tail toward the bucket range's ceiling.
     pub fn record(&mut self, value: u64) {
         let raw = Self::bucket_of(value);
         if raw >= self.counts.len() {
             self.saturated += 1;
+        } else {
+            self.counts[raw] += 1;
         }
-        let idx = raw.min(self.counts.len() - 1);
-        self.counts[idx] += 1;
         self.count += 1;
         self.sum += value as u128;
         self.min = self.min.min(value);
@@ -194,7 +197,12 @@ impl Histogram {
     }
 
     /// Approximate quantile `q` in `[0, 1]` (0 if empty). Clamped to the
-    /// exact min/max so the tails never report out-of-range values.
+    /// exact min/max so the tails never report out-of-range values. Ranks
+    /// that fall into the saturated overflow mass (every overflow sample is
+    /// by construction ≥ every bucketed one) resolve to the exact recorded
+    /// max: an explicit upper clamp that may over-report inside the
+    /// overflow range but can never *under*-report the tail the way
+    /// folding overflow into the top bucket would.
     pub fn quantile(&self, q: f64) -> u64 {
         if self.count == 0 {
             return 0;
@@ -202,6 +210,8 @@ impl Histogram {
         let q = q.clamp(0.0, 1.0);
         let target = ((q * self.count as f64).ceil() as u64).max(1);
         let mut seen = 0u64;
+        // Bucket counts exclude saturations, so a rank beyond
+        // `count - saturated` falls through to the exact max.
         for (i, &c) in self.counts.iter().enumerate() {
             seen += c;
             if seen >= target {
@@ -504,8 +514,9 @@ mod tests {
 
     #[test]
     fn bounded_histogram_counts_saturations() {
-        // 8 groups cover values up to 2^11 - 1; anything above folds into
-        // the top bucket and must be counted, not silently clamped.
+        // 8 groups cover values up to 2^11 - 1; anything above is tallied
+        // as a saturation and kept out of the buckets, not silently
+        // clamped into the top one.
         let mut h = Histogram::with_groups(8);
         h.record(100);
         h.record(1 << 20);
@@ -529,6 +540,54 @@ mod tests {
         a.merge(&b);
         assert_eq!(a.saturations(), 2);
         assert_eq!(a.count(), 3);
+    }
+
+    #[test]
+    fn saturated_histogram_never_under_reports_p99() {
+        // Regression: overflow samples used to be folded into the top
+        // covered bucket, so once `saturated > 0` the p99 of a
+        // with_groups(8) histogram (range ceiling 2^11 - 1) came back as
+        // the top bucket's floor (~1.9k) even when the true tail sat in the
+        // millions. Overflow mass is now excluded from interpolation and
+        // tail ranks clamp to the exact max.
+        let mut h = Histogram::with_groups(8);
+        let mut samples = Vec::new();
+        for i in 0..90u64 {
+            samples.push(100 + i); // in range
+        }
+        for i in 0..10u64 {
+            samples.push((1 << 20) + i * 1_000); // far beyond the range
+        }
+        for &s in &samples {
+            h.record(s);
+        }
+        assert_eq!(h.saturations(), 10);
+        samples.sort_unstable();
+        let true_p99 = samples[((0.99 * samples.len() as f64).ceil() as usize) - 1];
+        assert!(
+            h.quantile(0.99) >= true_p99,
+            "p99 {} under-reports true p99 {true_p99} with saturation present",
+            h.quantile(0.99)
+        );
+        // Lower quantiles still interpolate over the covered mass.
+        assert!(h.quantile(0.50) < 1 << 11);
+        // And the reported tail is the exact recorded max, an explicit
+        // upper clamp rather than a silently flattened value.
+        assert_eq!(h.quantile(0.999), h.max());
+    }
+
+    #[test]
+    fn quantiles_unchanged_when_nothing_saturates() {
+        let mut bounded = Histogram::with_groups(8);
+        let mut full = Histogram::new();
+        for v in [3u64, 90, 250, 1_000, 1_900] {
+            bounded.record(v);
+            full.record(v);
+        }
+        assert_eq!(bounded.saturations(), 0);
+        for q in [0.0, 0.25, 0.5, 0.9, 0.99, 1.0] {
+            assert_eq!(bounded.quantile(q), full.quantile(q));
+        }
     }
 
     #[test]

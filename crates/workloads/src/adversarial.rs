@@ -21,9 +21,14 @@
 //!   while a fault plan makes one kernel slow or unreachable. A
 //!   fault-aware policy reroutes the scripted hops; everyone else keeps
 //!   dutifully migrating into the straggler.
+//! - [`migrating_writers`] — ring hoppers that drag a private working
+//!   set with them: each arrival rewrites the worker's own pages, so
+//!   ownership (and, with replication on, the page walk bill) chases the
+//!   thread around the machine. E15's walk generator.
 //!
-//! All four run unchanged under every policy (including `ScriptedOnly`),
-//! so E13 can sweep the full policies × scenarios matrix.
+//! All of these run unchanged under every policy (including
+//! `ScriptedOnly`), so E13/E15 can sweep full policies × scenarios
+//! matrices.
 
 use popcorn_kernel::program::{
     FutexOp, MigrateTarget, Op, Placement, ProgEnv, Program, Resume, RmwOp, SysResult, SyscallReq,
@@ -258,6 +263,108 @@ pub fn straggler_hopper(hops: u32, kernels: u16, compute_ns: u64) -> Box<dyn Pro
     Box::new(TolerantRingHopper::new(hops, kernels, compute_ns))
 }
 
+/// What a [`MigratingWriter`] is waiting on.
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum WriterState {
+    /// Between hops (the migrate syscall or the inter-hop compute just
+    /// resumed, or we are at the very start).
+    Hopping,
+    /// Rewriting the private working set at the current kernel.
+    Touching,
+}
+
+/// Hops the kernel ring with a private working set in tow: each arrival
+/// rewrites the worker's own pages before computing, so every hop turns
+/// into write faults whose page ownership chases the thread around the
+/// machine.
+///
+/// This is the access pattern page-table replication exists for: the
+/// faults land at a kernel that has never seen the group's tables, so
+/// with replication on but no replica the walk goes remote every time,
+/// and a replica (eager or policy-placed) converts the whole stream to
+/// local walks (E15).
+#[derive(Debug)]
+pub struct MigratingWriter {
+    base: VAddr,
+    pages: u64,
+    hops_left: u32,
+    kernels: u16,
+    compute_ns: u64,
+    next_page: u64,
+    seq: u64,
+    state: WriterState,
+}
+
+impl MigratingWriter {
+    /// `hops` ring hops over `kernels` kernels; after each hop, rewrites
+    /// the `pages` pages starting at `base`, then computes `compute_ns`.
+    pub fn new(base: VAddr, pages: u64, hops: u32, kernels: u16, compute_ns: u64) -> Self {
+        MigratingWriter {
+            base,
+            pages,
+            hops_left: hops,
+            kernels,
+            compute_ns,
+            next_page: 0,
+            seq: 0,
+            state: WriterState::Hopping,
+        }
+    }
+
+    fn touch(&mut self) -> Op {
+        let addr = self.base.add(self.next_page * VAddr::PAGE_SIZE);
+        self.next_page += 1;
+        self.seq += 1;
+        Op::Store(addr, self.seq)
+    }
+}
+
+impl Program for MigratingWriter {
+    fn step(&mut self, _r: Resume, env: &ProgEnv) -> Op {
+        match self.state {
+            WriterState::Hopping => {
+                if self.hops_left == 0 {
+                    return Op::Exit(0);
+                }
+                self.hops_left -= 1;
+                self.next_page = 0;
+                self.state = WriterState::Touching;
+                let next = KernelId((env.kernel.0 + 1) % self.kernels);
+                Op::Syscall(SyscallReq::Migrate(MigrateTarget::Kernel(next)))
+            }
+            WriterState::Touching => {
+                if self.next_page < self.pages {
+                    self.touch()
+                } else {
+                    self.state = WriterState::Hopping;
+                    Op::Compute(self.compute_ns)
+                }
+            }
+        }
+    }
+}
+
+/// `workers` ring hoppers, each dragging `pages_each` private pages of
+/// working set around `kernels` kernels for `hops` hops (see
+/// [`MigratingWriter`]).
+pub fn migrating_writers(
+    workers: usize,
+    hops: u32,
+    kernels: u16,
+    pages_each: u64,
+    compute_ns: u64,
+) -> Box<dyn Program> {
+    Team::boxed(
+        TeamConfig::new(workers, workers as u64 * pages_each * VAddr::PAGE_SIZE),
+        Box::new(move |i, shared: Shared| {
+            let base = shared.data.add(i as u64 * pages_each * VAddr::PAGE_SIZE);
+            Box::new(MigratingWriter::new(
+                base, pages_each, hops, kernels, compute_ns,
+            ))
+        }),
+    )
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -357,5 +464,39 @@ mod tests {
             Op::Compute(1_000)
         ));
         assert!(matches!(h.step(Resume::Done, &e1), Op::Exit(0)));
+    }
+
+    #[test]
+    fn migrating_writer_rewrites_its_pages_after_every_hop() {
+        let mut w = MigratingWriter::new(VAddr(0x8000), 2, 2, 4, 1_000);
+        // First hop: ring successor of kernel 0.
+        assert!(matches!(
+            w.step(Resume::Start, &env()),
+            Op::Syscall(SyscallReq::Migrate(MigrateTarget::Kernel(KernelId(1))))
+        ));
+        // Arrival: rewrite both private pages, then compute.
+        assert!(matches!(
+            w.step(Resume::Sys(SysResult::Val(0)), &env()),
+            Op::Store(a, 1) if a == VAddr(0x8000)
+        ));
+        assert!(matches!(
+            w.step(Resume::Done, &env()),
+            Op::Store(a, 2) if a == VAddr(0x8000 + VAddr::PAGE_SIZE)
+        ));
+        assert!(matches!(w.step(Resume::Done, &env()), Op::Compute(1_000)));
+        // Second hop from kernel 1, same rewrite, then exit.
+        let mut e1 = env();
+        e1.kernel = KernelId(1);
+        assert!(matches!(
+            w.step(Resume::Done, &e1),
+            Op::Syscall(SyscallReq::Migrate(MigrateTarget::Kernel(KernelId(2))))
+        ));
+        assert!(matches!(
+            w.step(Resume::Sys(SysResult::Val(0)), &e1),
+            Op::Store(a, 3) if a == VAddr(0x8000)
+        ));
+        assert!(matches!(w.step(Resume::Done, &e1), Op::Store(_, 4)));
+        assert!(matches!(w.step(Resume::Done, &e1), Op::Compute(1_000)));
+        assert!(matches!(w.step(Resume::Done, &e1), Op::Exit(0)));
     }
 }
