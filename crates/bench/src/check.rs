@@ -416,6 +416,68 @@ pub fn check_replication() -> ShapeResult {
     )
 }
 
+/// Claim (tentpole): hierarchical home sharding splits a group's page
+/// directory over per-socket delegates. Flat must be provably inert (one
+/// server, no shard counters); delegates must spread the same traffic
+/// over one server per socket and collapse the queue; cross-socket
+/// traffic must escalate its pages back to the root (regression gate for
+/// `results/e16.json`).
+pub fn check_sharding() -> ShapeResult {
+    use crate::e16::run_cell;
+    use popcorn_kernel::osmodel::KernelClustering;
+    // Per-CCX cells carry the headline claim; the per-socket delegate
+    // cell exercises the escalation degeneracy. (Per-core tells the same
+    // story as per-CCX on a 8x bigger machine — left to `repro e16`.)
+    let cells = vec![
+        (false, KernelClustering::PerCcx),
+        (true, KernelClustering::PerCcx),
+        (true, KernelClustering::PerSocket),
+    ];
+    let r = parallel_map(cells, |(sharded, c)| run_cell(sharded, c));
+    let (flat, shard, degen) = (&r[0], &r[1], &r[2]);
+    let all_clean = flat.clean && shard.clean && degen.clean;
+    // Flat: the sharding machinery must be perfectly inert — one root
+    // server, not a single delegation, escalation, or forward.
+    let inert = flat.servers == 1.0 && flat.delegated + flat.escalated + flat.forwards == 0.0;
+    // Delegates: one server per socket, pages actually delegated, nothing
+    // escalated (same-socket pairs never cross sockets), and the queue
+    // collapse the hierarchy exists for — at least halving the peak and
+    // the worst time-weighted depth, with completion and remote-write
+    // latency following.
+    let spread = shard.servers == 4.0
+        && shard.delegated >= 1.0
+        && shard.escalated == 0.0
+        && shard.peak_depth * 2.0 <= flat.peak_depth
+        && shard.depth_tw * 2.0 <= flat.depth_tw
+        && shard.ms < flat.ms
+        && shard.remote_write_us < flat.remote_write_us;
+    // Per-socket clustering: no pair can stay socket-local, so every
+    // delegated page must escalate back to the root.
+    let escalates = degen.delegated >= 1.0 && degen.escalated == degen.delegated;
+    result(
+        "sharding gate: flat inert, delegates collapse the root queue, cross-socket pages escalate (E16)",
+        all_clean && inert && spread && escalates,
+        format!(
+            "per-ccx peak depth {:.0} -> {:.0} (tw {:.2} -> {:.2}), servers {:.0} -> {:.0}, \
+             {:.3}ms -> {:.3}ms, remote write {:.2}us -> {:.2}us, {:.0} delegated; \
+             per-socket degeneracy: {:.0}/{:.0} escalated",
+            flat.peak_depth,
+            shard.peak_depth,
+            flat.depth_tw,
+            shard.depth_tw,
+            flat.servers,
+            shard.servers,
+            flat.ms,
+            shard.ms,
+            flat.remote_write_us,
+            shard.remote_write_us,
+            shard.delegated,
+            degen.escalated,
+            degen.delegated,
+        ),
+    )
+}
+
 /// Runs every shape check (on parallel host threads up to the configured
 /// job count); returns the results in fixed order (all must pass).
 pub fn run_all_checks() -> Vec<ShapeResult> {
@@ -430,6 +492,7 @@ pub fn run_all_checks() -> Vec<ShapeResult> {
         check_policy_shootout,
         check_recovery,
         check_replication,
+        check_sharding,
     ];
     parallel_map(checks, |check| check())
 }

@@ -1318,6 +1318,7 @@ pub fn all_experiments() -> Vec<Experiment> {
         ("e13", e13_policies),
         ("e14", crate::e14::e14_crash_recovery),
         ("e15", crate::e15::e15_replication),
+        ("e16", crate::e16::e16_hierarchical_homes),
         ("ablate-shadow", ablate_shadow),
         ("ablate-vma", ablate_vma),
         ("ablate-futex", ablate_futex),

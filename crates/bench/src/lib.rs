@@ -28,6 +28,7 @@ pub mod check;
 pub mod cli;
 pub mod e14;
 pub mod e15;
+pub mod e16;
 pub mod experiments;
 pub mod rig;
 pub mod table;

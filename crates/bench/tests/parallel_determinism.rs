@@ -50,13 +50,17 @@ fn parallel_runs_are_byte_identical_to_serial() {
     // same bytes as the serial baseline. E13 rides along as the
     // gate-refusal case: its policy-driven cells fall back to the serial
     // engine under the partition gate, so `--sim-threads` must be a no-op.
-    // E15 is the newest gate-refusal case: its replica-active cells write
-    // holder shadows through the shared group state, so `partition_safe`
-    // rejects them and the serial fallback must not change a byte.
-    let partitioned: [Case; 3] = [
+    // E15 and E16 are gate-refusal cases: E15's replica-active cells
+    // write holder shadows through the shared group state, and E16's
+    // sharded cells route through the root-owned shard map (written on
+    // one side of any partition cut, read on the other), so
+    // `partition_safe` rejects them and the serial fallback must not
+    // change a byte.
+    let partitioned: [Case; 4] = [
         ("e5", experiments::e5_mmap_storm),
         ("e13", experiments::e13_policies),
         ("e15", popcorn_bench::e15::e15_replication),
+        ("e16", popcorn_bench::e16::e16_hierarchical_homes),
     ];
     for (id, f) in partitioned {
         set_jobs(1);

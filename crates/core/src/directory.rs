@@ -481,6 +481,35 @@ impl Directory {
         out
     }
 
+    /// Removes and returns the entry for `page` for handoff to another
+    /// directory shard, but only when the page is quiescent: no transfer in
+    /// flight, no collection, no queued requests. Returns `None` when the
+    /// page is untracked or mid-exchange — callers must retry once the page
+    /// drains, so an entry can never be torn out from under a live transfer.
+    pub fn extract(&mut self, page: PageNo) -> Option<ExtractedEntry> {
+        let idle = self
+            .entries
+            .get(&page)
+            .is_some_and(|e| !e.busy && e.collecting.is_none() && e.waiting.is_empty());
+        if !idle {
+            return None;
+        }
+        self.entries.remove(&page).map(ExtractedEntry)
+    }
+
+    /// Installs an entry extracted from another shard. The wrapper is
+    /// opaque, so the only way to obtain one is [`Self::extract`] — the
+    /// handoff moves state verbatim and cannot fabricate it.
+    ///
+    /// # Panics
+    ///
+    /// Panics if this directory already tracks `page` (a page must live in
+    /// exactly one shard).
+    pub fn adopt(&mut self, page: PageNo, entry: ExtractedEntry) {
+        let prev = self.entries.insert(page, entry.0);
+        assert!(prev.is_none(), "adopt over an existing entry for {page}");
+    }
+
     /// Rebuilds a directory from surviving kernels' page-table scans after
     /// the home itself died. `scans` must be in ascending kernel order;
     /// the lowest kernel holding a page becomes its owner unless another
@@ -510,6 +539,12 @@ impl Directory {
         d
     }
 }
+
+/// An idle directory entry in transit between shards (see
+/// [`Directory::extract`] / [`Directory::adopt`]). Opaque: entry internals
+/// stay private to this module.
+#[derive(Debug)]
+pub struct ExtractedEntry(DirEntry);
 
 /// What [`Directory::reclaim_dead`] found and decided (all page lists in
 /// ascending-page order).
@@ -888,6 +923,45 @@ mod tests {
         let v = d.view(P).unwrap();
         assert!(!v.busy);
         assert_eq!(v.copyset, vec![K0]);
+    }
+
+    #[test]
+    fn extract_moves_idle_entry_between_shards_verbatim() {
+        let mut a = Directory::new();
+        a.request(P, req(1, K0, true));
+        a.done(P);
+        a.request(P, req(2, K1, false));
+        a.fetched(P, data());
+        a.done(P);
+        let before = a.view(P).unwrap();
+        let e = a.extract(P).expect("idle entry extracts");
+        assert!(a.view(P).is_none());
+        let mut b = Directory::new();
+        b.adopt(P, e);
+        assert_eq!(b.view(P).unwrap(), before, "handoff preserves state");
+    }
+
+    #[test]
+    fn extract_refuses_busy_or_unknown_pages() {
+        let mut d = Directory::new();
+        assert!(d.extract(P).is_none(), "untracked page");
+        d.request(P, req(1, K0, true));
+        assert!(d.extract(P).is_none(), "busy page must drain first");
+        d.done(P);
+        assert!(d.extract(P).is_some());
+    }
+
+    #[test]
+    #[should_panic(expected = "adopt over an existing entry")]
+    fn adopt_over_tracked_page_panics() {
+        let mut a = Directory::new();
+        a.request(P, req(1, K0, true));
+        a.done(P);
+        let e = a.extract(P).unwrap();
+        let mut b = Directory::new();
+        b.request(P, req(2, K1, true));
+        b.done(P);
+        b.adopt(P, e);
     }
 
     #[test]

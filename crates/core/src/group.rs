@@ -37,6 +37,11 @@ pub enum ExitPhase {
 #[derive(Debug)]
 pub struct GroupHome {
     group: GroupId,
+    /// The kernel this state board is served from at creation time. Crash
+    /// recovery may re-home the board (see `machine::recovery`'s
+    /// `home_override`), which the `home_of` resolver layers on top; this
+    /// field replaces every direct `GroupId::home()` derivation.
+    home: KernelId,
     members: BTreeMap<Tid, KernelId>,
     /// Members that already exited. Tids are never reused, so this is a
     /// tombstone set: the reliable transport retransmits lost messages with
@@ -55,8 +60,14 @@ pub struct GroupHome {
     /// consistent by pushed `PtReplicaUpdate`s over the reliable fabric.
     /// The invariant audit demands shadow == directory at queue drain.
     pt_shadow: BTreeMap<(KernelId, PageNo), u64>,
-    /// The page-consistency directory.
+    /// The page-consistency directory (the *root* shard; authoritative for
+    /// every page not delegated to a per-socket shard).
     pub dir: Directory,
+    /// Per-socket delegate shards of the page directory, keyed by the
+    /// delegate kernel serving them. Only populated under hierarchical home
+    /// sharding; a page lives in exactly one shard (root `dir` or one entry
+    /// here), which the invariant audit enforces.
+    shard_dirs: BTreeMap<KernelId, Directory>,
     next_token: u64,
     pending_unmaps: BTreeMap<u64, UnmapPending>,
     phase: ExitPhase,
@@ -67,8 +78,7 @@ pub struct GroupHome {
 impl GroupHome {
     /// Creates home state for a group whose leader starts on the home
     /// kernel.
-    pub fn new(group: GroupId, leader: Tid) -> Self {
-        let home = group.home();
+    pub fn new(group: GroupId, leader: Tid, home: KernelId) -> Self {
         let mut members = BTreeMap::new();
         members.insert(leader, home);
         let mut replicas = BTreeSet::new();
@@ -77,12 +87,14 @@ impl GroupHome {
         pt_holders.insert(home);
         GroupHome {
             group,
+            home,
             members,
             retired: BTreeSet::new(),
             replicas,
             pt_holders,
             pt_shadow: BTreeMap::new(),
             dir: Directory::new(),
+            shard_dirs: BTreeMap::new(),
             next_token: 1,
             pending_unmaps: BTreeMap::new(),
             phase: ExitPhase::Running,
@@ -94,6 +106,33 @@ impl GroupHome {
     /// The group id.
     pub fn group(&self) -> GroupId {
         self.group
+    }
+
+    /// The kernel this board was created on (pre-failover home).
+    pub fn home(&self) -> KernelId {
+        self.home
+    }
+
+    /// The directory shard served by `delegate`, created on first use.
+    pub fn shard_dir(&mut self, delegate: KernelId) -> &mut Directory {
+        self.shard_dirs.entry(delegate).or_default()
+    }
+
+    /// Read access to `delegate`'s shard, if it exists.
+    pub fn shard_dir_ref(&self, delegate: KernelId) -> Option<&Directory> {
+        self.shard_dirs.get(&delegate)
+    }
+
+    /// Kernels currently holding a (possibly empty) delegate shard,
+    /// ascending.
+    pub fn shard_delegates(&self) -> Vec<KernelId> {
+        self.shard_dirs.keys().copied().collect()
+    }
+
+    /// Drops `delegate`'s shard wholesale (crash recovery: the shard died
+    /// with the kernel), returning it for survivor-driven salvage.
+    pub fn remove_shard(&mut self, delegate: KernelId) -> Option<Directory> {
+        self.shard_dirs.remove(&delegate)
     }
 
     /// Current exit phase.
@@ -118,7 +157,7 @@ impl GroupHome {
 
     /// Replica kernels other than the home.
     pub fn remote_replicas(&self) -> Vec<KernelId> {
-        self.replicas_except(self.group.home())
+        self.replicas_except(self.home)
     }
 
     /// Replica kernels other than `kernel`. Crash recovery re-homes a
@@ -374,7 +413,7 @@ mod tests {
 
     fn home() -> GroupHome {
         let leader = Tid::new(KernelId(0), 1);
-        GroupHome::new(GroupId(leader), leader)
+        GroupHome::new(GroupId(leader), leader, KernelId(0))
     }
 
     #[test]
@@ -530,6 +569,19 @@ mod tests {
             vec![(PageNo(1), 1), (PageNo(3), 2)]
         );
         assert_eq!(h.pt_shadow_of(KernelId(2)), vec![(PageNo(2), 4)]);
+    }
+
+    #[test]
+    fn shard_dirs_created_on_demand_and_removable() {
+        let mut h = home();
+        assert!(h.shard_delegates().is_empty());
+        assert!(h.shard_dir_ref(KernelId(1)).is_none());
+        h.shard_dir(KernelId(1)); // created empty on first access
+        assert_eq!(h.shard_delegates(), vec![KernelId(1)]);
+        assert_eq!(h.shard_dir_ref(KernelId(1)).unwrap().tracked_pages(), 0);
+        assert!(h.remove_shard(KernelId(1)).is_some());
+        assert!(h.remove_shard(KernelId(1)).is_none());
+        assert!(h.shard_delegates().is_empty());
     }
 
     #[test]

@@ -23,12 +23,18 @@
 //!    on, every holder's shadow entry matches the directory's version for
 //!    every page both still track (lossless, crash-free runs), and no
 //!    holder is a crashed kernel.
+//! 7. **Shard map and delegates agree** — with home sharding off, no
+//!    shard state exists at all (map, escalation marks, shard
+//!    directories, delegate servers — the inertness guarantee); with it
+//!    on, every mapped page is tracked by exactly the named delegate's
+//!    shard and by no other directory, every escalation mark names a
+//!    mapped page, and no live delegation points at a dead kernel.
 //!
 //! Checks 2's kernel-liveness clause, 3's dead-kernel clauses and 4 only
 //! apply when crash recovery actually engaged; 5 only when the
 //! reliability layer ran (raw-loss ablations wedge by design — that loss
-//! is the measurement). Structural checks 1–3 (self-consistency) hold
-//! unconditionally.
+//! is the measurement). Structural checks 1–3 and 7 (self-consistency)
+//! hold unconditionally.
 
 use popcorn_msg::KernelId;
 use popcorn_sim::SimTime;
@@ -91,25 +97,37 @@ pub fn check(m: &PopcornMachine, now: SimTime) -> Result<(), Vec<String>> {
             }
         }
 
-        // 3. The directory names no dead kernel and holds no wedged
-        // transfer.
-        for page in h.dir.pages() {
-            let Some(v) = h.dir.view(page) else { continue };
-            if crashed(v.owner) {
-                bad.push(format!(
-                    "{group:?} {page} owned by dead kernel {:?}",
-                    v.owner
-                ));
+        // 3. The directory — every shard of it — names no dead kernel and
+        // holds no wedged transfer.
+        let mut shards: Vec<(Option<KernelId>, &crate::directory::Directory)> =
+            vec![(None, &h.dir)];
+        for d in h.shard_delegates() {
+            if let Some(dir) = h.shard_dir_ref(d) {
+                shards.push((Some(d), dir));
             }
-            for &c in &v.copyset {
-                if crashed(c) {
-                    bad.push(format!("{group:?} {page} copyset names dead kernel {c:?}"));
+        }
+        for (delegate, dir) in &shards {
+            let at = delegate.map_or_else(|| "home".to_string(), |d| format!("shard {d:?}"));
+            for page in dir.pages() {
+                let Some(v) = dir.view(page) else { continue };
+                if crashed(v.owner) {
+                    bad.push(format!(
+                        "{group:?} {page} ({at}) owned by dead kernel {:?}",
+                        v.owner
+                    ));
                 }
-            }
-            if reliable && v.busy {
-                bad.push(format!(
-                    "{group:?} {page} transfer still busy after the queue drained"
-                ));
+                for &c in &v.copyset {
+                    if crashed(c) {
+                        bad.push(format!(
+                            "{group:?} {page} ({at}) copyset names dead kernel {c:?}"
+                        ));
+                    }
+                }
+                if reliable && v.busy {
+                    bad.push(format!(
+                        "{group:?} {page} ({at}) transfer still busy after the queue drained"
+                    ));
+                }
             }
         }
 
@@ -129,7 +147,7 @@ pub fn check(m: &PopcornMachine, now: SimTime) -> Result<(), Vec<String>> {
                 }
             }
             if lossless && !recovery {
-                let home = h.group().home();
+                let home = h.home();
                 for k in h.pt_holders() {
                     if k == home {
                         continue; // the home's tables are the directory
@@ -143,6 +161,95 @@ pub fn check(m: &PopcornMachine, now: SimTime) -> Result<(), Vec<String>> {
                                 ));
                             }
                         }
+                    }
+                }
+            }
+        }
+    }
+
+    // 7. Shard map and delegates agree (mirrors check 6's discipline for
+    // the page-table shadows).
+    let sharding = m.sharding();
+    if !m.params().home_sharding {
+        // Inertness: with sharding off no shard state may exist anywhere.
+        if !sharding.map.is_empty() {
+            bad.push(format!(
+                "home sharding is off but the shard map holds {} entr(ies)",
+                sharding.map.len()
+            ));
+        }
+        if !sharding.escalate.is_empty() {
+            bad.push(format!(
+                "home sharding is off but {} escalation mark(s) exist",
+                sharding.escalate.len()
+            ));
+        }
+        for (&group, h) in m.groups() {
+            let ds = h.shard_delegates();
+            if !ds.is_empty() {
+                bad.push(format!(
+                    "home sharding is off but {group:?} holds {} shard director(ies)",
+                    ds.len()
+                ));
+            }
+        }
+        if !m.delegate_servers().is_empty() {
+            bad.push(format!(
+                "home sharding is off but {} delegate server(s) exist",
+                m.delegate_servers().len()
+            ));
+        }
+    } else {
+        for (&(group, page), &d) in &sharding.map {
+            let Some(h) = m.groups().get(&group) else {
+                bad.push(format!(
+                    "shard map names reaped group {group:?} (page {page})"
+                ));
+                continue;
+            };
+            if crashed(d) {
+                bad.push(format!("{group:?} {page} delegated to dead kernel {d:?}"));
+            }
+            if h.shard_dir_ref(d)
+                .is_none_or(|dir| dir.view(page).is_none())
+            {
+                bad.push(format!(
+                    "{group:?} {page} mapped to {d:?} but its shard does not track it"
+                ));
+            }
+            if h.dir.view(page).is_some() {
+                bad.push(format!(
+                    "{group:?} {page} delegated to {d:?} but still tracked by the root directory"
+                ));
+            }
+            for other in h.shard_delegates() {
+                if other != d
+                    && h.shard_dir_ref(other)
+                        .is_some_and(|x| x.view(page).is_some())
+                {
+                    bad.push(format!(
+                        "{group:?} {page} mapped to {d:?} but also tracked by shard {other:?}"
+                    ));
+                }
+            }
+        }
+        for &(group, page) in &sharding.escalate {
+            if !sharding.map.contains_key(&(group, page)) {
+                bad.push(format!(
+                    "{group:?} {page} marked for escalation without a shard-map entry"
+                ));
+            }
+        }
+        for (&group, h) in m.groups() {
+            for d in h.shard_delegates() {
+                let Some(dir) = h.shard_dir_ref(d) else {
+                    continue;
+                };
+                for page in dir.pages() {
+                    if sharding.map.get(&(group, page)) != Some(&d) {
+                        bad.push(format!(
+                            "{group:?} {page} tracked by shard {d:?} without a matching map entry"
+                        ));
                     }
                 }
             }

@@ -178,7 +178,19 @@ impl KernelCtx<'_, '_> {
         self.futex.drop_group(group);
         self.sync_sites.retain(|&(g, _), _| g != group);
         self.sync_home.retain(|&(g, _), _| g != group);
+        // Retire the group's page service points into the run-wide
+        // occupancy aggregate before dropping them.
+        if let Some(s) = self.servers.get(&group) {
+            s.page.fold_into(&mut self.stats.home_service);
+        }
+        for (&(g, _), s) in self.delegate_servers.iter() {
+            if g == group {
+                s.fold_into(&mut self.stats.home_service);
+            }
+        }
         self.servers.remove(&group);
+        self.delegate_servers.retain(|&(g, _), _| g != group);
+        self.sharding.forget_group(group);
     }
 
     /// Kills every local member of a group; returns the killed tids.

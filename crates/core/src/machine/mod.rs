@@ -65,6 +65,7 @@ pub mod partition;
 pub mod policy;
 pub mod recovery;
 pub mod replica;
+pub mod sharding;
 pub mod transport;
 pub mod vma;
 
@@ -80,7 +81,7 @@ use popcorn_kernel::program::{Program, Resume, SysResult, SyscallReq};
 use popcorn_kernel::task::BlockReason;
 use popcorn_kernel::types::{Errno, GroupId, PageNo, Tid, VAddr};
 use popcorn_msg::{Delivery, Endpoint, Fabric, KernelId, ReliableFabric};
-use popcorn_sim::{Scheduler, SimTime};
+use popcorn_sim::{Histogram, Scheduler, SimTime, TimeSeries};
 
 use crate::directory::PageRequest;
 use crate::group::GroupHome;
@@ -125,9 +126,42 @@ impl Pending {
 }
 
 /// A serial service point at a kernel (protocol handler occupancy).
-#[derive(Debug, Default, Clone, Copy)]
+///
+/// Beyond the serialization itself, the server keeps pure accounting of
+/// its own congestion — queue depth per arrival, depth over virtual time,
+/// and busy occupancy — which the report layer aggregates into the
+/// `home_*` metrics. The accounting schedules nothing and never feeds back
+/// into `serialize`'s arithmetic, so completion times are bit-identical to
+/// an uninstrumented server.
+#[derive(Debug, Clone)]
 pub struct Server {
     free_at: SimTime,
+    /// Completion times of requests still queued or in service as of the
+    /// last arrival (pruned against `now` on each arrival).
+    backlog: Vec<SimTime>,
+    /// Queue depth observed by each arriving request (itself included).
+    depth_hist: Histogram,
+    /// Depth sampled at each request's service start. Starts are
+    /// monotonic (`start >= previous done`), satisfying the series'
+    /// time-order contract.
+    depth_series: TimeSeries,
+    peak_depth: u64,
+    busy_ns: u64,
+}
+
+impl Default for Server {
+    fn default() -> Self {
+        Server {
+            free_at: SimTime::ZERO,
+            backlog: Vec::new(),
+            // Queue depths are small integers; 16 bucket groups cover
+            // depths to ~2^19 without the full histogram's footprint.
+            depth_hist: Histogram::with_groups(16),
+            depth_series: TimeSeries::new(),
+            peak_depth: 0,
+            busy_ns: 0,
+        }
+    }
 }
 
 impl Server {
@@ -136,13 +170,52 @@ impl Server {
     pub fn serialize(&mut self, now: SimTime, cost: SimTime) -> SimTime {
         let start = now.max(self.free_at);
         let done = start + cost;
+        self.backlog.retain(|&t| t > now);
+        self.backlog.push(done);
+        let depth = self.backlog.len() as u64;
+        self.peak_depth = self.peak_depth.max(depth);
+        self.depth_hist.record(depth);
+        self.depth_series.push(start, depth as f64);
+        self.busy_ns += cost.as_nanos();
         self.free_at = done;
         done
+    }
+
+    /// Largest queue depth any arrival observed (itself included).
+    pub fn peak_depth(&self) -> u64 {
+        self.peak_depth
+    }
+
+    /// Distribution of per-arrival queue depths (service occupancy).
+    pub fn depth_hist(&self) -> &Histogram {
+        &self.depth_hist
+    }
+
+    /// Queue depth over virtual time, sampled at service starts.
+    pub fn depth_series(&self) -> &TimeSeries {
+        &self.depth_series
+    }
+
+    /// Total virtual nanoseconds spent serving requests.
+    pub fn busy_ns(&self) -> u64 {
+        self.busy_ns
+    }
+
+    /// Folds this server's lifetime accounting into the home-service
+    /// aggregate (called when its group is reaped, and at report time
+    /// for servers still live at queue drain).
+    pub fn fold_into(&self, agg: &mut crate::stats::HomeServiceAgg) {
+        agg.note_server(
+            self.peak_depth,
+            &self.depth_hist,
+            self.depth_series.time_weighted_mean(),
+            self.busy_ns,
+        );
     }
 }
 
 /// The per-group protocol service points at one kernel.
-#[derive(Debug, Default, Clone, Copy)]
+#[derive(Debug, Default, Clone)]
 pub struct KernelServers {
     /// Page directory / transfer service.
     pub page: Server,
@@ -167,6 +240,12 @@ pub struct PopcornMachine {
     /// Per-group protocol service points (the per-mm protocol lock at the
     /// group's home, plus the replica-side update path).
     servers: BTreeMap<GroupId, KernelServers>,
+    /// Delegate-side page service points under hierarchical home sharding,
+    /// keyed by (group, delegate kernel). Empty whenever sharding is off.
+    delegate_servers: BTreeMap<(GroupId, KernelId), Server>,
+    /// Hierarchical home-sharding control: socket layout, the root-owned
+    /// shard map, and pending escalations (see [`sharding`]).
+    sharding: sharding::ShardCtl,
     /// Per-kernel page-allocator locks (the partitioned counterpart of
     /// SMP's global zone lock).
     zone_locks: Vec<LockSite>,
@@ -213,6 +292,7 @@ impl PopcornMachine {
         let net = ReliableFabric::new(fabric, params.retx_policy(), params.reliable_delivery);
         let policy = params.policy.build();
         let telemetry = policy::Telemetry::new(n);
+        let sharding = sharding::ShardCtl::new(&kernels, &machine, params.home_sharding);
         PopcornMachine {
             kernels,
             net,
@@ -224,6 +304,8 @@ impl PopcornMachine {
             rpcs: (0..n).map(|_| Endpoint::new()).collect(),
             inflight: (0..n).map(|_| BTreeMap::new()).collect(),
             servers: BTreeMap::new(),
+            delegate_servers: BTreeMap::new(),
+            sharding,
             zone_locks,
             sync_home: BTreeMap::new(),
             auto_cursor: 0,
@@ -272,7 +354,10 @@ impl PopcornMachine {
         let leader = self.kernels[home_ki].alloc_tid();
         let group = GroupId(leader);
         self.kernels[home_ki].adopt_mm(Mm::new(group));
-        self.groups.insert(group, GroupHome::new(group, leader));
+        self.groups.insert(
+            group,
+            GroupHome::new(group, leader, KernelId(home_ki as u16)),
+        );
         let core = self.kernels[home_ki].spawn(leader, group, program, None, now);
         (group, core)
     }
@@ -292,6 +377,8 @@ impl PopcornMachine {
             rpcs: &mut self.rpcs,
             inflight: &mut self.inflight,
             servers: &mut self.servers,
+            delegate_servers: &mut self.delegate_servers,
+            sharding: &mut self.sharding,
             zone_locks: &mut self.zone_locks,
             sync_home: &mut self.sync_home,
             auto_cursor: &mut self.auto_cursor,
@@ -324,6 +411,21 @@ impl PopcornMachine {
     /// The crash-recovery state (read access for the invariant checker).
     pub fn recovery(&self) -> &recovery::RecoveryCtl {
         &self.recovery
+    }
+
+    /// The home-sharding state (read access for the invariant checker).
+    pub fn sharding(&self) -> &sharding::ShardCtl {
+        &self.sharding
+    }
+
+    /// The per-group home service points (read access for reports).
+    pub fn servers(&self) -> &BTreeMap<GroupId, KernelServers> {
+        &self.servers
+    }
+
+    /// The delegate-side page service points (read access for reports).
+    pub fn delegate_servers(&self) -> &BTreeMap<(GroupId, KernelId), Server> {
+        &self.delegate_servers
     }
 
     /// The protocol parameters (read access for reports and checks).
@@ -361,6 +463,10 @@ pub struct KernelCtx<'m, 'e> {
     pub inflight: &'m mut Vec<BTreeMap<(GroupId, PageNo), page::InFlight>>,
     /// Per-group protocol service points.
     pub servers: &'m mut BTreeMap<GroupId, KernelServers>,
+    /// Delegate-side page service points (home sharding only).
+    pub delegate_servers: &'m mut BTreeMap<(GroupId, KernelId), Server>,
+    /// Hierarchical home-sharding control (see [`sharding`]).
+    pub sharding: &'m mut sharding::ShardCtl,
     /// Per-kernel page-allocator locks.
     pub zone_locks: &'m mut Vec<LockSite>,
     /// First-touch homes of synchronization words.
@@ -545,20 +651,20 @@ impl KernelCtx<'_, '_> {
                 page,
                 write,
             } => {
-                self.home_page_request(group, page, PageRequest { rpc, origin, write }, now);
+                self.home_page_request(to, group, page, PageRequest { rpc, origin, write }, now);
             }
             ProtoMsg::PageFetch { group, page } => self.on_page_fetch(from, ki, group, page, now),
             ProtoMsg::PageFetched {
                 group,
                 page,
                 contents,
-            } => self.on_page_fetched(group, page, contents, now),
+            } => self.on_page_fetched(to, group, page, contents, now),
             ProtoMsg::PageInval { group, page } => self.on_page_inval(from, ki, group, page, now),
             ProtoMsg::PageInvalAck {
                 group,
                 page,
                 contents,
-            } => self.on_page_inval_ack(from, group, page, contents, now),
+            } => self.on_page_inval_ack(from, to, group, page, contents, now),
             ProtoMsg::PageGrant {
                 rpc,
                 group,
@@ -567,7 +673,7 @@ impl KernelCtx<'_, '_> {
                 version,
                 contents,
             } => self.apply_grant(ki, group, page, state, version, contents, rpc, now),
-            ProtoMsg::PageDone { group, page } => self.page_done_at_home(group, page, now),
+            ProtoMsg::PageDone { group, page } => self.page_done_at_home(group, page, to, now),
             ProtoMsg::PageNack { rpc, group, page } => {
                 self.on_page_nack(ki, rpc, group, page, now);
             }

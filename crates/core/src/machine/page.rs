@@ -45,19 +45,34 @@ pub struct InFlight {
 }
 
 impl KernelCtx<'_, '_> {
-    /// Serializes a request behind the group's page server, recording the
-    /// service time against the page protocol.
-    pub(super) fn serve_page(&mut self, group: GroupId, now: SimTime, cost: SimTime) -> SimTime {
+    /// Serializes a request behind the page service point of the kernel
+    /// serving the conversation — the group's home page server, or the
+    /// delegate's own server for a sharded page — recording the service
+    /// time against the page protocol.
+    pub(super) fn serve_page(
+        &mut self,
+        group: GroupId,
+        serving: KernelId,
+        now: SimTime,
+        cost: SimTime,
+    ) -> SimTime {
         self.stats
             .proto
             .of(Protocol::Page)
             .service
             .record_time(cost);
-        self.servers
-            .entry(group)
-            .or_default()
-            .page
-            .serialize(now, cost)
+        if self.sharding.enabled && serving != self.home_of(group) {
+            self.delegate_servers
+                .entry((group, serving))
+                .or_default()
+                .serialize(now, cost)
+        } else {
+            self.servers
+                .entry(group)
+                .or_default()
+                .page
+                .serialize(now, cost)
+        }
     }
 
     /// Tries to join an in-flight request for the same page; returns true
@@ -115,22 +130,24 @@ impl KernelCtx<'_, '_> {
         rpc
     }
 
-    /// Serves a directory step at the home kernel.
+    /// Serves a directory step at the kernel serving the page (the home,
+    /// or a delegate for a sharded page).
     pub(super) fn exec_dir_step(
         &mut self,
         group: GroupId,
         page: PageNo,
         step: DirStep,
+        serving: KernelId,
         at: SimTime,
     ) {
-        let home = self.home_of(group);
-        let home_ki = self.ki(home);
+        let serving_ki = self.ki(serving);
         match step {
-            DirStep::Grant(g) => self.deliver_grant(group, g, at),
+            DirStep::Grant(g) => self.deliver_grant(group, serving, g, at),
             DirStep::Fetch { owner } => {
-                if owner == home {
-                    // The home itself holds the copy: snapshot + downgrade.
-                    let mm = self.kernels[home_ki].mm_mut(group);
+                if owner == serving {
+                    // The serving kernel holds the copy: snapshot +
+                    // downgrade.
+                    let mm = self.kernels[serving_ki].mm_mut(group);
                     let contents = if mm.page_info(page).is_some() {
                         if mm.page_info(page).expect("checked").state == PageState::Exclusive {
                             mm.set_page_state(page, PageState::ReadShared);
@@ -140,35 +157,31 @@ impl KernelCtx<'_, '_> {
                         PageContents::default()
                     };
                     let cost = SimTime::from_nanos(self.params.page_fetch_service_ns);
-                    let done = self.serve_page(group, at, cost);
+                    let done = self.serve_page(group, serving, at, cost);
                     let grant = self
-                        .groups
-                        .get_mut(&group)
+                        .dir_mut(group, page)
                         .expect("group alive during transfer")
-                        .dir
                         .fetched(page, contents);
-                    self.deliver_grant(group, grant, done);
+                    self.deliver_grant(group, serving, grant, done);
                 } else {
-                    self.send(at, home_ki, owner, ProtoMsg::PageFetch { group, page });
+                    self.send(at, serving_ki, owner, ProtoMsg::PageFetch { group, page });
                 }
             }
             DirStep::Invalidate { holders } => {
                 for h in holders {
                     self.stats.invalidations.incr();
-                    if h == home {
+                    if h == serving {
                         // Defensive: evict locally and ack inline.
-                        let contents = self.evict_local(home_ki, group, page);
+                        let contents = self.evict_local(serving_ki, group, page);
                         if let Some(grant) = self
-                            .groups
-                            .get_mut(&group)
+                            .dir_mut(group, page)
                             .expect("group alive")
-                            .dir
-                            .inval_acked(page, home, contents)
+                            .inval_acked(page, serving, contents)
                         {
-                            self.deliver_grant(group, grant, at);
+                            self.deliver_grant(group, serving, grant, at);
                         }
                     } else {
-                        self.send(at, home_ki, h, ProtoMsg::PageInval { group, page });
+                        self.send(at, serving_ki, h, ProtoMsg::PageInval { group, page });
                     }
                 }
             }
@@ -189,24 +202,29 @@ impl KernelCtx<'_, '_> {
     }
 
     /// Routes a completed grant to its requester.
-    pub(super) fn deliver_grant(&mut self, group: GroupId, g: Grant, at: SimTime) {
-        let home = self.home_of(group);
-        let home_ki = self.ki(home);
-        if g.contents.is_some() && g.req.origin != home {
+    pub(super) fn deliver_grant(
+        &mut self,
+        group: GroupId,
+        serving: KernelId,
+        g: Grant,
+        at: SimTime,
+    ) {
+        let serving_ki = self.ki(serving);
+        if g.contents.is_some() && g.req.origin != serving {
             self.stats.page_transfers.incr();
         }
         // Every grant re-maps the page: push the new version to the other
         // page-table replica holders (no-op with replication off).
         self.push_pt_updates(group, g.page, g.version, g.req.origin, at);
-        if g.req.origin == home {
-            // A (queued) local request at the home kernel.
+        if g.req.origin == serving {
+            // A (queued) local request at the serving kernel.
             self.apply_grant(
-                home_ki, group, g.page, g.state, g.version, g.contents, g.req.rpc, at,
+                serving_ki, group, g.page, g.state, g.version, g.contents, g.req.rpc, at,
             );
         } else {
             self.send(
                 at,
-                home_ki,
+                serving_ki,
                 g.req.origin,
                 ProtoMsg::PageGrant {
                     rpc: g.req.rpc,
@@ -276,51 +294,144 @@ impl KernelCtx<'_, '_> {
                 }
             }
         }
-        // Confirm so the directory can serve queued requests.
-        let home = self.home_of(group);
-        if self.kid(ki) == home {
-            self.page_done_at_home(group, page, at);
+        // Confirm so the directory can serve queued requests. The entry is
+        // busy until this lands, so the serving kernel cannot change under
+        // the requester's feet.
+        let serving = self.page_home(group, page);
+        if self.kid(ki) == serving {
+            self.page_done_at_home(group, page, serving, at);
         } else {
-            self.send(at, ki, home, ProtoMsg::PageDone { group, page });
+            self.send(at, ki, serving, ProtoMsg::PageDone { group, page });
         }
     }
 
-    /// Releases the directory entry and serves the next queued request.
-    pub(super) fn page_done_at_home(&mut self, group: GroupId, page: PageNo, at: SimTime) {
-        let Some(h) = self.groups.get_mut(&group) else {
+    /// Releases the directory entry at the serving kernel `to` and serves
+    /// the next queued request; a quiesced entry completes any pending
+    /// escalation.
+    pub(super) fn page_done_at_home(
+        &mut self,
+        group: GroupId,
+        page: PageNo,
+        to: KernelId,
+        at: SimTime,
+    ) {
+        if !self.groups.contains_key(&group) {
             return;
-        };
+        }
         // After a crash, a bounced grant and the requester's own `PageDone`
         // can both try to release the same entry; the second must not fire
         // on an idle (or reclaimed) page.
-        if self.recovery.scheduled && !h.dir.view(page).is_some_and(|v| v.busy) {
-            return;
+        if self.recovery.scheduled {
+            let busy = self
+                .dir_mut(group, page)
+                .and_then(|d| d.view(page))
+                .is_some_and(|v| v.busy);
+            if !busy {
+                return;
+            }
         }
-        if let Some((_req, step)) = h.dir.done(page) {
-            let cost = SimTime::from_nanos(self.params.page_dir_service_ns);
-            let done = self.serve_page(group, at, cost);
-            self.exec_dir_step(group, page, step, done);
+        match self.dir_mut(group, page).and_then(|d| d.done(page)) {
+            Some((_req, step)) => {
+                let cost = SimTime::from_nanos(self.params.page_dir_service_ns);
+                let done = self.serve_page(group, to, at, cost);
+                self.exec_dir_step(group, page, step, to, done);
+            }
+            None => self.try_escalate(group, page),
         }
     }
 
-    /// Handles a page fault request arriving at the home kernel.
+    /// Handles a page fault request arriving at kernel `to` (the home, or
+    /// a delegate serving the page's shard).
     pub(super) fn home_page_request(
         &mut self,
+        to: KernelId,
         group: GroupId,
         page: PageNo,
         req: PageRequest,
         at: SimTime,
     ) {
-        let Some(h) = self.groups.get_mut(&group) else {
+        if !self.groups.contains_key(&group) {
             return; // group already reaped; requester was killed too
-        };
+        }
         // A page whose only copy died with a crashed kernel: explicit
-        // negative reply, never a silent zero-fill resurrection.
+        // negative reply, never a silent zero-fill resurrection. (Lost
+        // pages are always root-served: recovery un-delegates them.)
         if self.recovery.scheduled && self.recovery.lost_pages.contains(&(group, page)) {
             self.nack_page(group, page, req, at);
             return;
         }
-        h.add_replica(req.origin);
+        let serving = self.page_home(group, page);
+        if serving != to {
+            // The request raced a delegation or escalation (or the sender
+            // routed before the map changed): forward it to the kernel now
+            // serving the page. Entries never move while busy, so the
+            // forwarded request finds the page there.
+            self.stats.shard_forwards.incr();
+            let to_ki = self.ki(to);
+            self.send(
+                at,
+                to_ki,
+                serving,
+                ProtoMsg::PageReq {
+                    rpc: req.rpc,
+                    origin: req.origin,
+                    group,
+                    page,
+                    write: req.write,
+                },
+            );
+            return;
+        }
+        let root = self.home_of(group);
+        if self.sharding.enabled && to == root && !self.sharding.map.contains_key(&(group, page)) {
+            // Root-side first touch: an untracked page faulted from
+            // another socket is delegated to that socket's lead, which
+            // owns its directory entry from here on. The routing decision
+            // itself is served behind the root's directory server.
+            let untracked = self
+                .groups
+                .get(&group)
+                .is_some_and(|h| h.dir.view(page).is_none());
+            let d = self.delegate_for(group, req.origin);
+            if untracked && d != root {
+                self.sharding.map.insert((group, page), d);
+                self.stats.shard_delegated_pages.incr();
+                self.stats.shard_forwards.incr();
+                let cost = SimTime::from_nanos(self.params.page_dir_service_ns);
+                let done = self.serve_page(group, root, at, cost);
+                let root_ki = self.ki(root);
+                self.send(
+                    done,
+                    root_ki,
+                    d,
+                    ProtoMsg::PageReq {
+                        rpc: req.rpc,
+                        origin: req.origin,
+                        group,
+                        page,
+                        write: req.write,
+                    },
+                );
+                return;
+            }
+        }
+        if self.sharding.enabled && self.sharding.map.contains_key(&(group, page)) {
+            if to != root && self.sharding.socket_of(req.origin) != self.sharding.socket_of(to) {
+                // Cross-socket traffic on a delegated page: serve this
+                // request here, but escalate the entry to the root once it
+                // quiesces so delegates only arbitrate socket-local pages.
+                self.sharding.escalate.insert((group, page));
+            } else if to == root {
+                // The root inherited this delegation by adopting a crashed
+                // home: fold the page back into the root directory once it
+                // quiesces.
+                self.sharding.escalate.insert((group, page));
+            }
+        }
+        self.groups
+            .get_mut(&group)
+            .expect("present above")
+            .add_replica(req.origin);
         // Mitosis-style eager acquisition: a kernel's first fault into the
         // group also installs a page-table replica there (a no-op once it
         // holds one).
@@ -328,14 +439,12 @@ impl KernelCtx<'_, '_> {
             self.on_pt_replica_req(req.origin, group, at);
         }
         let cost = SimTime::from_nanos(self.params.page_dir_service_ns);
-        let done = self.serve_page(group, at, cost);
+        let done = self.serve_page(group, to, at, cost);
         let step = self
-            .groups
-            .get_mut(&group)
+            .dir_mut(group, page)
             .expect("present above")
-            .dir
             .request(page, req);
-        self.exec_dir_step(group, page, step, done);
+        self.exec_dir_step(group, page, step, to, done);
     }
 
     /// The page-fault hook: local fast path at the home, coalescing with
@@ -354,7 +463,7 @@ impl KernelCtx<'_, '_> {
         self.note_activity(at);
         let me = self.kid(ki);
         let group = self.group_of(ki, tid);
-        let home = self.home_of(group);
+        let serving = self.page_home(group, page);
         // The hardware walk that raised this fault traverses table levels
         // living either in a local page-table replica or in the home's
         // memory (extension; no-op when `page_table_replication` is off).
@@ -368,7 +477,7 @@ impl KernelCtx<'_, '_> {
             self.kick(ki, c, at);
             return;
         }
-        if me == home {
+        if me == serving {
             // A locally faulted page whose only copy died with a crashed
             // kernel fails like any other unrecoverable memory error.
             if self.recovery.scheduled && self.recovery.lost_pages.contains(&(group, page)) {
@@ -389,7 +498,7 @@ impl KernelCtx<'_, '_> {
                 at
             } else {
                 let dir_cost = SimTime::from_nanos(self.params.page_dir_service_ns);
-                self.serve_page(group, at, dir_cost)
+                self.serve_page(group, me, at, dir_cost)
             };
             // Probe without registering: first-touch/upgrade are inline.
             let rpc = self.register_rpc(
@@ -404,8 +513,8 @@ impl KernelCtx<'_, '_> {
                 at,
                 me,
             );
-            let step = match self.groups.get_mut(&group) {
-                Some(h) => h.dir.request(
+            let step = match self.dir_mut(group, page) {
+                Some(dir) => dir.request(
                     page,
                     PageRequest {
                         rpc,
@@ -448,13 +557,13 @@ impl KernelCtx<'_, '_> {
                     // This grant bypassed `deliver_grant`: push the new
                     // version to the replica holders from here.
                     self.push_pt_updates(group, page, version, me, done);
-                    self.page_done_at_home(group, page, done);
+                    self.page_done_at_home(group, page, me, done);
                 }
                 step @ (DirStep::Fetch { .. } | DirStep::Invalidate { .. }) => {
                     self.inflight[ki].insert((group, page), InFlight { rpc, write });
                     let c = self.kernels[ki].block_current(tid, BlockReason::Remote("page"), at);
                     self.kick(ki, c, at);
-                    self.exec_dir_step(group, page, step, service);
+                    self.exec_dir_step(group, page, step, me, service);
                 }
                 DirStep::Queued => {
                     self.inflight[ki].insert((group, page), InFlight { rpc, write });
@@ -463,11 +572,11 @@ impl KernelCtx<'_, '_> {
                 }
             }
         } else {
-            let rpc = self.start_page_wait(ki, tid, group, page, write, home, at);
+            let rpc = self.start_page_wait(ki, tid, group, page, write, serving, at);
             self.send(
                 at,
                 ki,
-                home,
+                serving,
                 ProtoMsg::PageReq {
                     rpc,
                     origin: me,
@@ -480,7 +589,7 @@ impl KernelCtx<'_, '_> {
     }
 
     /// `PageFetch` at a page's current owner: snapshot + downgrade, then
-    /// ship the contents back to the home.
+    /// ship the contents back to the serving kernel (`from`).
     pub(super) fn on_page_fetch(
         &mut self,
         from: KernelId,
@@ -504,7 +613,7 @@ impl KernelCtx<'_, '_> {
             PageContents::default()
         };
         let cost = SimTime::from_nanos(self.params.page_fetch_service_ns);
-        let done = self.serve_page(group, now, cost);
+        let done = self.serve_page(group, from, now, cost);
         self.send(
             done,
             ki,
@@ -517,10 +626,11 @@ impl KernelCtx<'_, '_> {
         );
     }
 
-    /// `PageFetched` back at the home: feed the directory and forward the
-    /// resulting grant.
+    /// `PageFetched` back at the serving kernel `to`: feed the directory
+    /// shard and forward the resulting grant.
     pub(super) fn on_page_fetched(
         &mut self,
+        to: KernelId,
         group: GroupId,
         page: PageNo,
         contents: PageContents,
@@ -530,20 +640,17 @@ impl KernelCtx<'_, '_> {
         // (the directory no longer expects it) must be dropped, not fed in.
         if self.recovery.scheduled
             && !self
-                .groups
-                .get(&group)
-                .is_some_and(|h| h.dir.fetch_pending(page))
+                .dir_mut(group, page)
+                .is_some_and(|d| d.fetch_pending(page))
         {
             return;
         }
         if self.groups.contains_key(&group) {
             let grant = self
-                .groups
-                .get_mut(&group)
+                .dir_mut(group, page)
                 .expect("checked")
-                .dir
                 .fetched(page, contents);
-            self.deliver_grant(group, grant, now);
+            self.deliver_grant(group, to, grant, now);
         }
     }
 
@@ -560,7 +667,7 @@ impl KernelCtx<'_, '_> {
         let cost = SimTime::from_nanos(self.params.page_inval_service_ns);
         let cores = self.kernels[ki].cores();
         let sd = self.machine.shootdown().tlb_shootdown(&cores[1..]);
-        let done = self.serve_page(group, now, cost + sd.initiator_busy);
+        let done = self.serve_page(group, from, now, cost + sd.initiator_busy);
         self.send(
             done,
             ki,
@@ -573,11 +680,12 @@ impl KernelCtx<'_, '_> {
         );
     }
 
-    /// `PageInvalAck` back at the home: feed the directory; the last ack
-    /// releases the grant.
+    /// `PageInvalAck` back at the serving kernel `to`: feed the directory
+    /// shard; the last ack releases the grant.
     pub(super) fn on_page_inval_ack(
         &mut self,
         from: KernelId,
+        to: KernelId,
         group: GroupId,
         page: PageNo,
         contents: Option<PageContents>,
@@ -587,21 +695,18 @@ impl KernelCtx<'_, '_> {
         // (possibly recovered) directory still expects.
         if self.recovery.scheduled
             && !self
-                .groups
-                .get(&group)
-                .is_some_and(|h| h.dir.expects_inval_ack(page, from))
+                .dir_mut(group, page)
+                .is_some_and(|d| d.expects_inval_ack(page, from))
         {
             return;
         }
         if self.groups.contains_key(&group) {
             let grant = self
-                .groups
-                .get_mut(&group)
+                .dir_mut(group, page)
                 .expect("checked")
-                .dir
                 .inval_acked(page, from, contents);
             if let Some(grant) = grant {
-                self.deliver_grant(group, grant, now);
+                self.deliver_grant(group, to, grant, now);
             }
         }
     }

@@ -147,16 +147,18 @@ impl PopcornMachine {
     /// inert. Active policies read global telemetry, fault plans perturb
     /// delivery (and zero the lookahead floor), first-touch homing races
     /// word placement on arrival order, page-table replication maintains
-    /// cross-kernel holder shadows through the shared group state, and
-    /// pre-populated group-shared maps would need splitting along lines
-    /// that don't exist. Single-kernel machines have nothing to
-    /// parallelize.
+    /// cross-kernel holder shadows through the shared group state, home
+    /// sharding routes through a root-owned map written on one side of a
+    /// cut and read on the other, and pre-populated group-shared maps
+    /// would need splitting along lines that don't exist. Single-kernel
+    /// machines have nothing to parallelize.
     pub(crate) fn partition_safe(&self) -> bool {
         self.kernels.len() >= 2
             && !self.policy_active()
             && !self.net.fabric().faults_active()
             && !self.params.sync_first_touch_homing
             && !self.params.page_table_replication
+            && !self.params.home_sharding
             && self.futex.is_empty()
             && self.sync_sites.is_empty()
             && self.sync_home.is_empty()
@@ -213,7 +215,7 @@ impl PopcornMachine {
         let mut groups_by_home: Vec<BTreeMap<GroupId, GroupHome>> =
             (0..n).map(|_| BTreeMap::new()).collect();
         for (g, h) in groups {
-            groups_by_home[g.home().0 as usize].insert(g, h);
+            groups_by_home[h.home().0 as usize].insert(g, h);
         }
 
         // Foreign slots hold placeholders with the real core layout (core→
@@ -296,6 +298,15 @@ impl PopcornMachine {
                     "servers for group {k:?} created at two partitions"
                 );
             }
+            for (k, s) in m.delegate_servers {
+                // Unreachable while the gate holds (sharding off ⇒ no
+                // delegate servers), but merged defensively like the rest.
+                let clash = base.delegate_servers.insert(k, s);
+                assert!(
+                    clash.is_none(),
+                    "delegate server {k:?} created at two partitions"
+                );
+            }
             for (k, s) in m.sync_sites {
                 let clash = base.sync_sites.insert(k, s);
                 assert!(clash.is_none(), "sync site created at two partitions");
@@ -369,6 +380,19 @@ mod tests {
         m.params.page_table_replication = true;
         assert!(!m.partition_safe());
         m.params.page_table_replication = false;
+        assert!(m.partition_safe());
+    }
+
+    #[test]
+    fn home_sharding_defeats_the_gate() {
+        // The shard map is root-owned state read by every kernel when
+        // routing a fault: a delegation recorded on one side of a cut
+        // must be visible on the other mid-window, which the epoch engine
+        // cannot provide. Sharded configs run serially.
+        let mut m = machine(2);
+        m.params.home_sharding = true;
+        assert!(!m.partition_safe());
+        m.params.home_sharding = false;
         assert!(m.partition_safe());
     }
 

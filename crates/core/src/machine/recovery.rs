@@ -203,18 +203,6 @@ impl PopcornMachine {
 }
 
 impl KernelCtx<'_, '_> {
-    /// The kernel currently serving `group`'s home-side state: its origin
-    /// kernel, or the successor that adopted it after a crash. Every
-    /// protocol-routing site consults this instead of `group.home()`.
-    pub(super) fn home_of(&self, group: GroupId) -> KernelId {
-        if self.recovery.scheduled {
-            if let Some(&k) = self.recovery.home_override.get(&group) {
-                return k;
-            }
-        }
-        group.home()
-    }
-
     /// Sender-side unwind for a message frozen at a crashed kernel's door
     /// (see [`PopcornMachine::intercept_crashed`]). Only one-shot payloads
     /// are unwound here; request/response conversations are deliberately
@@ -230,8 +218,11 @@ impl KernelCtx<'_, '_> {
         match payload {
             // The only copy of a thread's context: revive the shadow.
             ProtoMsg::TaskMigrate(m) => self.abort_migration(from_ki, *m, now),
-            // A grant the requester will never confirm: release the entry.
-            ProtoMsg::PageGrant { group, page, .. } => self.page_done_at_home(group, page, now),
+            // A grant the requester will never confirm: release the entry
+            // at the kernel that issued it.
+            ProtoMsg::PageGrant { group, page, .. } => {
+                self.page_done_at_home(group, page, from, now);
+            }
             // An unmap barrier update: the dead replica's mappings died
             // with it — morally an ack.
             ProtoMsg::VmaUpdate {
@@ -305,6 +296,11 @@ impl KernelCtx<'_, '_> {
         let work_before = crash_at.map(|_| self.recovery_work_snapshot());
         for &g in &adopted {
             self.recovery.home_override.insert(g, me);
+        }
+        // A dead socket lead stops receiving delegations machine-wide:
+        // first touches from its socket fall back to the root home.
+        if self.sharding.enabled {
+            self.sharding.remove_lead(victim);
         }
         // Recover every group this kernel is (now) responsible for.
         let mine: Vec<GroupId> = self
@@ -441,11 +437,19 @@ impl KernelCtx<'_, '_> {
                 h.remove_pt_holder(victim);
             }
         }
+        // Shard recovery first (hierarchical home sharding): a dead
+        // delegate's pages are un-delegated and rebuilt into the root
+        // directory; surviving shards reclaim the victim's holdings.
+        if self.sharding.enabled {
+            self.recover_shards(ki, group, victim, now);
+        }
         // Directory recovery.
         if rebuild {
             // The home died with its directory: reconstruct ownership from
             // the survivors' page tables. Pages tracked before but held by
-            // no survivor are lost.
+            // no survivor are lost. Pages delegated to a surviving shard
+            // are that shard's to serve — they are excluded from the
+            // rebuild so the root never double-tracks them.
             let old_pages = self
                 .groups
                 .get(&group)
@@ -457,7 +461,13 @@ impl KernelCtx<'_, '_> {
                 if self.net.fabric().is_crashed(kid, now) || !k.has_mm(group) {
                     continue;
                 }
-                scans.push((kid, k.mm(group).pages_sorted()));
+                let scan: Vec<_> = k
+                    .mm(group)
+                    .pages_sorted()
+                    .into_iter()
+                    .filter(|&(p, _)| !self.sharding.map.contains_key(&(group, p)))
+                    .collect();
+                scans.push((kid, scan));
             }
             for (_, scan) in &scans {
                 self.stats.recovery_pages_scanned.add(scan.len() as u64);
@@ -516,10 +526,10 @@ impl KernelCtx<'_, '_> {
                 self.stats.pages_lost.incr();
             }
             for g in reclaim.grants {
-                self.deliver_grant(group, g, now);
+                self.deliver_grant(group, me, g, now);
             }
             for (page, req) in reclaim.redo {
-                self.home_page_request(group, page, req, now);
+                self.home_page_request(me, group, page, req, now);
             }
             for (page, req) in reclaim.nacks {
                 self.nack_page(group, page, req, now);
@@ -564,6 +574,99 @@ impl KernelCtx<'_, '_> {
         }
     }
 
+    /// Hierarchical-home shard recovery for one group. Three concerns:
+    /// the victim's own shard died with it (un-delegate its pages and
+    /// rebuild their entries into the root directory from survivor page
+    /// tables); surviving shards reclaim pages the victim owned or was
+    /// mid-conversation on; and a delegation the recovering kernel itself
+    /// inherited (by adopting the victim's home role) is folded back into
+    /// the root directory as its entries quiesce.
+    fn recover_shards(&mut self, ki: usize, group: GroupId, victim: KernelId, now: SimTime) {
+        let me = self.kid(ki);
+        // (a) The dead delegate's shard: un-delegate and reconstruct.
+        let dead_shard = self
+            .groups
+            .get_mut(&group)
+            .and_then(|h| h.remove_shard(victim));
+        if let Some(shard) = dead_shard {
+            let pages = shard.pages();
+            for &p in &pages {
+                self.sharding.map.remove(&(group, p));
+                self.sharding.escalate.remove(&(group, p));
+            }
+            let mut scans = Vec::new();
+            for (i, k) in self.kernels.iter().enumerate() {
+                let kid = KernelId(i as u16);
+                if self.net.fabric().is_crashed(kid, now) || !k.has_mm(group) {
+                    continue;
+                }
+                let scan: Vec<_> = k
+                    .mm(group)
+                    .pages_sorted()
+                    .into_iter()
+                    .filter(|(p, _)| pages.contains(p))
+                    .collect();
+                self.stats.recovery_pages_scanned.add(scan.len() as u64);
+                scans.push((kid, scan));
+            }
+            let mut rebuilt = Directory::rebuild(&scans);
+            if let Some(h) = self.groups.get_mut(&group) {
+                for p in pages {
+                    match rebuilt.extract(p) {
+                        Some(e) => h.dir.adopt(p, e),
+                        None => {
+                            self.recovery.lost_pages.insert((group, p));
+                            self.stats.pages_lost.incr();
+                        }
+                    }
+                }
+            }
+        }
+        // (b) Surviving shards reclaim the victim's holdings, exactly like
+        // the root directory's reclaim pass below.
+        let delegates: Vec<KernelId> = self
+            .groups
+            .get(&group)
+            .map(|h| h.shard_delegates())
+            .unwrap_or_default();
+        for d in delegates {
+            let reclaim = self
+                .groups
+                .get_mut(&group)
+                .map(|h| h.shard_dir(d).reclaim_dead(victim))
+                .unwrap_or_default();
+            self.stats.pages_promoted.add(reclaim.promoted);
+            for &p in &reclaim.lost {
+                self.sharding.map.remove(&(group, p));
+                self.sharding.escalate.remove(&(group, p));
+                self.recovery.lost_pages.insert((group, p));
+                self.stats.pages_lost.incr();
+            }
+            for g in reclaim.grants {
+                self.deliver_grant(group, d, g, now);
+            }
+            for (page, req) in reclaim.redo {
+                self.home_page_request(d, group, page, req, now);
+            }
+            for (page, req) in reclaim.nacks {
+                self.nack_page(group, page, req, now);
+            }
+        }
+        // (c) Delegations now pointing at the root itself (inherited with
+        // the victim's home role): fold back as their entries quiesce.
+        let inherited: Vec<PageNo> = self
+            .sharding
+            .map
+            .iter()
+            .filter(|&(&(g, _), &d)| g == group && d == me)
+            .map(|(&(_, p), _)| p)
+            .collect();
+        for p in inherited {
+            self.sharding.escalate.insert((group, p));
+            self.try_escalate(group, p);
+        }
+    }
+
     /// Fails over kernel `ki`'s outstanding RPCs whose destination was the
     /// victim. Page requests are idempotent and restart against the new
     /// home; everything else (VMA ops, clones, futex calls) completes with
@@ -590,7 +693,7 @@ impl KernelCtx<'_, '_> {
                         }
                     }
                     let (group, page, write) = (w.group, w.page, w.write);
-                    let home = self.home_of(group);
+                    let home = self.page_home(group, page);
                     let new_rpc = self.register_rpc(ki, Pending::Page(w), now, home);
                     self.inflight[ki].insert(
                         (group, page),
@@ -605,7 +708,7 @@ impl KernelCtx<'_, '_> {
                         write,
                     };
                     if me == home {
-                        self.home_page_request(group, page, req, now);
+                        self.home_page_request(me, group, page, req, now);
                     } else {
                         self.send(
                             now,

@@ -249,7 +249,8 @@ impl KernelCtx<'_, '_> {
             // directory so other kernels can keep using the page (the
             // requester's own deadline cleans up its side).
             ProtoMsg::PageGrant { group, page, .. } => {
-                self.page_done_at_home(group, page, at);
+                let serving = self.kid(from);
+                self.page_done_at_home(group, page, serving, at);
             }
             // An unmap barrier update to an unreachable replica: treat it
             // as acknowledged so the unmap completes for everyone else.

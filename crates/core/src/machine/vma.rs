@@ -159,12 +159,18 @@ impl KernelCtx<'_, '_> {
                 match res {
                     Err(e) => self.finish_vma_op(group, rpc, origin, Err(e), done),
                     Ok(_dropped_local) => {
-                        // Directory forgets the whole range; replicas drop
-                        // their copies when applying the update.
+                        // Directory forgets the whole range — every shard
+                        // of it — and replicas drop their copies when
+                        // applying the update.
                         let first = addr.0 >> 12;
                         let last = (addr.0 + len - 1) >> 12;
+                        self.sharding
+                            .forget_range(group, PageNo(first), last - first + 1);
                         let h = self.groups.get_mut(&group).expect("checked above");
                         h.dir.drop_pages((first..=last).map(PageNo));
+                        for d in h.shard_delegates() {
+                            h.shard_dir(d).drop_pages((first..=last).map(PageNo));
+                        }
                         // Local TLB shootdown across the home's cores —
                         // outside the serialized section (as on SMP, where
                         // the flush happens after mmap_sem is dropped).

@@ -2,7 +2,7 @@
 
 use popcorn_hw::{HwParams, Machine, Topology};
 use popcorn_kernel::kernel::Kernel;
-use popcorn_kernel::osmodel::{self, OsEvent, OsModel, RunReport};
+use popcorn_kernel::osmodel::{self, KernelClustering, OsEvent, OsModel, RunReport};
 use popcorn_kernel::params::OsParams;
 use popcorn_kernel::program::Program;
 use popcorn_kernel::types::GroupId;
@@ -41,6 +41,7 @@ impl Handler<PopEvent> for PopcornMachine {
 pub struct PopcornOsBuilder {
     topology: Topology,
     kernels: u16,
+    clustering: Option<KernelClustering>,
     hw: HwParams,
     os: OsParams,
     msg: MsgParams,
@@ -53,6 +54,7 @@ impl Default for PopcornOsBuilder {
         PopcornOsBuilder {
             topology: Topology::paper_default(),
             kernels: 4,
+            clustering: None,
             hw: HwParams::default(),
             os: OsParams::default(),
             msg: MsgParams::default(),
@@ -73,6 +75,15 @@ impl PopcornOsBuilder {
     /// contiguously among them).
     pub fn kernels(mut self, n: u16) -> Self {
         self.kernels = n;
+        self
+    }
+
+    /// Sets the kernel count from a first-class clustering (one kernel per
+    /// core / CCX / socket of the configured topology) instead of a raw
+    /// number. Resolved against the topology at [`Self::build`] time, so
+    /// the call order relative to [`Self::topology`] does not matter.
+    pub fn clustering(mut self, c: KernelClustering) -> Self {
+        self.clustering = Some(c);
         self
     }
 
@@ -138,7 +149,10 @@ impl PopcornOsBuilder {
             );
         }
         let machine = Machine::new(self.topology, self.hw);
-        let parts = self.topology.partition(self.kernels);
+        let kernel_count = self
+            .clustering
+            .map_or(self.kernels, |c| c.kernel_count(self.topology));
+        let parts = self.topology.partition(kernel_count);
         let locations: Vec<_> = parts.iter().map(|p| p[0]).collect();
         let fabric = Fabric::new(&machine, locations, self.msg);
         let kernels: Vec<Kernel> = parts
@@ -294,6 +308,39 @@ impl OsModel for PopcornOs {
         } else {
             now
         };
+        // Home-service occupancy (E16's headline measurement): groups
+        // reaped mid-run already folded their page service points into
+        // the aggregate; add those still live at drain, then report.
+        // Pure read-out of already-recorded serialization — no event,
+        // timestamp, or counter is touched.
+        let mut home = self.machine.stats.home_service.clone();
+        for s in self.machine.servers().values() {
+            s.page.fold_into(&mut home);
+        }
+        for s in self.machine.delegate_servers().values() {
+            s.fold_into(&mut home);
+        }
+        let span = finished_at.as_nanos() as f64;
+        metrics.insert("home_servers".into(), home.servers as f64);
+        metrics.insert("home_peak_depth".into(), home.peak_depth as f64);
+        metrics.insert("home_depth_mean".into(), home.depth_hist.mean());
+        metrics.insert("home_depth_tw_mean_max".into(), home.depth_tw_mean_max);
+        metrics.insert(
+            "home_busy_pct_max".into(),
+            if span > 0.0 {
+                home.busy_ns_max as f64 * 100.0 / span
+            } else {
+                0.0
+            },
+        );
+        metrics.insert(
+            "home_busy_pct_mean".into(),
+            if span > 0.0 && home.servers > 0 {
+                home.busy_ns_sum as f64 * 100.0 / (span * home.servers as f64)
+            } else {
+                0.0
+            },
+        );
         RunReport {
             os: self.name(),
             finished_at,

@@ -121,6 +121,22 @@ pub struct PopcornParams {
     /// Per-entry cost of seeding a freshly granted replica from the home's
     /// directory (charged at the new holder, scaled by directory size).
     pub replica_install_page_ns: u64,
+    /// Hierarchical home sharding: give every NUMA socket a *home
+    /// delegate* kernel that serves the page-directory traffic for pages
+    /// whose group activity is socket-local, while the group's root home
+    /// keeps the shard map and arbitrates cross-socket pages (see
+    /// DESIGN.md "Hierarchical homes"). `false` (the default) leaves every
+    /// page at the flat root home and is provably inert: one boolean
+    /// branch per routing site, results byte-identical to pre-sharding
+    /// builds.
+    pub home_sharding: bool,
+    /// Upper bound on a group's page-table replica holder set (the home's
+    /// authoritative tables count as one). When a new holder registers
+    /// past the cap, the holder whose socket is NUMA-farthest from the
+    /// home is evicted (ties broken toward the highest kernel id). `0`
+    /// (the default) means uncapped — the pre-existing behaviour where
+    /// `pt_holders` never shrinks outside crashes.
+    pub pt_replica_cap: u32,
     /// Run the global invariant checker (`crate::invariants`) at the end of
     /// every completed run: no thread lost or duplicated, no directory
     /// entry naming a dead owner, no RPC wedged. Panics on violation.
@@ -165,6 +181,8 @@ impl Default for PopcornParams {
             replicate_on_first_fault: false,
             replica_update_service_ns: 500,
             replica_install_page_ns: 150,
+            home_sharding: false,
+            pt_replica_cap: 0,
             check_invariants: true,
         }
     }
@@ -212,6 +230,22 @@ impl PopcornParams {
         if self.policy == PolicyKind::ReplicaAware && !self.page_table_replication {
             return Err("the replica-aware policy requires page_table_replication \
                  (its co-placement hook has nothing to act on without replicas)"
+                .into());
+        }
+        if self.pt_replica_cap > 0 && !self.page_table_replication {
+            return Err("pt_replica_cap requires page_table_replication \
+                 (there is no holder set to bound without the replica model)"
+                .into());
+        }
+        if self.pt_replica_cap == 1 {
+            return Err("pt_replica_cap must be 0 (uncapped) or at least 2: the \
+                 home's authoritative tables always count as one holder"
+                .into());
+        }
+        if self.home_sharding && self.page_table_replication {
+            return Err("home_sharding and page_table_replication are mutually \
+                 exclusive in this version (replica grants ship the root \
+                 directory wholesale, which a sharded directory cannot serve)"
                 .into());
         }
         Ok(())
@@ -347,6 +381,38 @@ mod tests {
             ..PopcornParams::default()
         };
         assert_eq!(ok.validate(), Ok(()));
+    }
+
+    #[test]
+    fn sharding_and_eviction_knobs_validate() {
+        let cap_without_model = PopcornParams {
+            pt_replica_cap: 3,
+            ..PopcornParams::default()
+        };
+        assert!(cap_without_model.validate().is_err());
+        let cap_of_one = PopcornParams {
+            page_table_replication: true,
+            pt_replica_cap: 1,
+            ..PopcornParams::default()
+        };
+        assert!(cap_of_one.validate().is_err());
+        let capped = PopcornParams {
+            page_table_replication: true,
+            pt_replica_cap: 2,
+            ..PopcornParams::default()
+        };
+        assert_eq!(capped.validate(), Ok(()));
+        let sharded = PopcornParams {
+            home_sharding: true,
+            ..PopcornParams::default()
+        };
+        assert_eq!(sharded.validate(), Ok(()));
+        let sharded_replicated = PopcornParams {
+            home_sharding: true,
+            page_table_replication: true,
+            ..PopcornParams::default()
+        };
+        assert!(sharded_replicated.validate().is_err());
     }
 
     #[test]

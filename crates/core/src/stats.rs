@@ -210,10 +210,83 @@ pub struct PopStats {
     pub replica_installs: Counter,
     /// Replica page-table-entry updates applied at holder kernels.
     pub replica_updates: Counter,
+    /// Page-table replicas evicted because a holder cap was exceeded (the
+    /// NUMA-farthest idle holder is dropped first).
+    pub replica_evictions: Counter,
+
+    // --- Hierarchical home sharding (only non-zero when enabled) ---
+    /// Pages the root home delegated to a per-socket home delegate on
+    /// first touch.
+    pub shard_delegated_pages: Counter,
+    /// Delegated pages escalated back to the root home after cross-socket
+    /// activity was observed.
+    pub shard_escalations: Counter,
+    /// Page requests that arrived at a kernel no longer serving the page
+    /// and were forwarded to the current server (delegation/escalation
+    /// races).
+    pub shard_forwards: Counter,
+
+    /// Home-service occupancy across every page service point (each
+    /// group's home directory server plus any per-socket delegate
+    /// servers). Servers fold themselves in when their group is reaped;
+    /// still-live ones are added at report time.
+    pub home_service: HomeServiceAgg,
 
     /// Per-protocol traffic/service accounting (one entry per `machine/`
     /// protocol module).
     pub proto: ProtoStats,
+}
+
+/// Aggregated queue/occupancy accounting over retired page service
+/// points — the measurement behind E16's home-saturation claim. A
+/// server that never served a request is not counted.
+#[derive(Debug, Default, Clone)]
+pub struct HomeServiceAgg {
+    /// Service points that served at least one request.
+    pub servers: u64,
+    /// Largest queue depth any arrival anywhere observed.
+    pub peak_depth: u64,
+    /// Per-arrival queue depths, merged across all service points.
+    pub depth_hist: Histogram,
+    /// Largest per-server time-weighted mean queue depth.
+    pub depth_tw_mean_max: f64,
+    /// Busiest single server's total service nanoseconds.
+    pub busy_ns_max: u64,
+    /// Total service nanoseconds across all servers.
+    pub busy_ns_sum: u64,
+}
+
+impl HomeServiceAgg {
+    /// Folds one service point's lifetime accounting in (no-op for a
+    /// server that never served anything).
+    pub fn note_server(
+        &mut self,
+        peak_depth: u64,
+        depth_hist: &Histogram,
+        depth_tw_mean: f64,
+        busy_ns: u64,
+    ) {
+        if busy_ns == 0 {
+            return;
+        }
+        self.servers += 1;
+        self.peak_depth = self.peak_depth.max(peak_depth);
+        self.depth_hist.merge(depth_hist);
+        self.depth_tw_mean_max = self.depth_tw_mean_max.max(depth_tw_mean);
+        self.busy_ns_max = self.busy_ns_max.max(busy_ns);
+        self.busy_ns_sum += busy_ns;
+    }
+
+    /// Accumulates a partition's aggregate (sums and maxes — both
+    /// commutative, so merge order cannot change the result).
+    pub fn absorb(&mut self, other: &HomeServiceAgg) {
+        self.servers += other.servers;
+        self.peak_depth = self.peak_depth.max(other.peak_depth);
+        self.depth_hist.merge(&other.depth_hist);
+        self.depth_tw_mean_max = self.depth_tw_mean_max.max(other.depth_tw_mean_max);
+        self.busy_ns_max = self.busy_ns_max.max(other.busy_ns_max);
+        self.busy_ns_sum += other.busy_ns_sum;
+    }
 }
 
 impl ProtoCounters {
@@ -293,6 +366,12 @@ impl PopStats {
             .add(other.replica_remote_walks.get());
         self.replica_installs.add(other.replica_installs.get());
         self.replica_updates.add(other.replica_updates.get());
+        self.replica_evictions.add(other.replica_evictions.get());
+        self.shard_delegated_pages
+            .add(other.shard_delegated_pages.get());
+        self.shard_escalations.add(other.shard_escalations.get());
+        self.shard_forwards.add(other.shard_forwards.get());
+        self.home_service.absorb(&other.home_service);
         for &p in Protocol::ALL.iter() {
             self.proto.of(p).absorb(other.proto.get(p));
         }
@@ -437,6 +516,19 @@ impl PopStats {
             self.replica_installs.get() as f64,
         );
         m.insert("replica_updates".into(), self.replica_updates.get() as f64);
+        m.insert(
+            "replica_evictions".into(),
+            self.replica_evictions.get() as f64,
+        );
+        m.insert(
+            "shard_delegated_pages".into(),
+            self.shard_delegated_pages.get() as f64,
+        );
+        m.insert(
+            "shard_escalations".into(),
+            self.shard_escalations.get() as f64,
+        );
+        m.insert("shard_forwards".into(), self.shard_forwards.get() as f64);
         for p in Protocol::ALL {
             let c = self.proto.get(p);
             let key = |suffix: &str| format!("proto_{}_{suffix}", p.name());

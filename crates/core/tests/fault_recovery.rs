@@ -503,6 +503,129 @@ fn invariants_hold_under_random_fault_plans() {
     }
 }
 
+/// Drives the delegate-crash half of hierarchical home sharding:
+/// first-touches 4 pages from kernel 3 (socket 1), so they are delegated
+/// to socket 1's lead — kernel 2 — while kernel 3 owns the frames. Then
+/// kernel 2 dies. Recovery must un-delegate the shard, rebuild the
+/// entries into the root directory from kernel 3's surviving page
+/// tables (losing nothing), and demote the dead lead so later first
+/// touches from socket 1 fall back to the root instead of a corpse.
+#[derive(Debug)]
+struct DelegateCrashTour {
+    state: u8,
+    base: VAddr,
+    base2: VAddr,
+    next_page: u64,
+    seq: u64,
+}
+
+impl Program for DelegateCrashTour {
+    fn step(&mut self, r: Resume, _env: &ProgEnv) -> Op {
+        const PAGE: u64 = VAddr::PAGE_SIZE;
+        match self.state {
+            0 => {
+                self.state = 1;
+                Op::Syscall(SyscallReq::Mmap { len: 4 * PAGE })
+            }
+            1 => {
+                let Resume::Sys(res) = r else { panic!("mmap") };
+                self.base = VAddr(res.expect_val("mmap"));
+                self.state = 2;
+                Op::Syscall(SyscallReq::Migrate(MigrateTarget::Kernel(KernelId(3))))
+            }
+            2 => {
+                // First touch from socket 1: each page delegates to the
+                // socket lead (kernel 2) and is granted to kernel 3.
+                if self.next_page < 4 {
+                    let addr = self.base.add(self.next_page * PAGE);
+                    self.next_page += 1;
+                    self.seq += 1;
+                    return Op::Store(addr, self.seq);
+                }
+                self.state = 3;
+                // Ride out the crash (2 ms) plus the detection window.
+                Op::Compute(40_000_000)
+            }
+            3 => {
+                self.state = 4;
+                self.next_page = 0;
+                Op::Syscall(SyscallReq::Migrate(MigrateTarget::Kernel(KernelId(1))))
+            }
+            4 => {
+                // Rewrite through the rebuilt root directory: the entries
+                // were adopted from the dead delegate's shard, with
+                // kernel 3 still the live owner to invalidate.
+                if self.next_page < 4 {
+                    let addr = self.base.add(self.next_page * PAGE);
+                    self.next_page += 1;
+                    self.seq += 1;
+                    return Op::Store(addr, self.seq);
+                }
+                self.state = 5;
+                Op::Load(self.base)
+            }
+            5 => {
+                let Resume::Value(v) = r else { panic!("load") };
+                assert_eq!(v, 5, "page 0 must carry the post-crash rewrite");
+                self.state = 6;
+                Op::Syscall(SyscallReq::Mmap { len: 2 * PAGE })
+            }
+            6 => {
+                let Resume::Sys(res) = r else { panic!("mmap") };
+                self.base2 = VAddr(res.expect_val("mmap"));
+                self.state = 7;
+                self.next_page = 0;
+                Op::Syscall(SyscallReq::Migrate(MigrateTarget::Kernel(KernelId(3))))
+            }
+            7 => {
+                // Fresh first touches from socket 1 after the lead died:
+                // these must be root-served, not delegated to the corpse.
+                if self.next_page < 2 {
+                    let addr = self.base2.add(self.next_page * PAGE);
+                    self.next_page += 1;
+                    self.seq += 1;
+                    return Op::Store(addr, self.seq);
+                }
+                Op::Exit(0)
+            }
+            _ => unreachable!(),
+        }
+    }
+}
+
+#[test]
+fn delegate_crash_rehomes_its_shard_without_losing_pages() {
+    // Topology::new(2, 4) with 4 kernels: 0,1 on the root's socket, 2,3
+    // on socket 1 — kernel 2 is socket 1's home delegate.
+    let plan = FaultPlan::none().with_crash(KernelId(2), SimTime::from_millis(2));
+    let mut os = faulty_os(
+        4,
+        plan,
+        PopcornParams {
+            home_sharding: true,
+            ..PopcornParams::default()
+        },
+    );
+    os.load(Box::new(DelegateCrashTour {
+        state: 0,
+        base: VAddr(0),
+        base2: VAddr(0),
+        next_page: 0,
+        seq: 0,
+    }));
+    let r = os.run();
+    assert!(r.is_clean(), "stuck: {:?}", r.stuck_tasks);
+    assert!(r.metric("kernels_declared_dead") >= 1.0, "{:?}", r.metrics);
+    // Exactly the pre-crash first touches were delegated; the demoted
+    // lead received none of the post-crash ones.
+    assert_eq!(r.metric("shard_delegated_pages"), 4.0, "{:?}", r.metrics);
+    // Kernel 3 survived with every frame, so the shard rebuild recovers
+    // all four entries into the root directory.
+    assert_eq!(r.metric("pages_lost"), 0.0, "{:?}", r.metrics);
+    assert!(r.metric("recovery_pages_scanned") >= 4.0, "{:?}", r.metrics);
+    assert_eq!(r.metric("orphans_killed"), 0.0, "nobody lived on kernel 2");
+}
+
 #[test]
 fn zero_fault_plan_matches_fault_free_build_exactly() {
     // FaultPlan::none() with the reliability layer compiled in must be

@@ -43,20 +43,38 @@ impl fmt::Display for SocketId {
 pub struct Topology {
     sockets: u16,
     cores_per_socket: u16,
+    /// Core-complex (CCX) groups per socket: the intermediate sharing
+    /// domain between a core and its socket (an L3 complex on AMD-style
+    /// parts). `1` means the socket is one undivided complex, which is the
+    /// behaviour of every constructor that predates the CCX dimension.
+    ccx_per_socket: u16,
 }
 
 impl Topology {
-    /// Creates a topology.
+    /// Creates a topology (each socket is a single CCX).
     ///
     /// # Panics
     ///
     /// Panics if either dimension is zero.
     pub fn new(sockets: u16, cores_per_socket: u16) -> Self {
+        Topology::with_ccx(sockets, 1, cores_per_socket)
+    }
+
+    /// Creates a topology with an explicit CCX layer: `sockets ×
+    /// ccx_per_socket × cores_per_ccx` cores, numbered socket-major then
+    /// CCX-major.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any dimension is zero.
+    pub fn with_ccx(sockets: u16, ccx_per_socket: u16, cores_per_ccx: u16) -> Self {
         assert!(sockets > 0, "need at least one socket");
-        assert!(cores_per_socket > 0, "need at least one core per socket");
+        assert!(ccx_per_socket > 0, "need at least one CCX per socket");
+        assert!(cores_per_ccx > 0, "need at least one core per CCX");
         Topology {
             sockets,
-            cores_per_socket,
+            cores_per_socket: ccx_per_socket * cores_per_ccx,
+            ccx_per_socket,
         }
     }
 
@@ -79,6 +97,36 @@ impl Topology {
     /// Cores per socket.
     pub fn cores_per_socket(&self) -> u16 {
         self.cores_per_socket
+    }
+
+    /// CCX groups per socket (1 when the CCX layer is not modelled).
+    pub fn ccx_per_socket(&self) -> u16 {
+        self.ccx_per_socket
+    }
+
+    /// Cores per CCX.
+    pub fn cores_per_ccx(&self) -> u16 {
+        self.cores_per_socket / self.ccx_per_socket
+    }
+
+    /// Total CCX count across the machine.
+    pub fn num_ccx(&self) -> u16 {
+        self.sockets * self.ccx_per_socket
+    }
+
+    /// The machine-wide CCX index a core belongs to (socket-major).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `core` is out of range.
+    pub fn ccx_of(&self, core: CoreId) -> u16 {
+        assert!(self.contains(core), "{core} out of range for {self:?}");
+        core.0 / self.cores_per_ccx()
+    }
+
+    /// Whether two cores share a CCX.
+    pub fn same_ccx(&self, a: CoreId, b: CoreId) -> bool {
+        self.ccx_of(a) == self.ccx_of(b)
     }
 
     /// Total core count.
@@ -104,6 +152,13 @@ impl Topology {
     /// Whether the core id is valid for this topology.
     pub fn contains(&self, core: CoreId) -> bool {
         core.0 < self.num_cores()
+    }
+
+    /// NUMA hop distance between two sockets (linear interconnect model:
+    /// the hop count is the socket-index gap, 0 on the same socket).
+    pub fn socket_distance(&self, a: SocketId, b: SocketId) -> u16 {
+        assert!(a.0 < self.sockets && b.0 < self.sockets, "socket range");
+        a.0.abs_diff(b.0)
     }
 
     /// Iterates all cores in id order.
@@ -217,5 +272,50 @@ mod tests {
     fn display_formats() {
         assert_eq!(CoreId(3).to_string(), "cpu3");
         assert_eq!(SocketId(1).to_string(), "socket1");
+    }
+
+    #[test]
+    fn default_constructors_model_one_ccx_per_socket() {
+        let t = Topology::new(2, 4);
+        assert_eq!(t.ccx_per_socket(), 1);
+        assert_eq!(t.cores_per_ccx(), 4);
+        assert_eq!(t.num_ccx(), 2);
+        assert_eq!(t.ccx_of(CoreId(3)), 0);
+        assert_eq!(t.ccx_of(CoreId(4)), 1);
+        // The CCX field participates in Eq, so legacy constructors must
+        // stay comparable across call sites.
+        assert_eq!(Topology::new(2, 4), Topology::with_ccx(2, 1, 4));
+    }
+
+    #[test]
+    fn ccx_layer_nests_inside_sockets() {
+        let t = Topology::with_ccx(4, 8, 8); // the 256-core E16 box
+        assert_eq!(t.num_cores(), 256);
+        assert_eq!(t.cores_per_socket(), 64);
+        assert_eq!(t.num_ccx(), 32);
+        assert_eq!(t.ccx_of(CoreId(0)), 0);
+        assert_eq!(t.ccx_of(CoreId(7)), 0);
+        assert_eq!(t.ccx_of(CoreId(8)), 1);
+        assert_eq!(t.ccx_of(CoreId(64)), 8);
+        assert!(t.same_ccx(CoreId(0), CoreId(7)));
+        assert!(!t.same_ccx(CoreId(7), CoreId(8)));
+        // Every CCX nests in exactly one socket.
+        for c in t.cores() {
+            let ccx = t.ccx_of(c);
+            assert_eq!(SocketId(ccx / t.ccx_per_socket()), t.socket_of(c));
+        }
+        // Contiguous partitioning by CCX count lands on CCX boundaries.
+        let parts = t.partition(t.num_ccx());
+        for (i, p) in parts.iter().enumerate() {
+            assert!(p.iter().all(|&c| t.ccx_of(c) as usize == i));
+        }
+    }
+
+    #[test]
+    fn socket_distance_is_linear_hops() {
+        let t = Topology::new(4, 2);
+        assert_eq!(t.socket_distance(SocketId(0), SocketId(0)), 0);
+        assert_eq!(t.socket_distance(SocketId(0), SocketId(3)), 3);
+        assert_eq!(t.socket_distance(SocketId(3), SocketId(1)), 2);
     }
 }

@@ -212,6 +212,53 @@ impl RunReport {
     }
 }
 
+/// How a replicated-kernel model clusters cores into kernel instances —
+/// the cluster-of-kernels axis of the lock-granularity design space. Each
+/// variant maps a [`Topology`] sharing domain to one kernel, so the kernel
+/// count (and hence the cross-kernel traffic pattern) is derived from the
+/// machine instead of hand-picked per experiment.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum KernelClustering {
+    /// One kernel per core: maximal replication, every sharing is a
+    /// message (the classic multikernel limit).
+    PerCore,
+    /// One kernel per CCX: cores of an L3 complex share a kernel, CCX
+    /// boundaries are messages.
+    PerCcx,
+    /// One kernel per NUMA socket: the paper-era Popcorn layout.
+    PerSocket,
+}
+
+impl KernelClustering {
+    /// All clusterings, coarse to fine.
+    pub const ALL: [KernelClustering; 3] = [
+        KernelClustering::PerSocket,
+        KernelClustering::PerCcx,
+        KernelClustering::PerCore,
+    ];
+
+    /// Number of kernel instances this clustering yields on `topo`.
+    /// Because cores are numbered socket-major and CCX-major within a
+    /// socket, `topo.partition(kernel_count)` lands every kernel exactly on
+    /// its cluster's cores.
+    pub fn kernel_count(self, topo: Topology) -> u16 {
+        match self {
+            KernelClustering::PerCore => topo.num_cores(),
+            KernelClustering::PerCcx => topo.num_ccx(),
+            KernelClustering::PerSocket => topo.num_sockets(),
+        }
+    }
+
+    /// Short label for tables.
+    pub fn name(self) -> &'static str {
+        match self {
+            KernelClustering::PerCore => "per-core",
+            KernelClustering::PerCcx => "per-ccx",
+            KernelClustering::PerSocket => "per-socket",
+        }
+    }
+}
+
 /// Harness-facing interface implemented by every OS model.
 pub trait OsModel {
     /// Short model name for tables.
@@ -290,6 +337,18 @@ mod tests {
         let mut truncated = clean.clone();
         truncated.stop = StopCondition::HorizonReached;
         assert!(!truncated.is_clean());
+    }
+
+    #[test]
+    fn clustering_kernel_counts_follow_topology() {
+        let t = Topology::with_ccx(4, 8, 8); // 256 cores
+        assert_eq!(KernelClustering::PerCore.kernel_count(t), 256);
+        assert_eq!(KernelClustering::PerCcx.kernel_count(t), 32);
+        assert_eq!(KernelClustering::PerSocket.kernel_count(t), 4);
+        // Without an explicit CCX layer, per-CCX degenerates to per-socket.
+        let flat = Topology::new(2, 4);
+        assert_eq!(KernelClustering::PerCcx.kernel_count(flat), 2);
+        assert_eq!(KernelClustering::PerSocket.kernel_count(flat), 2);
     }
 
     #[test]

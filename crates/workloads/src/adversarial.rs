@@ -344,6 +344,96 @@ impl Program for MigratingWriter {
     }
 }
 
+/// Migrates once to an assigned kernel, then stays put and rewrites a
+/// page range for a fixed number of rounds. Two of these sharing one
+/// range on different kernels bounce every page's ownership back and
+/// forth — each store is a write fault serialized at whichever service
+/// point is home for the page.
+///
+/// The home-saturation generator (E16): with a flat home every pair's
+/// traffic queues at the one root directory server; with per-socket
+/// delegates a pair pinned inside one socket is served by that socket's
+/// delegate, and the root only sees first-touch delegation.
+#[derive(Debug)]
+pub struct PinnedBouncer {
+    target: KernelId,
+    base: VAddr,
+    pages: u64,
+    rounds: u32,
+    compute_ns: u64,
+    placed: bool,
+    next_page: u64,
+    seq: u64,
+}
+
+impl PinnedBouncer {
+    /// Migrates to `target`, then rewrites the `pages` pages at `base`
+    /// for `rounds` rounds with `compute_ns` of think time between
+    /// rounds.
+    pub fn new(target: KernelId, base: VAddr, pages: u64, rounds: u32, compute_ns: u64) -> Self {
+        PinnedBouncer {
+            target,
+            base,
+            pages,
+            rounds,
+            compute_ns,
+            placed: false,
+            next_page: 0,
+            seq: 0,
+        }
+    }
+}
+
+impl Program for PinnedBouncer {
+    fn step(&mut self, _r: Resume, _env: &ProgEnv) -> Op {
+        if !self.placed {
+            self.placed = true;
+            return Op::Syscall(SyscallReq::Migrate(MigrateTarget::Kernel(self.target)));
+        }
+        if self.next_page < self.pages {
+            let addr = self.base.add(self.next_page * VAddr::PAGE_SIZE);
+            self.next_page += 1;
+            self.seq += 1;
+            return Op::Store(addr, self.seq);
+        }
+        if self.rounds == 0 {
+            return Op::Exit(0);
+        }
+        self.rounds -= 1;
+        self.next_page = 0;
+        Op::Compute(self.compute_ns)
+    }
+}
+
+/// One [`PinnedBouncer`] pair per entry of `pairs`: both workers pin to
+/// their pair's two kernels and fight over the same disjoint
+/// `pages_each`-page slice for `rounds` rounds. Disjoint ranges mean
+/// pairs never share a page — all they can contend on is the home
+/// service point itself, which is exactly what E16 measures.
+pub fn kernel_pair_bouncers(
+    pairs: Vec<(KernelId, KernelId)>,
+    pages_each: u64,
+    rounds: u32,
+    compute_ns: u64,
+) -> Box<dyn Program> {
+    let workers = pairs.len() * 2;
+    let mut cfg = TeamConfig::new(workers, pairs.len() as u64 * pages_each * VAddr::PAGE_SIZE);
+    cfg.placement = Placement::Local;
+    Team::boxed(
+        cfg,
+        Box::new(move |i, shared: Shared| {
+            let pair = pairs[i / 2];
+            let target = if i % 2 == 0 { pair.0 } else { pair.1 };
+            let base = shared
+                .data
+                .add((i / 2) as u64 * pages_each * VAddr::PAGE_SIZE);
+            Box::new(PinnedBouncer::new(
+                target, base, pages_each, rounds, compute_ns,
+            ))
+        }),
+    )
+}
+
 /// `workers` ring hoppers, each dragging `pages_each` private pages of
 /// working set around `kernels` kernels for `hops` hops (see
 /// [`MigratingWriter`]).
@@ -464,6 +554,32 @@ mod tests {
             Op::Compute(1_000)
         ));
         assert!(matches!(h.step(Resume::Done, &e1), Op::Exit(0)));
+    }
+
+    #[test]
+    fn pinned_bouncer_migrates_once_then_rewrites_in_place() {
+        let mut b = PinnedBouncer::new(KernelId(3), VAddr(0x8000), 2, 1, 700);
+        assert!(matches!(
+            b.step(Resume::Start, &env()),
+            Op::Syscall(SyscallReq::Migrate(MigrateTarget::Kernel(KernelId(3))))
+        ));
+        // Round 0: rewrite both pages, then think.
+        assert!(matches!(
+            b.step(Resume::Sys(SysResult::Val(0)), &env()),
+            Op::Store(a, 1) if a == VAddr(0x8000)
+        ));
+        assert!(matches!(
+            b.step(Resume::Done, &env()),
+            Op::Store(a, 2) if a == VAddr(0x8000 + VAddr::PAGE_SIZE)
+        ));
+        assert!(matches!(b.step(Resume::Done, &env()), Op::Compute(700)));
+        // Round 1: same pages again — no further migration — then exit.
+        assert!(matches!(
+            b.step(Resume::Done, &env()),
+            Op::Store(a, 3) if a == VAddr(0x8000)
+        ));
+        assert!(matches!(b.step(Resume::Done, &env()), Op::Store(_, 4)));
+        assert!(matches!(b.step(Resume::Done, &env()), Op::Exit(0)));
     }
 
     #[test]
